@@ -1,0 +1,128 @@
+"""Fig. 3 — CLEAR figure of merit for point-to-point links vs length.
+
+Regenerates the link-level comparison of Electronic / Photonic / Plasmonic
+/ HyPPI across 1 µm - 5 cm, in both rate conventions (Table I, †):
+``device`` (bare device rates, the paper's Fig. 3) and ``serdes``
+(50 Gb/s-capped, the system-level convention). Prints the log-log curves
+and the technology hand-off points.
+"""
+
+import numpy as np
+
+from repro.core import find_crossover_m, sweep_link_clear
+from repro.tech import (
+    CapabilityMode,
+    ElectronicLinkModel,
+    HyPPILinkModel,
+    PhotonicLinkModel,
+    PlasmonicLinkModel,
+    Technology,
+)
+from repro.util import ascii_xy_plot, format_table
+
+MODELS = {
+    Technology.ELECTRONIC: ElectronicLinkModel(),
+    Technology.PHOTONIC: PhotonicLinkModel(),
+    Technology.PLASMONIC: PlasmonicLinkModel(),
+    Technology.HYPPI: HyPPILinkModel(),
+}
+
+LENGTHS = np.logspace(-6, np.log10(0.05), 60)
+
+#: Plot range for pure plasmonics: beyond ~1 mm its 440 dB/cm loss drives
+#: CLEAR through dozens of decades, which would compress every other curve
+#: into the top rows of the log-log plot. Tables keep the full sweep.
+PLASMONIC_PLOT_LENGTHS = np.logspace(-6, -3, 40)
+
+
+def _sweep_all(mode: CapabilityMode):
+    return {
+        tech.value: sweep_link_clear(
+            model,
+            PLASMONIC_PLOT_LENGTHS
+            if tech is Technology.PLASMONIC
+            else LENGTHS,
+            mode=mode,
+        )
+        for tech, model in MODELS.items()
+    }
+
+
+def test_fig3_device_mode(benchmark, save_result):
+    sweeps = benchmark(_sweep_all, CapabilityMode.DEVICE)
+    plot = ascii_xy_plot(
+        {name: (s.lengths_m, s.clear) for name, s in sweeps.items()},
+        logx=True,
+        logy=True,
+        title="Fig. 3 — link CLEAR vs length (device rates, log-log)",
+    )
+    rows = []
+    for name, s in sweeps.items():
+        n = len(s.lengths_m)
+        for idx in (0, n // 3, 2 * n // 3, n - 1):
+            rows.append([name, s.lengths_m[idx] * 1e3, s.clear[idx]])
+    table = format_table(
+        ["technology", "length (mm)", "CLEAR"],
+        rows,
+        title="Fig. 3 samples",
+    )
+    save_result("fig3_link_clear_device", plot + "\n\n" + table)
+
+    # Paper claims: electronics best at short range; HyPPI best at
+    # inter-core (1 mm) distances; photonics beats electronics by 20 mm.
+    def at(name, length):
+        s = sweeps[name]
+        return float(np.interp(length, s.lengths_m, s.clear))
+
+    assert at("electronic", 5e-6) == max(at(n, 5e-6) for n in sweeps)
+    assert at("hyppi", 1e-3) == max(at(n, 1e-3) for n in sweeps)
+    assert at("photonic", 20e-3) > at("electronic", 20e-3)
+
+
+def test_fig3_crossovers(benchmark, save_result):
+    def crossovers():
+        e = MODELS[Technology.ELECTRONIC]
+        out = {
+            "electronic->hyppi": find_crossover_m(
+                e, MODELS[Technology.HYPPI], 1e-6, 10e-3
+            ),
+            "electronic->photonic": find_crossover_m(
+                e, MODELS[Technology.PHOTONIC], 1e-6, 50e-3
+            ),
+        }
+        return out
+
+    points = benchmark(crossovers)
+    rows = [[k, "-" if v is None else v * 1e3] for k, v in points.items()]
+    save_result(
+        "fig3_crossovers",
+        format_table(
+            ["hand-off", "length (mm)"], rows, title="Fig. 3 crossover points"
+        ),
+    )
+    assert points["electronic->hyppi"] is not None
+    assert points["electronic->hyppi"] < 1e-3  # before the 1 mm core spacing
+    assert points["electronic->photonic"] is not None
+    # Photonics takes over from electronics later than HyPPI does.
+    assert points["electronic->photonic"] > points["electronic->hyppi"]
+
+
+def test_fig3_serdes_mode(benchmark, save_result):
+    sweeps = benchmark(_sweep_all, CapabilityMode.SERDES)
+    plot = ascii_xy_plot(
+        {name: (s.lengths_m, s.clear) for name, s in sweeps.items()},
+        logx=True,
+        logy=True,
+        title="Fig. 3 variant — link CLEAR, SERDES-limited rates",
+    )
+    save_result("fig3_link_clear_serdes", plot)
+    # With rates equalized at 50 Gb/s, plasmonics wins over the other
+    # *optical* options at micrometre scale (its natural niche).
+    def at(name, length):
+        s = sweeps[name]
+        return float(np.interp(length, s.lengths_m, s.clear))
+
+    assert at("plasmonic", 5e-6) > at("hyppi", 5e-6)
+    assert at("plasmonic", 5e-6) > at("photonic", 5e-6)
+    # And still collapses by 1 mm.
+    assert at("plasmonic", 1e-3) < 1e-3 * at("plasmonic", 5e-6)

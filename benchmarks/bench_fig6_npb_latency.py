@@ -1,0 +1,87 @@
+"""Fig. 6 — average packet latency, NAS Parallel Benchmarks.
+
+Cycle-simulates synthetic NPB traces (FT, CG, MG, LU) on the base
+electronic mesh and on express meshes with Hops = 3, 5, 15. Express links
+are optical (photonic or HyPPI — "the latency is the same in both cases,
+because their individual link latencies are identical", so one run covers
+both).
+
+Trace scales are simulation-budget bound; EXPERIMENTS.md records the
+scaling and the resulting paper-vs-measured ratios.
+"""
+
+import pytest
+
+from repro.simulation import Simulator
+from repro.tech import Technology
+from repro.topology import build_express_mesh, build_mesh
+from repro.traffic import cg_trace, ft_trace, lu_trace, mg_trace
+from repro.util import format_table
+
+TRACES = {
+    "FT": lambda: ft_trace(volume_scale=3e-3, iterations=1),
+    "CG": lambda: cg_trace(volume_scale=3e-4, iterations=1),
+    "MG": lambda: mg_trace(volume_scale=0.005, iterations=1),
+    "LU": lambda: lu_trace(volume_scale=0.01, iterations=2),
+}
+
+PAPER_SPEEDUPS = {  # best express configuration per kernel, from the text
+    "CG": 1.25,
+    "MG": 1.64,
+    "FT": 1.30,
+    "LU": 1.0,
+}
+
+
+def _run_all():
+    topos = {"mesh": build_mesh()}
+    for hops in (3, 5, 15):
+        topos[f"h{hops}"] = build_express_mesh(
+            hops=hops, express_technology=Technology.HYPPI
+        )
+    out = {}
+    for kernel, make in TRACES.items():
+        trace = make()
+        for name, topo in topos.items():
+            stats = Simulator(topo).run(trace)
+            assert stats.drained, f"{kernel}@{name} undrained"
+            out[kernel, name] = stats.avg_latency
+    return out
+
+
+def test_fig6_npb_latency(benchmark, save_result):
+    lat = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    kernels = ("FT", "CG", "MG", "LU")
+    rows = []
+    for k in kernels:
+        base = lat[k, "mesh"]
+        best = min(lat[k, n] for n in ("h3", "h5", "h15"))
+        rows.append(
+            [
+                k,
+                base,
+                lat[k, "h3"],
+                lat[k, "h5"],
+                lat[k, "h15"],
+                base / best,
+                PAPER_SPEEDUPS[k],
+            ]
+        )
+    save_result(
+        "fig6_npb_latency",
+        format_table(
+            ["kernel", "mesh (clk)", "h3", "h5", "h15",
+             "best speedup", "paper best"],
+            rows,
+            title="Fig. 6 — NPB average latency (cycle simulation)",
+        ),
+    )
+
+    # Shape assertions (paper Section IV-A).
+    assert lat["CG", "mesh"] / min(lat["CG", "h3"], lat["CG", "h5"]) > 1.1
+    assert lat["MG", "mesh"] / lat["MG", "h15"] > 1.03
+    assert lat["FT", "mesh"] / min(
+        lat["FT", n] for n in ("h3", "h5", "h15")
+    ) > 1.2
+    for name in ("h3", "h5", "h15"):
+        assert lat["LU", "mesh"] / lat["LU", name] == pytest.approx(1.0, abs=0.1)

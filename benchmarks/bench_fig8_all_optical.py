@@ -1,0 +1,66 @@
+"""Fig. 8 — all-optical WDM NoC vs electronic NoC (radar comparison).
+
+Regenerates the three-way Latency / Energy-per-bit / Area comparison:
+electronic mesh, all-photonic NoC, all-HyPPI NoC. Smaller is better on
+every axis ("the triangle that encloses smaller area is the better
+option").
+"""
+
+import pytest
+
+from repro.optical import project_all_optical
+from repro.util import ascii_bar_chart, format_table
+
+PAPER = {
+    # name: (energy fJ/bit, area mm2)
+    "electronic-mesh": (89_700_000.0, 22.1),  # 89.7 nJ/bit as printed
+    "all-photonic": (352.0, 127.7),
+    "all-hyppi": (354.0, 1.24),
+}
+
+
+def test_fig8_projection(benchmark, save_result):
+    cmp = benchmark.pedantic(project_all_optical, rounds=1, iterations=1)
+    rows = []
+    for proj in cmp.all():
+        paper_e, paper_a = PAPER[proj.name]
+        rows.append(
+            [proj.name, proj.latency_clks, proj.energy_per_bit_fj, paper_e,
+             proj.area_mm2, paper_a]
+        )
+    table = format_table(
+        ["network", "latency (clk)", "E/bit (fJ)", "paper E/bit",
+         "area (mm2)", "paper area"],
+        rows,
+        title="Fig. 8 — all-optical projections",
+    )
+    bars = ascii_bar_chart(
+        [p.name for p in cmp.all()],
+        [p.energy_per_bit_fj for p in cmp.all()],
+        title="energy per bit (fJ, log-scale differences are the story)",
+    )
+    save_result("fig8_all_optical", table + "\n\n" + bars)
+
+    # Areas land on the paper's values (they are mostly arithmetic).
+    assert cmp.electronic.area_mm2 == pytest.approx(22.1, rel=0.05)
+    assert cmp.photonic.area_mm2 == pytest.approx(127.7, rel=0.05)
+    assert cmp.hyppi.area_mm2 == pytest.approx(1.24, rel=0.2)
+    # Energy: optical two orders below electronic; photonic ~ HyPPI.
+    assert cmp.energy_ratio_electronic_over_hyppi > 100
+    assert (
+        0.5
+        < cmp.photonic.energy_per_bit_fj / cmp.hyppi.energy_per_bit_fj
+        < 2.0
+    )
+    # Latency: all-optical at 50% of the electronic mesh (paper ref [22]).
+    assert cmp.hyppi.latency_clks == pytest.approx(
+        0.5 * cmp.electronic.latency_clks
+    )
+
+
+def test_fig8_radar_dominance(benchmark):
+    cmp = benchmark.pedantic(project_all_optical, rounds=1, iterations=1)
+    # all-HyPPI dominates all-photonic on every axis (smaller triangle).
+    assert cmp.hyppi.latency_clks <= cmp.photonic.latency_clks
+    assert cmp.hyppi.area_mm2 < cmp.photonic.area_mm2
+    assert cmp.hyppi.energy_per_bit_fj < 2 * cmp.photonic.energy_per_bit_fj

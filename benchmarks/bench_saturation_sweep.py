@@ -1,0 +1,71 @@
+"""Extension bench — latency vs offered load (saturation behaviour).
+
+Supports the paper's motivating argument that "Optical links ... typically
+show good performance at high injection rates, since the static power is
+amortized across their high data rate. Hence realistic injection ratios are
+important": sweeps open-loop uniform traffic on the plain mesh and the
+HyPPI-express hybrid up to the paper's 0.1 operating point and beyond,
+locating where each network's latency departs from the zero-load regime.
+"""
+
+import numpy as np
+
+from repro.simulation import latency_throughput_sweep
+from repro.tech import Technology
+from repro.topology import RoutingTable, build_express_mesh, build_mesh
+from repro.traffic import uniform_traffic
+from repro.util import format_table
+
+RATES = np.array([0.02, 0.05, 0.1, 0.2, 0.3])
+
+
+def _sweep():
+    out = {}
+    for name, topo in (
+        ("mesh", build_mesh()),
+        ("h3-hyppi", build_express_mesh(hops=3, express_technology=Technology.HYPPI)),
+    ):
+        routing = RoutingTable(topo)
+        out[name] = latency_throughput_sweep(
+            topo,
+            uniform_traffic(topo),
+            RATES,
+            cycles=1200,
+            routing=routing,
+            seed=0,
+        )
+    return out
+
+
+def test_saturation_sweep(benchmark, save_result):
+    curves = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for i, rate in enumerate(RATES):
+        rows.append(
+            [
+                rate,
+                curves["mesh"][i].avg_latency,
+                curves["h3-hyppi"][i].avg_latency,
+                curves["mesh"][i].avg_latency / curves["h3-hyppi"][i].avg_latency,
+            ]
+        )
+    save_result(
+        "saturation_sweep",
+        format_table(
+            ["injection rate", "mesh latency", "h3 latency", "speedup"],
+            rows,
+            title="Latency vs offered load, uniform traffic",
+        ),
+    )
+    # At the paper's 0.1 operating point both networks are unsaturated and
+    # the express network is at least as fast.
+    i_01 = int(np.argwhere(RATES == 0.1)[0][0])
+    assert curves["mesh"][i_01].drained
+    assert curves["h3-hyppi"][i_01].drained
+    assert (
+        curves["h3-hyppi"][i_01].avg_latency
+        <= 1.05 * curves["mesh"][i_01].avg_latency
+    )
+    # Latency grows with offered load on the plain mesh.
+    mesh_lat = [pt.avg_latency for pt in curves["mesh"]]
+    assert mesh_lat[-1] > mesh_lat[0]

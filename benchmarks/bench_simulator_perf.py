@@ -1,0 +1,54 @@
+"""Throughput benchmarks of the substrates themselves.
+
+Not a paper figure: these track the speed of the cycle simulator, the
+flow-assignment kernel and the routing-table build, the three hot paths of
+the reproduction (the HPC guides' rule: measure before optimizing).
+"""
+
+import numpy as np
+
+from repro.analysis import assign_flows
+from repro.simulation import Simulator
+from repro.topology import RoutingTable, build_mesh
+from repro.traffic import PacketRecord, Trace, uniform_traffic
+
+
+def _uniform_trace(n_packets=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    records = []
+    for i in range(n_packets):
+        s, d = rng.choice(256, size=2, replace=False)
+        records.append(PacketRecord(int(rng.integers(0, 2000)), int(s), int(d), 1))
+    return Trace(256, records)
+
+
+def test_perf_cycle_simulator(benchmark):
+    mesh = build_mesh()
+    routing = RoutingTable(mesh)
+    trace = _uniform_trace()
+    sim = Simulator(mesh, routing)
+    stats = benchmark.pedantic(
+        lambda: sim.run(trace), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert stats.drained
+
+
+def test_perf_flow_assignment(benchmark):
+    mesh = build_mesh()
+    routing = RoutingTable(mesh)
+    tm = uniform_traffic(mesh)
+    assign_flows(mesh, tm, routing)  # warm the path cache
+    flows = benchmark(assign_flows, mesh, tm, routing)
+    assert flows.total_traffic > 0
+
+
+def test_perf_routing_table_build(benchmark):
+    mesh = build_mesh()
+
+    def build():
+        rt = RoutingTable(mesh)
+        rt.build_all()
+        return rt
+
+    rt = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert rt.hop_count(0, 255) == 30

@@ -1,0 +1,67 @@
+"""Table I — photonic / plasmonic / HyPPI link parameters.
+
+Renders the transcribed device table and benchmarks the derived link-budget
+computations that every other experiment leans on.
+"""
+
+from repro.tech import HYPPI, PHOTONIC, PLASMONIC
+from repro.util import format_table
+
+
+def _render() -> str:
+    cols = {"Photonic": PHOTONIC, "Plasmonic": PLASMONIC, "HyPPI": HYPPI}
+    rows = [
+        ["Laser efficiency (%)"] + [p.laser.efficiency * 100 for p in cols.values()],
+        ["Laser area (um2)"] + [p.laser.area_um2 for p in cols.values()],
+        ["Mod. device rate (Gb/s)"]
+        + [p.modulator.device_rate_gbps for p in cols.values()],
+        ["Mod. SERDES rate (Gb/s)"]
+        + [p.modulator.serdes_rate_gbps for p in cols.values()],
+        ["Mod. energy (fJ/bit)"]
+        + [p.modulator.energy_fj_per_bit for p in cols.values()],
+        ["Mod. insertion loss (dB)"]
+        + [p.modulator.insertion_loss_db for p in cols.values()],
+        ["Mod. extinction ratio (dB)"]
+        + [p.modulator.extinction_ratio_db for p in cols.values()],
+        ["Mod. area (um2)"] + [p.modulator.area_um2 for p in cols.values()],
+        ["Mod. capacitance (fF)"]
+        + [p.modulator.capacitance_ff for p in cols.values()],
+        ["Det. rate (Gb/s)"] + [p.photodetector.rate_gbps for p in cols.values()],
+        ["Det. energy (fJ/bit)"]
+        + [p.photodetector.energy_fj_per_bit for p in cols.values()],
+        ["Det. responsivity (A/W)"]
+        + [p.photodetector.responsivity_a_per_w for p in cols.values()],
+        ["Det. area (um2)"] + [p.photodetector.area_um2 for p in cols.values()],
+        ["WG prop. loss (dB/cm)"]
+        + [p.waveguide.propagation_loss_db_per_cm for p in cols.values()],
+        ["WG coupling loss (dB)"]
+        + [p.waveguide.coupling_loss_db for p in cols.values()],
+        ["WG pitch (um)"] + [p.waveguide.pitch_um for p in cols.values()],
+        ["WG width (um)"] + [p.waveguide.width_um for p in cols.values()],
+    ]
+    return format_table(
+        ["Parameter", "Photonic", "Plasmonic", "HyPPI"],
+        rows,
+        title="Table I — link technology parameters (transcribed)",
+    )
+
+
+def test_table1_parameters(benchmark, save_result):
+    table = benchmark(_render)
+    save_result("table1_parameters", table)
+    assert "2100" in table  # HyPPI's 2.1 Tb/s modulator
+    assert "440" in table  # plasmonic ohmic loss
+
+
+def test_table1_loss_budgets(benchmark):
+    def budgets():
+        return {
+            p.technology.value: p.path_loss_db(1e-3)
+            for p in (PHOTONIC, PLASMONIC, HYPPI)
+        }
+
+    losses = benchmark(budgets)
+    # Plasmonics pays 44 dB/mm; the others stay near their fixed losses.
+    assert losses["plasmonic"] > 40
+    assert losses["photonic"] < 2
+    assert losses["hyppi"] < 3

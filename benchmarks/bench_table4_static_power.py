@@ -1,0 +1,63 @@
+"""Table IV — total NoC static power, electronic base mesh + express links.
+
+Regenerates the static-power grid for express technologies x hop counts,
+next to the paper's values. Calibration anchors: the 1.53 W base mesh and
+the ~1.5 W photonic-express adder (DESIGN.md section 5).
+"""
+
+import pytest
+
+from repro.analysis import network_static_power_w
+from repro.tech import Technology
+from repro.topology import build_express_mesh, build_mesh
+from repro.util import format_table
+
+PAPER = {
+    (Technology.ELECTRONIC, 3): 1.532,
+    (Technology.ELECTRONIC, 5): 1.533,
+    (Technology.ELECTRONIC, 15): 1.547,
+    (Technology.PHOTONIC, 3): 3.076,
+    (Technology.PHOTONIC, 5): 2.458,
+    (Technology.PHOTONIC, 15): 1.839,
+    (Technology.HYPPI, 3): 1.545,
+    (Technology.HYPPI, 5): 1.539,
+    (Technology.HYPPI, 15): 1.533,
+}
+PAPER_BASE = 1.53
+
+
+def _compute():
+    grid = {"base": network_static_power_w(build_mesh())}
+    for (tech, hops) in PAPER:
+        topo = build_express_mesh(hops=hops, express_technology=tech)
+        grid[(tech, hops)] = network_static_power_w(topo)
+    return grid
+
+
+def test_table4_static_power(benchmark, save_result):
+    grid = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = [["base electronic mesh", "-", grid["base"], PAPER_BASE]]
+    for tech in (Technology.ELECTRONIC, Technology.PHOTONIC, Technology.HYPPI):
+        for hops in (3, 5, 15):
+            rows.append(
+                [tech.value, hops, grid[(tech, hops)], PAPER[(tech, hops)]]
+            )
+    save_result(
+        "table4_static_power",
+        format_table(
+            ["express technology", "hops", "static power (W)", "paper (W)"],
+            rows,
+            title="Table IV — total NoC static power",
+        ),
+    )
+
+    # Anchor: base mesh within 3% of the paper.
+    assert grid["base"] == pytest.approx(PAPER_BASE, rel=0.03)
+    # Shape: photonic express dominates and decreases with hops; HyPPI and
+    # electronic stay within a few percent of the base mesh.
+    assert grid[(Technology.PHOTONIC, 3)] > grid[(Technology.PHOTONIC, 5)]
+    assert grid[(Technology.PHOTONIC, 5)] > grid[(Technology.PHOTONIC, 15)]
+    assert grid[(Technology.PHOTONIC, 3)] > 1.8 * grid["base"]
+    for hops in (3, 5, 15):
+        assert grid[(Technology.HYPPI, hops)] < 1.06 * grid["base"]
+        assert grid[(Technology.ELECTRONIC, hops)] < 1.10 * grid["base"]

@@ -1,0 +1,72 @@
+"""Table VI — WDM-based photonic vs HyPPI all-optical routers.
+
+Regenerates the router comparison (control energy, loss range, area) and
+the optimal port assignment the paper applies to tame the HyPPI router's
+wide loss range under X-Y routing.
+"""
+
+import pytest
+
+from repro.optical import (
+    HYPPI_ROUTER,
+    PHOTONIC_ROUTER,
+    optimal_port_assignment,
+)
+from repro.util import format_table
+
+PAPER = {
+    "photonic": {"control": 68.2, "loss": (0.39, 1.5), "area": 480_000.0},
+    "hyppi": {"control": 3.73, "loss": (0.32, 9.1), "area": 500.0},
+}
+
+
+def _compute():
+    out = {}
+    for name, router in (("photonic", PHOTONIC_ROUTER), ("hyppi", HYPPI_ROUTER)):
+        lo, hi = router.loss_range_db()
+        _, expected = optimal_port_assignment(router)
+        out[name] = {
+            "control": router.control_energy_fj_per_bit(),
+            "loss": (lo, hi),
+            "area": router.area_um2(),
+            "expected_loss": expected,
+        }
+    return out
+
+
+def test_table6_routers(benchmark, save_result):
+    results = benchmark(_compute)
+    rows = []
+    for name in ("photonic", "hyppi"):
+        r, p = results[name], PAPER[name]
+        rows.append(
+            [
+                name,
+                r["control"],
+                p["control"],
+                f"{r['loss'][0]:.2f}-{r['loss'][1]:.2f}",
+                f"{p['loss'][0]}-{p['loss'][1]}",
+                r["area"],
+                p["area"],
+                r["expected_loss"],
+            ]
+        )
+    save_result(
+        "table6_routers",
+        format_table(
+            ["router", "control (fJ/bit)", "paper", "loss range (dB)",
+             "paper", "area (um2)", "paper", "E[loss|XY] (dB)"],
+            rows,
+            title="Table VI — all-optical router comparison",
+        ),
+    )
+
+    for name in ("photonic", "hyppi"):
+        r, p = results[name], PAPER[name]
+        assert r["control"] == pytest.approx(p["control"], rel=0.07)
+        assert r["loss"][0] == pytest.approx(p["loss"][0], abs=0.02)
+        assert r["loss"][1] == pytest.approx(p["loss"][1], rel=0.1)
+        assert r["area"] == pytest.approx(p["area"], rel=0.05)
+    # The optimal assignment keeps the HyPPI router's *used* loss well
+    # below its worst case — the paper's justification for the design.
+    assert results["hyppi"]["expected_loss"] < 2.0

@@ -1,0 +1,70 @@
+"""All-optical NoC projections (paper Section V, Table VI, Fig. 8).
+
+Compares the electronic mesh against fully optical NoCs built from the
+paper's two router designs — 8 microring switches (photonic) vs 8 compact
+plasmonic MOS switches (HyPPI) — on latency, energy per bit, and area.
+
+Run:  python examples/all_optical_projection.py
+"""
+
+from repro.optical import (
+    HYPPI_ROUTER,
+    PHOTONIC_ROUTER,
+    optimal_port_assignment,
+    project_all_optical,
+)
+from repro.util import format_table
+
+
+def main() -> None:
+    # Table VI: the two all-optical router designs.
+    rows = []
+    for name, router in (("photonic", PHOTONIC_ROUTER), ("HyPPI", HYPPI_ROUTER)):
+        lo, hi = router.loss_range_db()
+        assignment, expected = optimal_port_assignment(router)
+        rows.append(
+            [
+                name,
+                router.control_energy_fj_per_bit(),
+                f"{lo:.2f} - {hi:.2f}",
+                router.area_um2(),
+                expected,
+            ]
+        )
+    print(
+        format_table(
+            ["router", "control (fJ/bit)", "loss range (dB)", "area (um2)",
+             "expected loss under X-Y (dB)"],
+            rows,
+            title="Table VI — all-optical 5-port routers",
+        )
+    )
+    print(
+        "\nThe HyPPI router's loss range is wide (its plasmonic 2x2 switch"
+        "\nis very asymmetric), but the optimal port assignment parks the"
+        "\nexpensive paths on transitions X-Y routing never makes.\n"
+    )
+
+    # Fig. 8: the radar comparison.
+    cmp = project_all_optical()
+    print(
+        format_table(
+            ["network", "latency (clk)", "energy/bit (fJ)", "area (mm2)"],
+            [p.radar_row() for p in cmp.all()],
+            title="Fig. 8 — smaller is better on every axis",
+        )
+    )
+    print(
+        f"\nall-HyPPI vs electronic energy : "
+        f"{cmp.energy_ratio_electronic_over_hyppi:.0f}x better "
+        "(paper: ~255x)"
+    )
+    print(
+        f"all-HyPPI vs all-photonic area : "
+        f"{cmp.area_ratio_photonic_over_hyppi:.0f}x smaller "
+        "(paper: ~100x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""What-if study: an improved HyPPI device generation.
+
+The paper's conclusion frames HyPPI as "an excellent technology choice for
+the future". This example shows how to use the library for forward-looking
+what-ifs: define a hypothetical next-generation HyPPI with a better
+plasmonic detector (responsivity 0.1 -> 0.4 A/W, one of the knobs the HyPPI
+journal paper flags as maturing) and a lower-loss coupler (1.0 -> 0.5 dB),
+then re-run the link-level CLEAR sweep and the all-optical energy budget.
+
+Run:  python examples/custom_technology.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import sweep_link_clear
+from repro.tech import HYPPI, OpticalLinkModel
+from repro.tech.optical import laser_energy_fj_per_bit
+from repro.util import format_table
+
+LENGTHS = np.array([100e-6, 1e-3, 5e-3, 20e-3])
+
+
+def improved_hyppi():
+    """Next-generation HyPPI parameter set (documented deltas only)."""
+    detector = dataclasses.replace(
+        HYPPI.photodetector, responsivity_a_per_w=0.4
+    )
+    waveguide = dataclasses.replace(HYPPI.waveguide, coupling_loss_db=0.5)
+    return dataclasses.replace(
+        HYPPI, photodetector=detector, waveguide=waveguide
+    )
+
+
+def main() -> None:
+    today = OpticalLinkModel(HYPPI)
+    future = OpticalLinkModel(improved_hyppi())
+
+    sweep_today = sweep_link_clear(today, LENGTHS)
+    sweep_future = sweep_link_clear(future, LENGTHS)
+    rows = [
+        [
+            length * 1e3,
+            sweep_today.clear[i],
+            sweep_future.clear[i],
+            sweep_future.clear[i] / sweep_today.clear[i],
+        ]
+        for i, length in enumerate(LENGTHS)
+    ]
+    print(
+        format_table(
+            ["length (mm)", "CLEAR today", "CLEAR improved", "gain"],
+            rows,
+            title="HyPPI link CLEAR: Table I devices vs improved generation",
+        )
+    )
+
+    # The detector improvement cuts the laser budget 4x at every loss point.
+    for loss_db in (3.0, 10.0):
+        e_today = laser_energy_fj_per_bit(HYPPI, loss_db)
+        e_future = laser_energy_fj_per_bit(improved_hyppi(), loss_db)
+        print(
+            f"laser energy at {loss_db:.0f} dB path loss: "
+            f"{e_today:7.1f} -> {e_future:6.1f} fJ/bit "
+            f"({e_today / e_future:.1f}x)"
+        )
+    print(
+        "\nEvery model in the library accepts such parameter sets, so device"
+        "\nroadmaps can be swept the same way the paper sweeps topologies."
+    )
+
+
+if __name__ == "__main__":
+    main()

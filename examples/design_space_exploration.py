@@ -1,0 +1,60 @@
+"""Design-space exploration of hybrid NoCs (paper Section III-B, Fig. 5).
+
+Sweeps every base-mesh technology x express-link technology x hop count,
+ranks the options by network CLEAR, and reports the paper's two
+recommended designs: the overall CLEAR winner (HyPPI base + HyPPI express)
+and the latency-first choice (electronic base + HyPPI express).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core import DesignSpaceExplorer
+from repro.util import ascii_bar_chart, format_table
+
+
+def main() -> None:
+    explorer = DesignSpaceExplorer()
+    points = explorer.explore()
+
+    rows = [
+        [
+            pt.label,
+            pt.evaluation.latency_clks,
+            pt.evaluation.power.total_w,
+            pt.evaluation.area_mm2,
+            pt.evaluation.clear,
+        ]
+        for pt in sorted(points, key=lambda p: -p.evaluation.clear)
+    ]
+    print(
+        format_table(
+            ["design point", "latency (clk)", "power (W)", "area (mm2)", "CLEAR"],
+            rows,
+            title="Hybrid NoC design space, ranked by CLEAR (inj. rate 0.1)",
+        )
+    )
+
+    print()
+    print(
+        ascii_bar_chart(
+            [pt.label for pt in points],
+            [pt.evaluation.clear for pt in points],
+            title="CLEAR by design point (paper Fig. 5 a/b/c)",
+        )
+    )
+
+    best = DesignSpaceExplorer.best_by_clear(points)
+    fastest = DesignSpaceExplorer.best_by_latency(points)
+    print(f"\nBest CLEAR            : {best.label} ({best.evaluation.clear:.4g})")
+    print(
+        f"Lowest latency        : {fastest.label} "
+        f"({fastest.evaluation.latency_clks:.2f} clk)"
+    )
+    print(
+        "\nPaper's conclusions: HyPPI base gives the best CLEAR; an"
+        " electronic base + HyPPI express links is the latency-first pick."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Link-level CLEAR sweep (paper Fig. 3).
+
+Plots (in ASCII) the CLEAR figure of merit of all four link technologies
+across six decades of link length, and reports the technology hand-off
+points: electronics for on-die hops, HyPPI at inter-core distances,
+photonics at chip-crossing lengths, plasmonics confined to micrometres.
+
+Run:  python examples/link_clear_sweep.py
+"""
+
+import numpy as np
+
+from repro.core import find_crossover_m, sweep_link_clear
+from repro.tech import (
+    ElectronicLinkModel,
+    HyPPILinkModel,
+    PhotonicLinkModel,
+    PlasmonicLinkModel,
+)
+from repro.util import ascii_xy_plot
+
+
+def main() -> None:
+    models = {
+        "electronic": ElectronicLinkModel(),
+        "photonic": PhotonicLinkModel(),
+        "plasmonic": PlasmonicLinkModel(),
+        "hyppi": HyPPILinkModel(),
+    }
+    lengths = np.logspace(-6, np.log10(0.05), 80)
+    # Pure plasmonics is plotted only to 1 mm: past that its 440 dB/cm loss
+    # drags the log axis through dozens of decades and flattens the rest.
+    plasmonic_lengths = np.logspace(-6, -3, 50)
+    sweeps = {
+        name: sweep_link_clear(
+            m, plasmonic_lengths if name == "plasmonic" else lengths
+        )
+        for name, m in models.items()
+    }
+
+    print(
+        ascii_xy_plot(
+            {name: (s.lengths_m, s.clear) for name, s in sweeps.items()},
+            logx=True,
+            logy=True,
+            width=78,
+            height=24,
+            title="Fig. 3 — CLEAR vs link length (log-log; higher is better)",
+        )
+    )
+
+    e, h, p = models["electronic"], models["hyppi"], models["photonic"]
+    x_eh = find_crossover_m(e, h, 1e-6, 10e-3)
+    x_ep = find_crossover_m(e, p, 1e-6, 50e-3)
+    print(f"\nelectronics -> HyPPI hand-off : {x_eh * 1e6:8.1f} um")
+    print(f"electronics -> photonics hand-off : {x_ep * 1e6:8.1f} um")
+    print(
+        "\nPaper's reading: electronics for short interconnects, HyPPI for"
+        "\ninter-core (mm) distances, photonics for chip-crossing lengths;"
+        "\npure plasmonics dies within tens of micrometres (440 dB/cm)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Trace-driven cycle simulation of NAS Parallel Benchmark traffic.
+
+Reproduces the paper's Section IV experiment at example scale: synthetic
+FT / CG / MG / LU traces run through the cycle-accurate simulator on the
+base electronic mesh and a HyPPI-express hybrid, reporting average packet
+latency and dynamic energy.
+
+Run:  python examples/npb_trace_simulation.py            (CG, quick)
+      python examples/npb_trace_simulation.py FT 3e-3    (kernel, scale)
+"""
+
+import sys
+
+from repro.simulation import Simulator, sim_dynamic_energy_j
+from repro.tech import Technology
+from repro.topology import build_express_mesh, build_mesh
+from repro.traffic import npb_trace
+from repro.util import format_table
+
+# Per-kernel example scales chosen for ~seconds of runtime.
+DEFAULT_SCALES = {"FT": 3e-3, "CG": 3e-4, "MG": 5e-3, "LU": 1e-2}
+
+
+def main(kernel: str = "CG", volume_scale: float | None = None) -> None:
+    kernel = kernel.upper()
+    scale = DEFAULT_SCALES[kernel] if volume_scale is None else volume_scale
+    trace = npb_trace(kernel, volume_scale=scale)
+    print(
+        f"{kernel}: {trace.n_packets} packets, {trace.total_flits} flits, "
+        f"{trace.duration_cycles} injection cycles (volume scale {scale:g})"
+    )
+
+    networks = {
+        "electronic mesh": build_mesh(),
+        "mesh + HyPPI express x3": build_express_mesh(
+            hops=3, express_technology=Technology.HYPPI
+        ),
+        "mesh + HyPPI express x15": build_express_mesh(
+            hops=15, express_technology=Technology.HYPPI
+        ),
+    }
+    rows = []
+    for name, topo in networks.items():
+        stats = Simulator(topo).run(trace)
+        energy = sim_dynamic_energy_j(topo, stats)
+        rows.append(
+            [
+                name,
+                stats.avg_latency,
+                stats.p99_latency,
+                stats.cycles,
+                energy.dynamic_j * 1e3,
+            ]
+        )
+    print(
+        format_table(
+            ["network", "avg latency (clk)", "p99 (clk)", "runtime (clk)",
+             "dynamic energy (mJ)"],
+            rows,
+            title=f"NPB {kernel} on 16x16 networks (paper Fig. 6 / Table V)",
+        )
+    )
+    base = rows[0][1]
+    for row in rows[1:]:
+        print(f"{row[0]}: latency improvement {base / row[1]:.2f}x over the mesh")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(
+        args[0] if args else "CG",
+        float(args[1]) if len(args) > 1 else None,
+    )

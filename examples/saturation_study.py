@@ -1,0 +1,65 @@
+"""Open-loop saturation study: where do the networks stop scaling?
+
+Goes beyond the paper's fixed 0.1 injection rate: sweeps offered load on
+the plain mesh, the HyPPI-express hybrid, and a full HyPPI-wrap torus, with
+uniform and hotspot traffic, and writes the curves as a JSON report.
+
+Run:  python examples/saturation_study.py [output.json]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.report import load_points_to_dicts, save_report
+from repro.simulation import latency_throughput_sweep
+from repro.tech import Technology
+from repro.topology import build_express_mesh, build_mesh, build_torus
+from repro.traffic import hotspot_traffic, uniform_traffic
+from repro.util import format_table
+
+RATES = np.array([0.02, 0.05, 0.1, 0.2])
+
+
+def main(out_path: str | None = None) -> None:
+    networks = {
+        "mesh": build_mesh(),
+        "h3-hyppi": build_express_mesh(hops=3, express_technology=Technology.HYPPI),
+        "torus-hyppi": build_torus(wrap_technology=Technology.HYPPI),
+    }
+    patterns = {"uniform": uniform_traffic, "hotspot": hotspot_traffic}
+
+    report: dict = {}
+    for pat_name, pattern in patterns.items():
+        rows = []
+        curves = {}
+        for net_name, topo in networks.items():
+            points = latency_throughput_sweep(
+                topo, pattern(topo), RATES, cycles=800, seed=0
+            )
+            curves[net_name] = points
+            report[f"{pat_name}/{net_name}"] = load_points_to_dicts(points)
+        for i, rate in enumerate(RATES):
+            rows.append(
+                [rate]
+                + [
+                    curves[n][i].avg_latency if curves[n][i].drained else float("nan")
+                    for n in networks
+                ]
+            )
+        print(
+            format_table(
+                ["rate"] + list(networks),
+                rows,
+                title=f"avg latency (clk) — {pat_name} traffic",
+            )
+        )
+        print()
+
+    if out_path:
+        save_report(report, out_path)
+        print(f"JSON report written to {out_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,36 @@
+"""repro — reproduction of "HyPPI NoC: Bringing Hybrid Plasmonics to an
+Opto-Electronic Network-on-Chip" (Narayana et al., ICPP 2017).
+
+Subpackages:
+
+* :mod:`repro.tech` — Table I device parameters and per-technology link
+  physics (electronic, photonic, plasmonic, HyPPI).
+* :mod:`repro.core` — the CLEAR figure of merit (link and network level)
+  and the hybrid-NoC design-space exploration.
+* :mod:`repro.dsent` — modified-DSENT power/area substrate at 11 nm.
+* :mod:`repro.topology` — mesh / express-mesh topologies + oblivious routing.
+* :mod:`repro.traffic` — Soteriou statistical traffic, classic patterns,
+  synthetic NPB (FT/CG/MG/LU) traces.
+* :mod:`repro.analysis` — analytical flows, utilization (R), latency,
+  power/energy, network CLEAR.
+* :mod:`repro.simulation` — cycle-accurate flit-level NoC simulator.
+* :mod:`repro.optical` — all-optical routers, path losses, Fig. 8
+  projections.
+"""
+
+from repro import analysis, core, dsent, optical, simulation, tech, topology, traffic, util
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "dsent",
+    "optical",
+    "simulation",
+    "tech",
+    "topology",
+    "traffic",
+    "util",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Analytical network evaluation: flows, utilization, latency, power, CLEAR."""
+
+from repro.analysis.flows import FlowAssignment, assign_flows
+from repro.analysis.latency import (
+    average_latency_cycles,
+    link_latency_cycles,
+    path_latency_cycles,
+)
+from repro.analysis.network_clear import (
+    LINK_CAPACITY_GBPS,
+    NetworkEvaluation,
+    aggregate_capability_gbps,
+    evaluate_network,
+)
+from repro.analysis.report import (
+    evaluation_to_dict,
+    load_points_to_dicts,
+    load_report,
+    save_report,
+    sim_stats_to_dict,
+)
+from repro.analysis.power import (
+    CORE_CLOCK_HZ,
+    NetworkEnergy,
+    NetworkPower,
+    network_area_m2,
+    network_power,
+    network_static_power_w,
+    router_config_for_node,
+    trace_dynamic_energy_j,
+)
+from repro.analysis.utilization import (
+    average_utilization,
+    max_link_utilization,
+    rate_of_utilization_increase,
+    utilization_curve,
+)
+
+__all__ = [
+    "FlowAssignment",
+    "assign_flows",
+    "average_latency_cycles",
+    "link_latency_cycles",
+    "path_latency_cycles",
+    "LINK_CAPACITY_GBPS",
+    "NetworkEvaluation",
+    "aggregate_capability_gbps",
+    "evaluate_network",
+    "CORE_CLOCK_HZ",
+    "NetworkEnergy",
+    "NetworkPower",
+    "network_area_m2",
+    "network_power",
+    "network_static_power_w",
+    "router_config_for_node",
+    "trace_dynamic_energy_j",
+    "evaluation_to_dict",
+    "load_points_to_dicts",
+    "load_report",
+    "save_report",
+    "sim_stats_to_dict",
+    "average_utilization",
+    "max_link_utilization",
+    "rate_of_utilization_increase",
+    "utilization_curve",
+]

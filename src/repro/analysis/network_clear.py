@@ -1,0 +1,110 @@
+"""Network-level CLEAR evaluation (paper eq. 2, Fig. 5).
+
+Combines every analytical ingredient into one :class:`NetworkEvaluation`:
+
+* aggregate link capability C (Gb/s) — pure topology arithmetic (Table III);
+* average zero-load latency (clocks);
+* total power (static + dynamic at the given injection rate, Table IV-style);
+* total area (mm²);
+* R = dU/dr (Table III);
+* CLEAR = (C / N) / (latency * power * area * R).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.latency import average_latency_cycles
+from repro.analysis.power import NetworkPower, network_area_m2, network_power
+from repro.analysis.utilization import rate_of_utilization_increase
+from repro.core.clear import clear_network
+from repro.topology.graph import Topology
+from repro.topology.routing import RoutingTable
+from repro.traffic.matrix import TrafficMatrix
+
+__all__ = ["NetworkEvaluation", "evaluate_network", "aggregate_capability_gbps"]
+
+#: All NoC links run at 50 Gb/s (paper Table II).
+LINK_CAPACITY_GBPS = 50.0
+
+
+def aggregate_capability_gbps(
+    topo: Topology, link_capacity_gbps: float = LINK_CAPACITY_GBPS
+) -> float:
+    """Sum of all unidirectional link capacities, Gb/s (Table III's C * N)."""
+    if link_capacity_gbps <= 0:
+        raise ValueError(f"link capacity must be > 0, got {link_capacity_gbps}")
+    return topo.n_links * link_capacity_gbps
+
+
+@dataclass(frozen=True)
+class NetworkEvaluation:
+    """All figures entering network CLEAR, plus the CLEAR value itself."""
+
+    topology_name: str
+    n_nodes: int
+    capability_gbps: float
+    """Aggregate capability / N — Table III's C."""
+    latency_clks: float
+    power: NetworkPower
+    area_mm2: float
+    r_slope: float
+    clear: float
+
+    def summary_row(self) -> list[object]:
+        """Row for the Fig. 5 result tables."""
+        return [
+            self.topology_name,
+            self.capability_gbps,
+            self.latency_clks,
+            self.power.total_w,
+            self.area_mm2,
+            self.r_slope,
+            self.clear,
+        ]
+
+
+def evaluate_network(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    *,
+    injection_rate: float = 0.1,
+    routing: RoutingTable | None = None,
+) -> NetworkEvaluation:
+    """Full analytical evaluation of one network (one Fig. 5 bar).
+
+    Args:
+        topo: the network.
+        traffic: traffic *pattern*; it is rescaled to ``injection_rate``.
+        injection_rate: mean flits/node/cycle (paper evaluates at 0.1).
+        routing: optional prebuilt routing table (reused for flows,
+            latency and R).
+    """
+    if injection_rate <= 0:
+        raise ValueError(f"injection rate must be > 0, got {injection_rate}")
+    rt = routing if routing is not None else RoutingTable(topo)
+    tm = traffic.scaled_to_injection_rate(injection_rate)
+
+    capability = aggregate_capability_gbps(topo) / topo.n_nodes
+    latency = average_latency_cycles(topo, tm, rt)
+    power = network_power(topo, tm, rt)
+    area_mm2 = network_area_m2(topo) * 1e6
+    r_slope = rate_of_utilization_increase(topo, tm, routing=rt)
+    clear = clear_network(
+        aggregate_capability_gbps(topo),
+        topo.n_nodes,
+        latency,
+        power.total_w,
+        area_mm2,
+        r_slope,
+    )
+    return NetworkEvaluation(
+        topology_name=topo.name,
+        n_nodes=topo.n_nodes,
+        capability_gbps=capability,
+        latency_clks=latency,
+        power=power,
+        area_mm2=area_mm2,
+        r_slope=r_slope,
+        clear=clear,
+    )

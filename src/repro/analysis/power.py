@@ -1,0 +1,191 @@
+"""Network power, energy and area roll-ups (Tables IV and V).
+
+"Based on the injection rate information obtained for each link, the power
+consumption was computed based on the static power and dynamic energy per
+flit numbers from DSENT ... across all network components, the links and
+routers" (paper, Section III-B).
+
+Static power sums every router and link-direction model; dynamic power
+multiplies per-flit energies by per-component flit rates from the flow
+assignment. For trace energy (Table V) the same machinery runs on flit
+*counts* instead of rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.analysis.flows import FlowAssignment, assign_flows
+from repro.dsent.link_model import LinkFigures, NocLinkConfig, NocLinkModel
+from repro.dsent.router_model import RouterConfig, RouterPowerArea
+from repro.topology.graph import LinkKind, Topology
+from repro.topology.routing import RoutingTable
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.trace import Trace
+
+__all__ = [
+    "NetworkPower",
+    "NetworkEnergy",
+    "network_static_power_w",
+    "network_power",
+    "network_area_m2",
+    "trace_dynamic_energy_j",
+    "router_config_for_node",
+]
+
+#: The paper's core clock (Table II).
+CORE_CLOCK_HZ = 0.78125e9
+
+
+def router_config_for_node(topo: Topology, node: int) -> RouterConfig:
+    """Router configuration at ``node``: 5 base ports plus one express port
+    per distinct express neighbour (paper: 5 base / 7 hybrid)."""
+    express_neighbors = {
+        l.dst for l in topo.out_links(node) if l.kind is LinkKind.EXPRESS
+    }
+    return RouterConfig(base_ports=5, express_ports=len(express_neighbors))
+
+
+@lru_cache(maxsize=None)
+def _router_eval(config: RouterConfig) -> tuple[float, float, float]:
+    r = RouterPowerArea(config).evaluate()
+    return r.static_w, r.dynamic_j_per_event, r.area_m2
+
+
+@lru_cache(maxsize=None)
+def _link_eval(config: NocLinkConfig) -> LinkFigures:
+    return NocLinkModel(config).evaluate()
+
+
+def _link_config(topo: Topology, link_id: int) -> NocLinkConfig:
+    link = topo.links[link_id]
+    return NocLinkConfig(
+        technology=link.technology,
+        length_m=link.length_m,
+        express=link.kind is LinkKind.EXPRESS,
+    )
+
+
+@dataclass(frozen=True)
+class NetworkPower:
+    """Power breakdown of one network at one operating point, watts."""
+
+    router_static_w: float
+    link_static_w: float
+    router_dynamic_w: float
+    link_dynamic_w: float
+
+    @property
+    def static_w(self) -> float:
+        """Total static power."""
+        return self.router_static_w + self.link_static_w
+
+    @property
+    def dynamic_w(self) -> float:
+        """Total dynamic power."""
+        return self.router_dynamic_w + self.link_dynamic_w
+
+    @property
+    def total_w(self) -> float:
+        """Static + dynamic."""
+        return self.static_w + self.dynamic_w
+
+
+@dataclass(frozen=True)
+class NetworkEnergy:
+    """Energy breakdown for a finite workload (trace), joules."""
+
+    router_dynamic_j: float
+    link_dynamic_j: float
+
+    @property
+    def dynamic_j(self) -> float:
+        """Total dynamic energy (the paper's Table V quantity)."""
+        return self.router_dynamic_j + self.link_dynamic_j
+
+
+def network_static_power_w(topo: Topology) -> float:
+    """Total static power of routers + all link directions (Table IV)."""
+    total = 0.0
+    for node in range(topo.n_nodes):
+        total += _router_eval(router_config_for_node(topo, node))[0]
+    for link_id in range(topo.n_links):
+        total += _link_eval(_link_config(topo, link_id)).static_w
+    return total
+
+
+def network_power(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    routing: RoutingTable | None = None,
+    *,
+    clock_hz: float = CORE_CLOCK_HZ,
+) -> NetworkPower:
+    """Static + dynamic power with ``traffic`` in flits/cycle.
+
+    Dynamic power converts per-flit energies to watts via the clock:
+    ``P = flow(flits/cycle) * f(cycles/s) * E(J/flit)``.
+    """
+    if clock_hz <= 0:
+        raise ValueError(f"clock must be > 0, got {clock_hz}")
+    flows = assign_flows(topo, traffic, routing)
+
+    router_static = 0.0
+    router_dynamic = 0.0
+    for node in range(topo.n_nodes):
+        static_w, dyn_j, _ = _router_eval(router_config_for_node(topo, node))
+        router_static += static_w
+        router_dynamic += flows.router_flow[node] * clock_hz * dyn_j
+
+    link_static = 0.0
+    link_dynamic = 0.0
+    for link_id in range(topo.n_links):
+        fig = _link_eval(_link_config(topo, link_id))
+        link_static += fig.static_w
+        link_dynamic += flows.link_flow[link_id] * clock_hz * fig.dynamic_j_per_flit
+    return NetworkPower(
+        router_static_w=router_static,
+        link_static_w=link_static,
+        router_dynamic_w=router_dynamic,
+        link_dynamic_w=link_dynamic,
+    )
+
+
+def network_area_m2(topo: Topology) -> float:
+    """Total layout area: routers + all link directions, m²."""
+    total = 0.0
+    for node in range(topo.n_nodes):
+        total += _router_eval(router_config_for_node(topo, node))[2]
+    for link_id in range(topo.n_links):
+        total += _link_eval(_link_config(topo, link_id)).area_m2
+    return total
+
+
+def trace_dynamic_energy_j(
+    topo: Topology,
+    trace: Trace | TrafficMatrix,
+    routing: RoutingTable | None = None,
+) -> NetworkEnergy:
+    """Total dynamic energy to deliver a trace's flits (Table V).
+
+    "we obtain the dynamic energy consumption per flit from our modified
+    DSENT, and use it to compute the total dynamic energy based on the
+    communication volume and the network paths taken by the flits."
+
+    Accepts either a :class:`Trace` (its flit-count matrix is used) or a
+    flit-count :class:`TrafficMatrix` directly.
+    """
+    counts = trace.flit_count_matrix() if isinstance(trace, Trace) else trace
+    flows = assign_flows(topo, counts, routing)
+
+    router_j = 0.0
+    for node in range(topo.n_nodes):
+        _, dyn_j, _ = _router_eval(router_config_for_node(topo, node))
+        router_j += flows.router_flow[node] * dyn_j
+
+    link_j = 0.0
+    for link_id in range(topo.n_links):
+        fig = _link_eval(_link_config(topo, link_id))
+        link_j += flows.link_flow[link_id] * fig.dynamic_j_per_flit
+    return NetworkEnergy(router_dynamic_j=router_j, link_dynamic_j=link_j)

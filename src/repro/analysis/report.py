@@ -1,0 +1,86 @@
+"""Result serialization: experiment records as JSON.
+
+Benchmarks and downstream users persist evaluation results
+(:class:`~repro.analysis.network_clear.NetworkEvaluation`, simulation
+stats, sweep points) as plain JSON dictionaries so runs can be diffed and
+post-processed without re-running the models.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.analysis.network_clear import NetworkEvaluation
+from repro.analysis.power import NetworkPower
+from repro.simulation.simulator import SimStats
+from repro.simulation.workload import LoadPoint
+
+__all__ = [
+    "evaluation_to_dict",
+    "sim_stats_to_dict",
+    "load_points_to_dicts",
+    "save_report",
+    "load_report",
+]
+
+
+def evaluation_to_dict(ev: NetworkEvaluation) -> dict[str, Any]:
+    """Flatten a :class:`NetworkEvaluation` into JSON-ready primitives."""
+    return {
+        "topology": ev.topology_name,
+        "n_nodes": ev.n_nodes,
+        "capability_gbps": ev.capability_gbps,
+        "latency_clks": ev.latency_clks,
+        "power_w": {
+            "router_static": ev.power.router_static_w,
+            "link_static": ev.power.link_static_w,
+            "router_dynamic": ev.power.router_dynamic_w,
+            "link_dynamic": ev.power.link_dynamic_w,
+            "total": ev.power.total_w,
+        },
+        "area_mm2": ev.area_mm2,
+        "r_slope": ev.r_slope,
+        "clear": ev.clear,
+    }
+
+
+def sim_stats_to_dict(stats: SimStats) -> dict[str, Any]:
+    """Summarize a simulation run (omits per-packet arrays; keeps moments)."""
+    out: dict[str, Any] = {
+        "n_packets": stats.n_packets,
+        "n_flits": stats.n_flits,
+        "cycles": stats.cycles,
+        "drained": stats.drained,
+        "total_link_traversals": int(stats.link_flit_counts.sum()),
+        "total_router_traversals": int(stats.router_flit_counts.sum()),
+    }
+    if stats.packet_latencies.size:
+        out["avg_latency"] = stats.avg_latency
+        out["p99_latency"] = stats.p99_latency
+        out["max_latency"] = int(stats.packet_latencies.max())
+    return out
+
+
+def load_points_to_dicts(points: list[LoadPoint]) -> list[dict[str, Any]]:
+    """Serialize a latency-throughput sweep."""
+    return [
+        {
+            "injection_rate": p.injection_rate,
+            "avg_latency": p.avg_latency,
+            "p99_latency": p.p99_latency,
+            "drained": p.drained,
+        }
+        for p in points
+    ]
+
+
+def save_report(data: dict[str, Any], path: str | pathlib.Path) -> None:
+    """Write a JSON report (stable key order, human-diffable)."""
+    pathlib.Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: str | pathlib.Path) -> dict[str, Any]:
+    """Read a report written by :func:`save_report`."""
+    return json.loads(pathlib.Path(path).read_text())

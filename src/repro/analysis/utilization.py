@@ -1,0 +1,93 @@
+"""Link utilization and the paper's R = dU/dr factor (eq. 3).
+
+``U`` is the average link utilization of the network; with all links at the
+same 50 Gb/s capacity and flows expressed in flits/cycle, a link's
+utilization equals its flow directly (1 flit/cycle == 50 Gb/s == 100%).
+
+Because routing is deterministic and flows are linear in the injection
+rate, ``U(r)`` is exactly linear and ``R = dU/dr`` is a topology x traffic
+constant. We still expose a finite-difference estimator (fitting ``U`` over
+an injection-rate sweep) to mirror the paper's procedure; the two agree to
+machine precision and a property test pins that down.
+
+The paper's interpretation: "If R is large, then as the injection rate is
+increased, link utilizations increase faster (possibly due to a few
+congested paths in the topology), thus saturating the network faster" —
+express links add capacity and shorten paths, so R drops (Table III: 1.122
+for the plain mesh down to 0.808 for Hops=3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.flows import FlowAssignment, assign_flows
+from repro.topology.graph import Topology
+from repro.topology.routing import RoutingTable
+from repro.traffic.matrix import TrafficMatrix
+
+__all__ = [
+    "average_utilization",
+    "utilization_curve",
+    "rate_of_utilization_increase",
+    "max_link_utilization",
+]
+
+
+def average_utilization(flows: FlowAssignment) -> float:
+    """Mean link utilization U (flows in flits/cycle, capacity 1)."""
+    return float(flows.link_flow.mean())
+
+
+def max_link_utilization(flows: FlowAssignment) -> float:
+    """Utilization of the most loaded link (saturation indicator)."""
+    return float(flows.link_flow.max())
+
+
+def utilization_curve(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    injection_rates: np.ndarray,
+    routing: RoutingTable | None = None,
+) -> np.ndarray:
+    """U(r) over a sweep of mean injection rates.
+
+    The traffic matrix is rescaled to each rate; flows are computed once at
+    a reference rate and rescaled (linearity).
+    """
+    rates = np.asarray(injection_rates, dtype=np.float64)
+    if rates.ndim != 1 or rates.size == 0:
+        raise ValueError("injection_rates must be a non-empty 1-D array")
+    if np.any(rates < 0):
+        raise ValueError("injection rates must be >= 0")
+    reference = traffic.scaled_to_injection_rate(1.0)
+    base_flows = assign_flows(topo, reference, routing)
+    base_u = average_utilization(base_flows)
+    return base_u * rates
+
+
+def rate_of_utilization_increase(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    *,
+    max_injection_rate: float = 0.1,
+    n_points: int = 10,
+    routing: RoutingTable | None = None,
+) -> float:
+    """R = dU/dr (paper eq. 3) via a least-squares fit of U over r.
+
+    Args:
+        topo: network under evaluation.
+        traffic: traffic *pattern* (its absolute scale is irrelevant).
+        max_injection_rate: top of the sweep (paper: 0.1).
+        n_points: sweep resolution.
+        routing: optional prebuilt routing table.
+    """
+    if max_injection_rate <= 0:
+        raise ValueError(f"max injection rate must be > 0, got {max_injection_rate}")
+    if n_points < 2:
+        raise ValueError(f"need >= 2 sweep points, got {n_points}")
+    rates = np.linspace(max_injection_rate / n_points, max_injection_rate, n_points)
+    u = utilization_curve(topo, traffic, rates, routing)
+    slope, _ = np.polyfit(rates, u, 1)
+    return float(slope)

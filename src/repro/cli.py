@@ -1,0 +1,264 @@
+"""Command-line interface: regenerate any of the paper's artefacts.
+
+Usage::
+
+    python -m repro table3              # Table III (C and R)
+    python -m repro table4              # Table IV (static power)
+    python -m repro fig5                # Fig. 5 design-space exploration
+    python -m repro fig3                # Fig. 3 link CLEAR sweep
+    python -m repro fig8                # Fig. 8 all-optical projections
+    python -m repro table6              # Table VI router comparison
+    python -m repro fig6 --kernel CG    # cycle-simulate one NPB kernel
+    python -m repro sweep --hops 3      # latency vs injection rate
+
+Each command prints the rendered ASCII table/figure to stdout; heavier
+commands expose their main knobs as flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    from repro.analysis import (
+        aggregate_capability_gbps,
+        rate_of_utilization_increase,
+    )
+    from repro.topology import build_express_mesh, build_mesh
+    from repro.traffic import soteriou_traffic
+    from repro.util import format_table
+
+    rows = []
+    for hops in (0, 3, 5, 15):
+        topo = build_mesh() if hops == 0 else build_express_mesh(hops=hops)
+        c = aggregate_capability_gbps(topo) / topo.n_nodes
+        r = rate_of_utilization_increase(topo, soteriou_traffic(topo, seed=args.seed))
+        rows.append(["plain mesh" if hops == 0 else f"hops={hops}", c, r])
+    print(format_table(["topology", "C (Gb/s)", "R"], rows, title="Table III"))
+
+
+def _cmd_table4(args: argparse.Namespace) -> None:
+    from repro.analysis import network_static_power_w
+    from repro.tech import Technology
+    from repro.topology import build_express_mesh, build_mesh
+    from repro.util import format_table
+
+    rows = [["base mesh", "-", network_static_power_w(build_mesh())]]
+    for tech in (Technology.ELECTRONIC, Technology.PHOTONIC, Technology.HYPPI):
+        for hops in (3, 5, 15):
+            topo = build_express_mesh(hops=hops, express_technology=tech)
+            rows.append([tech.value, hops, network_static_power_w(topo)])
+    print(
+        format_table(
+            ["express tech", "hops", "static power (W)"], rows, title="Table IV"
+        )
+    )
+
+
+def _cmd_fig3(args: argparse.Namespace) -> None:
+    from repro.core import sweep_link_clear
+    from repro.tech import (
+        ElectronicLinkModel,
+        HyPPILinkModel,
+        PhotonicLinkModel,
+        PlasmonicLinkModel,
+    )
+    from repro.util import ascii_xy_plot
+
+    lengths = np.logspace(-6, np.log10(0.05), 60)
+    models = {
+        "electronic": ElectronicLinkModel(),
+        "photonic": PhotonicLinkModel(),
+        "plasmonic": PlasmonicLinkModel(),
+        "hyppi": HyPPILinkModel(),
+    }
+    sweeps = {n: sweep_link_clear(m, lengths) for n, m in models.items()}
+    print(
+        ascii_xy_plot(
+            {n: (s.lengths_m, s.clear) for n, s in sweeps.items()},
+            logx=True,
+            logy=True,
+            width=78,
+            height=22,
+            title="Fig. 3 — link CLEAR vs length (log-log)",
+        )
+    )
+
+
+def _cmd_fig5(args: argparse.Namespace) -> None:
+    from repro.core import DesignSpaceExplorer
+    from repro.util import format_table
+
+    explorer = DesignSpaceExplorer(injection_rate=args.injection_rate, seed=args.seed)
+    points = explorer.explore()
+    rows = [
+        [
+            pt.label,
+            pt.evaluation.latency_clks,
+            pt.evaluation.power.total_w,
+            pt.evaluation.area_mm2,
+            pt.evaluation.clear,
+        ]
+        for pt in points
+    ]
+    print(
+        format_table(
+            ["design point", "latency (clk)", "power (W)", "area (mm2)", "CLEAR"],
+            rows,
+            title=f"Fig. 5 (injection rate {explorer.injection_rate})",
+        )
+    )
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    from repro.simulation import Simulator
+    from repro.tech import Technology
+    from repro.topology import build_express_mesh, build_mesh
+    from repro.traffic import npb_trace
+    from repro.util import format_table
+
+    trace = npb_trace(args.kernel, volume_scale=args.volume_scale)
+    rows = []
+    for hops in (0, 3, 5, 15):
+        topo = (
+            build_mesh()
+            if hops == 0
+            else build_express_mesh(hops=hops, express_technology=Technology.HYPPI)
+        )
+        stats = Simulator(topo).run(trace)
+        rows.append(
+            ["mesh" if hops == 0 else f"hops={hops}", stats.avg_latency,
+             stats.p99_latency, stats.drained]
+        )
+    print(
+        format_table(
+            ["network", "avg latency (clk)", "p99 (clk)", "drained"],
+            rows,
+            title=f"Fig. 6 — NPB {args.kernel.upper()} "
+            f"(volume scale {args.volume_scale:g})",
+        )
+    )
+
+
+def _cmd_table6(args: argparse.Namespace) -> None:
+    from repro.optical import HYPPI_ROUTER, PHOTONIC_ROUTER, optimal_port_assignment
+    from repro.util import format_table
+
+    rows = []
+    for name, router in (("photonic", PHOTONIC_ROUTER), ("hyppi", HYPPI_ROUTER)):
+        lo, hi = router.loss_range_db()
+        _, expected = optimal_port_assignment(router)
+        rows.append(
+            [name, router.control_energy_fj_per_bit(), f"{lo:.2f}-{hi:.2f}",
+             router.area_um2(), expected]
+        )
+    print(
+        format_table(
+            ["router", "control (fJ/bit)", "loss (dB)", "area (um2)",
+             "E[loss|XY] (dB)"],
+            rows,
+            title="Table VI",
+        )
+    )
+
+
+def _cmd_fig8(args: argparse.Namespace) -> None:
+    from repro.optical import project_all_optical
+    from repro.util import format_table
+
+    cmp = project_all_optical(
+        amortization_injection_rate=args.amortization_rate, seed=args.seed
+    )
+    print(
+        format_table(
+            ["network", "latency (clk)", "E/bit (fJ)", "area (mm2)"],
+            [p.radar_row() for p in cmp.all()],
+            title="Fig. 8 — all-optical projections",
+        )
+    )
+    print(
+        f"energy ratio electronic/all-HyPPI: "
+        f"{cmp.energy_ratio_electronic_over_hyppi:.0f}x"
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from repro.simulation import latency_throughput_sweep
+    from repro.tech import Technology
+    from repro.topology import build_express_mesh, build_mesh
+    from repro.traffic import uniform_traffic
+    from repro.util import format_table
+
+    topo = (
+        build_mesh()
+        if args.hops == 0
+        else build_express_mesh(hops=args.hops, express_technology=Technology.HYPPI)
+    )
+    rates = np.linspace(args.min_rate, args.max_rate, args.points)
+    points = latency_throughput_sweep(
+        topo, uniform_traffic(topo), rates, cycles=args.cycles, seed=args.seed
+    )
+    rows = [
+        [p.injection_rate, p.avg_latency, p.p99_latency, p.drained] for p in points
+    ]
+    print(
+        format_table(
+            ["injection rate", "avg latency", "p99", "drained"],
+            rows,
+            title=f"latency vs offered load — {topo.name}",
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HyPPI NoC reproduction toolkit"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="traffic RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table3", help="Table III: capability and R").set_defaults(
+        func=_cmd_table3
+    )
+    sub.add_parser("table4", help="Table IV: static power").set_defaults(
+        func=_cmd_table4
+    )
+    sub.add_parser("fig3", help="Fig. 3: link CLEAR sweep").set_defaults(
+        func=_cmd_fig3
+    )
+    p5 = sub.add_parser("fig5", help="Fig. 5: design-space exploration")
+    p5.add_argument("--injection-rate", type=float, default=0.1)
+    p5.set_defaults(func=_cmd_fig5)
+    p6 = sub.add_parser("fig6", help="Fig. 6: NPB trace simulation")
+    p6.add_argument("--kernel", choices=["FT", "CG", "MG", "LU"], default="CG")
+    p6.add_argument("--volume-scale", type=float, default=3e-4)
+    p6.set_defaults(func=_cmd_fig6)
+    sub.add_parser("table6", help="Table VI: optical routers").set_defaults(
+        func=_cmd_table6
+    )
+    p8 = sub.add_parser("fig8", help="Fig. 8: all-optical projections")
+    p8.add_argument("--amortization-rate", type=float, default=0.001)
+    p8.set_defaults(func=_cmd_fig8)
+    ps = sub.add_parser("sweep", help="latency vs offered load")
+    ps.add_argument("--hops", type=int, default=0, choices=[0, 3, 5, 15])
+    ps.add_argument("--min-rate", type=float, default=0.02)
+    ps.add_argument("--max-rate", type=float, default=0.3)
+    ps.add_argument("--points", type=int, default=5)
+    ps.add_argument("--cycles", type=int, default=1000)
+    ps.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0

@@ -1,0 +1,27 @@
+"""The paper's primary contribution: CLEAR metric + hybrid-NoC exploration."""
+
+from repro.core.clear import (
+    LinkClearSweep,
+    clear_link,
+    clear_network,
+    find_crossover_m,
+    sweep_link_clear,
+)
+from repro.core.config import PAPER_CONFIG, NocExperimentConfig
+from repro.core.dse import DEFAULT_NETWORK_TECHS, DesignSpaceExplorer, DSEPoint
+from repro.core.placement import PlacementResult, optimize_express_placement
+
+__all__ = [
+    "LinkClearSweep",
+    "clear_link",
+    "clear_network",
+    "find_crossover_m",
+    "sweep_link_clear",
+    "PAPER_CONFIG",
+    "NocExperimentConfig",
+    "DEFAULT_NETWORK_TECHS",
+    "DesignSpaceExplorer",
+    "DSEPoint",
+    "PlacementResult",
+    "optimize_express_placement",
+]

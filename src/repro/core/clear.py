@@ -1,0 +1,176 @@
+"""CLEAR: the paper's unified figure of merit (eq. 1 and eq. 2).
+
+Link level (eq. 1)::
+
+    CLEAR = Capability / (Latency * Energy * Area)
+
+with Capability in Gb/s, Latency in ps, Energy in fJ/bit, Area in µm².
+The paper deliberately uses these engineering units (not SI) — only relative
+values matter, and we keep the same convention so magnitudes are comparable.
+
+Network level (eq. 2)::
+
+    CLEAR_net = (sum_i C_i / N) / (Latency_clks * Power_W * Area_mm2 * R)
+
+where ``R = dU/dr`` is the rate of increase of average link utilization with
+injection rate (paper eq. 3). Network-level evaluation lives in
+:mod:`repro.analysis.network_clear`; this module provides the shared
+arithmetic plus the link-level sweep used for Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.tech.link import LinkMetrics, LinkModel
+from repro.tech.parameters import CapabilityMode, Technology
+
+__all__ = [
+    "clear_link",
+    "clear_network",
+    "LinkClearSweep",
+    "sweep_link_clear",
+    "find_crossover_m",
+]
+
+
+def clear_link(metrics: LinkMetrics) -> float:
+    """Link-level CLEAR (paper eq. 1) in Gb/s / (ps · fJ/bit · µm²)."""
+    return metrics.capability_gbps / (
+        metrics.latency_ps * metrics.energy_fj_per_bit * metrics.area_um2
+    )
+
+
+def clear_network(
+    aggregate_capability_gbps: float,
+    n_nodes: int,
+    latency_clks: float,
+    power_w: float,
+    area_mm2: float,
+    r_utilization_slope: float,
+) -> float:
+    """Network-level CLEAR (paper eq. 2).
+
+    Args:
+        aggregate_capability_gbps: sum of all link capacities, Gb/s.
+        n_nodes: number of network nodes N.
+        latency_clks: average packet latency in clock cycles.
+        power_w: total network power (static + dynamic), watts.
+        area_mm2: total network area, mm².
+        r_utilization_slope: R = dU/dr (paper eq. 3).
+    """
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be > 0, got {n_nodes}")
+    for name, value in (
+        ("latency_clks", latency_clks),
+        ("power_w", power_w),
+        ("area_mm2", area_mm2),
+        ("r_utilization_slope", r_utilization_slope),
+    ):
+        if value <= 0:
+            raise ValueError(f"{name} must be > 0, got {value}")
+    capability_per_node = aggregate_capability_gbps / n_nodes
+    return capability_per_node / (
+        latency_clks * power_w * area_mm2 * r_utilization_slope
+    )
+
+
+@dataclass(frozen=True)
+class LinkClearSweep:
+    """CLEAR of one technology across a sweep of link lengths (Fig. 3)."""
+
+    technology: Technology
+    lengths_m: np.ndarray
+    clear: np.ndarray
+    latency_ps: np.ndarray
+    energy_fj_per_bit: np.ndarray
+    area_um2: np.ndarray
+    capability_gbps: float
+
+    def __post_init__(self) -> None:
+        n = len(self.lengths_m)
+        for name in ("clear", "latency_ps", "energy_fj_per_bit", "area_um2"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length mismatch with lengths_m")
+
+
+def sweep_link_clear(
+    model: LinkModel,
+    lengths_m: Sequence[float] | np.ndarray,
+    *,
+    mode: CapabilityMode = CapabilityMode.DEVICE,
+) -> LinkClearSweep:
+    """Evaluate link CLEAR for ``model`` at each length (Fig. 3 series)."""
+    lengths = np.asarray(lengths_m, dtype=np.float64)
+    if lengths.ndim != 1 or lengths.size == 0:
+        raise ValueError("lengths_m must be a non-empty 1-D sequence")
+    if np.any(lengths < 0):
+        raise ValueError("lengths must be >= 0")
+    n = lengths.size
+    clear = np.empty(n)
+    lat = np.empty(n)
+    energy = np.empty(n)
+    area = np.empty(n)
+    cap = 0.0
+    for i, length in enumerate(lengths):
+        m = model.evaluate(float(length), mode=mode)
+        clear[i] = clear_link(m)
+        lat[i] = m.latency_ps
+        energy[i] = m.energy_fj_per_bit
+        area[i] = m.area_um2
+        cap = m.capability_gbps
+    return LinkClearSweep(
+        technology=model.technology,
+        lengths_m=lengths,
+        clear=clear,
+        latency_ps=lat,
+        energy_fj_per_bit=energy,
+        area_um2=area,
+        capability_gbps=cap,
+    )
+
+
+def find_crossover_m(
+    model_a: LinkModel,
+    model_b: LinkModel,
+    lo_m: float,
+    hi_m: float,
+    *,
+    mode: CapabilityMode = CapabilityMode.DEVICE,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> float | None:
+    """Length at which CLEAR(a) == CLEAR(b), or ``None`` if no sign change.
+
+    Bisection on ``log CLEAR_a - log CLEAR_b`` over ``[lo_m, hi_m]``; the
+    technologies' CLEAR curves are smooth and monotone enough that a single
+    bracketed root is the norm (e.g. the electronics->HyPPI hand-off).
+    """
+    if not 0 <= lo_m < hi_m:
+        raise ValueError(f"need 0 <= lo < hi, got ({lo_m}, {hi_m})")
+
+    def diff(length: float) -> float:
+        a = clear_link(model_a.evaluate(length, mode=mode))
+        b = clear_link(model_b.evaluate(length, mode=mode))
+        return np.log(a) - np.log(b)
+
+    f_lo, f_hi = diff(lo_m), diff(hi_m)
+    if f_lo == 0.0:
+        return lo_m
+    if f_hi == 0.0:
+        return hi_m
+    if np.sign(f_lo) == np.sign(f_hi):
+        return None
+    for _ in range(max_iter):
+        mid = 0.5 * (lo_m + hi_m)
+        f_mid = diff(mid)
+        if abs(hi_m - lo_m) < tol or f_mid == 0.0:
+            return mid
+        if np.sign(f_mid) == np.sign(f_lo):
+            lo_m, f_lo = mid, f_mid
+        else:
+            hi_m = mid
+    return 0.5 * (lo_m + hi_m)

@@ -1,0 +1,57 @@
+"""Experiment configuration (paper Table II) as one frozen object.
+
+Collects the network parameters every NoC-level experiment shares, so
+benchmarks and examples reference a single authoritative configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NocExperimentConfig", "PAPER_CONFIG"]
+
+
+@dataclass(frozen=True)
+class NocExperimentConfig:
+    """Paper Table II: network parameters used for all NoCs in this work."""
+
+    width: int = 16
+    height: int = 16
+    core_spacing_m: float = 1e-3
+    core_clock_ghz: float = 0.78125
+    flit_bits: int = 64
+    n_vcs: int = 4
+    buffers_per_vc: int = 8
+    pipeline_stages: int = 3
+    link_capacity_gbps: float = 50.0
+    max_injection_rate: float = 0.1
+    soteriou_p: float = 0.02
+    soteriou_sigma: float = 0.4
+    express_hops_options: tuple[int, ...] = (3, 5, 15)
+
+    def __post_init__(self) -> None:
+        if self.width < 2 or self.height < 2:
+            raise ValueError(f"grid too small: {self.width}x{self.height}")
+        if self.core_clock_ghz <= 0:
+            raise ValueError(f"clock must be > 0, got {self.core_clock_ghz}")
+        if not 0 < self.max_injection_rate <= 1:
+            raise ValueError(
+                f"max injection rate must be in (0, 1], got {self.max_injection_rate}"
+            )
+        # The clock must serialize one flit per cycle onto a 50 Gb/s link:
+        # flit_bits * f_clk == link capacity (paper: 64 b x 0.78125 GHz = 50 Gb/s).
+        produced = self.flit_bits * self.core_clock_ghz
+        if abs(produced - self.link_capacity_gbps) > 1e-9:
+            raise ValueError(
+                f"flit rate {produced} Gb/s != link capacity "
+                f"{self.link_capacity_gbps} Gb/s"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count N."""
+        return self.width * self.height
+
+
+PAPER_CONFIG = NocExperimentConfig()
+"""The exact Table II configuration (16x16, 64-bit flits, 50 Gb/s links)."""

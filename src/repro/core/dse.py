@@ -1,0 +1,176 @@
+"""Design-space exploration of hybrid NoCs (paper Section III-B, Fig. 5).
+
+Sweeps {base mesh technology} x {express link technology} x {express hop
+count} and evaluates each network analytically with the Soteriou traffic
+model, producing the data behind the paper's Fig. 5 grid (CLEAR, latency,
+power, area per hybridization option) and Table III.
+
+Plasmonics is excluded from the sweep by default, as in the paper: "pure
+plasmonics is not considered any further in our network level explorations"
+(its 440 dB/cm loss cannot span even the 1 mm core spacing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import PAPER_CONFIG, NocExperimentConfig
+from repro.tech.parameters import Technology
+from repro.topology.graph import Topology
+from repro.topology.mesh import build_express_mesh, build_mesh
+from repro.topology.routing import RoutingTable
+from repro.traffic.synthetic import soteriou_traffic
+from repro.util.rng import SeedLike
+
+if TYPE_CHECKING:  # avoid a circular import at module load (analysis -> core)
+    from repro.analysis.network_clear import NetworkEvaluation
+
+__all__ = ["DSEPoint", "DesignSpaceExplorer", "DEFAULT_NETWORK_TECHS"]
+
+#: Technologies explored at the network level (no pure plasmonics).
+DEFAULT_NETWORK_TECHS = (
+    Technology.ELECTRONIC,
+    Technology.PHOTONIC,
+    Technology.HYPPI,
+)
+
+
+@dataclass(frozen=True)
+class DSEPoint:
+    """One hybridization option and its evaluation."""
+
+    base_technology: Technology
+    express_technology: Technology | None
+    """None for the plain (non-express) mesh."""
+    hops: int
+    """Express hop count; 0 for the plain mesh."""
+    evaluation: "NetworkEvaluation"
+
+    @property
+    def label(self) -> str:
+        """Short label like ``"E-base + HyPPI x3"`` for tables."""
+        base = self.base_technology.value[0].upper()
+        if self.express_technology is None:
+            return f"{base}-mesh (plain)"
+        return f"{base}-base + {self.express_technology.value} x{self.hops}"
+
+
+class DesignSpaceExplorer:
+    """Sweep hybrid NoC options and rank them by CLEAR (Fig. 5 driver)."""
+
+    def __init__(
+        self,
+        config: NocExperimentConfig = PAPER_CONFIG,
+        *,
+        injection_rate: float | None = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.config = config
+        self.injection_rate = (
+            config.max_injection_rate if injection_rate is None else injection_rate
+        )
+        if not 0 < self.injection_rate <= config.max_injection_rate:
+            raise ValueError(
+                f"injection rate must be in (0, {config.max_injection_rate}], "
+                f"got {self.injection_rate}"
+            )
+        self.seed = seed
+
+    # -- single-point evaluation -------------------------------------------
+
+    def build_topology(
+        self,
+        base_technology: Technology,
+        express_technology: Technology | None,
+        hops: int,
+    ) -> Topology:
+        """Construct the mesh / express mesh for one design point."""
+        if express_technology is None:
+            return build_mesh(
+                self.config.width,
+                self.config.height,
+                link_technology=base_technology,
+                core_spacing_m=self.config.core_spacing_m,
+            )
+        return build_express_mesh(
+            self.config.width,
+            self.config.height,
+            hops=hops,
+            base_technology=base_technology,
+            express_technology=express_technology,
+            core_spacing_m=self.config.core_spacing_m,
+        )
+
+    def evaluate_point(
+        self,
+        base_technology: Technology,
+        express_technology: Technology | None = None,
+        hops: int = 0,
+    ) -> DSEPoint:
+        """Evaluate one hybridization option."""
+        from repro.analysis.network_clear import evaluate_network
+
+        topo = self.build_topology(base_technology, express_technology, hops)
+        routing = RoutingTable(topo)
+        traffic = soteriou_traffic(
+            topo,
+            p=self.config.soteriou_p,
+            sigma=self.config.soteriou_sigma,
+            injection_rate=self.injection_rate,
+            seed=self.seed,
+        )
+        evaluation = evaluate_network(
+            topo, traffic, injection_rate=self.injection_rate, routing=routing
+        )
+        return DSEPoint(
+            base_technology=base_technology,
+            express_technology=express_technology,
+            hops=hops if express_technology is not None else 0,
+            evaluation=evaluation,
+        )
+
+    # -- full sweep ----------------------------------------------------------
+
+    def explore(
+        self,
+        base_technologies: Sequence[Technology] = DEFAULT_NETWORK_TECHS,
+        express_technologies: Sequence[Technology] = DEFAULT_NETWORK_TECHS,
+        hops_options: Sequence[int] | None = None,
+    ) -> list[DSEPoint]:
+        """Evaluate the full base x express x hops grid plus plain meshes.
+
+        Returns points in a stable order: for each base technology, the
+        plain mesh first, then express options grouped by technology then
+        hop count — the layout of the paper's Fig. 5 panels.
+        """
+        hops_list = (
+            list(self.config.express_hops_options)
+            if hops_options is None
+            else list(hops_options)
+        )
+        points: list[DSEPoint] = []
+        for base in base_technologies:
+            points.append(self.evaluate_point(base))
+            for express in express_technologies:
+                for hops in hops_list:
+                    points.append(self.evaluate_point(base, express, hops))
+        return points
+
+    @staticmethod
+    def best_by_clear(points: Sequence[DSEPoint]) -> DSEPoint:
+        """The winning design point (highest network CLEAR)."""
+        if not points:
+            raise ValueError("no design points to rank")
+        return max(points, key=lambda pt: pt.evaluation.clear)
+
+    @staticmethod
+    def best_by_latency(points: Sequence[DSEPoint]) -> DSEPoint:
+        """The lowest-latency design point (the paper's alternative target:
+        "if the lowest latency is the target, then a base electronic mesh
+        is the better option, augmented with HyPPI links")."""
+        if not points:
+            raise ValueError("no design points to rank")
+        return min(points, key=lambda pt: pt.evaluation.latency_clks)

@@ -1,0 +1,47 @@
+"""Modified-DSENT substrate: bottom-up power/area models at 11 nm.
+
+Reimplements the modelling structure of DSENT (Sun et al., NOCS 2012) that
+the paper used — technology node -> electrical components -> router/link
+roll-ups — extended with the HyPPI device parameters of Table I, mirroring
+the authors' "modified DSENT".
+"""
+
+from repro.dsent.electrical import (
+    Allocator,
+    ClockTree,
+    ComponentPower,
+    Crossbar,
+    FlitBuffer,
+    RepeatedWire,
+)
+from repro.dsent.link_model import LinkFigures, NocLinkConfig, NocLinkModel
+from repro.dsent.optical import (
+    RING_THERMAL_TUNING_MW,
+    NocOpticalLink,
+    OpticalLinkConfig,
+)
+from repro.dsent.router_model import RouterConfig, RouterPowerArea
+from repro.dsent.serdes import MAX_SERDES_RATE_GBPS, Serdes, SerdesConfig
+from repro.dsent.tech_node import TECH_11NM, TechNode
+
+__all__ = [
+    "Allocator",
+    "ClockTree",
+    "ComponentPower",
+    "Crossbar",
+    "FlitBuffer",
+    "RepeatedWire",
+    "LinkFigures",
+    "NocLinkConfig",
+    "NocLinkModel",
+    "RING_THERMAL_TUNING_MW",
+    "NocOpticalLink",
+    "OpticalLinkConfig",
+    "RouterConfig",
+    "RouterPowerArea",
+    "MAX_SERDES_RATE_GBPS",
+    "Serdes",
+    "SerdesConfig",
+    "TECH_11NM",
+    "TechNode",
+]

@@ -1,0 +1,301 @@
+"""Electrical component models of the DSENT substrate.
+
+Each component reports the same triple the original DSENT produces per
+building block: leakage/static power, dynamic energy per operation, and
+layout area. Components are pure functions of their configuration and the
+:class:`~repro.dsent.tech_node.TechNode`.
+
+Components modelled (the ingredients of a virtual-channel router and of
+electronic links):
+
+* :class:`FlitBuffer` — DFF-based input buffer bank (per port).
+* :class:`Crossbar` — mux-tree switch fabric.
+* :class:`Allocator` — combined VC/switch allocator (round-robin arbiters).
+* :class:`ClockTree` — un-gateable clock distribution (folded into static).
+* :class:`RepeatedWire` — repeated global wire, normal or delay-optimal
+  ("express") flavour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsent.tech_node import TECH_11NM, TechNode
+
+__all__ = [
+    "ComponentPower",
+    "FlitBuffer",
+    "Crossbar",
+    "Allocator",
+    "ClockTree",
+    "RepeatedWire",
+]
+
+
+@dataclass(frozen=True)
+class ComponentPower:
+    """Static power / per-event energy / area triple for one component."""
+
+    static_w: float
+    dynamic_j_per_event: float
+    area_m2: float
+
+    def __post_init__(self) -> None:
+        if self.static_w < 0 or self.dynamic_j_per_event < 0 or self.area_m2 < 0:
+            raise ValueError(f"component figures must be >= 0: {self}")
+
+    def __add__(self, other: "ComponentPower") -> "ComponentPower":
+        return ComponentPower(
+            static_w=self.static_w + other.static_w,
+            dynamic_j_per_event=self.dynamic_j_per_event + other.dynamic_j_per_event,
+            area_m2=self.area_m2 + other.area_m2,
+        )
+
+    def scaled(self, factor: float) -> "ComponentPower":
+        """Scale all three figures (e.g. replicate a component N times)."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return ComponentPower(
+            static_w=self.static_w * factor,
+            dynamic_j_per_event=self.dynamic_j_per_event * factor,
+            area_m2=self.area_m2 * factor,
+        )
+
+
+class FlitBuffer:
+    """DFF-based flit buffer bank: ``n_vcs`` queues of ``depth`` flits.
+
+    The dynamic event is one flit *write plus read* (every buffered flit is
+    written once and read once). Read energy is modelled as a mux traversal
+    over the occupied depth, a fraction of the write cost.
+    """
+
+    READ_FRACTION = 0.5
+
+    def __init__(
+        self,
+        flit_bits: int,
+        n_vcs: int,
+        depth_flits: int,
+        tech: TechNode = TECH_11NM,
+    ) -> None:
+        if flit_bits < 1 or n_vcs < 1 or depth_flits < 1:
+            raise ValueError(
+                f"buffer config must be >= 1: bits={flit_bits}, "
+                f"vcs={n_vcs}, depth={depth_flits}"
+            )
+        self.flit_bits = flit_bits
+        self.n_vcs = n_vcs
+        self.depth_flits = depth_flits
+        self.tech = tech
+
+    @property
+    def total_bits(self) -> int:
+        """Storage bits in the bank."""
+        return self.flit_bits * self.n_vcs * self.depth_flits
+
+    def evaluate(self) -> ComponentPower:
+        """Leakage/energy/area of the full bank."""
+        t = self.tech
+        static_w = self.total_bits * t.dff_leakage_uw * 1e-6
+        write_j = self.flit_bits * t.dff_energy_fj * 1e-15
+        read_j = write_j * self.READ_FRACTION
+        area_m2 = self.total_bits * t.dff_area_um2 * 1e-12
+        return ComponentPower(
+            static_w=static_w,
+            dynamic_j_per_event=write_j + read_j,
+            area_m2=area_m2,
+        )
+
+
+class Crossbar:
+    """Mux-tree crossbar: ``n_inputs`` x ``n_outputs``, ``flit_bits`` wide.
+
+    Dynamic event = one flit traversal (one output column switches). Energy
+    and area scale with the mux tree depth (log2 of inputs) per output; the
+    internal wiring load grows with the port count, captured by a linear
+    port-loading term.
+    """
+
+    #: Extra switched capacitance per additional input port, as a fraction of
+    #: one gate per bit — models the lengthening internal wires.
+    PORT_LOAD_FACTOR = 0.5
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: int,
+        flit_bits: int,
+        tech: TechNode = TECH_11NM,
+    ) -> None:
+        if n_inputs < 2 or n_outputs < 1 or flit_bits < 1:
+            raise ValueError(
+                f"crossbar config invalid: {n_inputs}x{n_outputs}, {flit_bits} bits"
+            )
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.flit_bits = flit_bits
+        self.tech = tech
+
+    def _mux_gates_per_output_bit(self) -> float:
+        # A n:1 mux tree needs (n-1) 2:1 muxes per bit.
+        return float(self.n_inputs - 1)
+
+    def evaluate(self) -> ComponentPower:
+        """Leakage/energy/area of the full crossbar."""
+        t = self.tech
+        gates_per_bit = self._mux_gates_per_output_bit()
+        total_gates = gates_per_bit * self.flit_bits * self.n_outputs
+        static_w = total_gates * t.gate_leakage_uw * 1e-6
+        # One traversal switches one output column's mux tree plus the
+        # port-loading wire capacitance.
+        import math
+
+        tree_depth = math.ceil(math.log2(self.n_inputs))
+        switched_gates = (
+            tree_depth + self.PORT_LOAD_FACTOR * self.n_inputs
+        ) * self.flit_bits
+        dynamic_j = switched_gates * t.gate_energy_fj * 1e-15
+        area_m2 = total_gates * t.gate_area_um2 * 1e-12
+        return ComponentPower(
+            static_w=static_w, dynamic_j_per_event=dynamic_j, area_m2=area_m2
+        )
+
+
+class Allocator:
+    """Separable VC + switch allocator built from round-robin arbiters.
+
+    Stage 1: per output port, a ``n_inputs * n_vcs : 1`` arbiter (VC alloc);
+    stage 2: per output port, a ``n_inputs : 1`` arbiter (switch alloc).
+    An arbiter of R requesters costs ~``4R`` gate equivalents plus R state
+    bits for the rotating priority.
+    """
+
+    GATES_PER_REQUESTER = 4.0
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: int,
+        n_vcs: int,
+        tech: TechNode = TECH_11NM,
+    ) -> None:
+        if n_inputs < 1 or n_outputs < 1 or n_vcs < 1:
+            raise ValueError(
+                f"allocator config invalid: {n_inputs}x{n_outputs}, {n_vcs} VCs"
+            )
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.n_vcs = n_vcs
+        self.tech = tech
+
+    def evaluate(self) -> ComponentPower:
+        """Leakage/energy/area; dynamic event = one grant cycle."""
+        t = self.tech
+        vc_requesters = self.n_inputs * self.n_vcs
+        sw_requesters = self.n_inputs
+        arbiters_gates = (
+            self.n_outputs * self.GATES_PER_REQUESTER * (vc_requesters + sw_requesters)
+        )
+        state_bits = self.n_outputs * (vc_requesters + sw_requesters)
+        static_w = (
+            arbiters_gates * t.gate_leakage_uw + state_bits * t.dff_leakage_uw
+        ) * 1e-6
+        # One allocation switches roughly a quarter of the arbiter logic.
+        dynamic_j = 0.25 * arbiters_gates * t.gate_energy_fj * 1e-15
+        area_m2 = (
+            arbiters_gates * t.gate_area_um2 + state_bits * t.dff_area_um2
+        ) * 1e-12
+        return ComponentPower(
+            static_w=static_w, dynamic_j_per_event=dynamic_j, area_m2=area_m2
+        )
+
+
+class ClockTree:
+    """Un-gateable clock distribution for ``clocked_bits`` state bits.
+
+    DSENT reports clock power even at zero load; since it does not vary with
+    traffic we account for it as *static* power
+    (``clock_power_uw_per_ghz_per_bit * f * bits``). Area and per-event
+    energy are zero (the flop clocking energy already lives in the DFF
+    model).
+    """
+
+    def __init__(
+        self, clocked_bits: int, frequency_ghz: float, tech: TechNode = TECH_11NM
+    ) -> None:
+        if clocked_bits < 0:
+            raise ValueError(f"clocked_bits must be >= 0, got {clocked_bits}")
+        if frequency_ghz <= 0:
+            raise ValueError(f"frequency must be > 0, got {frequency_ghz}")
+        self.clocked_bits = clocked_bits
+        self.frequency_ghz = frequency_ghz
+        self.tech = tech
+
+    def evaluate(self) -> ComponentPower:
+        """Always-on clock power as a static contribution."""
+        t = self.tech
+        static_w = (
+            self.clocked_bits
+            * t.clock_power_uw_per_ghz_per_bit
+            * self.frequency_ghz
+            * 1e-6
+        )
+        return ComponentPower(static_w=static_w, dynamic_j_per_event=0.0, area_m2=0.0)
+
+
+class RepeatedWire:
+    """Repeated global wire bundle: ``width_bits`` wires of ``length_mm``.
+
+    ``express=True`` selects the delay-optimal repeater sizing required for
+    multi-millimetre single-cycle express links, which raises the energy per
+    bit by ``wire_energy_express_factor`` (see
+    :class:`~repro.dsent.tech_node.TechNode`).
+    """
+
+    def __init__(
+        self,
+        length_mm: float,
+        width_bits: int,
+        *,
+        express: bool = False,
+        tech: TechNode = TECH_11NM,
+    ) -> None:
+        if length_mm <= 0:
+            raise ValueError(f"length must be > 0 mm, got {length_mm}")
+        if width_bits < 1:
+            raise ValueError(f"width must be >= 1 bit, got {width_bits}")
+        self.length_mm = length_mm
+        self.width_bits = width_bits
+        self.express = express
+        self.tech = tech
+
+    def delay_ps(self) -> float:
+        """Wire flight time (repeated), ps."""
+        return self.tech.wire_delay_ps_per_mm * self.length_mm
+
+    def evaluate(self) -> ComponentPower:
+        """Leakage/energy/area of the bundle; event = one flit traversal."""
+        t = self.tech
+        factor = t.wire_energy_express_factor if self.express else 1.0
+        static_w = (
+            self.width_bits * t.wire_leakage_uw_per_mm * self.length_mm * factor * 1e-6
+        )
+        dynamic_j = (
+            self.width_bits
+            * t.wire_energy_fj_per_bit_mm
+            * self.length_mm
+            * factor
+            * 1e-15
+        )
+        area_m2 = (
+            self.width_bits
+            * (
+                t.wire_pitch_um * self.length_mm * 1e3
+                + t.wire_repeater_area_um2_per_mm * self.length_mm
+            )
+            * 1e-12
+        )
+        return ComponentPower(
+            static_w=static_w, dynamic_j_per_event=dynamic_j, area_m2=area_m2
+        )

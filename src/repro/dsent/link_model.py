@@ -1,0 +1,97 @@
+"""Per-technology NoC link power/area models (DSENT front-end).
+
+Dispatches a link of any :class:`~repro.tech.parameters.Technology` to the
+appropriate substrate model:
+
+* electronic links -> :class:`~repro.dsent.electrical.RepeatedWire`
+  (64 parallel wires; express links use delay-optimal repeaters);
+* optical links (photonic / plasmonic / HyPPI) ->
+  :class:`~repro.dsent.optical.NocOpticalLink` (laser + tuning + SERDES).
+
+All figures are for ONE link direction; the topology layer counts both
+directions of the paper's bidirectional links explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsent.electrical import ComponentPower, RepeatedWire
+from repro.dsent.optical import NocOpticalLink, OpticalLinkConfig
+from repro.dsent.tech_node import TECH_11NM, TechNode
+from repro.tech.parameters import Technology
+
+__all__ = ["NocLinkConfig", "NocLinkModel", "LinkFigures"]
+
+
+@dataclass(frozen=True)
+class NocLinkConfig:
+    """One NoC link direction: technology, physical length, express or not."""
+
+    technology: Technology
+    length_m: float
+    flit_bits: int = 64
+    data_rate_gbps: float = 50.0
+    express: bool = False
+    """Express links: electronic ones use delay-optimal (more energetic)
+    repeaters to cross multiple hops in one cycle; optical ones are the same
+    hardware regardless (distance costs only waveguide loss)."""
+
+    def __post_init__(self) -> None:
+        if self.length_m <= 0:
+            raise ValueError(f"link length must be > 0, got {self.length_m}")
+        if self.flit_bits < 1:
+            raise ValueError(f"flit size must be >= 1, got {self.flit_bits}")
+        if self.data_rate_gbps <= 0:
+            raise ValueError(f"data rate must be > 0, got {self.data_rate_gbps}")
+
+
+@dataclass(frozen=True)
+class LinkFigures:
+    """Evaluated figures for one link direction."""
+
+    static_w: float
+    dynamic_j_per_flit: float
+    area_m2: float
+    latency_cycles: int
+    """Link traversal latency in clock cycles: 1 for electronic links, 2 for
+    optical links (paper Table II / Section III-B: +1 cycle for the O-E
+    conversion at the receiver)."""
+
+
+class NocLinkModel:
+    """Evaluate the DSENT-level figures of a NoC link direction."""
+
+    def __init__(self, config: NocLinkConfig, tech: TechNode = TECH_11NM):
+        self.config = config
+        self.tech = tech
+
+    def latency_cycles(self) -> int:
+        """Paper Table II: 1 clk electronic, else 2 clks."""
+        return 1 if self.config.technology is Technology.ELECTRONIC else 2
+
+    def evaluate(self) -> LinkFigures:
+        """Static power / per-flit energy / area / latency for the link."""
+        c = self.config
+        if c.technology is Technology.ELECTRONIC:
+            comp = RepeatedWire(
+                length_mm=c.length_m * 1e3,
+                width_bits=c.flit_bits,
+                express=c.express,
+                tech=self.tech,
+            ).evaluate()
+        else:
+            comp = NocOpticalLink(
+                OpticalLinkConfig(
+                    technology=c.technology,
+                    length_m=c.length_m,
+                    data_rate_gbps=c.data_rate_gbps,
+                    flit_bits=c.flit_bits,
+                )
+            ).evaluate()
+        return LinkFigures(
+            static_w=comp.static_w,
+            dynamic_j_per_flit=comp.dynamic_j_per_event,
+            area_m2=comp.area_m2,
+            latency_cycles=self.latency_cycles(),
+        )

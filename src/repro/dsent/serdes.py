@@ -1,0 +1,68 @@
+"""Serializer/deserializer (SERDES) model.
+
+Optical NoC links run at 50 Gb/s while the router core runs at 0.78125 GHz
+with 64-bit flits, so every optical link endpoint needs a 64:1 SERDES pair.
+The paper's Table I footnote † is explicit that "the SERDES circuitry poses
+an upper limit on the data rate" of 50 Gb/s — the reason the system level
+never sees the HyPPI modulator's 2.1 Tb/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsent.electrical import ComponentPower
+from repro.dsent.tech_node import TECH_11NM, TechNode
+
+__all__ = ["SerdesConfig", "Serdes", "MAX_SERDES_RATE_GBPS"]
+
+#: Fastest rate the 11 nm driver + SERDES chain supports (paper, Table I †).
+MAX_SERDES_RATE_GBPS = 50.0
+
+
+@dataclass(frozen=True)
+class SerdesConfig:
+    """SERDES configuration for one link direction."""
+
+    line_rate_gbps: float = 50.0
+    parallel_bits: int = 64
+    energy_fj_per_bit: float = 150.0
+    """Serialize + deserialize energy per transported bit, fJ. Calibrated so
+    a 64-bit flit costs ~10 pJ of SERDES energy (DESIGN.md section 5)."""
+    static_fraction: float = 0.005
+    """Fraction of full-rate SERDES power that is un-gateable (bias, PLL)."""
+    area_um2: float = 400.0
+    """Combined TX+RX SERDES macro area."""
+
+    def __post_init__(self) -> None:
+        if self.line_rate_gbps <= 0:
+            raise ValueError(f"line rate must be > 0, got {self.line_rate_gbps}")
+        if self.line_rate_gbps > MAX_SERDES_RATE_GBPS:
+            raise ValueError(
+                f"line rate {self.line_rate_gbps} Gb/s exceeds the "
+                f"{MAX_SERDES_RATE_GBPS} Gb/s driver/SERDES limit (Table I, †)"
+            )
+        if self.parallel_bits < 1:
+            raise ValueError(f"parallel width must be >= 1, got {self.parallel_bits}")
+        if not 0.0 <= self.static_fraction <= 1.0:
+            raise ValueError(f"static fraction must be in [0,1], got {self.static_fraction}")
+
+
+class Serdes:
+    """Power/area model of one link direction's SERDES pair."""
+
+    def __init__(self, config: SerdesConfig = SerdesConfig(), tech: TechNode = TECH_11NM):
+        self.config = config
+        self.tech = tech
+
+    def evaluate(self) -> ComponentPower:
+        """Static/dynamic/area; dynamic event = one flit (parallel word)."""
+        c = self.config
+        dynamic_j = c.parallel_bits * c.energy_fj_per_bit * 1e-15
+        full_rate_w = c.energy_fj_per_bit * 1e-15 * c.line_rate_gbps * 1e9
+        static_w = c.static_fraction * full_rate_w
+        return ComponentPower(
+            static_w=static_w,
+            dynamic_j_per_event=dynamic_j,
+            area_m2=c.area_um2 * 1e-12,
+        )

@@ -1,0 +1,123 @@
+"""Technology-node constants for the modified-DSENT substrate.
+
+DSENT models on-chip components bottom-up from a technology node: supply
+voltage, device/wire capacitances, leakage densities. The paper evaluates all
+NoC-level energy and area "using DSENT ... using 11 nm technology node",
+after modifying it with the HyPPI device parameters of Table I.
+
+The constants below are our 11 nm calibration. They are chosen to be
+physically plausible *and* to land the paper's published aggregates
+(DESIGN.md section 5): a 5-port 64-bit 4-VC router at 0.78125 GHz comes out
+near 5.7 mW static / ~3 pJ per flit / ~0.015 mm², which rolls up to the
+paper's 1.53 W static for the 16x16 electronic base mesh and ~22 mm² total
+electronic NoC area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechNode", "TECH_11NM"]
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """Electrical technology-node parameters used by all DSENT models."""
+
+    name: str
+    vdd_v: float
+    """Nominal supply voltage."""
+
+    dff_energy_fj: float
+    """Energy to clock + write one D flip-flop bit (includes local clock
+    buffer share), fJ per event."""
+
+    dff_leakage_uw: float
+    """Leakage of one flip-flop bit, µW."""
+
+    dff_area_um2: float
+    """Layout area of one flip-flop bit, µm²."""
+
+    gate_energy_fj: float
+    """Energy per switched 2-input gate equivalent, fJ."""
+
+    gate_leakage_uw: float
+    """Leakage per gate equivalent, µW."""
+
+    gate_area_um2: float
+    """Area per gate equivalent, µm²."""
+
+    wire_cap_ff_per_mm: float
+    """Global-layer wire capacitance, fF/mm."""
+
+    wire_energy_fj_per_bit_mm: float
+    """Full-swing switching energy of a repeated global wire, fJ/bit/mm
+    (≈ ``0.5 * activity * C * Vdd²`` folded with repeater loading)."""
+
+    wire_energy_express_factor: float
+    """Energy multiplier for delay-optimal (express) repeatered wires.
+    Express links must cross many millimetres within one clock, which costs
+    oversized repeaters; this is why the paper's Table V shows electronic
+    express energy *growing* with hop length."""
+
+    wire_delay_ps_per_mm: float
+    """Optimally repeated wire delay, ps/mm."""
+
+    wire_leakage_uw_per_mm: float
+    """Repeater leakage per wire millimetre, µW/mm."""
+
+    wire_pitch_um: float
+    """Wire width + spacing on the NoC routing layer, µm (paper: 160 nm
+    width + 160 nm spacing)."""
+
+    wire_repeater_area_um2_per_mm: float
+    """Repeater area amortized per wire millimetre, µm²/mm."""
+
+    clock_power_uw_per_ghz_per_bit: float
+    """Ungated clock-distribution power per buffered state bit per GHz, µW.
+    DSENT treats the un-gateable fraction of the clock tree as always-on;
+    we fold it into static power."""
+
+    def __post_init__(self) -> None:
+        if self.vdd_v <= 0:
+            raise ValueError(f"vdd must be > 0, got {self.vdd_v}")
+        numeric = (
+            self.dff_energy_fj,
+            self.dff_leakage_uw,
+            self.dff_area_um2,
+            self.gate_energy_fj,
+            self.gate_leakage_uw,
+            self.gate_area_um2,
+            self.wire_cap_ff_per_mm,
+            self.wire_energy_fj_per_bit_mm,
+            self.wire_delay_ps_per_mm,
+            self.wire_leakage_uw_per_mm,
+            self.wire_pitch_um,
+            self.wire_repeater_area_um2_per_mm,
+            self.clock_power_uw_per_ghz_per_bit,
+        )
+        if any(v <= 0 for v in numeric):
+            raise ValueError(f"all TechNode parameters must be > 0: {self}")
+        if self.wire_energy_express_factor < 1.0:
+            raise ValueError("express wires cannot cost less than normal wires")
+
+
+TECH_11NM = TechNode(
+    name="11nm",
+    vdd_v=0.7,
+    dff_energy_fj=4.0,
+    dff_leakage_uw=0.47,
+    dff_area_um2=0.8,
+    gate_energy_fj=0.4,
+    gate_leakage_uw=0.02,
+    gate_area_um2=0.25,
+    wire_cap_ff_per_mm=200.0,
+    wire_energy_fj_per_bit_mm=100.0,
+    wire_energy_express_factor=1.6,
+    wire_delay_ps_per_mm=50.0,
+    wire_leakage_uw_per_mm=1.0,
+    wire_pitch_um=0.32,
+    wire_repeater_area_um2_per_mm=8.0,
+    clock_power_uw_per_ghz_per_bit=0.30,
+)
+"""Calibrated 11 nm node used for every NoC-level estimate in the paper."""

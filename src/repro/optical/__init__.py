@@ -1,0 +1,54 @@
+"""All-optical NoC substrate: switches, routers, losses, projections."""
+
+from repro.optical.circuit import (
+    PAPER_LATENCY_REDUCTION,
+    paper_latency_approximation,
+    setup_transfer_latency,
+)
+from repro.optical.laser import path_laser_energy_fj_per_bit, path_laser_power_w
+from repro.optical.loss import PathLossModel
+from repro.optical.projection import (
+    AllOpticalComparison,
+    NocProjection,
+    project_all_optical,
+)
+from repro.optical.router import (
+    CROSS_COUNT,
+    DOR_TURN_WEIGHTS,
+    HYPPI_ROUTER,
+    N_PORTS,
+    PHOTONIC_ROUTER,
+    OpticalRouterModel,
+    optical_router_for,
+    optimal_port_assignment,
+)
+from repro.optical.switch import (
+    MRR_SWITCH,
+    PLASMONIC_SWITCH,
+    SwitchElementParams,
+    SwitchState,
+)
+
+__all__ = [
+    "PAPER_LATENCY_REDUCTION",
+    "paper_latency_approximation",
+    "setup_transfer_latency",
+    "path_laser_energy_fj_per_bit",
+    "path_laser_power_w",
+    "PathLossModel",
+    "AllOpticalComparison",
+    "NocProjection",
+    "project_all_optical",
+    "CROSS_COUNT",
+    "DOR_TURN_WEIGHTS",
+    "HYPPI_ROUTER",
+    "N_PORTS",
+    "PHOTONIC_ROUTER",
+    "OpticalRouterModel",
+    "optical_router_for",
+    "optimal_port_assignment",
+    "MRR_SWITCH",
+    "PLASMONIC_SWITCH",
+    "SwitchElementParams",
+    "SwitchState",
+]

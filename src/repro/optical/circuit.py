@@ -1,0 +1,74 @@
+"""Circuit-switched latency model for all-optical NoCs.
+
+"All-optical NoCs are fundamentally circuit-switched ... Once the path is
+set up, the latency is one clock cycle or few clock cycles" (paper,
+Section V). For the headline projection the paper adopts the published
+approximation of ref [22]: "around 50% reduction in latency over an
+electronic mesh, with an all-optical NoC using an electronic control
+network for path setup".
+
+We expose both that approximation (:func:`paper_latency_approximation`)
+and a first-principles estimate (:func:`setup_transfer_latency`) that
+charges an electronic path-setup round plus time-of-flight transfer, so the
+approximation can be sanity-checked (the ablation bench compares the two).
+"""
+
+from __future__ import annotations
+
+from repro.util.units import SPEED_OF_LIGHT_M_S
+
+__all__ = [
+    "PAPER_LATENCY_REDUCTION",
+    "paper_latency_approximation",
+    "setup_transfer_latency",
+]
+
+#: Ref [22]'s reported latency reduction for an all-optical NoC with an
+#: electronic setup network.
+PAPER_LATENCY_REDUCTION = 0.5
+
+
+def paper_latency_approximation(electronic_mesh_latency_clks: float) -> float:
+    """The paper's adopted estimate: half the electronic-mesh latency."""
+    if electronic_mesh_latency_clks <= 0:
+        raise ValueError(
+            f"latency must be > 0, got {electronic_mesh_latency_clks}"
+        )
+    return PAPER_LATENCY_REDUCTION * electronic_mesh_latency_clks
+
+
+def setup_transfer_latency(
+    hops: float,
+    packet_flits: int,
+    *,
+    setup_cycles_per_hop: float = 1.0,
+    path_length_m: float = 0.0,
+    clock_ghz: float = 0.78125,
+    group_index: float = 4.2,
+) -> float:
+    """First-principles circuit-switched latency, cycles.
+
+    An electronic control packet traverses ``hops`` routers to configure
+    the switches (``setup_cycles_per_hop`` each, plus the same to ack),
+    then the payload streams at one flit per cycle with photonic
+    time-of-flight added.
+
+    Args:
+        hops: routers traversed between source and destination.
+        packet_flits: payload length.
+        setup_cycles_per_hop: control-network cycles per hop (one way).
+        path_length_m: physical route length for time-of-flight.
+        clock_ghz: core clock (converts time-of-flight to cycles).
+        group_index: waveguide group index.
+    """
+    if hops < 1:
+        raise ValueError(f"need >= 1 hop, got {hops}")
+    if packet_flits < 1:
+        raise ValueError(f"packet needs >= 1 flit, got {packet_flits}")
+    if path_length_m < 0:
+        raise ValueError(f"path length must be >= 0, got {path_length_m}")
+    setup = 2.0 * setup_cycles_per_hop * hops  # request + acknowledge
+    tof_s = group_index * path_length_m / SPEED_OF_LIGHT_M_S
+    tof_cycles = tof_s * clock_ghz * 1e9
+    transfer = packet_flits + tof_cycles
+    return setup + transfer

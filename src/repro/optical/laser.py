@@ -1,0 +1,37 @@
+"""Laser power / energy-per-bit estimation for all-optical NoCs.
+
+Uses the HyPPI paper's energy formulation (paper ref [9]): the receiver
+must integrate a fixed charge per bit, so the laser energy per bit is
+
+    E = Q_rx / (responsivity * efficiency) * 10^(loss_db / 10)
+
+independent of data rate (see :mod:`repro.tech.optical`). In the paper's
+all-optical projection the laser is provisioned per flit path — circuit
+switching lets the source laser drive exactly the configured path — so
+laser energy is accounted per transported bit rather than as CW static
+power.
+"""
+
+from __future__ import annotations
+
+from repro.tech.optical import laser_energy_fj_per_bit
+from repro.tech.parameters import Technology, optical_params
+
+__all__ = ["path_laser_energy_fj_per_bit", "path_laser_power_w"]
+
+
+def path_laser_energy_fj_per_bit(technology: Technology, loss_db: float) -> float:
+    """Laser wall-plug energy per bit over a path with ``loss_db`` loss."""
+    if loss_db < 0:
+        raise ValueError(f"loss must be >= 0 dB, got {loss_db}")
+    return laser_energy_fj_per_bit(optical_params(technology), loss_db)
+
+
+def path_laser_power_w(
+    technology: Technology, loss_db: float, data_rate_gbps: float
+) -> float:
+    """Laser wall-plug power while streaming at ``data_rate_gbps``."""
+    if data_rate_gbps <= 0:
+        raise ValueError(f"data rate must be > 0, got {data_rate_gbps}")
+    energy_fj = path_laser_energy_fj_per_bit(technology, loss_db)
+    return energy_fj * 1e-15 * data_rate_gbps * 1e9

@@ -1,0 +1,125 @@
+"""End-to-end optical path loss through an all-optical NoC.
+
+"the losses incurred along the entire path from source to destination for
+each flit was computed, and the laser power was estimated accordingly"
+(paper, Section V). A path's loss is:
+
+* modulator insertion loss + coupler losses at the source (Table I);
+* per traversed router, the (in-port, out-port) fabric loss under the
+  optimal port assignment;
+* waveguide propagation loss over the physical route length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.optical.router import (
+    OpticalRouterModel,
+    optical_router_for,
+    optimal_port_assignment,
+)
+from repro.tech.parameters import OpticalTechnologyParams, Technology, optical_params
+from repro.topology.graph import Topology
+from repro.topology.routing import RoutingTable
+
+__all__ = ["PathLossModel", "Direction"]
+
+#: Direction encoding shared with the router model: 0=N, 1=E, 2=S, 3=W, 4=Local.
+Direction = int
+_LOCAL: Direction = 4
+
+
+@lru_cache(maxsize=4)
+def _assignment_for(technology: Technology) -> tuple[tuple[int, ...], float]:
+    return optimal_port_assignment(optical_router_for(technology))
+
+
+@dataclass
+class PathLossModel:
+    """Loss calculator for one all-optical network technology."""
+
+    topology: Topology
+    technology: Technology
+    routing: RoutingTable
+
+    def __post_init__(self) -> None:
+        if not self.technology.is_optical:
+            raise ValueError(f"{self.technology} is not optical")
+        self.router: OpticalRouterModel = optical_router_for(self.technology)
+        self.params: OpticalTechnologyParams = optical_params(self.technology)
+        self.assignment, self.expected_router_loss_db = _assignment_for(
+            self.technology
+        )
+
+    def _direction(self, from_node: int, to_node: int) -> Direction:
+        fx, fy = self.topology.coords(from_node)
+        tx, ty = self.topology.coords(to_node)
+        if ty < fy:
+            return 0  # N
+        if tx > fx:
+            return 1  # E
+        if ty > fy:
+            return 2  # S
+        if tx < fx:
+            return 3  # W
+        raise ValueError(f"nodes {from_node} and {to_node} are co-located")
+
+    def path_loss_db(self, src: int, dst: int) -> float:
+        """Total source-to-destination optical loss, dB."""
+        if src == dst:
+            raise ValueError("no optical path to self")
+        path = self.routing.path(src, dst)
+        p = self.params
+        loss = p.total_fixed_loss_db()
+        # Propagation over the physical route.
+        total_length_m = sum(link.length_m for link in path)
+        loss += p.propagation_loss_db(total_length_m)
+        # Router fabric losses. The source router is traversed from the
+        # Local port; the destination router exits to the Local port.
+        assign = self.assignment
+        current = src
+        in_dir: Direction = _LOCAL
+        for link in path:
+            out_dir = self._direction(current, link.dst)
+            loss += self.router.loss_db(assign[in_dir], assign[out_dir])
+            # Entering the next router from the opposite direction.
+            in_dir = {0: 2, 1: 3, 2: 0, 3: 1}[out_dir]
+            current = link.dst
+        loss += self.router.loss_db(assign[in_dir], assign[_LOCAL])
+        return loss
+
+    def average_loss_db(self, traffic_matrix) -> float:
+        """Traffic-weighted mean path loss, dB."""
+        m = traffic_matrix.matrix
+        total = m.sum()
+        if total == 0:
+            raise ValueError("zero traffic")
+        weighted = 0.0
+        n = self.topology.n_nodes
+        for s in range(n):
+            for d in range(n):
+                if m[s, d] > 0:
+                    weighted += m[s, d] * self.path_loss_db(s, d)
+        return float(weighted / total)
+
+    def worst_case_loss_db(self) -> float:
+        """Maximum loss over all pairs (sets the laser power budget)."""
+        n = self.topology.n_nodes
+        # Corner-to-corner routes dominate; checking the four corners
+        # against all nodes covers the maximum for X-Y routing.
+        corners = [
+            self.topology.node_id(0, 0),
+            self.topology.node_id(self.topology.width - 1, 0),
+            self.topology.node_id(0, self.topology.height - 1),
+            self.topology.node_id(self.topology.width - 1, self.topology.height - 1),
+        ]
+        worst = 0.0
+        for c in corners:
+            for d in range(n):
+                if d != c:
+                    worst = max(
+                        worst, self.path_loss_db(c, d), self.path_loss_db(d, c)
+                    )
+        return worst

@@ -1,0 +1,216 @@
+"""Five-port all-optical routers built from 2x2 switch elements (Table VI).
+
+The paper designs a HyPPI router from its plasmonic 2x2 switch (refs
+[19, 20]) and compares it against a photonic router realized with 8
+microring switches (ref [21]). We model both with the same fabric:
+
+* 8 switch elements per router;
+* every input->output path traverses exactly 4 elements (a two-column
+  Benes-style arrangement of 2x2s for 5 ports);
+* the number of elements that must sit in the lossier CROSS state depends
+  on the (input, output) pair — :data:`CROSS_COUNT` — which is what gives
+  the HyPPI router its wide 0.32-9.1 dB loss range (plasmonic switches have
+  very asymmetric bar/cross losses) while the photonic router stays within
+  0.39-1.5 dB;
+* U-turns (input == output) are not implemented (paper footnote).
+
+Because the loss range is wide, the paper applies an *optimal port
+assignment*: the mapping from NoC directions (E, W, N, S, Local) onto the
+router's physical ports is chosen to put the frequent X-Y-routing turns on
+the low-loss paths. :func:`optimal_port_assignment` reproduces that search.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optical.switch import (
+    MRR_SWITCH,
+    PLASMONIC_SWITCH,
+    SwitchElementParams,
+)
+from repro.tech.parameters import Technology
+
+__all__ = [
+    "N_PORTS",
+    "CROSS_COUNT",
+    "OpticalRouterModel",
+    "HYPPI_ROUTER",
+    "PHOTONIC_ROUTER",
+    "optical_router_for",
+    "optimal_port_assignment",
+    "DOR_TURN_WEIGHTS",
+]
+
+#: Router radix (N, E, S, W, Local).
+N_PORTS = 5
+
+#: Elements every path traverses.
+_PATH_ELEMENTS = 4
+
+#: CROSS-state element count per (input, output) port pair; -1 marks the
+#: forbidden u-turns. The matrix is *asymmetric* — a fixed directional-
+#: coupler layout serves some transitions with all-BAR paths and forces
+#: others through many CROSS stages. The expensive (3- and 4-cross) paths
+#: sit on the port pairs that X-Y dimension-ordered routing never exercises
+#: (Y -> X turns), which is precisely why the paper's "optimal port
+#: assignment ... incur[s] minimal losses" despite the router's wide
+#: 0.32-9.1 dB capability range (Table VI).
+#:
+#: With the natural assignment (ports 0..4 = N, E, S, W, Local):
+#: straight-through paths are all-BAR (0 crosses); X->Y turns, injection
+#: and ejection use 1-2 crosses; the unused N/S -> E/W transitions absorb
+#: the 3-4 cross paths.
+CROSS_COUNT = np.array(
+    [
+        # out: N   E   S   W   L        in:
+        [-1, 4, 0, 3, 0],  # N
+        [1, -1, 1, 0, 0],  # E
+        [0, 3, -1, 4, 0],  # S
+        [1, 0, 1, -1, 0],  # W
+        [2, 1, 2, 1, -1],  # Local
+    ],
+    dtype=np.int64,
+)
+
+
+@dataclass(frozen=True)
+class OpticalRouterModel:
+    """Power/loss/area model of one 5-port all-optical router."""
+
+    technology: Technology
+    element: SwitchElementParams
+    n_elements: int = 8
+    crossing_loss_db: float = 0.0
+    """Flat passive waveguide-crossing loss added to every path."""
+    layout_overhead_um2: float = 0.0
+    """Waveguide routing / pad area beyond the switch elements."""
+
+    def __post_init__(self) -> None:
+        if self.n_elements < _PATH_ELEMENTS:
+            raise ValueError(
+                f"router needs >= {_PATH_ELEMENTS} elements, got {self.n_elements}"
+            )
+        if self.crossing_loss_db < 0 or self.layout_overhead_um2 < 0:
+            raise ValueError(f"negative crossing loss or overhead: {self}")
+
+    def loss_db(self, in_port: int, out_port: int) -> float:
+        """Insertion loss of the (in, out) path through the fabric.
+
+        Raises:
+            ValueError: for u-turns or out-of-range ports.
+        """
+        if not (0 <= in_port < N_PORTS and 0 <= out_port < N_PORTS):
+            raise ValueError(f"ports must be 0..{N_PORTS - 1}: ({in_port}, {out_port})")
+        if in_port == out_port:
+            raise ValueError("u-turns are not implemented (paper, Section V)")
+        crosses = int(CROSS_COUNT[in_port, out_port])
+        bars = _PATH_ELEMENTS - crosses
+        return (
+            crosses * self.element.loss_cross_db
+            + bars * self.element.loss_bar_db
+            + self.crossing_loss_db
+        )
+
+    def loss_range_db(self) -> tuple[float, float]:
+        """(min, max) path loss over all legal port pairs (Table VI)."""
+        losses = [
+            self.loss_db(i, o)
+            for i in range(N_PORTS)
+            for o in range(N_PORTS)
+            if i != o
+        ]
+        return min(losses), max(losses)
+
+    def control_energy_fj_per_bit(self) -> float:
+        """Electrical control energy to route one bit (Table VI)."""
+        return _PATH_ELEMENTS * self.element.control_energy_fj_per_bit
+
+    def area_um2(self) -> float:
+        """Router footprint (Table VI)."""
+        return self.n_elements * self.element.area_um2 + self.layout_overhead_um2
+
+    def static_power_w(self) -> float:
+        """Always-on element bias/trim power."""
+        return self.n_elements * self.element.static_power_uw * 1e-6
+
+    def switching_time_ps(self) -> float:
+        """Path reconfiguration time (sets the circuit-switch setup cost)."""
+        return self.element.switching_time_ps
+
+
+HYPPI_ROUTER = OpticalRouterModel(
+    technology=Technology.HYPPI,
+    element=PLASMONIC_SWITCH,
+    crossing_loss_db=0.0,
+    layout_overhead_um2=300.0,
+)
+"""All-HyPPI router: 8 plasmonic 2x2 switches, ~500 µm² (paper Table VI)."""
+
+PHOTONIC_ROUTER = OpticalRouterModel(
+    technology=Technology.PHOTONIC,
+    element=MRR_SWITCH,
+    crossing_loss_db=0.19,
+    layout_overhead_um2=0.0,
+)
+"""All-photonic router: 8 MRR 2x2 switches, ~0.48 mm² (paper Table VI)."""
+
+
+def optical_router_for(technology: Technology) -> OpticalRouterModel:
+    """The Table VI router model for a technology (photonic or HyPPI)."""
+    if technology is Technology.HYPPI:
+        return HYPPI_ROUTER
+    if technology is Technology.PHOTONIC:
+        return PHOTONIC_ROUTER
+    raise ValueError(f"no all-optical router model for {technology}")
+
+
+#: Relative frequency of (entry_port_side, exit_port_side) transitions under
+#: X-Y dimension-ordered routing with uniform-ish traffic on a mesh. Sides:
+#: 0=N, 1=E, 2=S, 3=W, 4=Local. A flit travelling *east* enters on the
+#: router's *west* side, so straight eastbound traffic is (3, 1).
+#: Straight-through X traffic dominates, then X->Y turns, then
+#: injection/ejection.
+DOR_TURN_WEIGHTS: dict[tuple[int, int], float] = {
+    (3, 1): 0.18, (1, 3): 0.18,          # straight eastbound / westbound
+    (0, 2): 0.10, (2, 0): 0.10,          # straight southbound / northbound
+    (3, 0): 0.045, (3, 2): 0.045,        # X -> Y turns (arriving eastbound)
+    (1, 0): 0.045, (1, 2): 0.045,        # X -> Y turns (arriving westbound)
+    (4, 1): 0.04, (4, 3): 0.04,          # injection into X
+    (4, 0): 0.02, (4, 2): 0.02,          # injection straight into Y
+    (3, 4): 0.03, (1, 4): 0.03,          # ejection off X
+    (0, 4): 0.04, (2, 4): 0.04,          # ejection off Y
+}
+
+
+def optimal_port_assignment(
+    router: OpticalRouterModel,
+    turn_weights: dict[tuple[int, int], float] | None = None,
+) -> tuple[tuple[int, ...], float]:
+    """Direction->port mapping minimizing expected loss under X-Y routing.
+
+    Brute-forces all 5! assignments of NoC directions (N, E, S, W, Local)
+    onto router ports. Returns ``(assignment, expected_loss_db)`` where
+    ``assignment[direction] == port``.
+    """
+    weights = DOR_TURN_WEIGHTS if turn_weights is None else turn_weights
+    if not weights:
+        raise ValueError("turn weights must not be empty")
+    total = sum(weights.values())
+    best_assignment: tuple[int, ...] | None = None
+    best_loss = float("inf")
+    for perm in itertools.permutations(range(N_PORTS)):
+        loss = 0.0
+        for (din, dout), w in weights.items():
+            if din == dout:
+                raise ValueError(f"u-turn in turn weights: {(din, dout)}")
+            loss += w * router.loss_db(perm[din], perm[dout])
+        loss /= total
+        if loss < best_loss:
+            best_loss = loss
+            best_assignment = perm
+    assert best_assignment is not None
+    return best_assignment, best_loss

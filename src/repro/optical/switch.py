@@ -1,0 +1,88 @@
+"""2x2 electro-optical switch elements (paper Section V, refs [19-21]).
+
+Two flavours build the paper's all-optical routers:
+
+* :data:`PLASMONIC_SWITCH` — the authors' ultra-compact plasmonic MOS 2x2
+  switch (ref [20]): "Due to the compact size (< 5 µm) this switch has
+  fJ/bit power consumption and ps switching delay times". Operates by
+  tuning the coupling length between two SOI waveguide busses.
+* :data:`MRR_SWITCH` — a microring-resonator 2x2 switch as used by the
+  five-port photonic router of ref [21] (8 rings per router).
+
+A 2x2 switch has two states: BAR (in0->out0, in1->out1) and CROSS
+(in0->out1, in1->out0); each state shows a different insertion loss.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["SwitchState", "SwitchElementParams", "PLASMONIC_SWITCH", "MRR_SWITCH"]
+
+
+class SwitchState(enum.Enum):
+    """2x2 switch configuration."""
+
+    BAR = "bar"
+    CROSS = "cross"
+
+
+@dataclass(frozen=True)
+class SwitchElementParams:
+    """Physical parameters of one 2x2 electro-optical switch element."""
+
+    name: str
+    loss_bar_db: float
+    """Insertion loss in the BAR state."""
+    loss_cross_db: float
+    """Insertion loss in the CROSS state."""
+    control_energy_fj_per_bit: float
+    """Electrical control energy while routing data, fJ/bit."""
+    switching_time_ps: float
+    """Reconfiguration time between states."""
+    area_um2: float
+    """Layout footprint of the element."""
+    static_power_uw: float
+    """Always-on control/bias power (thermal trim for MRR switches)."""
+
+    def __post_init__(self) -> None:
+        if self.loss_bar_db < 0 or self.loss_cross_db < 0:
+            raise ValueError(f"losses must be >= 0 dB: {self}")
+        if self.control_energy_fj_per_bit < 0:
+            raise ValueError(f"control energy must be >= 0: {self}")
+        if self.switching_time_ps <= 0 or self.area_um2 <= 0:
+            raise ValueError(f"switching time and area must be > 0: {self}")
+        if self.static_power_uw < 0:
+            raise ValueError(f"static power must be >= 0: {self}")
+
+    def loss_db(self, state: SwitchState) -> float:
+        """Insertion loss in the given state."""
+        return self.loss_bar_db if state is SwitchState.BAR else self.loss_cross_db
+
+
+PLASMONIC_SWITCH = SwitchElementParams(
+    name="plasmonic-mos-2x2",
+    loss_bar_db=0.08,
+    loss_cross_db=2.2,
+    control_energy_fj_per_bit=0.9,
+    switching_time_ps=5.0,
+    area_um2=25.0,
+    static_power_uw=1.0,
+)
+"""The compact plasmonic MOS 2x2 switch (ref [20]); the strongly asymmetric
+bar/cross loss is what produces the HyPPI router's wide 0.32-9.1 dB loss
+range in Table VI and motivates its optimal port assignment."""
+
+MRR_SWITCH = SwitchElementParams(
+    name="mrr-2x2",
+    loss_bar_db=0.05,
+    loss_cross_db=0.35,
+    control_energy_fj_per_bit=16.0,
+    switching_time_ps=60.0,
+    area_um2=60_000.0,
+    static_power_uw=3000.0,
+)
+"""Microring 2x2 switch (ref [21] style): small, symmetric-ish losses but a
+huge footprint once the 15 µm thermal-isolation spacing is counted, plus
+continuous thermal-trimming power."""

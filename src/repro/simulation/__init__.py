@@ -1,0 +1,34 @@
+"""Cycle-accurate flit-level NoC simulator (trace mode, BookSim-class)."""
+
+from repro.simulation.energy import sim_dynamic_energy_j
+from repro.simulation.flit import Flit, Packet
+from repro.simulation.router import (
+    LOCAL_PORT,
+    InputPort,
+    OutputPort,
+    RouterState,
+    VirtualChannel,
+)
+from repro.simulation.simulator import SimConfig, SimStats, Simulator
+from repro.simulation.workload import (
+    LoadPoint,
+    latency_throughput_sweep,
+    synthetic_trace,
+)
+
+__all__ = [
+    "sim_dynamic_energy_j",
+    "Flit",
+    "Packet",
+    "LOCAL_PORT",
+    "InputPort",
+    "OutputPort",
+    "RouterState",
+    "VirtualChannel",
+    "SimConfig",
+    "SimStats",
+    "Simulator",
+    "LoadPoint",
+    "latency_throughput_sweep",
+    "synthetic_trace",
+]

@@ -1,0 +1,45 @@
+"""Energy accounting for simulation runs.
+
+Combines the cycle simulator's per-component flit counts with the
+modified-DSENT per-flit energies — the same models the analytical pipeline
+uses, so simulated and analytical energies are directly comparable
+(the paper does exactly this: BookSim supplies the paths, DSENT the
+energy-per-flit numbers).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.power import (
+    _link_config,
+    _link_eval,
+    _router_eval,
+    router_config_for_node,
+)
+from repro.analysis.power import NetworkEnergy
+from repro.simulation.simulator import SimStats
+from repro.topology.graph import Topology
+
+__all__ = ["sim_dynamic_energy_j"]
+
+
+def sim_dynamic_energy_j(topo: Topology, stats: SimStats) -> NetworkEnergy:
+    """Dynamic energy of a simulated run, from measured flit counts.
+
+    Args:
+        topo: the simulated topology.
+        stats: results of :meth:`repro.simulation.Simulator.run` on it.
+    """
+    if stats.link_flit_counts.shape != (topo.n_links,):
+        raise ValueError(
+            f"stats cover {stats.link_flit_counts.shape[0]} links, "
+            f"topology has {topo.n_links}"
+        )
+    router_j = 0.0
+    for node in range(topo.n_nodes):
+        _, dyn_j, _ = _router_eval(router_config_for_node(topo, node))
+        router_j += float(stats.router_flit_counts[node]) * dyn_j
+    link_j = 0.0
+    for link_id in range(topo.n_links):
+        fig = _link_eval(_link_config(topo, link_id))
+        link_j += float(stats.link_flit_counts[link_id]) * fig.dynamic_j_per_flit
+    return NetworkEnergy(router_dynamic_j=router_j, link_dynamic_j=link_j)

@@ -1,0 +1,217 @@
+"""Virtual-channel router state for the cycle-accurate simulator.
+
+Models the paper's router (Table II / Fig. 4): per-input-port VC buffers
+(4 VCs x 8 flits), a 3-stage pipeline (charged as a fixed delay between
+flit arrival and switch-allocation eligibility), round-robin VC and switch
+allocation, and credit-based backpressure toward upstream routers.
+
+Port keying: each input/output port is keyed by the link id it attaches to;
+the local injection/ejection port uses :data:`LOCAL_PORT`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.simulation.flit import Flit
+
+__all__ = ["LOCAL_PORT", "VirtualChannel", "InputPort", "OutputPort", "RouterState"]
+
+#: Port key for the node-local injection/ejection port.
+LOCAL_PORT = -1
+
+
+@dataclass
+class VirtualChannel:
+    """One VC FIFO at an input port."""
+
+    capacity: int
+    flits: deque[Flit] = field(default_factory=deque)
+    # Allocated route for the packet currently owning this VC:
+    out_port: int | None = None
+    out_vc: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"VC capacity must be >= 1, got {self.capacity}")
+
+    @property
+    def occupancy(self) -> int:
+        """Buffered flits."""
+        return len(self.flits)
+
+    @property
+    def has_space(self) -> bool:
+        """True if another flit fits."""
+        return len(self.flits) < self.capacity
+
+    @property
+    def is_idle(self) -> bool:
+        """True if empty and not mid-packet (available for a new packet)."""
+        return not self.flits and self.out_port is None
+
+    def head(self) -> Flit | None:
+        """Front flit, if any."""
+        return self.flits[0] if self.flits else None
+
+    def push(self, flit: Flit) -> None:
+        """Enqueue an arriving flit.
+
+        Raises:
+            OverflowError: on buffer overflow — indicates a credit
+                accounting bug, so it is fatal rather than silently dropped.
+        """
+        if not self.has_space:
+            raise OverflowError("VC buffer overflow: credit protocol violated")
+        self.flits.append(flit)
+
+    def pop(self) -> Flit:
+        """Dequeue the front flit; tail flits release the VC allocation."""
+        flit = self.flits.popleft()
+        if flit.is_tail:
+            self.out_port = None
+            self.out_vc = None
+        return flit
+
+
+@dataclass
+class InputPort:
+    """All VCs of one input port."""
+
+    n_vcs: int
+    vc_depth: int
+    vcs: list[VirtualChannel] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_vcs < 1:
+            raise ValueError(f"need >= 1 VC, got {self.n_vcs}")
+        if not self.vcs:
+            self.vcs = [VirtualChannel(self.vc_depth) for _ in range(self.n_vcs)]
+
+    def free_vc(self, start: int = 0) -> int | None:
+        """Index of an idle VC (round-robin from ``start``), or None."""
+        for i in range(self.n_vcs):
+            idx = (start + i) % self.n_vcs
+            if self.vcs[idx].is_idle:
+                return idx
+        return None
+
+    @property
+    def total_occupancy(self) -> int:
+        """Flits buffered across all VCs."""
+        return sum(vc.occupancy for vc in self.vcs)
+
+
+@dataclass
+class OutputPort:
+    """Credit/busy bookkeeping for one output port.
+
+    ``credits[v]`` counts free slots in downstream VC ``v``;
+    ``busy[v]`` marks VCs currently allocated to an in-flight packet.
+    The ejection port is modelled as an infinite sink (``is_sink=True``).
+    """
+
+    n_vcs: int
+    vc_depth: int
+    is_sink: bool = False
+    credits: list[int] = field(default_factory=list)
+    busy: list[bool] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.credits:
+            self.credits = [self.vc_depth] * self.n_vcs
+        if not self.busy:
+            self.busy = [False] * self.n_vcs
+
+    def allocate_vc(
+        self, start: int = 0, vc_range: tuple[int, int] | None = None
+    ) -> int | None:
+        """Grab a free downstream VC (round-robin), or None.
+
+        ``vc_range`` restricts allocation to ``[lo, hi)`` — used by the
+        dateline scheme to partition VCs by class.
+        """
+        if self.is_sink:
+            return 0
+        lo, hi = (0, self.n_vcs) if vc_range is None else vc_range
+        span = hi - lo
+        if span <= 0:
+            raise ValueError(f"empty VC range {vc_range}")
+        for i in range(span):
+            idx = lo + (start + i) % span
+            if not self.busy[idx] and self.credits[idx] > 0:
+                self.busy[idx] = True
+                return idx
+        return None
+
+    def can_send(self, vc: int) -> bool:
+        """True if downstream VC ``vc`` has buffer space."""
+        return self.is_sink or self.credits[vc] > 0
+
+    def consume_credit(self, vc: int) -> None:
+        """Account one flit sent into downstream VC ``vc``."""
+        if self.is_sink:
+            return
+        if self.credits[vc] <= 0:
+            raise RuntimeError("sent without credit: flow-control bug")
+        self.credits[vc] -= 1
+
+    def return_credit(self, vc: int) -> None:
+        """Downstream freed one slot of VC ``vc``."""
+        if self.is_sink:
+            return
+        if self.credits[vc] >= self.vc_depth:
+            raise RuntimeError("credit overflow: flow-control bug")
+        self.credits[vc] += 1
+
+    def release_vc(self, vc: int) -> None:
+        """Tail flit passed: downstream VC is free for a new packet."""
+        if not self.is_sink:
+            self.busy[vc] = False
+
+
+class RouterState:
+    """Mutable state of one router during simulation."""
+
+    def __init__(
+        self,
+        node: int,
+        in_port_keys: list[int],
+        out_port_keys: list[int],
+        *,
+        n_vcs: int,
+        vc_depth: int,
+    ) -> None:
+        self.node = node
+        self.in_ports: dict[int, InputPort] = {
+            key: InputPort(n_vcs, vc_depth) for key in [LOCAL_PORT, *in_port_keys]
+        }
+        self.out_ports: dict[int, OutputPort] = {
+            key: OutputPort(n_vcs, vc_depth) for key in out_port_keys
+        }
+        self.out_ports[LOCAL_PORT] = OutputPort(n_vcs, vc_depth, is_sink=True)
+        self._vc_rr: dict[int, int] = {key: 0 for key in self.out_ports}
+        self._sa_rr: dict[int, int] = {key: 0 for key in self.out_ports}
+
+    def next_vc_rr(self, out_port: int) -> int:
+        """Round-robin pointer for VC allocation on ``out_port``."""
+        ptr = self._vc_rr[out_port]
+        self._vc_rr[out_port] = (ptr + 1) % max(
+            1, self.out_ports[out_port].n_vcs
+        )
+        return ptr
+
+    def bump_sa_rr(self, out_port: int, granted: int, n_candidates: int) -> None:
+        """Advance the switch-allocation round-robin pointer."""
+        if n_candidates > 0:
+            self._sa_rr[out_port] = (granted + 1) % n_candidates
+
+    def sa_rr(self, out_port: int) -> int:
+        """Current switch-allocation pointer for ``out_port``."""
+        return self._sa_rr[out_port]
+
+    @property
+    def is_active(self) -> bool:
+        """True if any input VC holds flits."""
+        return any(p.total_occupancy > 0 for p in self.in_ports.values())

@@ -1,0 +1,398 @@
+"""Cycle-accurate trace-driven NoC simulator (BookSim-2.0-class substrate).
+
+Implements the microarchitecture of the paper's Table II on any
+:class:`~repro.topology.graph.Topology`:
+
+* wormhole switching with 4 virtual channels x 8-flit buffers per input
+  port and credit-based backpressure;
+* a 3-stage router pipeline, charged as a fixed delay between a flit's
+  arrival and its eligibility for switch allocation;
+* per-cycle round-robin VC allocation (head flits) and switch allocation
+  (one flit per output port and per input port per cycle);
+* link latencies of 1 cycle (electronic) / 2 cycles (optical, the extra
+  cycle being the receiver's O-E conversion) — exactly the paper's values;
+* deterministic oblivious X-Y + express routing shared with the analytical
+  pipeline via :class:`~repro.topology.routing.RoutingTable`;
+* trace mode: packets injected at their recorded cycles from unbounded
+  source queues, as BookSim's trace mode does.
+
+Simplifications relative to BookSim (documented, load-insensitive at the
+paper's operating points): credits return instantly rather than after a
+1-cycle credit delay, and the 3 pipeline stages are not individually
+stallable — contention is resolved at the switch-allocation point.
+
+Performance notes (per the HPC guides: measure, then optimize the loop that
+matters): per cycle the simulator touches only *occupied* VCs of *active*
+routers and only sources with injection work, so cost scales with in-flight
+flits rather than network size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.flit import Flit, Packet
+from repro.simulation.router import LOCAL_PORT, RouterState, VirtualChannel
+from repro.tech.parameters import Technology
+from repro.topology.graph import LinkKind, Topology
+from repro.topology.routing import RoutingTable
+from repro.traffic.trace import Trace
+
+__all__ = ["SimConfig", "SimStats", "Simulator"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulator microarchitecture parameters (defaults: paper Table II)."""
+
+    n_vcs: int = 4
+    vc_depth: int = 8
+    router_pipeline: int = 3
+    electronic_link_cycles: int = 1
+    optical_link_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_vcs < 1 or self.vc_depth < 1:
+            raise ValueError(f"VC config must be >= 1: {self}")
+        if self.router_pipeline < 1:
+            raise ValueError(f"pipeline must be >= 1, got {self.router_pipeline}")
+        if self.electronic_link_cycles < 1 or self.optical_link_cycles < 1:
+            raise ValueError(f"link latencies must be >= 1: {self}")
+
+    def link_cycles(self, technology: Technology) -> int:
+        """Traversal cycles for a link of ``technology``."""
+        if technology is Technology.ELECTRONIC:
+            return self.electronic_link_cycles
+        return self.optical_link_cycles
+
+
+@dataclass
+class SimStats:
+    """Results of one simulation run."""
+
+    n_packets: int
+    n_flits: int
+    cycles: int
+    packet_latencies: np.ndarray
+    """Per-packet injection-to-tail-ejection latency, cycles."""
+    link_flit_counts: np.ndarray
+    """Flit traversals per link (for energy accounting)."""
+    router_flit_counts: np.ndarray
+    """Flit traversals per router."""
+    drained: bool
+    """True if every injected packet was delivered before the cycle limit."""
+
+    @property
+    def avg_latency(self) -> float:
+        """Mean packet latency, cycles (the paper's Fig. 6 metric)."""
+        if self.packet_latencies.size == 0:
+            raise ValueError("no delivered packets")
+        return float(self.packet_latencies.mean())
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile packet latency, cycles."""
+        if self.packet_latencies.size == 0:
+            raise ValueError("no delivered packets")
+        return float(np.percentile(self.packet_latencies, 99))
+
+    @property
+    def avg_hops(self) -> float:
+        """Mean link traversals per flit."""
+        if self.n_flits == 0:
+            return 0.0
+        return float(self.link_flit_counts.sum() / self.n_flits)
+
+
+class Simulator:
+    """Trace-driven cycle simulator over one topology."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        routing: RoutingTable | None = None,
+        config: SimConfig = SimConfig(),
+    ) -> None:
+        self.topology = topo
+        self.routing = routing if routing is not None else RoutingTable(topo)
+        if self.routing.topology is not topo:
+            raise ValueError("routing table belongs to a different topology")
+        self.config = config
+        self._in_keys: dict[int, list[int]] = {n: [] for n in range(topo.n_nodes)}
+        self._out_keys: dict[int, list[int]] = {n: [] for n in range(topo.n_nodes)}
+        for link in topo.links:
+            self._in_keys[link.dst].append(link.link_id)
+            self._out_keys[link.src].append(link.link_id)
+        # Row (X-phase) vs column (Y-phase) links: torus-like dependency
+        # cycles live within one dimension's line graphs, so the dateline
+        # scheme partitions each dimension independently and only when that
+        # dimension actually has express links.
+        self._is_row_link = [
+            topo.coords(l.src)[1] == topo.coords(l.dst)[1] for l in topo.links
+        ]
+        self._row_has_express = any(
+            l.kind is LinkKind.EXPRESS and self._is_row_link[l.link_id]
+            for l in topo.links
+        )
+        self._col_has_express = any(
+            l.kind is LinkKind.EXPRESS and not self._is_row_link[l.link_id]
+            for l in topo.links
+        )
+        self._routers: list[RouterState] = []
+
+    def _fresh_routers(self) -> list[RouterState]:
+        """Build pristine router state (run() starts from a cold network)."""
+        return [
+            RouterState(
+                node,
+                self._in_keys[node],
+                self._out_keys[node],
+                n_vcs=self.config.n_vcs,
+                vc_depth=self.config.vc_depth,
+            )
+            for node in range(self.topology.n_nodes)
+        ]
+
+    def _route_out_port(self, node: int, packet: Packet) -> int:
+        """Output port key (link id or LOCAL_PORT) for ``packet`` at ``node``."""
+        if node == packet.dst:
+            return LOCAL_PORT
+        return self.routing.next_link(node, packet.dst).link_id
+
+    def _vc_range(self, vc_class: int, out_key: int) -> tuple[int, int] | None:
+        """Dateline VC partition for a packet class (None = all VCs).
+
+        Express shortest-path detours create torus-like cyclic channel
+        dependencies, but each cycle lives entirely within one dimension's
+        line graph (X-Y routing has no Y->X turns, so a row cycle cannot
+        thread through column links and vice versa). Hence: links of a
+        dimension that has express links are partitioned half/half by that
+        dimension's dateline class; everything else (ejection, the other
+        dimension) keeps all VCs. Plain meshes route monotonically and are
+        never partitioned. With fewer than 2 VCs there is nothing to
+        partition (accepted theoretical risk, as in BookSim's own torus
+        configurations).
+        """
+        n = self.config.n_vcs
+        if n < 2 or out_key == LOCAL_PORT:
+            return None
+        if self._is_row_link[out_key]:
+            if not self._row_has_express:
+                return None
+        elif not self._col_has_express:
+            return None
+        half = n // 2
+        return (0, half) if vc_class == 0 else (half, n)
+
+    def run(self, trace: Trace, *, max_cycles: int = 2_000_000) -> SimStats:
+        """Simulate a trace until drained or ``max_cycles`` is reached."""
+        if trace.n_nodes != self.topology.n_nodes:
+            raise ValueError(
+                f"trace has {trace.n_nodes} nodes, topology has "
+                f"{self.topology.n_nodes}"
+            )
+        if max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+
+        cfg = self.config
+        topo = self.topology
+        pipeline = cfg.router_pipeline
+        links = topo.links
+        link_tech_cycles = [cfg.link_cycles(l.technology) for l in links]
+        link_counts = np.zeros(topo.n_links, dtype=np.int64)
+        router_counts = np.zeros(topo.n_nodes, dtype=np.int64)
+        self._routers = self._fresh_routers()
+        routers = self._routers
+
+        packets = [
+            Packet(
+                packet_id=i,
+                src=rec.src,
+                dst=rec.dst,
+                size_flits=rec.size_flits,
+                inject_time=rec.time,
+            )
+            for i, rec in enumerate(trace.packets)
+        ]
+        source_queues: dict[int, list[Packet]] = {n: [] for n in range(topo.n_nodes)}
+        for pkt in packets:
+            source_queues[pkt.src].append(pkt)
+        src_pos = dict.fromkeys(range(topo.n_nodes), 0)
+        pending_flit: dict[int, Flit | None] = dict.fromkeys(range(topo.n_nodes))
+        pending_vc = dict.fromkeys(range(topo.n_nodes), 0)
+
+        # Injection wake-ups: (time, node) events to (re)activate sources.
+        wakeups: list[tuple[int, int]] = sorted(
+            {(q[0].inject_time, n) for n, q in source_queues.items() if q}
+        )
+        heapq.heapify(wakeups)
+        inj_active: set[int] = set()
+
+        # Link pipeline: min-heap of (arrival, seq, flit, link_id, vc).
+        flight: list[tuple[int, int, Flit, int, int]] = []
+        seq = 0
+        delivered = 0
+        active: set[int] = set()
+        t = 0
+
+        while t < max_cycles:
+            # ---- 1. link arrivals -------------------------------------------
+            while flight and flight[0][0] <= t:
+                _, _, flit, link_id, vc_idx = heapq.heappop(flight)
+                dst_node = links[link_id].dst
+                router = routers[dst_node]
+                flit.ready_time = t + pipeline
+                router.in_ports[link_id].vcs[vc_idx].push(flit)
+                active.add(dst_node)
+
+            # ---- 2. injection -------------------------------------------------
+            while wakeups and wakeups[0][0] <= t:
+                inj_active.add(heapq.heappop(wakeups)[1])
+            done_nodes: list[int] = []
+            for node in inj_active:
+                router = routers[node]
+                inj = router.in_ports[LOCAL_PORT]
+                flit = pending_flit[node]
+                queue = source_queues[node]
+                pos = src_pos[node]
+                if flit is None and pos < len(queue) and queue[pos].inject_time <= t:
+                    vc_idx = inj.free_vc(pending_vc[node])
+                    if vc_idx is not None:
+                        pending_vc[node] = vc_idx
+                        flit = Flit(queue[pos], 0)
+                        src_pos[node] = pos + 1
+                        pos += 1
+                if flit is not None:
+                    vc = inj.vcs[pending_vc[node]]
+                    if vc.has_space:
+                        flit.ready_time = t + pipeline
+                        vc.push(flit)
+                        active.add(node)
+                        pending_flit[node] = (
+                            None if flit.is_tail else Flit(flit.packet, flit.index + 1)
+                        )
+                    else:
+                        pending_flit[node] = flit  # stalled; retry next cycle
+                if pending_flit[node] is None:
+                    if pos >= len(queue):
+                        done_nodes.append(node)
+                    elif queue[pos].inject_time > t:
+                        heapq.heappush(wakeups, (queue[pos].inject_time, node))
+                        done_nodes.append(node)
+            for node in done_nodes:
+                inj_active.discard(node)
+
+            # ---- 3. allocation & traversal ----------------------------------
+            idle_routers: list[int] = []
+            for node in active:
+                router = routers[node]
+                # Occupied VCs this cycle (the only ones that can do work).
+                occupied: list[tuple[int, int, VirtualChannel]] = []
+                for in_key, in_port in router.in_ports.items():
+                    for vc_idx, vc in enumerate(in_port.vcs):
+                        if vc.flits:
+                            occupied.append((in_key, vc_idx, vc))
+                if not occupied:
+                    idle_routers.append(node)
+                    continue
+
+                # VC allocation for ready head flits without a route.
+                requests: dict[int, list[tuple[int, int, VirtualChannel]]] = {}
+                for in_key, vc_idx, vc in occupied:
+                    head = vc.flits[0]
+                    if head.ready_time > t:
+                        continue
+                    if vc.out_port is None:
+                        if head.index != 0:  # pragma: no cover - invariant
+                            raise RuntimeError("body flit without VC allocation")
+                        out_key = self._route_out_port(node, head.packet)
+                        out_port = router.out_ports[out_key]
+                        # Dateline promotion happens when *requesting* the
+                        # VC behind an express link, so the express input
+                        # buffer itself is already a class-1 resource.
+                        # Row and column datelines are independent.
+                        if out_key == LOCAL_PORT:
+                            cls = 0
+                        elif self._is_row_link[out_key]:
+                            cls = head.packet.vc_class
+                            if links[out_key].kind is LinkKind.EXPRESS:
+                                cls = 1
+                        else:
+                            cls = head.packet.vc_class_y
+                            if links[out_key].kind is LinkKind.EXPRESS:
+                                cls = 1
+                        got = out_port.allocate_vc(
+                            router.next_vc_rr(out_key), self._vc_range(cls, out_key)
+                        )
+                        if got is None:
+                            continue
+                        vc.out_port = out_key
+                        vc.out_vc = got
+                    out_port = router.out_ports[vc.out_port]
+                    if out_port.can_send(vc.out_vc):
+                        requests.setdefault(vc.out_port, []).append(
+                            (in_key, vc_idx, vc)
+                        )
+
+                # Switch allocation: one flit per output, one per input.
+                input_used: set[int] = set()
+                for out_key, cands in requests.items():
+                    cands = [c for c in cands if c[0] not in input_used]
+                    if not cands:
+                        continue
+                    pick = router.sa_rr(out_key) % len(cands)
+                    in_key, vc_idx, vc = cands[pick]
+                    router.bump_sa_rr(out_key, pick, len(cands))
+                    input_used.add(in_key)
+                    out_port = router.out_ports[out_key]
+                    out_vc = vc.out_vc
+                    flit = vc.pop()
+                    router_counts[node] += 1
+                    out_port.consume_credit(out_vc)
+                    if flit.is_tail:
+                        out_port.release_vc(out_vc)
+                    if in_key != LOCAL_PORT:
+                        # Instant credit return to the upstream router.
+                        upstream = routers[links[in_key].src]
+                        upstream.out_ports[in_key].return_credit(vc_idx)
+                    if out_key == LOCAL_PORT:
+                        if flit.is_tail:
+                            flit.packet.eject_time = t + 1
+                            delivered += 1
+                    else:
+                        link_counts[out_key] += 1
+                        if links[out_key].kind is LinkKind.EXPRESS:
+                            # Dateline: express crossings promote the packet
+                            # to VC class 1 within the crossed dimension.
+                            if self._is_row_link[out_key]:
+                                flit.packet.vc_class = 1
+                            else:
+                                flit.packet.vc_class_y = 1
+                        seq += 1
+                        heapq.heappush(
+                            flight,
+                            (t + link_tech_cycles[out_key], seq, flit, out_key, out_vc),
+                        )
+            for node in idle_routers:
+                active.discard(node)
+
+            # ---- 4. termination ------------------------------------------------
+            t += 1
+            if delivered == len(packets) and not inj_active and not wakeups:
+                break
+
+        latencies = np.array(
+            [p.latency for p in packets if p.eject_time >= 0], dtype=np.int64
+        )
+        return SimStats(
+            n_packets=len(packets),
+            n_flits=trace.total_flits,
+            cycles=t,
+            packet_latencies=latencies,
+            link_flit_counts=link_counts,
+            router_flit_counts=router_counts,
+            drained=delivered == len(packets),
+        )

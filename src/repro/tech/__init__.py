@@ -1,0 +1,54 @@
+"""Link technology models: Table I parameters and per-technology physics."""
+
+from repro.tech.electronic import ElectronicLinkModel
+from repro.tech.link import LinkMetrics, LinkModel
+from repro.tech.optical import (
+    HyPPILinkModel,
+    OpticalLinkModel,
+    PhotonicLinkModel,
+    PlasmonicLinkModel,
+    laser_energy_fj_per_bit,
+    laser_output_power_w,
+    link_model_for,
+)
+from repro.tech.parameters import (
+    ELECTRONIC_14NM,
+    HYPPI,
+    PHOTONIC,
+    PLASMONIC,
+    CapabilityMode,
+    ElectronicLinkParams,
+    LaserParams,
+    ModulatorParams,
+    OpticalTechnologyParams,
+    PhotodetectorParams,
+    Technology,
+    WaveguideParams,
+    optical_params,
+)
+
+__all__ = [
+    "ElectronicLinkModel",
+    "LinkMetrics",
+    "LinkModel",
+    "HyPPILinkModel",
+    "OpticalLinkModel",
+    "PhotonicLinkModel",
+    "PlasmonicLinkModel",
+    "laser_energy_fj_per_bit",
+    "laser_output_power_w",
+    "link_model_for",
+    "ELECTRONIC_14NM",
+    "HYPPI",
+    "PHOTONIC",
+    "PLASMONIC",
+    "CapabilityMode",
+    "ElectronicLinkParams",
+    "LaserParams",
+    "ModulatorParams",
+    "OpticalTechnologyParams",
+    "PhotodetectorParams",
+    "Technology",
+    "WaveguideParams",
+    "optical_params",
+]

@@ -1,0 +1,82 @@
+"""Electronic (repeated RC wire) link model, ITRS 14 nm class.
+
+The model is per-wire: a NoC link of W bits is W parallel instances (the
+:class:`~repro.tech.electronic.ElectronicLinkModel.bus` helper scales
+capability, energy, area and static power accordingly; latency is unchanged).
+
+Delay and energy are linear in length, the standard result for optimally
+repeated global wires; the driver/receiver contribute small fixed terms that
+make electronics unbeatable at very short range — the behaviour Fig. 3 of the
+paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.tech.link import LinkMetrics, LinkModel
+from repro.tech.parameters import (
+    ELECTRONIC_14NM,
+    CapabilityMode,
+    ElectronicLinkParams,
+    Technology,
+)
+
+__all__ = ["ElectronicLinkModel"]
+
+
+class ElectronicLinkModel(LinkModel):
+    """Analytical repeated-wire link (one wire wide unless scaled)."""
+
+    technology = Technology.ELECTRONIC
+
+    def __init__(self, params: ElectronicLinkParams = ELECTRONIC_14NM) -> None:
+        self.params = params
+
+    def evaluate(
+        self, length_m: float, *, mode: CapabilityMode = CapabilityMode.DEVICE
+    ) -> LinkMetrics:
+        """Latency/energy/area of a single wire of ``length_m`` metres.
+
+        ``mode`` is accepted for interface uniformity; electronic wires have
+        no SERDES distinction, so it does not change the result.
+        """
+        if length_m < 0:
+            raise ValueError(f"length must be >= 0, got {length_m}")
+        p = self.params
+        mm = length_m * 1e3
+        latency_ps = p.fixed_latency_ps + p.latency_ps_per_mm * mm
+        energy_fj = p.energy_fj_per_bit_fixed + p.energy_fj_per_bit_per_mm * mm
+        area_um2 = (
+            p.fixed_area_um2
+            + p.wire_pitch_um * (length_m * 1e6)
+            + p.repeater_area_um2_per_mm * mm
+        )
+        static_mw = p.static_power_mw_per_mm * mm
+        return LinkMetrics(
+            technology=self.technology,
+            length_m=length_m,
+            capability_gbps=p.rate_gbps_per_wire,
+            latency_ps=latency_ps,
+            energy_fj_per_bit=energy_fj,
+            area_um2=area_um2,
+            static_power_mw=static_mw,
+        )
+
+    def bus(self, length_m: float, width_bits: int) -> LinkMetrics:
+        """Metrics for a parallel bus of ``width_bits`` wires.
+
+        Capability, energy (per transferred word-bit the energy is the same,
+        but a *word* costs width × per-wire energy; per-bit figures therefore
+        stay constant), area and static power scale with width; latency does
+        not.
+        """
+        if width_bits < 1:
+            raise ValueError(f"bus width must be >= 1, got {width_bits}")
+        one = self.evaluate(length_m)
+        return replace(
+            one,
+            capability_gbps=one.capability_gbps * width_bits,
+            area_um2=one.area_um2 * width_bits,
+            static_power_mw=one.static_power_mw * width_bits,
+        )

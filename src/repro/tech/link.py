@@ -1,0 +1,74 @@
+"""Common point-to-point link abstraction.
+
+Every technology model produces a :class:`LinkMetrics` for a given length:
+capability (Gb/s), latency (ps), energy (fJ/bit) and area (µm²) — exactly the
+four quantities the CLEAR figure of merit consumes (paper eq. 1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.tech.parameters import CapabilityMode, Technology
+
+__all__ = ["LinkMetrics", "LinkModel"]
+
+
+@dataclass(frozen=True)
+class LinkMetrics:
+    """Point-to-point link figures for one technology at one length."""
+
+    technology: Technology
+    length_m: float
+    capability_gbps: float
+    """Peak data rate the link sustains."""
+    latency_ps: float
+    """End-to-end propagation latency of one bit."""
+    energy_fj_per_bit: float
+    """Total energy per transmitted bit (laser, modulator, receiver, wire)."""
+    area_um2: float
+    """Layout footprint (devices + wiring track at the technology's pitch)."""
+    static_power_mw: float = 0.0
+    """Always-on power (repeater leakage, laser bias, thermal tuning)."""
+
+    def __post_init__(self) -> None:
+        if self.length_m < 0:
+            raise ValueError(f"length must be >= 0, got {self.length_m}")
+        for field in ("capability_gbps", "latency_ps", "energy_fj_per_bit", "area_um2"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be > 0, got {getattr(self, field)}")
+
+
+class LinkModel(abc.ABC):
+    """A technology's analytical model of a point-to-point link.
+
+    Concrete models are pure functions of length (plus the capability-mode
+    convention); they hold frozen parameter dataclasses and no mutable state.
+    """
+
+    technology: Technology
+
+    @abc.abstractmethod
+    def evaluate(
+        self, length_m: float, *, mode: CapabilityMode = CapabilityMode.DEVICE
+    ) -> LinkMetrics:
+        """Compute the link figures for a link of ``length_m`` metres."""
+
+    def capability_gbps(
+        self, *, mode: CapabilityMode = CapabilityMode.DEVICE
+    ) -> float:
+        """Length-independent data rate of the link under ``mode``."""
+        return self.evaluate(1e-6, mode=mode).capability_gbps
+
+    def latency_ps(self, length_m: float) -> float:
+        """Convenience accessor for the latency at ``length_m``."""
+        return self.evaluate(length_m).latency_ps
+
+    def energy_fj_per_bit(self, length_m: float) -> float:
+        """Convenience accessor for the energy/bit at ``length_m``."""
+        return self.evaluate(length_m).energy_fj_per_bit
+
+    def area_um2(self, length_m: float) -> float:
+        """Convenience accessor for the area at ``length_m``."""
+        return self.evaluate(length_m).area_um2

@@ -1,0 +1,417 @@
+"""Device and technology parameters (paper Table I + electronic baseline).
+
+Table I of the paper lists laser, modulator, photodetector and waveguide
+parameters for the three optical technologies (Photonic, Plasmonic, HyPPI).
+They are transcribed here as frozen dataclasses so every model in the
+reproduction draws from a single authoritative source.
+
+The electronic link baseline is "borrowed from the 14 nm technology node ITRS
+roadmap" in the paper; the paper does not tabulate it, so
+:data:`ELECTRONIC_14NM` holds our calibrated ITRS-14nm-class values (see
+DESIGN.md section 5 for the calibration targets).
+
+Two data-rate conventions exist in the paper (Table I footnote †):
+
+* ``device`` rates — the peak rate each modulator/detector supports
+  (e.g. 2.1 Tb/s for the HyPPI modulator), used for the bare link-level
+  CLEAR comparison of Fig. 3;
+* ``serdes`` rates — the 50 Gb/s cap imposed by driver/SERDES electronics,
+  used for all NoC-system-level evaluations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Technology",
+    "CapabilityMode",
+    "LaserParams",
+    "ModulatorParams",
+    "PhotodetectorParams",
+    "WaveguideParams",
+    "OpticalTechnologyParams",
+    "ElectronicLinkParams",
+    "PHOTONIC",
+    "PLASMONIC",
+    "HYPPI",
+    "ELECTRONIC_14NM",
+    "optical_params",
+]
+
+
+class Technology(enum.Enum):
+    """Interconnect technology options explored by the paper."""
+
+    ELECTRONIC = "electronic"
+    PHOTONIC = "photonic"
+    PLASMONIC = "plasmonic"
+    HYPPI = "hyppi"
+
+    @property
+    def is_optical(self) -> bool:
+        """True for technologies that carry data as light on a waveguide."""
+        return self is not Technology.ELECTRONIC
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CapabilityMode(enum.Enum):
+    """Which data-rate convention a link model should use (Table I, †)."""
+
+    DEVICE = "device"
+    SERDES = "serdes"
+
+
+@dataclass(frozen=True)
+class LaserParams:
+    """On-chip laser source parameters (Table I, "Laser" block)."""
+
+    efficiency: float
+    """Wall-plug efficiency as a fraction (Table I lists percent)."""
+
+    area_um2: float
+    """Footprint of the laser in square micrometres."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError(f"laser efficiency must be in (0, 1], got {self.efficiency}")
+        if self.area_um2 < 0:
+            raise ValueError(f"laser area must be >= 0, got {self.area_um2}")
+
+
+@dataclass(frozen=True)
+class ModulatorParams:
+    """E-O modulator parameters (Table I, "Modulator" block)."""
+
+    device_rate_gbps: float
+    """Peak modulation rate supported by the device itself."""
+
+    serdes_rate_gbps: float
+    """Rate achievable once driver/SERDES electronics are accounted for
+    (the parenthesized values in Table I)."""
+
+    energy_fj_per_bit: float
+    """Modulator switching energy, fJ/bit (bare link-level value, Table I *)."""
+
+    insertion_loss_db: float
+    """Optical insertion loss of the modulator, dB."""
+
+    extinction_ratio_db: float
+    """Ratio between the optical "1" and "0" levels, dB."""
+
+    area_um2: float
+    """Modulator footprint, µm² (excluding thermal-isolation spacing)."""
+
+    capacitance_ff: float
+    """Device capacitance, fF; sets the intrinsic speed and drive energy."""
+
+    bias_voltage_v: tuple[float, float]
+    """(low, high) drive/bias voltage range, volts."""
+
+    def __post_init__(self) -> None:
+        if self.device_rate_gbps <= 0 or self.serdes_rate_gbps <= 0:
+            raise ValueError("modulator rates must be > 0")
+        if self.insertion_loss_db < 0:
+            raise ValueError("insertion loss cannot be negative")
+        if self.extinction_ratio_db <= 0:
+            raise ValueError("extinction ratio must be > 0 dB")
+
+
+@dataclass(frozen=True)
+class PhotodetectorParams:
+    """O-E photodetector parameters (Table I, "Photodetector" block)."""
+
+    rate_gbps: float
+    """Detection rate usable at the system level."""
+
+    device_rate_gbps: float
+    """Intrinsic detector bandwidth (second number of Table I's "x/y")."""
+
+    energy_fj_per_bit: float
+    """Receiver energy, fJ/bit (bare link-level value)."""
+
+    responsivity_a_per_w: float
+    """Photocurrent produced per watt of incident light, A/W."""
+
+    area_um2: float
+    """Detector footprint, µm²."""
+
+    def __post_init__(self) -> None:
+        if self.responsivity_a_per_w <= 0:
+            raise ValueError("responsivity must be > 0")
+
+
+@dataclass(frozen=True)
+class WaveguideParams:
+    """Waveguide parameters (Table I, "Waveguide" block)."""
+
+    propagation_loss_db_per_cm: float
+    """Propagation loss along the waveguide, dB/cm."""
+
+    coupling_loss_db: float
+    """Loss per coupler transition (photonic<->plasmonic or fibre), dB.
+    Photonic links have no such transition (Table I lists "-" == 0)."""
+
+    pitch_um: float
+    """Centre-to-centre spacing required between adjacent waveguides, µm.
+    Used as the effective layout width for area accounting."""
+
+    width_um: float
+    """Physical waveguide width, µm."""
+
+    group_index: float
+    """Group index setting time-of-flight = group_index * L / c."""
+
+    def __post_init__(self) -> None:
+        if self.propagation_loss_db_per_cm < 0:
+            raise ValueError("propagation loss cannot be negative")
+        if self.pitch_um < self.width_um:
+            raise ValueError(
+                f"pitch ({self.pitch_um} um) must be >= width ({self.width_um} um)"
+            )
+
+
+@dataclass(frozen=True)
+class OpticalTechnologyParams:
+    """Full Table I column for one optical technology, plus receiver/latency
+    constants needed to close the link model (documented per field)."""
+
+    technology: Technology
+    laser: LaserParams
+    modulator: ModulatorParams
+    photodetector: PhotodetectorParams
+    waveguide: WaveguideParams
+
+    coupler_count: int
+    """Number of coupler transitions a point-to-point link traverses
+    (2 for plasmonic/HyPPI: in and out of the plasmonic section)."""
+
+    receiver_charge_fc: float
+    """Charge the receiver must integrate per bit to resolve it, fC.
+
+    Determines the minimum received optical power at data rate ``B``:
+    ``P_min = Q * B / responsivity``. Scales with detector capacitance, so
+    the bulky photonic ring detector (100 µm²) needs more charge than the
+    4 µm² plasmonic-class detectors.
+    """
+
+    conversion_latency_ps: float
+    """Fixed E-O + O-E conversion latency of the link (driver, modulator
+    response, receiver TIA chain), ps. Ring-resonator photonics pays photon
+    lifetime + CDR; plasmonic MOS devices are markedly faster."""
+
+    def __post_init__(self) -> None:
+        if self.coupler_count < 0:
+            raise ValueError("coupler count must be >= 0")
+        if self.receiver_charge_fc <= 0:
+            raise ValueError("receiver charge must be > 0")
+        if self.conversion_latency_ps < 0:
+            raise ValueError("conversion latency must be >= 0")
+
+    def data_rate_gbps(self, mode: CapabilityMode) -> float:
+        """Link data rate under the given capability convention.
+
+        The link is limited by the slower of modulator and detector in
+        ``DEVICE`` mode and by the SERDES cap in ``SERDES`` mode.
+        """
+        if mode is CapabilityMode.DEVICE:
+            return min(
+                self.modulator.device_rate_gbps, self.photodetector.device_rate_gbps
+            )
+        return min(self.modulator.serdes_rate_gbps, self.photodetector.rate_gbps)
+
+    def total_fixed_loss_db(self) -> float:
+        """Length-independent optical loss: modulator insertion + couplers."""
+        return (
+            self.modulator.insertion_loss_db
+            + self.coupler_count * self.waveguide.coupling_loss_db
+        )
+
+    def propagation_loss_db(self, length_m: float) -> float:
+        """Length-dependent waveguide propagation loss for ``length_m``."""
+        if length_m < 0:
+            raise ValueError(f"length must be >= 0, got {length_m}")
+        return self.waveguide.propagation_loss_db_per_cm * (length_m * 100.0)
+
+    def path_loss_db(self, length_m: float) -> float:
+        """Total link loss (fixed + propagation) in dB."""
+        return self.total_fixed_loss_db() + self.propagation_loss_db(length_m)
+
+
+@dataclass(frozen=True)
+class ElectronicLinkParams:
+    """ITRS-14nm-class electronic (repeated RC wire) link parameters.
+
+    The paper borrows electronic numbers from the ITRS 14 nm roadmap without
+    tabulating them; these values are our calibration (DESIGN.md section 5):
+    global repeated wires at ~50 ps/mm and ~100 fJ/bit/mm, 160 nm wire width
+    with 160 nm spacing (stated in the paper's Section III-B discussion:
+    "each electronic wire is 160nm wide with 160nm spacing").
+    """
+
+    rate_gbps_per_wire: float = 20.0
+    """Signalling rate per wire."""
+
+    fixed_latency_ps: float = 2.0
+    """Driver + receiver latch latency, ps."""
+
+    latency_ps_per_mm: float = 50.0
+    """Optimally repeated wire delay, ps/mm."""
+
+    energy_fj_per_bit_fixed: float = 0.5
+    """Driver/receiver energy independent of length, fJ/bit."""
+
+    energy_fj_per_bit_per_mm: float = 100.0
+    """Switching energy of the repeated wire, fJ/bit/mm."""
+
+    wire_pitch_um: float = 0.32
+    """Wire width + spacing (0.16 µm + 0.16 µm), µm."""
+
+    fixed_area_um2: float = 5.0
+    """Driver + receiver area per wire, µm²."""
+
+    repeater_area_um2_per_mm: float = 8.0
+    """Repeater area amortized per wire-millimetre, µm²/mm."""
+
+    static_power_mw_per_mm: float = 0.020
+    """Repeater leakage per wire-millimetre, mW/mm."""
+
+    def __post_init__(self) -> None:
+        if self.rate_gbps_per_wire <= 0:
+            raise ValueError("electronic wire rate must be > 0")
+        if self.latency_ps_per_mm <= 0:
+            raise ValueError("wire delay must be > 0")
+
+
+# --------------------------------------------------------------------------
+# Table I transcription
+# --------------------------------------------------------------------------
+
+PHOTONIC = OpticalTechnologyParams(
+    technology=Technology.PHOTONIC,
+    laser=LaserParams(efficiency=0.25, area_um2=200.0),
+    modulator=ModulatorParams(
+        device_rate_gbps=25.0,
+        serdes_rate_gbps=25.0,
+        energy_fj_per_bit=2.77,
+        insertion_loss_db=1.02,
+        extinction_ratio_db=6.18,
+        area_um2=100.0,
+        capacitance_ff=16.0,
+        bias_voltage_v=(-2.2, 0.4),
+    ),
+    photodetector=PhotodetectorParams(
+        rate_gbps=40.0,
+        device_rate_gbps=40.0,
+        energy_fj_per_bit=0.0,
+        responsivity_a_per_w=0.8,
+        area_um2=100.0,
+    ),
+    waveguide=WaveguideParams(
+        propagation_loss_db_per_cm=1.0,
+        coupling_loss_db=0.0,
+        pitch_um=4.0,
+        width_um=0.35,
+        group_index=4.2,
+    ),
+    coupler_count=0,
+    receiver_charge_fc=5.0,
+    conversion_latency_ps=150.0,
+)
+"""Conventional MRR-based nanophotonic link (Table I, "Photonic" column)."""
+
+PLASMONIC = OpticalTechnologyParams(
+    technology=Technology.PLASMONIC,
+    laser=LaserParams(efficiency=0.20, area_um2=0.003),
+    modulator=ModulatorParams(
+        device_rate_gbps=59.0,
+        serdes_rate_gbps=50.0,
+        energy_fj_per_bit=6.8,
+        insertion_loss_db=1.1,
+        extinction_ratio_db=17.0,
+        area_um2=4.0,
+        capacitance_ff=14.0,
+        bias_voltage_v=(0.7, 0.7),
+    ),
+    photodetector=PhotodetectorParams(
+        rate_gbps=50.0,
+        device_rate_gbps=700.0,
+        energy_fj_per_bit=0.14,
+        responsivity_a_per_w=0.1,
+        area_um2=4.0,
+    ),
+    waveguide=WaveguideParams(
+        propagation_loss_db_per_cm=440.0,
+        coupling_loss_db=0.63,
+        pitch_um=0.5,
+        width_um=0.1,
+        group_index=3.0,
+    ),
+    coupler_count=2,
+    receiver_charge_fc=1.0,
+    conversion_latency_ps=20.0,
+)
+"""Pure plasmonic link (Table I, "Plasmonic" column). The 440 dB/cm ohmic
+propagation loss confines useful lengths to tens of micrometres."""
+
+HYPPI = OpticalTechnologyParams(
+    technology=Technology.HYPPI,
+    laser=LaserParams(efficiency=0.20, area_um2=0.003),
+    modulator=ModulatorParams(
+        device_rate_gbps=2100.0,
+        serdes_rate_gbps=50.0,
+        energy_fj_per_bit=4.25,
+        insertion_loss_db=0.6,
+        extinction_ratio_db=12.0,
+        area_um2=1.0,
+        capacitance_ff=0.94,
+        bias_voltage_v=(2.0, 3.0),
+    ),
+    photodetector=PhotodetectorParams(
+        rate_gbps=50.0,
+        device_rate_gbps=700.0,
+        energy_fj_per_bit=0.14,
+        responsivity_a_per_w=0.1,
+        area_um2=4.0,
+    ),
+    waveguide=WaveguideParams(
+        propagation_loss_db_per_cm=1.0,
+        coupling_loss_db=1.0,
+        pitch_um=1.0,
+        width_um=0.35,
+        group_index=4.2,
+    ),
+    coupler_count=2,
+    receiver_charge_fc=1.0,
+    conversion_latency_ps=30.0,
+)
+"""Hybrid plasmonic-photonic link (Table I, "HyPPI" column): plasmonic MOS
+modulator/detector, conventional low-loss SOI photonic waveguide."""
+
+ELECTRONIC_14NM = ElectronicLinkParams()
+"""Calibrated ITRS-14nm-class electronic repeated-wire link."""
+
+_OPTICAL_BY_TECH = {
+    Technology.PHOTONIC: PHOTONIC,
+    Technology.PLASMONIC: PLASMONIC,
+    Technology.HYPPI: HYPPI,
+}
+
+
+def optical_params(technology: Technology) -> OpticalTechnologyParams:
+    """Look up the Table I column for an optical technology.
+
+    Raises:
+        KeyError: for :data:`Technology.ELECTRONIC` (use
+            :data:`ELECTRONIC_14NM` instead).
+    """
+    try:
+        return _OPTICAL_BY_TECH[technology]
+    except KeyError:
+        raise KeyError(
+            f"{technology} has no optical parameter set; "
+            "electronic links use ELECTRONIC_14NM"
+        ) from None

@@ -1,0 +1,28 @@
+"""NoC topologies (mesh, express mesh) and oblivious routing."""
+
+from repro.topology.custom import ExpressSpec, build_custom_express_mesh
+from repro.topology.graph import Link, LinkKind, Topology
+from repro.topology.mesh import (
+    DEFAULT_CORE_SPACING_M,
+    build_express_mesh,
+    build_mesh,
+    express_link_count_per_row,
+)
+from repro.topology.routing import RoutingTable, route_path
+from repro.topology.torus import build_row_torus, build_torus
+
+__all__ = [
+    "ExpressSpec",
+    "build_custom_express_mesh",
+    "Link",
+    "LinkKind",
+    "Topology",
+    "DEFAULT_CORE_SPACING_M",
+    "build_express_mesh",
+    "build_mesh",
+    "express_link_count_per_row",
+    "RoutingTable",
+    "route_path",
+    "build_row_torus",
+    "build_torus",
+]

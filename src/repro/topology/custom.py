@@ -1,0 +1,99 @@
+"""Heterogeneous express-link placement.
+
+The paper evaluates *uniform* express grids (every row, fixed hop count)
+and notes "The final choice of hybridization depends on the specific
+requirements"; its companion work (MorphoNoC, paper ref [18]) explores
+configurable placements. This module supports that direction: arbitrary
+per-row horizontal express links, so a placement can spend a limited link
+budget only where the traffic needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.parameters import Technology
+from repro.topology.graph import Link, LinkKind, Topology
+from repro.topology.mesh import DEFAULT_CORE_SPACING_M, build_mesh
+
+__all__ = ["ExpressSpec", "build_custom_express_mesh"]
+
+
+@dataclass(frozen=True, order=True)
+class ExpressSpec:
+    """One bidirectional horizontal express link: row, endpoint columns."""
+
+    row: int
+    col_a: int
+    col_b: int
+
+    def __post_init__(self) -> None:
+        if self.row < 0 or self.col_a < 0 or self.col_b < 0:
+            raise ValueError(f"negative coordinate in {self}")
+        if abs(self.col_b - self.col_a) < 2:
+            raise ValueError(
+                f"express must span >= 2 columns, got {self} "
+                "(adjacent nodes already have a regular link)"
+            )
+
+    @property
+    def span(self) -> int:
+        """Columns crossed."""
+        return abs(self.col_b - self.col_a)
+
+
+def build_custom_express_mesh(
+    width: int = 16,
+    height: int = 16,
+    *,
+    express: list[ExpressSpec],
+    base_technology: Technology = Technology.ELECTRONIC,
+    express_technology: Technology = Technology.HYPPI,
+    core_spacing_m: float = DEFAULT_CORE_SPACING_M,
+) -> Topology:
+    """Mesh plus an arbitrary set of horizontal express links.
+
+    Args:
+        express: bidirectional express links to add; duplicates rejected.
+
+    Raises:
+        ValueError: for out-of-grid or duplicate specifications.
+    """
+    topo = build_mesh(
+        width,
+        height,
+        link_technology=base_technology,
+        core_spacing_m=core_spacing_m,
+    )
+    seen: set[tuple[int, int, int]] = set()
+    links = topo.links
+    max_span = 0
+    for spec in express:
+        if spec.row >= height or max(spec.col_a, spec.col_b) >= width:
+            raise ValueError(f"{spec} outside the {width}x{height} grid")
+        key = (spec.row, min(spec.col_a, spec.col_b), max(spec.col_a, spec.col_b))
+        if key in seen:
+            raise ValueError(f"duplicate express link {spec}")
+        seen.add(key)
+        a = topo.node_id(spec.col_a, spec.row)
+        b = topo.node_id(spec.col_b, spec.row)
+        for src, dst in ((a, b), (b, a)):
+            links.append(
+                Link(
+                    link_id=len(links),
+                    src=src,
+                    dst=dst,
+                    kind=LinkKind.EXPRESS,
+                    length_m=spec.span * core_spacing_m,
+                    technology=express_technology,
+                )
+            )
+        max_span = max(max_span, spec.span)
+    topo.name = (
+        f"custom-express{width}x{height}-{len(express)}links"
+        f"-{base_technology.value}+{express_technology.value}"
+    )
+    topo.express_hops = max_span
+    topo.links = links
+    topo.__post_init__()
+    return topo

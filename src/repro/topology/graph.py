@@ -1,0 +1,147 @@
+"""Topology graph primitives for NoC construction.
+
+A :class:`Topology` is a set of nodes on a 2-D grid plus a list of
+*unidirectional* :class:`Link` objects. The paper's links are all
+bidirectional; we represent each as two unidirectional links so per-direction
+flows, power and utilization fall out naturally (the paper counts waveguides
+per direction the same way: "We need waveguides for each direction to ensure
+that the links are bidirectional").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.tech.parameters import Technology
+
+__all__ = ["LinkKind", "Link", "Topology"]
+
+
+class LinkKind(enum.Enum):
+    """Regular (neighbour) vs express (multi-hop) links (paper Fig. 2)."""
+
+    REGULAR = "regular"
+    EXPRESS = "express"
+
+
+@dataclass(frozen=True)
+class Link:
+    """One unidirectional NoC link."""
+
+    link_id: int
+    src: int
+    dst: int
+    kind: LinkKind
+    length_m: float
+    technology: Technology
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"self-loop link at node {self.src}")
+        if self.length_m <= 0:
+            raise ValueError(f"link length must be > 0, got {self.length_m}")
+
+
+@dataclass
+class Topology:
+    """A NoC topology: grid of nodes plus directed links.
+
+    Attributes:
+        name: human-readable identifier (e.g. ``"mesh16"``,
+            ``"express-mesh16-h3"``).
+        width: nodes per row (the paper's 16).
+        height: nodes per column.
+        links: all unidirectional links; ``links[i].link_id == i``.
+        express_hops: the express-link hop count (0 for a plain mesh).
+    """
+
+    name: str
+    width: int
+    height: int
+    links: list[Link] = field(default_factory=list)
+    express_hops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width < 2 or self.height < 2:
+            raise ValueError(
+                f"grid must be at least 2x2, got {self.width}x{self.height}"
+            )
+        for i, link in enumerate(self.links):
+            if link.link_id != i:
+                raise ValueError(
+                    f"link_id mismatch at index {i}: {link.link_id}"
+                )
+        self._out_links: dict[int, list[Link]] | None = None
+
+    # -- node geometry ------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count (the paper's N = 256)."""
+        return self.width * self.height
+
+    def node_id(self, x: int, y: int) -> int:
+        """Node id of grid coordinate (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) outside {self.width}x{self.height} grid")
+        return y * self.width + x
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """Grid coordinate (x, y) of a node id."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} outside 0..{self.n_nodes - 1}")
+        return node % self.width, node // self.width
+
+    def manhattan_distance(self, a: int, b: int) -> int:
+        """Base-mesh hop distance between two nodes."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    # -- link accessors -----------------------------------------------------
+
+    @property
+    def n_links(self) -> int:
+        """Number of unidirectional links."""
+        return len(self.links)
+
+    def out_links(self, node: int) -> list[Link]:
+        """Links departing ``node`` (cached adjacency)."""
+        if self._out_links is None:
+            adj: dict[int, list[Link]] = {n: [] for n in range(self.n_nodes)}
+            for link in self.links:
+                adj[link.src].append(link)
+            self._out_links = adj
+        return self._out_links[node]
+
+    def find_link(self, src: int, dst: int) -> Link | None:
+        """The link src->dst if it exists, else None."""
+        for link in self.out_links(src):
+            if link.dst == dst:
+                return link
+        return None
+
+    def express_links(self) -> list[Link]:
+        """All unidirectional express links."""
+        return [l for l in self.links if l.kind is LinkKind.EXPRESS]
+
+    def regular_links(self) -> list[Link]:
+        """All unidirectional regular (neighbour) links."""
+        return [l for l in self.links if l.kind is LinkKind.REGULAR]
+
+    def router_ports(self, node: int) -> int:
+        """Router radix at ``node``: local port + one port per departing
+        link direction (the paper's 5 base / 7 hybrid ports)."""
+        return 1 + len(self.out_links(node))
+
+    def validate_bidirectional(self) -> None:
+        """Check every link has a reverse twin (the paper's links all do).
+
+        Raises:
+            ValueError: if some link lacks its reverse direction.
+        """
+        pairs = {(l.src, l.dst) for l in self.links}
+        missing = [(s, d) for (s, d) in pairs if (d, s) not in pairs]
+        if missing:
+            raise ValueError(f"links missing reverse direction: {missing[:5]}")

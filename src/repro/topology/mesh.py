@@ -1,0 +1,135 @@
+"""Mesh and express-mesh topology builders (paper Fig. 2a / 2b).
+
+The paper's networks:
+
+* **Base mesh** (Fig. 2a): 16x16 2-D mesh, 1 mm core spacing, all links
+  bidirectional. Any technology can supply the links.
+* **Hybrid mesh with express links** (Fig. 2b): the base mesh plus
+  horizontal express links every ``hops`` columns ("we consider express
+  links only in the horizontal direction" to cap router radix at 7).
+  ``hops = 15`` spans a full row, "effectively a 2D torus".
+
+Express link placement follows the paper's count: with Hops=3 on a 16-wide
+row there are 5 waveguides per direction per row (columns 0-3, 3-6, 6-9,
+9-12, 12-15); with Hops=5 there are 3; with Hops=15 there is 1.
+"""
+
+from __future__ import annotations
+
+from repro.tech.parameters import Technology
+from repro.topology.graph import Link, LinkKind, Topology
+
+__all__ = ["build_mesh", "build_express_mesh", "express_link_count_per_row"]
+
+#: The paper's inter-core spacing (Table II).
+DEFAULT_CORE_SPACING_M = 1e-3
+
+
+def express_link_count_per_row(width: int, hops: int) -> int:
+    """Bidirectional express links per row for a given hop length.
+
+    E.g. ``width=16, hops=3 -> 5`` (the paper's "5 waveguides per direction
+    in each row").
+    """
+    if hops < 2:
+        raise ValueError(f"express hops must be >= 2, got {hops}")
+    if hops > width - 1:
+        raise ValueError(
+            f"express hops {hops} cannot exceed row span {width - 1}"
+        )
+    return (width - 1) // hops
+
+
+def build_mesh(
+    width: int = 16,
+    height: int = 16,
+    *,
+    link_technology: Technology = Technology.ELECTRONIC,
+    core_spacing_m: float = DEFAULT_CORE_SPACING_M,
+) -> Topology:
+    """Construct the paper's base 2-D mesh (Fig. 2a).
+
+    Every neighbour pair gets two unidirectional links of
+    ``core_spacing_m`` length, all of ``link_technology``.
+    """
+    if core_spacing_m <= 0:
+        raise ValueError(f"core spacing must be > 0, got {core_spacing_m}")
+    links: list[Link] = []
+
+    def add_bidi(a: int, b: int, length_m: float, kind: LinkKind) -> None:
+        for src, dst in ((a, b), (b, a)):
+            links.append(
+                Link(
+                    link_id=len(links),
+                    src=src,
+                    dst=dst,
+                    kind=kind,
+                    length_m=length_m,
+                    technology=link_technology,
+                )
+            )
+
+    topo = Topology(
+        name=f"mesh{width}x{height}-{link_technology.value}",
+        width=width,
+        height=height,
+    )
+    for y in range(height):
+        for x in range(width):
+            node = topo.node_id(x, y)
+            if x + 1 < width:
+                add_bidi(node, topo.node_id(x + 1, y), core_spacing_m, LinkKind.REGULAR)
+            if y + 1 < height:
+                add_bidi(node, topo.node_id(x, y + 1), core_spacing_m, LinkKind.REGULAR)
+    topo.links = links
+    topo.__post_init__()
+    return topo
+
+
+def build_express_mesh(
+    width: int = 16,
+    height: int = 16,
+    *,
+    hops: int,
+    base_technology: Technology = Technology.ELECTRONIC,
+    express_technology: Technology = Technology.HYPPI,
+    core_spacing_m: float = DEFAULT_CORE_SPACING_M,
+) -> Topology:
+    """Construct a hybrid mesh with horizontal express links (Fig. 2b).
+
+    Express links connect columns ``0, hops, 2*hops, ...`` within each row,
+    are bidirectional, span ``hops * core_spacing_m`` and use
+    ``express_technology`` (the base mesh keeps ``base_technology``).
+    """
+    per_row = express_link_count_per_row(width, hops)  # validates hops
+    topo = build_mesh(
+        width,
+        height,
+        link_technology=base_technology,
+        core_spacing_m=core_spacing_m,
+    )
+    links = topo.links
+    for y in range(height):
+        for i in range(per_row):
+            x = i * hops
+            a = topo.node_id(x, y)
+            b = topo.node_id(x + hops, y)
+            for src, dst in ((a, b), (b, a)):
+                links.append(
+                    Link(
+                        link_id=len(links),
+                        src=src,
+                        dst=dst,
+                        kind=LinkKind.EXPRESS,
+                        length_m=hops * core_spacing_m,
+                        technology=express_technology,
+                    )
+                )
+    topo.name = (
+        f"express-mesh{width}x{height}-h{hops}"
+        f"-{base_technology.value}+{express_technology.value}"
+    )
+    topo.express_hops = hops
+    topo.links = links
+    topo.__post_init__()
+    return topo

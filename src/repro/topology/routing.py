@@ -1,0 +1,202 @@
+"""Oblivious shortest-path routing (X-Y dimension order + express links).
+
+The paper routes with "an oblivious shortest-path routing method ... to
+match the routing technique used in the BookSim 2.0 simulator for custom
+networks". For meshes with *horizontal* express links this means:
+
+* the X dimension is traversed first, the Y dimension second (dimension
+  order), and
+* the X traversal takes the true hop-count-shortest route through the row's
+  link graph — including *detours*: with Hops=15 a packet from column 2 to
+  column 14 walks west to column 0, rides the full-row express, and steps
+  back west from column 15 (4 hops instead of 12). This is exactly why the
+  paper calls the Hops=15 network "effectively a 2D torus".
+
+Row routing is computed by BFS over the 1-D row graph (identical for every
+row) with deterministic tie-breaking that prefers monotone progress toward
+the destination, so ties resolve to plain X-Y behaviour. The next-hop
+function depends only on (current column, destination column), making
+routing memoryless — the cycle simulator's per-hop lookups and the
+analytical path enumeration provably agree.
+
+Deadlock note: detour routes create torus-like cyclic channel dependencies
+in a wormhole network; the simulator breaks them with dateline VC classes
+(see :mod:`repro.simulation.simulator`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.topology.graph import Link, LinkKind, Topology
+
+__all__ = ["route_path", "RoutingTable"]
+
+
+def _build_line_graph(
+    topo: Topology, dimension: int, index: int
+) -> dict[int, list[tuple[int, bool]]]:
+    """Adjacency of one grid line: position -> [(next_pos, is_express)].
+
+    ``dimension`` 0 = row ``index`` (column positions); ``dimension`` 1 =
+    column ``index`` (row positions). Lines are handled individually so
+    heterogeneous express placements (different rows owning different
+    express links) route correctly.
+    """
+    size = topo.width if dimension == 0 else topo.height
+    neighbors: dict[int, list[tuple[int, bool]]] = {c: [] for c in range(size)}
+    for link in topo.links:
+        sx, sy = topo.coords(link.src)
+        dx, dy = topo.coords(link.dst)
+        if dimension == 0:
+            if sy != index or dy != index:
+                continue
+            neighbors[sx].append((dx, link.kind is LinkKind.EXPRESS))
+        else:
+            if sx != index or dx != index:
+                continue
+            neighbors[sy].append((dy, link.kind is LinkKind.EXPRESS))
+    return neighbors
+
+
+def _line_next_hop_table(
+    topo: Topology, dimension: int, index: int
+) -> list[list[int]]:
+    """``next_pos[cur][dst]`` for one grid line (-1 when cur == dst).
+
+    BFS distances from every destination; among shortest-path neighbours
+    the tie-break prefers (1) a regular step toward the destination,
+    (2) an express toward the destination, (3) any other shortest option in
+    ascending position order — so plain-mesh behaviour falls out wherever a
+    detour does not strictly win.
+    """
+    width = topo.width if dimension == 0 else topo.height
+    adj = _build_line_graph(topo, dimension, index)
+    # dist[d][c]: hops from column c to destination column d.
+    table = [[-1] * width for _ in range(width)]
+    for dst in range(width):
+        dist = [-1] * width
+        dist[dst] = 0
+        queue = deque([dst])
+        while queue:
+            cur = queue.popleft()
+            for nxt, _ in adj[cur]:
+                # Row links are bidirectional, so reverse BFS can reuse adj.
+                if dist[nxt] < 0:
+                    dist[nxt] = dist[cur] + 1
+                    queue.append(nxt)
+        for cur in range(width):
+            if cur == dst:
+                continue
+            candidates = [
+                (nxt, express)
+                for nxt, express in adj[cur]
+                if dist[nxt] == dist[cur] - 1
+            ]
+            if not candidates:  # pragma: no cover - lines are connected
+                raise RuntimeError(f"line graph disconnected at position {cur}")
+
+            def rank(cand: tuple[int, bool]) -> tuple[int, int]:
+                nxt, express = cand
+                toward = (dst - cur) * (nxt - cur) > 0
+                if toward and not express:
+                    order = 0
+                elif toward:
+                    order = 1
+                else:
+                    order = 2
+                return (order, nxt)
+
+            table[cur][dst] = min(candidates, key=rank)[0]
+    return table
+
+
+def route_path(topo: Topology, src: int, dst: int) -> list[Link]:
+    """The deterministic X-then-Y shortest path from ``src`` to ``dst``.
+
+    Convenience wrapper building a throwaway table; use
+    :class:`RoutingTable` for repeated queries.
+    """
+    return RoutingTable(topo).path_list(src, dst)
+
+
+class RoutingTable:
+    """All-pairs deterministic router for one topology.
+
+    Paths are derived from a per-row next-hop table (X phase) plus monotone
+    Y steps, memoized per (src, dst).
+    """
+
+    def __init__(self, topo: Topology):
+        self.topology = topo
+        self._row_next = [
+            _line_next_hop_table(topo, 0, y) for y in range(topo.height)
+        ]
+        self._col_next = [
+            _line_next_hop_table(topo, 1, x) for x in range(topo.width)
+        ]
+        self._paths: dict[tuple[int, int], tuple[Link, ...]] = {}
+
+    def _next_node(self, current: int, dst: int) -> int:
+        """Next node on the route (X phase via the row's table, then Y via
+        the column's table — both support express/wrap detours, and every
+        line has its own table so heterogeneous placements route right)."""
+        topo = self.topology
+        cx, cy = topo.coords(current)
+        dx, dy = topo.coords(dst)
+        if cx != dx:
+            return topo.node_id(self._row_next[cy][cx][dx], cy)
+        return topo.node_id(cx, self._col_next[cx][cy][dy])
+
+    def path(self, src: int, dst: int) -> tuple[Link, ...]:
+        """Ordered links from ``src`` to ``dst`` (cached)."""
+        key = (src, dst)
+        cached = self._paths.get(key)
+        if cached is None:
+            topo = self.topology
+            links: list[Link] = []
+            node = src
+            guard = 0
+            while node != dst:
+                nxt = self._next_node(node, dst)
+                link = topo.find_link(node, nxt)
+                if link is None:  # pragma: no cover - adjacency invariant
+                    raise RuntimeError(f"no link {node} -> {nxt}")
+                links.append(link)
+                node = nxt
+                guard += 1
+                if guard > 4 * (topo.width + topo.height):  # pragma: no cover
+                    raise RuntimeError(f"routing loop from {src} to {dst}")
+            cached = tuple(links)
+            self._paths[key] = cached
+        return cached
+
+    def path_list(self, src: int, dst: int) -> list[Link]:
+        """``path`` as a fresh list (the legacy ``route_path`` contract)."""
+        return list(self.path(src, dst))
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of links traversed from ``src`` to ``dst``."""
+        return len(self.path(src, dst))
+
+    def next_link(self, current: int, dst: int) -> Link:
+        """The link a router at ``current`` forwards toward ``dst``.
+
+        Memoryless: equals the first link of :meth:`path` from ``current``.
+        """
+        if current == dst:
+            raise ValueError("already at destination")
+        topo = self.topology
+        nxt = self._next_node(current, dst)
+        link = topo.find_link(current, nxt)
+        if link is None:  # pragma: no cover - adjacency invariant
+            raise RuntimeError(f"no link {current} -> {nxt}")
+        return link
+
+    def build_all(self) -> None:
+        """Force-populate the full all-pairs table."""
+        n = self.topology.n_nodes
+        for s in range(n):
+            for d in range(n):
+                if s != d:
+                    self.path(s, d)

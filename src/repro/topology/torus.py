@@ -1,0 +1,117 @@
+"""2-D torus topology.
+
+The paper observes that Hops=15 express links make the mesh "effectively a
+2D torus" in the horizontal dimension. This module builds genuine tori so
+that equivalence can be tested and the express approximation compared
+against the real thing (row-torus: wrap links in X only, matching the
+paper's horizontal-express constraint; full torus wraps both dimensions).
+
+Wrap links are physically long (they span the row/column, ``(k-1) *
+spacing`` when laid out naively), so the technology choice matters exactly
+as it does for express links.
+"""
+
+from __future__ import annotations
+
+from repro.tech.parameters import Technology
+from repro.topology.graph import Link, LinkKind, Topology
+from repro.topology.mesh import DEFAULT_CORE_SPACING_M, build_mesh
+
+__all__ = ["build_row_torus", "build_torus"]
+
+
+def _add_bidi(
+    topo: Topology,
+    a: int,
+    b: int,
+    length_m: float,
+    kind: LinkKind,
+    technology: Technology,
+) -> None:
+    links = topo.links
+    for src, dst in ((a, b), (b, a)):
+        links.append(
+            Link(
+                link_id=len(links),
+                src=src,
+                dst=dst,
+                kind=kind,
+                length_m=length_m,
+                technology=technology,
+            )
+        )
+
+
+def build_row_torus(
+    width: int = 16,
+    height: int = 16,
+    *,
+    base_technology: Technology = Technology.ELECTRONIC,
+    wrap_technology: Technology = Technology.HYPPI,
+    core_spacing_m: float = DEFAULT_CORE_SPACING_M,
+) -> Topology:
+    """Mesh plus one X-dimension wrap link per row (the Hops=15 limit).
+
+    The wrap link is classified as :data:`LinkKind.EXPRESS` — it is exactly
+    the Hops = width-1 express link, so routing and the simulator treat it
+    identically to the paper's configuration.
+    """
+    topo = build_mesh(
+        width,
+        height,
+        link_technology=base_technology,
+        core_spacing_m=core_spacing_m,
+    )
+    wrap_length = (width - 1) * core_spacing_m
+    for y in range(height):
+        _add_bidi(
+            topo,
+            topo.node_id(0, y),
+            topo.node_id(width - 1, y),
+            wrap_length,
+            LinkKind.EXPRESS,
+            wrap_technology,
+        )
+    topo.name = f"row-torus{width}x{height}-{base_technology.value}+{wrap_technology.value}"
+    topo.express_hops = width - 1
+    topo.__post_init__()
+    return topo
+
+
+def build_torus(
+    width: int = 16,
+    height: int = 16,
+    *,
+    base_technology: Technology = Technology.ELECTRONIC,
+    wrap_technology: Technology = Technology.HYPPI,
+    core_spacing_m: float = DEFAULT_CORE_SPACING_M,
+) -> Topology:
+    """Full 2-D torus: wrap links in both dimensions.
+
+    Note: the Y-dimension wrap links violate the paper's horizontal-only
+    express constraint (router radix grows past 7), so this topology exists
+    for the "future work" comparison, not as one of the paper's evaluated
+    networks. Routing handles it fully: both the X and Y phases use
+    per-line BFS tables, so wrap detours are taken in either dimension, and
+    the simulator partitions dateline VC classes per dimension.
+    """
+    topo = build_row_torus(
+        width,
+        height,
+        base_technology=base_technology,
+        wrap_technology=wrap_technology,
+        core_spacing_m=core_spacing_m,
+    )
+    wrap_length = (height - 1) * core_spacing_m
+    for x in range(width):
+        _add_bidi(
+            topo,
+            topo.node_id(x, 0),
+            topo.node_id(x, height - 1),
+            wrap_length,
+            LinkKind.EXPRESS,
+            wrap_technology,
+        )
+    topo.name = f"torus{width}x{height}-{base_technology.value}+{wrap_technology.value}"
+    topo.__post_init__()
+    return topo

@@ -1,0 +1,64 @@
+"""Traffic models: statistical (Soteriou), classic patterns, NPB traces."""
+
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.io import load_trace, save_trace
+from repro.traffic.npb import (
+    NPB_KERNELS,
+    cg_trace,
+    ft_trace,
+    lu_trace,
+    mg_trace,
+    npb_trace,
+)
+from repro.traffic.patterns import (
+    bit_reverse_traffic,
+    hotspot_traffic,
+    shuffle_traffic,
+    tornado_traffic,
+)
+from repro.traffic.synthetic import (
+    bit_complement_traffic,
+    distance_matrix,
+    neighbor_traffic,
+    soteriou_traffic,
+    transpose_traffic,
+    uniform_traffic,
+)
+from repro.traffic.trace import (
+    FLIT_BYTES,
+    MAX_PACKET_FLITS,
+    Message,
+    PacketRecord,
+    Trace,
+    packetize_flits,
+    schedule_phases,
+)
+
+__all__ = [
+    "TrafficMatrix",
+    "load_trace",
+    "save_trace",
+    "bit_reverse_traffic",
+    "hotspot_traffic",
+    "shuffle_traffic",
+    "tornado_traffic",
+    "NPB_KERNELS",
+    "cg_trace",
+    "ft_trace",
+    "lu_trace",
+    "mg_trace",
+    "npb_trace",
+    "bit_complement_traffic",
+    "distance_matrix",
+    "neighbor_traffic",
+    "soteriou_traffic",
+    "transpose_traffic",
+    "uniform_traffic",
+    "FLIT_BYTES",
+    "MAX_PACKET_FLITS",
+    "Message",
+    "PacketRecord",
+    "Trace",
+    "packetize_flits",
+    "schedule_phases",
+]

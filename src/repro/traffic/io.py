@@ -1,0 +1,72 @@
+"""Trace file I/O.
+
+Serializes :class:`~repro.traffic.trace.Trace` objects in the line-oriented
+text format BookSim-style trace tools use::
+
+    # comment / header lines
+    <cycle> <src> <dst> <size_flits>
+
+one packet per line, whitespace-separated, sorted by injection cycle. The
+header records the node count so round-trips are self-contained.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.traffic.trace import PacketRecord, Trace
+
+__all__ = ["save_trace", "load_trace"]
+
+_HEADER_PREFIX = "# repro-trace"
+
+
+def save_trace(trace: Trace, path: str | pathlib.Path) -> None:
+    """Write ``trace`` to ``path`` in the text trace format."""
+    p = pathlib.Path(path)
+    lines = [
+        f"{_HEADER_PREFIX} nodes={trace.n_nodes} name={trace.name} "
+        f"packets={trace.n_packets}"
+    ]
+    lines.extend(
+        f"{pkt.time} {pkt.src} {pkt.dst} {pkt.size_flits}"
+        for pkt in trace.packets
+    )
+    p.write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path: str | pathlib.Path) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises:
+        ValueError: on malformed lines or a missing/invalid header.
+    """
+    p = pathlib.Path(path)
+    lines = p.read_text().splitlines()
+    if not lines or not lines[0].startswith(_HEADER_PREFIX):
+        raise ValueError(f"{p} is not a repro trace file (missing header)")
+    header = dict(
+        field.split("=", 1)
+        for field in lines[0][len(_HEADER_PREFIX) :].split()
+        if "=" in field
+    )
+    try:
+        n_nodes = int(header["nodes"])
+    except (KeyError, ValueError) as exc:
+        raise ValueError(f"{p}: bad header {lines[0]!r}") from exc
+    name = header.get("name", p.stem)
+
+    packets: list[PacketRecord] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise ValueError(f"{p}:{lineno}: expected 4 fields, got {line!r}")
+        try:
+            time, src, dst, size = (int(x) for x in parts)
+        except ValueError as exc:
+            raise ValueError(f"{p}:{lineno}: non-integer field in {line!r}") from exc
+        packets.append(PacketRecord(time=time, src=src, dst=dst, size_flits=size))
+    return Trace(n_nodes, packets, name=name)

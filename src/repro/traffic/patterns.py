@@ -1,0 +1,117 @@
+"""Additional classic NoC traffic patterns.
+
+Complements :mod:`repro.traffic.synthetic` with the remaining standard
+permutation/stress patterns of the NoC literature (Dally & Towles ch. 3):
+shuffle, bit-reverse, tornado and hotspot. All return rate matrices scaled
+to a mean injection rate, like the Soteriou model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.graph import Topology
+from repro.traffic.matrix import TrafficMatrix
+
+__all__ = [
+    "shuffle_traffic",
+    "bit_reverse_traffic",
+    "tornado_traffic",
+    "hotspot_traffic",
+]
+
+
+def _node_bits(n_nodes: int) -> int:
+    bits = n_nodes.bit_length() - 1
+    if 1 << bits != n_nodes:
+        raise ValueError(f"pattern needs a power-of-two node count, got {n_nodes}")
+    return bits
+
+
+def _permutation_matrix(topo: Topology, dest_of: list[int], name: str) -> TrafficMatrix:
+    n = topo.n_nodes
+    m = np.zeros((n, n))
+    for s, d in enumerate(dest_of):
+        if d != s:
+            m[s, d] = 1.0
+    return TrafficMatrix(m, name=name).scaled_to_injection_rate(0.1)
+
+
+def shuffle_traffic(topo: Topology, *, injection_rate: float = 0.1) -> TrafficMatrix:
+    """Perfect-shuffle permutation: rotate the node address left by 1 bit."""
+    n = topo.n_nodes
+    bits = _node_bits(n)
+    dest = [((s << 1) | (s >> (bits - 1))) & (n - 1) for s in range(n)]
+    return _permutation_matrix(topo, dest, "shuffle").scaled_to_injection_rate(
+        injection_rate
+    )
+
+
+def bit_reverse_traffic(
+    topo: Topology, *, injection_rate: float = 0.1
+) -> TrafficMatrix:
+    """Bit-reverse permutation: node b_{k-1}..b_0 sends to b_0..b_{k-1}."""
+    n = topo.n_nodes
+    bits = _node_bits(n)
+    dest = [int(format(s, f"0{bits}b")[::-1], 2) for s in range(n)]
+    return _permutation_matrix(topo, dest, "bit-reverse").scaled_to_injection_rate(
+        injection_rate
+    )
+
+
+def tornado_traffic(topo: Topology, *, injection_rate: float = 0.1) -> TrafficMatrix:
+    """Tornado: (x, y) sends half-way around its row, the torus worst case.
+
+    On a mesh this is simply the longest same-row unicast; on the paper's
+    Hops=15 network it maximally stresses the wrap express links.
+    """
+    n = topo.n_nodes
+    dest = []
+    half = topo.width // 2
+    for s in range(n):
+        x, y = topo.coords(s)
+        dest.append(topo.node_id((x + half) % topo.width, y))
+    return _permutation_matrix(topo, dest, "tornado").scaled_to_injection_rate(
+        injection_rate
+    )
+
+
+def hotspot_traffic(
+    topo: Topology,
+    hotspots: list[int] | None = None,
+    *,
+    hotspot_fraction: float = 0.3,
+    injection_rate: float = 0.1,
+) -> TrafficMatrix:
+    """Uniform traffic with a fraction redirected to hotspot nodes.
+
+    Args:
+        topo: target topology.
+        hotspots: hotspot node ids (default: the four centre nodes).
+        hotspot_fraction: fraction of each source's traffic aimed at the
+            hotspots (split evenly among them).
+        injection_rate: mean flits/node/cycle.
+    """
+    if not 0 <= hotspot_fraction <= 1:
+        raise ValueError(
+            f"hotspot fraction must be in [0, 1], got {hotspot_fraction}"
+        )
+    n = topo.n_nodes
+    if hotspots is None:
+        cx, cy = topo.width // 2, topo.height // 2
+        hotspots = [
+            topo.node_id(cx - 1, cy - 1),
+            topo.node_id(cx, cy - 1),
+            topo.node_id(cx - 1, cy),
+            topo.node_id(cx, cy),
+        ]
+    if not hotspots:
+        raise ValueError("need at least one hotspot node")
+    for h in hotspots:
+        if not 0 <= h < n:
+            raise ValueError(f"hotspot {h} outside 0..{n - 1}")
+    m = np.full((n, n), (1.0 - hotspot_fraction) / (n - 1))
+    for h in hotspots:
+        m[:, h] += hotspot_fraction / len(hotspots)
+    np.fill_diagonal(m, 0.0)
+    return TrafficMatrix(m, name="hotspot").scaled_to_injection_rate(injection_rate)

@@ -1,0 +1,195 @@
+"""Trace containers and packetization (BookSim-style trace mode).
+
+The paper converts MPICL traces of the NAS Parallel Benchmarks into
+BookSim-compatible traces, with two packet sizes: "1 flit per packet and 32
+flits per packet. All large packets from the original network trace were
+split up into smaller packets".
+
+A :class:`Trace` is an ordered list of :class:`PacketRecord` injections.
+Traces are built from *messages* (src, dst, bytes) grouped into *phases*
+(e.g. one all-to-all exchange); the scheduler serializes each source's
+packets at the injection bandwidth (1 flit/cycle) and separates phases by a
+configurable compute gap, mimicking the bulk-synchronous structure of the
+NPB kernels while keeping the paper's "temporal information is ignored"
+simplification for energy accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.traffic.matrix import TrafficMatrix
+
+__all__ = [
+    "FLIT_BYTES",
+    "MAX_PACKET_FLITS",
+    "PacketRecord",
+    "Message",
+    "Trace",
+    "packetize_flits",
+    "schedule_phases",
+]
+
+#: Flit payload: 64-bit flits (paper Table II).
+FLIT_BYTES = 8
+
+#: The larger of the paper's two packet sizes.
+MAX_PACKET_FLITS = 32
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One packet injection: time (cycle), source, destination, size."""
+
+    time: int
+    src: int
+    dst: int
+    size_flits: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"injection time must be >= 0, got {self.time}")
+        if self.src == self.dst:
+            raise ValueError(f"packet to self at node {self.src}")
+        if not 1 <= self.size_flits <= MAX_PACKET_FLITS:
+            raise ValueError(
+                f"packet size must be 1..{MAX_PACKET_FLITS} flits, got {self.size_flits}"
+            )
+
+
+@dataclass(frozen=True)
+class Message:
+    """One application-level message before packetization."""
+
+    src: int
+    dst: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"message to self at node {self.src}")
+        if self.size_bytes < 1:
+            raise ValueError(f"message must be >= 1 byte, got {self.size_bytes}")
+
+    @property
+    def size_flits(self) -> int:
+        """Flits needed for the payload (64-bit flits)."""
+        return -(-self.size_bytes // FLIT_BYTES)
+
+
+def packetize_flits(n_flits: int) -> list[int]:
+    """Split a flit count into the paper's two packet sizes.
+
+    Full 32-flit packets first, remainder as 1-flit packets.
+
+    >>> packetize_flits(70)
+    [32, 32, 1, 1, 1, 1, 1, 1]
+    """
+    if n_flits < 1:
+        raise ValueError(f"flit count must be >= 1, got {n_flits}")
+    full, rest = divmod(n_flits, MAX_PACKET_FLITS)
+    return [MAX_PACKET_FLITS] * full + [1] * rest
+
+
+@dataclass
+class Trace:
+    """An injection-ordered packet trace for ``n_nodes`` endpoints."""
+
+    n_nodes: int
+    packets: list[PacketRecord] = field(default_factory=list)
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError(f"trace needs >= 2 nodes, got {self.n_nodes}")
+        for pkt in self.packets:
+            self._check(pkt)
+        self.packets.sort(key=lambda p: (p.time, p.src, p.dst))
+
+    def _check(self, pkt: PacketRecord) -> None:
+        if not (0 <= pkt.src < self.n_nodes and 0 <= pkt.dst < self.n_nodes):
+            raise ValueError(f"packet endpoints outside 0..{self.n_nodes - 1}: {pkt}")
+
+    @property
+    def n_packets(self) -> int:
+        """Total packets in the trace."""
+        return len(self.packets)
+
+    @property
+    def total_flits(self) -> int:
+        """Total flits across all packets."""
+        return sum(p.size_flits for p in self.packets)
+
+    @property
+    def duration_cycles(self) -> int:
+        """Last injection time + 1 (0 for an empty trace)."""
+        if not self.packets:
+            return 0
+        return self.packets[-1].time + 1
+
+    def flit_count_matrix(self) -> TrafficMatrix:
+        """Per-pair flit counts (the paper's Table V input view)."""
+        m = np.zeros((self.n_nodes, self.n_nodes))
+        for p in self.packets:
+            m[p.src, p.dst] += p.size_flits
+        return TrafficMatrix(m, name=f"{self.name}-flits")
+
+    def scaled(self, factor: float, *, name: str | None = None) -> "Trace":
+        """Subsample packets to ~``factor`` of the trace, keeping order.
+
+        Used to shrink full-fidelity traces to cycle-simulation size; the
+        (src, dst) mix is preserved by deterministic stride sampling.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError(f"scale factor must be in (0, 1], got {factor}")
+        if factor == 1.0:
+            return Trace(self.n_nodes, list(self.packets), name=name or self.name)
+        stride = 1.0 / factor
+        picked = [
+            self.packets[int(i * stride)]
+            for i in range(int(len(self.packets) * factor))
+        ]
+        return Trace(self.n_nodes, picked, name=name or f"{self.name}-x{factor:g}")
+
+
+def schedule_phases(
+    n_nodes: int,
+    phases: Sequence[Iterable[Message]],
+    *,
+    inter_phase_gap: int = 64,
+    flit_interval: int = 1,
+    name: str = "trace",
+) -> Trace:
+    """Build a :class:`Trace` from per-phase message lists.
+
+    Within a phase every source injects its packets serially; the next
+    phase starts after every source has finished injecting plus
+    ``inter_phase_gap`` compute cycles.
+
+    ``flit_interval`` paces each source at one flit every ``flit_interval``
+    cycles. The paper's MPICL traces came from a machine whose network
+    interleaves computation with communication, and it notes the traces
+    "will not saturate the NoC simulator"; pacing reproduces that operating
+    point (a bulk-synchronous burst at full rate would drive an all-to-all
+    far past saturation — see EXPERIMENTS.md).
+    """
+    if inter_phase_gap < 0:
+        raise ValueError(f"inter-phase gap must be >= 0, got {inter_phase_gap}")
+    if flit_interval < 1:
+        raise ValueError(f"flit interval must be >= 1, got {flit_interval}")
+    packets: list[PacketRecord] = []
+    phase_start = 0
+    for phase in phases:
+        next_free = np.full(n_nodes, phase_start, dtype=np.int64)
+        for msg in phase:
+            for size in packetize_flits(msg.size_flits):
+                t = int(next_free[msg.src])
+                packets.append(
+                    PacketRecord(time=t, src=msg.src, dst=msg.dst, size_flits=size)
+                )
+                next_free[msg.src] = t + size * flit_interval
+        phase_start = int(next_free.max()) + inter_phase_gap
+    return Trace(n_nodes, packets, name=name)

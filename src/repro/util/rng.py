@@ -1,0 +1,40 @@
+"""Deterministic random-number helpers.
+
+All stochastic components in the reproduction (synthetic traffic, trace
+synthesis) accept either an integer seed or a pre-built generator; this module
+centralizes the coercion so the whole pipeline is reproducible from a single
+seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_child"]
+
+SeedLike = int | np.random.Generator | None
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a default-seeded generator (seed 0) rather than entropy
+    from the OS: experiments must be reproducible by default.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = 0
+    return np.random.default_rng(seed)
+
+
+def spawn_child(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator for a named sub-stream.
+
+    Used when one experiment drives several stochastic components that must
+    not perturb each other's draws when one of them changes its consumption.
+    """
+    if stream < 0:
+        raise ValueError(f"stream index must be >= 0, got {stream}")
+    seed = rng.integers(0, 2**63 - 1, dtype=np.int64)
+    return np.random.default_rng([int(seed), stream])

@@ -1,0 +1,38 @@
+"""Parameter-sweep helpers for design-space exploration and benchmarks."""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = ["grid", "log_space", "lin_space"]
+
+
+def grid(axes: Mapping[str, Sequence[Any]]) -> Iterator[dict[str, Any]]:
+    """Yield the Cartesian product of named axes as dictionaries.
+
+    >>> list(grid({"a": [1, 2], "b": ["x"]}))
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    names = list(axes)
+    for combo in itertools.product(*(axes[name] for name in names)):
+        yield dict(zip(names, combo))
+
+
+def log_space(lo: float, hi: float, n: int) -> np.ndarray:
+    """``n`` log-spaced points from ``lo`` to ``hi`` inclusive (both > 0)."""
+    if lo <= 0 or hi <= 0:
+        raise ValueError(f"log_space bounds must be > 0, got ({lo}, {hi})")
+    if n < 2:
+        raise ValueError(f"need at least 2 points, got {n}")
+    return np.logspace(np.log10(lo), np.log10(hi), n)
+
+
+def lin_space(lo: float, hi: float, n: int) -> np.ndarray:
+    """``n`` linearly spaced points from ``lo`` to ``hi`` inclusive."""
+    if n < 2:
+        raise ValueError(f"need at least 2 points, got {n}")
+    return np.linspace(lo, hi, n)

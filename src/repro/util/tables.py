@@ -1,0 +1,154 @@
+"""ASCII rendering of result tables and simple figures.
+
+Every benchmark in ``benchmarks/`` regenerates one of the paper's tables or
+figures; these helpers render them as monospace text so the reproduction can
+be compared against the paper without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "ascii_bar_chart", "ascii_xy_plot"]
+
+
+def _cell(value: object, fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed monospace table.
+
+    Floats are formatted with ``float_fmt``; all other values with ``str``.
+    """
+    str_rows = [[_cell(v, float_fmt) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(sep: str = "-", junction: str = "+") -> str:
+        return junction + junction.join(sep * (w + 2) for w in widths) + junction
+
+    def render(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line())
+    out.append(render(headers))
+    out.append(line("="))
+    for row in str_rows:
+        out.append(render(row))
+    out.append(line())
+    return "\n".join(out)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], *, float_fmt: str = ".4g"
+) -> str:
+    """Render a named (x, y) series as two aligned columns."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} vs {len(ys)}")
+    return format_table(["x", name], list(zip(xs, ys)), float_fmt=float_fmt)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render a horizontal bar chart, bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError(f"labels/values mismatch: {len(labels)} vs {len(values)}")
+    if not values:
+        return title or ""
+    vmax = max(values)
+    label_w = max(len(s) for s in labels)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    for label, value in zip(labels, values):
+        n = 0 if vmax <= 0 else int(round(width * value / vmax))
+        out.append(f"{label.ljust(label_w)} | {'#' * n} {format(value, float_fmt)}")
+    return "\n".join(out)
+
+
+def ascii_xy_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render multiple (x, y) series on a shared character grid.
+
+    Each series is drawn with a distinct marker (its name's first letter).
+    Intended for eyeballing crossovers (e.g. Fig. 3's CLEAR-vs-length plot),
+    not for precision reading.
+    """
+    # Distinct markers even when names share a first letter (e.g.
+    # "photonic" vs "plasmonic"): first unused character of the name,
+    # falling back to digits.
+    markers: dict[str, str] = {}
+    used: set[str] = set()
+    for name in series:
+        marker = next(
+            (c for c in (name or "*") if c not in used and not c.isspace()),
+            None,
+        )
+        if marker is None:
+            marker = next(d for d in "0123456789*" if d not in used)
+        markers[name] = marker
+        used.add(marker)
+
+    pts: list[tuple[float, float, str]] = []
+    for name, (xs, ys) in series.items():
+        marker = markers[name]
+        for x, y in zip(xs, ys):
+            if logx and x <= 0 or logy and y <= 0:
+                continue
+            px = math.log10(x) if logx else x
+            py = math.log10(y) if logy else y
+            pts.append((px, py, marker))
+    if not pts:
+        return title or ""
+    xmin = min(p[0] for p in pts)
+    xmax = max(p[0] for p in pts)
+    ymin = min(p[1] for p in pts)
+    ymax = max(p[1] for p in pts)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for px, py, marker in pts:
+        col = min(width - 1, int((px - xmin) / xspan * (width - 1)))
+        row = min(height - 1, int((py - ymin) / yspan * (height - 1)))
+        grid[height - 1 - row][col] = marker
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.extend("|" + "".join(row) for row in grid)
+    out.append("+" + "-" * width)
+    legend = "  ".join(f"{markers[name]}={name}" for name in series)
+    out.append(legend)
+    return "\n".join(out)

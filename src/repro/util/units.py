@@ -1,0 +1,210 @@
+"""Unit helpers used throughout the HyPPI NoC reproduction.
+
+The paper mixes engineering units freely (dB, fJ/bit, Gb/s, µm², mm², W).
+Internally every model works in SI base units (seconds, joules, metres,
+bits/second, watts); these helpers convert at the boundaries and keep the
+conversions auditable.
+
+The only non-linear helpers are the decibel conversions; everything else is a
+multiplicative constant, exposed both as a conversion function and as a module
+constant so call sites can choose whichever reads better.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "PICO",
+    "NANO",
+    "MICRO",
+    "MILLI",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "TERA",
+    "FEMTO",
+    "SPEED_OF_LIGHT_M_S",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "um_to_m",
+    "m_to_um",
+    "mm_to_m",
+    "m_to_mm",
+    "cm_to_m",
+    "um2_to_m2",
+    "m2_to_um2",
+    "m2_to_mm2",
+    "mm2_to_m2",
+    "gbps_to_bps",
+    "bps_to_gbps",
+    "fj_to_j",
+    "j_to_fj",
+    "pj_to_j",
+    "j_to_pj",
+    "ps_to_s",
+    "s_to_ps",
+    "ns_to_s",
+    "s_to_ns",
+    "ghz_to_hz",
+    "hz_to_ghz",
+    "db_per_cm_to_db_per_m",
+]
+
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+#: Vacuum speed of light, m/s. Group velocity in silicon waveguides is
+#: ``SPEED_OF_LIGHT_M_S / group_index``.
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio in decibels to a linear ratio (>= 0)."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be > 0, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert optical power in dBm to watts (0 dBm == 1 mW)."""
+    return MILLI * db_to_linear(dbm)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert optical power in watts to dBm.
+
+    Raises:
+        ValueError: if ``watts`` is not strictly positive.
+    """
+    if watts <= 0.0:
+        raise ValueError(f"power must be > 0 W, got {watts!r}")
+    return linear_to_db(watts / MILLI)
+
+
+def um_to_m(um: float) -> float:
+    """Micrometres to metres."""
+    return um * MICRO
+
+
+def m_to_um(m: float) -> float:
+    """Metres to micrometres."""
+    return m / MICRO
+
+
+def mm_to_m(mm: float) -> float:
+    """Millimetres to metres."""
+    return mm * MILLI
+
+
+def m_to_mm(m: float) -> float:
+    """Metres to millimetres."""
+    return m / MILLI
+
+
+def cm_to_m(cm: float) -> float:
+    """Centimetres to metres."""
+    return cm * 1e-2
+
+
+def um2_to_m2(um2: float) -> float:
+    """Square micrometres to square metres."""
+    return um2 * MICRO * MICRO
+
+
+def m2_to_um2(m2: float) -> float:
+    """Square metres to square micrometres."""
+    return m2 / (MICRO * MICRO)
+
+
+def m2_to_mm2(m2: float) -> float:
+    """Square metres to square millimetres."""
+    return m2 / (MILLI * MILLI)
+
+
+def mm2_to_m2(mm2: float) -> float:
+    """Square millimetres to square metres."""
+    return mm2 * MILLI * MILLI
+
+
+def gbps_to_bps(gbps: float) -> float:
+    """Gigabits per second to bits per second."""
+    return gbps * GIGA
+
+
+def bps_to_gbps(bps: float) -> float:
+    """Bits per second to gigabits per second."""
+    return bps / GIGA
+
+
+def fj_to_j(fj: float) -> float:
+    """Femtojoules to joules."""
+    return fj * FEMTO
+
+
+def j_to_fj(j: float) -> float:
+    """Joules to femtojoules."""
+    return j / FEMTO
+
+
+def pj_to_j(pj: float) -> float:
+    """Picojoules to joules."""
+    return pj * PICO
+
+
+def j_to_pj(j: float) -> float:
+    """Joules to picojoules."""
+    return j / PICO
+
+
+def ps_to_s(ps: float) -> float:
+    """Picoseconds to seconds."""
+    return ps * PICO
+
+
+def s_to_ps(s: float) -> float:
+    """Seconds to picoseconds."""
+    return s / PICO
+
+
+def ns_to_s(ns: float) -> float:
+    """Nanoseconds to seconds."""
+    return ns * NANO
+
+
+def s_to_ns(s: float) -> float:
+    """Seconds to nanoseconds."""
+    return s / NANO
+
+
+def ghz_to_hz(ghz: float) -> float:
+    """Gigahertz to hertz."""
+    return ghz * GIGA
+
+
+def hz_to_ghz(hz: float) -> float:
+    """Hertz to gigahertz."""
+    return hz / GIGA
+
+
+def db_per_cm_to_db_per_m(db_per_cm: float) -> float:
+    """Waveguide propagation loss dB/cm to dB/m."""
+    return db_per_cm * 100.0

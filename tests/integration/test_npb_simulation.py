@@ -1,0 +1,153 @@
+"""Integration tests: NPB trace simulation (paper Fig. 6 / Table V shape).
+
+Cycle-simulates scaled-down synthetic NPB traces on the base mesh and the
+express variants, checking the paper's per-kernel findings:
+
+* CG (short-range) benefits most from Hops=3;
+* MG (long-range) benefits most from Hops=15;
+* LU (1-hop) gains almost nothing from express links;
+* HyPPI express adds only marginal dynamic energy, photonic express costs
+  orders of magnitude more (Table V).
+
+Traces are scaled for test runtime; the latency *ratios* are scale-robust
+because they are dominated by the spatial pattern (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis import trace_dynamic_energy_j
+from repro.simulation import Simulator, sim_dynamic_energy_j
+from repro.tech import Technology
+from repro.topology import RoutingTable, build_express_mesh, build_mesh
+from repro.traffic import cg_trace, ft_trace, lu_trace, mg_trace
+
+# Small but representative per-kernel scales (runtime-bound; see module doc).
+TRACES = {
+    "CG": lambda: cg_trace(volume_scale=3e-4, iterations=1),
+    "MG": lambda: mg_trace(volume_scale=0.005, iterations=1),
+    "LU": lambda: lu_trace(volume_scale=0.01, iterations=2),
+}
+
+
+@pytest.fixture(scope="module")
+def topologies():
+    topos = {"mesh": build_mesh()}
+    for hops in (3, 5, 15):
+        topos[f"h{hops}"] = build_express_mesh(
+            hops=hops, express_technology=Technology.HYPPI
+        )
+    return topos
+
+
+@pytest.fixture(scope="module")
+def latencies(topologies):
+    out = {}
+    for kernel, make in TRACES.items():
+        trace = make()
+        for name, topo in topologies.items():
+            stats = Simulator(topo).run(trace)
+            assert stats.drained, f"{kernel} on {name} did not drain"
+            out[kernel, name] = stats.avg_latency
+    return out
+
+
+class TestFig6Shape:
+    def test_cg_benefits_from_short_express(self, latencies):
+        # Paper: CG shows a 1.25x reduction, maximum at short hop counts;
+        # long (Hops=15) express links barely help its short-range pattern.
+        speedup_short = latencies["CG", "mesh"] / min(
+            latencies["CG", "h3"], latencies["CG", "h5"]
+        )
+        speedup_long = latencies["CG", "mesh"] / latencies["CG", "h15"]
+        assert speedup_short > 1.1
+        assert speedup_short > speedup_long + 0.05
+
+    def test_mg_benefits_from_express(self, latencies):
+        # Paper: MG shows 1.64x at Hops=15. With the documented synthetic
+        # pattern (periodic-boundary exchanges, identity rank mapping) the
+        # gain is smaller — see EXPERIMENTS.md — but must be real.
+        speedup15 = latencies["MG", "mesh"] / latencies["MG", "h15"]
+        assert speedup15 > 1.03
+
+    def test_mg_tolerates_long_hops_better_than_cg(self, latencies):
+        # The paper's per-kernel ordering: MG keeps its gains at Hops=15
+        # while CG's evaporate.
+        mg_gain_15 = latencies["MG", "mesh"] / latencies["MG", "h15"]
+        cg_gain_15 = latencies["CG", "mesh"] / latencies["CG", "h15"]
+        assert mg_gain_15 > cg_gain_15
+
+    def test_lu_gains_little(self, latencies):
+        # Paper: LU "doesn't derive significant latency improvements".
+        for name in ("h3", "h5", "h15"):
+            ratio = latencies["LU", "mesh"] / latencies["LU", name]
+            assert ratio == pytest.approx(1.0, abs=0.1)
+
+    def test_express_never_hurts_much(self, latencies):
+        for (kernel, name), lat in latencies.items():
+            assert lat <= 1.15 * latencies[kernel, "mesh"]
+
+
+class TestTableVShape:
+    """Dynamic energy for the FT all-to-all pattern."""
+
+    @pytest.fixture(scope="class")
+    def ft_matrix(self):
+        return ft_trace(volume_scale=0.01, iterations=1).flit_count_matrix()
+
+    def test_hyppi_express_negligible_energy_increase(self, ft_matrix):
+        mesh = build_mesh()
+        base = trace_dynamic_energy_j(mesh, ft_matrix).dynamic_j
+        for hops in (3, 5, 15):
+            topo = build_express_mesh(hops=hops, express_technology=Technology.HYPPI)
+            hyppi = trace_dynamic_energy_j(topo, ft_matrix).dynamic_j
+            # Paper Table V: 4.9 mJ vs 4.2 mJ base, flat across hops.
+            assert hyppi < 1.6 * base
+
+    def test_hyppi_energy_flat_across_hops(self, ft_matrix):
+        values = [
+            trace_dynamic_energy_j(
+                build_express_mesh(hops=h, express_technology=Technology.HYPPI),
+                ft_matrix,
+            ).dynamic_j
+            for h in (3, 5, 15)
+        ]
+        assert max(values) < 1.15 * min(values)
+
+    def test_electronic_express_energy_grows_with_hops(self, ft_matrix):
+        values = [
+            trace_dynamic_energy_j(
+                build_express_mesh(
+                    hops=h, express_technology=Technology.ELECTRONIC
+                ),
+                ft_matrix,
+            ).dynamic_j
+            for h in (3, 5, 15)
+        ]
+        # Paper Table V: 5.4 -> 6.6 -> 12.8 mJ.
+        assert values[0] < values[1] < values[2]
+
+    def test_sim_and_analytical_energy_agree(self):
+        # The sim-measured energy equals the flow-based energy when the
+        # trace drains (same deterministic routing).
+        mesh = build_mesh()
+        trace = lu_trace(volume_scale=0.002, iterations=1)
+        stats = Simulator(mesh).run(trace)
+        assert stats.drained
+        e_sim = sim_dynamic_energy_j(mesh, stats).dynamic_j
+        e_ana = trace_dynamic_energy_j(mesh, trace.flit_count_matrix()).dynamic_j
+        assert e_sim == pytest.approx(e_ana, rel=1e-9)
+
+
+class TestTorusEquivalence:
+    def test_row_torus_matches_hops15_simulated_latency(self):
+        """The paper's "effectively a 2D torus" claim, checked in the
+        simulator: identical routing and link latencies imply identical
+        average latency for the same trace."""
+        from repro.topology import build_row_torus
+
+        trace = mg_trace(volume_scale=0.002, iterations=1)
+        e15 = build_express_mesh(hops=15, express_technology=Technology.HYPPI)
+        torus = build_row_torus(wrap_technology=Technology.HYPPI)
+        lat_e15 = Simulator(e15).run(trace).avg_latency
+        lat_torus = Simulator(torus).run(trace).avg_latency
+        assert lat_torus == pytest.approx(lat_e15, rel=1e-9)

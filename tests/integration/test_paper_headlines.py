@@ -1,0 +1,171 @@
+"""Integration tests: the paper's headline claims, end to end.
+
+Each test reproduces one of the paper's quantitative claims through the
+full pipeline (topology -> traffic -> routing -> DSENT -> metric), at the
+paper's own operating points. Tolerances reflect DESIGN.md section 5: the
+comparative *shape* is the reproduction criterion, with calibrated anchors
+checked to the stated tolerance.
+"""
+
+import pytest
+
+from repro.analysis import evaluate_network, network_static_power_w
+from repro.core import DesignSpaceExplorer
+from repro.optical import project_all_optical
+from repro.tech import Technology
+from repro.topology import build_express_mesh, build_mesh
+from repro.traffic import soteriou_traffic
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return DesignSpaceExplorer()
+
+
+@pytest.fixture(scope="module")
+def full_sweep(explorer):
+    return explorer.explore()
+
+
+class TestTableIII:
+    """Capability C and utilization slope R per topology."""
+
+    def test_capabilities_exact(self, full_sweep):
+        by_hops = {
+            pt.hops: pt.evaluation.capability_gbps
+            for pt in full_sweep
+            if pt.base_technology is Technology.ELECTRONIC
+        }
+        assert by_hops[0] == pytest.approx(187.5)
+        assert by_hops[3] == pytest.approx(218.75)
+        assert by_hops[5] == pytest.approx(206.25)
+        assert by_hops[15] == pytest.approx(193.75)
+
+    def test_r_strictly_decreasing_with_express_richness(self, full_sweep):
+        # Paper Table III: plain 1.122 > h15 1.050 > h5 0.885 > h3 0.808.
+        rs = {
+            pt.hops: pt.evaluation.r_slope
+            for pt in full_sweep
+            if pt.base_technology is Technology.ELECTRONIC
+            and pt.express_technology in (None, Technology.HYPPI)
+        }
+        assert rs[3] < rs[5] < rs[15] < rs[0]
+
+    def test_r_depends_only_on_topology(self, full_sweep):
+        # "Capability (C) and Rate of utilization increase (R) are fixed
+        # for a given topology across all technology options."
+        for hops in (3, 5, 15):
+            rs = {
+                pt.evaluation.r_slope
+                for pt in full_sweep
+                if pt.hops == hops
+                and pt.base_technology is Technology.ELECTRONIC
+                and pt.express_technology is not None
+            }
+            assert max(rs) - min(rs) < 1e-9
+
+
+class TestTableIV:
+    """Static power of the electronic base mesh + express options."""
+
+    def test_base_mesh_anchor(self):
+        assert network_static_power_w(build_mesh()) == pytest.approx(1.53, rel=0.03)
+
+    @pytest.mark.parametrize(
+        "hops,paper_w", [(3, 3.076), (5, 2.458), (15, 1.839)]
+    )
+    def test_photonic_express_rows(self, hops, paper_w):
+        topo = build_express_mesh(hops=hops, express_technology=Technology.PHOTONIC)
+        assert network_static_power_w(topo) == pytest.approx(paper_w, rel=0.25)
+
+    @pytest.mark.parametrize("hops,paper_w", [(3, 1.545), (5, 1.539), (15, 1.533)])
+    def test_hyppi_express_rows(self, hops, paper_w):
+        topo = build_express_mesh(hops=hops, express_technology=Technology.HYPPI)
+        assert network_static_power_w(topo) == pytest.approx(paper_w, rel=0.06)
+
+    def test_photonic_decreases_with_hops(self):
+        values = [
+            network_static_power_w(
+                build_express_mesh(hops=h, express_technology=Technology.PHOTONIC)
+            )
+            for h in (3, 5, 15)
+        ]
+        assert values[0] > values[1] > values[2]
+
+
+class TestFig5:
+    """The design-space exploration's qualitative findings."""
+
+    def test_hyppi_base_has_best_clear_overall(self, full_sweep):
+        # "In all cases, we note that HyPPI as the base mesh network
+        # provides the best results in terms of CLEAR value."
+        best = DesignSpaceExplorer.best_by_clear(full_sweep)
+        assert best.base_technology is Technology.HYPPI
+
+    def test_lowest_latency_is_electronic_base(self, full_sweep):
+        # "if the lowest latency is the target, then a base electronic
+        # mesh is the better option."
+        best = DesignSpaceExplorer.best_by_latency(full_sweep)
+        assert best.base_technology is Technology.ELECTRONIC
+
+    def test_headline_clear_improvement(self, explorer):
+        base = explorer.evaluate_point(Technology.ELECTRONIC)
+        hyppi3 = explorer.evaluate_point(Technology.ELECTRONIC, Technology.HYPPI, 3)
+        ratio = hyppi3.evaluation.clear / base.evaluation.clear
+        # Paper: "up to 1.8x"; our calibration gives ~2.3x — same regime.
+        assert 1.8 <= ratio <= 3.0
+
+    def test_photonic_base_prefers_photonic_express_over_electronic(
+        self, explorer
+    ):
+        # "a reverse trend ... when we adopt photonics as the base mesh:
+        # using photonics for long links only improves CLEAR, compared
+        # with adding electronic long links."
+        ph_ph = explorer.evaluate_point(Technology.PHOTONIC, Technology.PHOTONIC, 3)
+        ph_el = explorer.evaluate_point(Technology.PHOTONIC, Technology.ELECTRONIC, 3)
+        assert ph_ph.evaluation.clear > ph_el.evaluation.clear
+
+    def test_area_hyppi_base_hyppi_express_lowest(self, full_sweep):
+        # "Area-wise, the base HyPPI mesh with augmented HyPPI links gives
+        # the lowest overhead."
+        express_points = [p for p in full_sweep if p.express_technology is not None]
+        smallest = min(express_points, key=lambda p: p.evaluation.area_mm2)
+        assert smallest.base_technology is Technology.HYPPI
+        assert smallest.express_technology is Technology.HYPPI
+
+    def test_optical_express_latency_penalty(self, explorer):
+        # Electronic express links (1 clk) beat optical ones (2 clks) on
+        # latency at equal topology.
+        el = explorer.evaluate_point(Technology.ELECTRONIC, Technology.ELECTRONIC, 3)
+        hy = explorer.evaluate_point(Technology.ELECTRONIC, Technology.HYPPI, 3)
+        assert el.evaluation.latency_clks < hy.evaluation.latency_clks
+
+
+class TestInjectionRateAblation:
+    def test_clear_mildly_decreasing_in_injection_rate(self):
+        # "We also varied the injection rate from 0.01 to 0.1, and noticed
+        # only a small reduction in CLEAR value with the injection rate."
+        clears = []
+        for rate in (0.01, 0.05, 0.1):
+            ex = DesignSpaceExplorer(injection_rate=rate)
+            clears.append(
+                ex.evaluate_point(Technology.ELECTRONIC).evaluation.clear
+            )
+        assert clears[0] > clears[2]  # decreasing
+        assert clears[2] > 0.3 * clears[0]  # but not collapsing
+
+
+class TestFig8Headlines:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return project_all_optical()
+
+    def test_energy_two_orders(self, comparison):
+        assert comparison.energy_ratio_electronic_over_hyppi > 100
+
+    def test_area_two_orders_vs_photonic(self, comparison):
+        assert comparison.area_ratio_photonic_over_hyppi > 100
+
+    def test_area_one_order_vs_electronic(self, comparison):
+        ratio = comparison.electronic.area_mm2 / comparison.hyppi.area_mm2
+        assert ratio > 10

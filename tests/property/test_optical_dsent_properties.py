@@ -1,0 +1,151 @@
+"""Property-based tests for the optical and DSENT substrates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsent import (
+    Allocator,
+    Crossbar,
+    FlitBuffer,
+    NocLinkConfig,
+    NocLinkModel,
+    RepeatedWire,
+    RouterConfig,
+    RouterPowerArea,
+)
+from repro.optical import (
+    HYPPI_ROUTER,
+    N_PORTS,
+    PHOTONIC_ROUTER,
+    PathLossModel,
+    optimal_port_assignment,
+)
+from repro.tech import Technology
+from repro.topology import RoutingTable, build_mesh
+
+
+class TestDsentMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_buffer_cost_monotone_in_storage(self, vcs, depth):
+        small = FlitBuffer(64, vcs, depth).evaluate()
+        bigger = FlitBuffer(64, vcs, depth + 1).evaluate()
+        assert bigger.static_w > small.static_w
+        assert bigger.area_m2 > small.area_m2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=16))
+    def test_crossbar_cost_monotone_in_radix(self, ports):
+        small = Crossbar(ports, ports, 64).evaluate()
+        bigger = Crossbar(ports + 1, ports + 1, 64).evaluate()
+        assert bigger.static_w > small.static_w
+        assert bigger.dynamic_j_per_event > small.dynamic_j_per_event
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0.1, max_value=20.0),
+        st.integers(min_value=1, max_value=128),
+    )
+    def test_wire_express_never_cheaper(self, length_mm, bits):
+        normal = RepeatedWire(length_mm, bits).evaluate()
+        express = RepeatedWire(length_mm, bits, express=True).evaluate()
+        assert express.dynamic_j_per_event >= normal.dynamic_j_per_event
+        assert express.static_w >= normal.static_w
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_router_figures_positive(self, ports, vcs):
+        r = RouterPowerArea(RouterConfig(base_ports=ports, n_vcs=vcs)).evaluate()
+        assert r.static_w > 0
+        assert r.dynamic_j_per_event > 0
+        assert r.area_m2 > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=1e-4, max_value=0.02))
+    def test_noc_links_positive_any_length(self, length_m):
+        for tech in (Technology.ELECTRONIC, Technology.PHOTONIC, Technology.HYPPI):
+            fig = NocLinkModel(NocLinkConfig(tech, length_m)).evaluate()
+            assert fig.static_w >= 0
+            assert fig.dynamic_j_per_flit > 0
+            assert fig.area_m2 > 0
+
+
+class TestOpticalRouterProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=N_PORTS - 1),
+        st.integers(min_value=0, max_value=N_PORTS - 1),
+    )
+    def test_loss_within_published_range(self, i, o):
+        for router in (HYPPI_ROUTER, PHOTONIC_ROUTER):
+            lo, hi = router.loss_range_db()
+            if i == o:
+                with pytest.raises(ValueError):
+                    router.loss_db(i, o)
+            else:
+                assert lo <= router.loss_db(i, o) <= hi
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.permutations(list(range(N_PORTS))))
+    def test_optimal_assignment_is_optimal(self, perm):
+        # No permutation beats the one the brute-force search returns.
+        from repro.optical.router import DOR_TURN_WEIGHTS
+
+        _, best = optimal_port_assignment(HYPPI_ROUTER)
+        total = sum(DOR_TURN_WEIGHTS.values())
+        loss = (
+            sum(
+                w * HYPPI_ROUTER.loss_db(perm[a], perm[b])
+                for (a, b), w in DOR_TURN_WEIGHTS.items()
+            )
+            / total
+        )
+        assert loss >= best - 1e-12
+
+
+class TestPathLossProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_loss_positive_and_bounded(self, s, d):
+        topo = build_mesh(8, 8, link_technology=Technology.HYPPI)
+        model = PathLossModel(
+            topology=topo, technology=Technology.HYPPI, routing=RoutingTable(topo)
+        )
+        if s == d:
+            with pytest.raises(ValueError):
+                model.path_loss_db(s, d)
+            return
+        loss = model.path_loss_db(s, d)
+        # At least the fixed losses, at most fixed + worst-case fabric.
+        assert loss > model.params.total_fixed_loss_db()
+        hops = topo.manhattan_distance(s, d)
+        _, worst = model.router.loss_range_db()
+        assert loss <= model.params.total_fixed_loss_db() + (
+            hops + 1
+        ) * worst + model.params.propagation_loss_db(hops * 1e-3) + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=63))
+    def test_longer_paths_lose_no_less_along_a_line(self, d):
+        # Moving the destination further along the same row cannot reduce
+        # the loss (same turns, more straight-through routers + waveguide).
+        topo = build_mesh(8, 8, link_technology=Technology.HYPPI)
+        model = PathLossModel(
+            topology=topo, technology=Technology.HYPPI, routing=RoutingTable(topo)
+        )
+        x = d % 8
+        if x in (0, 7):
+            return
+        src = topo.node_id(0, d // 8)
+        near = model.path_loss_db(src, topo.node_id(x, d // 8))
+        far = model.path_loss_db(src, topo.node_id(x + 1, d // 8))
+        assert far >= near - 1e-9

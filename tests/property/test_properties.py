@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clear import clear_link, clear_network
+from repro.tech import (
+    CapabilityMode,
+    ElectronicLinkModel,
+    HyPPILinkModel,
+    PhotonicLinkModel,
+    PlasmonicLinkModel,
+)
+from repro.topology import RoutingTable, build_express_mesh, build_mesh, route_path
+from repro.traffic import TrafficMatrix, packetize_flits
+from repro.util import units
+
+# 2 cm cap: beyond that the plasmonic 440 dB/cm loss overflows float
+# exponents, which is outside any physically meaningful regime.
+lengths = st.floats(min_value=1e-7, max_value=0.02, allow_nan=False)
+db_values = st.floats(min_value=-60.0, max_value=60.0, allow_nan=False)
+
+
+class TestUnitProperties:
+    @given(db_values)
+    def test_db_roundtrip(self, db):
+        assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db)
+
+    @given(st.floats(min_value=1e-12, max_value=1e3))
+    def test_dbm_roundtrip(self, watts):
+        assert units.dbm_to_watts(units.watts_to_dbm(watts)) == pytest.approx(
+            watts, rel=1e-9
+        )
+
+    @given(db_values, db_values)
+    def test_db_addition_is_linear_multiplication(self, a, b):
+        assert units.db_to_linear(a + b) == pytest.approx(
+            units.db_to_linear(a) * units.db_to_linear(b), rel=1e-9
+        )
+
+
+class TestLinkModelProperties:
+    @given(lengths)
+    def test_electronic_metrics_positive(self, length):
+        m = ElectronicLinkModel().evaluate(length)
+        assert m.latency_ps > 0
+        assert m.energy_fj_per_bit > 0
+        assert m.area_um2 > 0
+        assert clear_link(m) > 0
+
+    @given(lengths)
+    def test_optical_metrics_positive(self, length):
+        for model in (PhotonicLinkModel(), PlasmonicLinkModel(), HyPPILinkModel()):
+            m = model.evaluate(length)
+            assert m.latency_ps > 0
+            assert m.energy_fj_per_bit > 0
+            assert clear_link(m) > 0
+
+    @given(st.floats(min_value=1e-7, max_value=0.01), st.floats(min_value=1.01, max_value=2.0))
+    def test_longer_links_cost_no_less(self, length, factor):
+        for model in (
+            ElectronicLinkModel(),
+            PhotonicLinkModel(),
+            PlasmonicLinkModel(),
+            HyPPILinkModel(),
+        ):
+            near = model.evaluate(length)
+            far = model.evaluate(length * factor)
+            assert far.latency_ps >= near.latency_ps
+            assert far.energy_fj_per_bit >= near.energy_fj_per_bit
+            assert far.area_um2 >= near.area_um2
+
+    @given(lengths)
+    def test_serdes_capability_never_exceeds_device(self, length):
+        for model in (PhotonicLinkModel(), PlasmonicLinkModel(), HyPPILinkModel()):
+            dev = model.evaluate(length, mode=CapabilityMode.DEVICE)
+            ser = model.evaluate(length, mode=CapabilityMode.SERDES)
+            assert ser.capability_gbps <= dev.capability_gbps
+
+
+class TestClearProperties:
+    @given(
+        st.floats(min_value=1.0, max_value=1e6),
+        st.integers(min_value=1, max_value=4096),
+        st.floats(min_value=0.1, max_value=1e3),
+        st.floats(min_value=1e-3, max_value=1e3),
+        st.floats(min_value=1e-3, max_value=1e3),
+        st.floats(min_value=1e-3, max_value=10.0),
+    )
+    def test_clear_monotonicity(self, cap, n, lat, pw, area, r):
+        base = clear_network(cap, n, lat, pw, area, r)
+        assert clear_network(2 * cap, n, lat, pw, area, r) == pytest.approx(2 * base)
+        assert clear_network(cap, n, 2 * lat, pw, area, r) == pytest.approx(base / 2)
+        assert clear_network(cap, n, lat, 2 * pw, area, r) == pytest.approx(base / 2)
+
+
+class TestRoutingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.sampled_from([0, 3, 5, 15]),
+    )
+    def test_paths_connected_and_terminate(self, src, dst, hops):
+        topo = build_mesh() if hops == 0 else build_express_mesh(hops=hops)
+        path = route_path(topo, src, dst)
+        node = src
+        for link in path:
+            assert link.src == node
+            node = link.dst
+        assert node == dst
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.sampled_from([3, 5, 15]),
+    )
+    def test_express_never_increases_hops(self, src, dst, hops):
+        mesh = build_mesh()
+        topo = build_express_mesh(hops=hops)
+        base = len(route_path(mesh, src, dst))
+        express = len(route_path(topo, src, dst))
+        assert express <= base
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_plain_mesh_paths_are_minimal(self, src, dst):
+        mesh = build_mesh()
+        assert len(route_path(mesh, src, dst)) == mesh.manhattan_distance(src, dst)
+
+
+class TestPacketizationProperties:
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_flits_conserved(self, n):
+        assert sum(packetize_flits(n)) == n
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_only_paper_packet_sizes(self, n):
+        assert set(packetize_flits(n)) <= {1, 32}
+
+
+class TestTrafficProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(min_value=1e-4, max_value=0.5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_scaling_hits_target_rate(self, rate, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.random((16, 16))
+        np.fill_diagonal(m, 0.0)
+        tm = TrafficMatrix(m).scaled_to_injection_rate(rate)
+        assert tm.mean_injection_rate() == pytest.approx(rate, rel=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_soteriou_rows_are_distributions(self, seed):
+        from repro.traffic import soteriou_traffic
+
+        mesh = build_mesh(4, 4)
+        tm = soteriou_traffic(mesh, injection_rate=0.1, seed=seed)
+        assert np.all(tm.matrix >= 0)
+        assert np.all(np.diag(tm.matrix) == 0)
+        assert tm.mean_injection_rate() == pytest.approx(0.1)
+
+
+class TestFlowProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_flow_conservation_random_traffic(self, seed):
+        from repro.analysis import assign_flows
+
+        mesh = build_mesh(8, 8)
+        rng = np.random.default_rng(seed)
+        m = rng.random((64, 64)) * (rng.random((64, 64)) > 0.8)
+        np.fill_diagonal(m, 0.0)
+        tm = TrafficMatrix(m)
+        flows = assign_flows(mesh, tm)
+        assert flows.link_flow.sum() == pytest.approx(
+            flows.total_traffic * flows.mean_hops
+        )
+        # Router flow >= link flow sum because every link arrival enters a
+        # router and sources count too.
+        assert flows.router_flow.sum() == pytest.approx(
+            flows.link_flow.sum() + flows.total_traffic
+        )
+
+
+class TestVectorizedFlowsMatchReference:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_fast_path_equals_naive_accumulation(self, seed):
+        from repro.analysis import assign_flows
+
+        topo = build_express_mesh(8, 8, hops=3)
+        rt = RoutingTable(topo)
+        rng = np.random.default_rng(seed)
+        m = rng.random((64, 64)) * (rng.random((64, 64)) > 0.7)
+        np.fill_diagonal(m, 0.0)
+        tm = TrafficMatrix(m)
+        flows = assign_flows(topo, tm, rt)
+
+        link_ref = np.zeros(topo.n_links)
+        router_ref = np.zeros(64)
+        for s in range(64):
+            for d in np.nonzero(m[s])[0]:
+                rate = m[s, d]
+                router_ref[s] += rate
+                for link in rt.path(s, int(d)):
+                    link_ref[link.link_id] += rate
+                    router_ref[link.dst] += rate
+        assert np.allclose(flows.link_flow, link_ref)
+        assert np.allclose(flows.router_flow, router_ref)

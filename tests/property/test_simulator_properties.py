@@ -1,0 +1,123 @@
+"""Property-based tests of the cycle simulator against the analytical model.
+
+The strongest cross-validation in the suite: for random uncongested traffic,
+the simulator must agree with the analytical pipeline on flit counts
+(identical routing) and must never beat the zero-load analytical latency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import assign_flows, path_latency_cycles
+from repro.simulation import SimConfig, Simulator
+from repro.topology import RoutingTable, build_express_mesh, build_mesh
+from repro.traffic import PacketRecord, Trace
+
+
+def _random_trace(seed: int, n_packets: int, n_nodes: int = 64, spread: int = 40):
+    rng = np.random.default_rng(seed)
+    records = []
+    for _ in range(n_packets):
+        s, d = rng.choice(n_nodes, size=2, replace=False)
+        size = int(rng.choice([1, 32], p=[0.8, 0.2]))
+        records.append(
+            PacketRecord(int(rng.integers(0, spread)), int(s), int(d), size)
+        )
+    return Trace(n_nodes, records)
+
+
+@pytest.fixture(scope="module")
+def mesh8():
+    return build_mesh(8, 8)
+
+
+@pytest.fixture(scope="module")
+def routing8(mesh8):
+    return RoutingTable(mesh8)
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_everything_delivered(self, seed):
+        mesh = build_mesh(8, 8)
+        trace = _random_trace(seed, 60)
+        stats = Simulator(mesh).run(trace)
+        assert stats.drained
+        assert stats.packet_latencies.size == trace.n_packets
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_flit_counts_match_analytical_flows(self, seed):
+        mesh = build_mesh(8, 8)
+        routing = RoutingTable(mesh)
+        trace = _random_trace(seed, 50)
+        stats = Simulator(mesh, routing).run(trace)
+        flows = assign_flows(mesh, trace.flit_count_matrix(), routing)
+        assert np.allclose(stats.link_flit_counts, flows.link_flow)
+        assert np.allclose(stats.router_flit_counts, flows.router_flow)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_latency_never_beats_zero_load(self, seed):
+        mesh = build_mesh(8, 8)
+        routing = RoutingTable(mesh)
+        trace = _random_trace(seed, 40)
+        stats = Simulator(mesh, routing).run(trace)
+        # Reconstruct per-packet zero-load bounds (sim ejects at t+1).
+        for rec, latency in zip(
+            sorted(trace.packets, key=lambda p: (p.time, p.src, p.dst)),
+            stats.packet_latencies,
+        ):
+            bound = (
+                path_latency_cycles(
+                    mesh, rec.src, rec.dst, routing, packet_flits=rec.size_flits
+                )
+                + 1
+            )
+            assert latency >= bound
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([3, 5]),
+    )
+    def test_express_mesh_also_drains(self, seed, hops):
+        topo = build_express_mesh(8, 8, hops=hops)
+        trace = _random_trace(seed, 50, n_nodes=64)
+        stats = Simulator(topo).run(trace)
+        assert stats.drained
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_determinism(self, seed):
+        mesh = build_mesh(8, 8)
+        trace = _random_trace(seed, 40)
+        a = Simulator(mesh).run(trace)
+        b = Simulator(mesh).run(trace)
+        assert np.array_equal(a.packet_latencies, b.packet_latencies)
+        assert a.cycles == b.cycles
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_fresh_simulator_state_not_required(self, seed):
+        # Running two traces back-to-back on one Simulator instance must
+        # equal running them on fresh instances (no state leaks), because
+        # every run drains the network completely.
+        mesh = build_mesh(8, 8)
+        t1 = _random_trace(seed, 30)
+        t2 = _random_trace(seed + 1, 30)
+        sim = Simulator(mesh)
+        r1 = sim.run(t1)
+        r2 = sim.run(t2)
+        fresh = Simulator(mesh).run(t2)
+        assert np.array_equal(r2.packet_latencies, fresh.packet_latencies)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_single_vc_still_correct(self, seed):
+        mesh = build_mesh(8, 8)
+        trace = _random_trace(seed, 30)
+        stats = Simulator(mesh, config=SimConfig(n_vcs=1, vc_depth=2)).run(trace)
+        assert stats.drained

@@ -1,0 +1,247 @@
+"""Tests for the analytical network evaluation (flows, R, latency, power)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    aggregate_capability_gbps,
+    assign_flows,
+    average_latency_cycles,
+    average_utilization,
+    evaluate_network,
+    link_latency_cycles,
+    max_link_utilization,
+    network_area_m2,
+    network_power,
+    network_static_power_w,
+    path_latency_cycles,
+    rate_of_utilization_increase,
+    router_config_for_node,
+    trace_dynamic_energy_j,
+    utilization_curve,
+)
+from repro.tech import Technology
+from repro.topology import RoutingTable, build_express_mesh, build_mesh
+from repro.traffic import TrafficMatrix, soteriou_traffic, uniform_traffic
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return build_mesh()
+
+
+@pytest.fixture(scope="module")
+def mesh_routing(mesh):
+    return RoutingTable(mesh)
+
+
+@pytest.fixture(scope="module")
+def e3_hyppi():
+    return build_express_mesh(hops=3, express_technology=Technology.HYPPI)
+
+
+class TestFlows:
+    def test_single_pair_flow(self, mesh, mesh_routing):
+        m = np.zeros((256, 256))
+        m[0, 3] = 2.0
+        flows = assign_flows(mesh, TrafficMatrix(m), mesh_routing)
+        path = mesh_routing.path(0, 3)
+        for link in path:
+            assert flows.link_flow[link.link_id] == pytest.approx(2.0)
+        assert flows.link_flow.sum() == pytest.approx(2.0 * 3)
+        assert flows.mean_hops == pytest.approx(3.0)
+
+    def test_router_flow_counts_every_router(self, mesh, mesh_routing):
+        m = np.zeros((256, 256))
+        m[0, 3] = 1.0
+        flows = assign_flows(mesh, TrafficMatrix(m), mesh_routing)
+        # Source + 2 intermediates + destination = 4 routers.
+        assert flows.router_flow.sum() == pytest.approx(4.0)
+
+    def test_flow_conservation(self, mesh, mesh_routing):
+        tm = uniform_traffic(mesh)
+        flows = assign_flows(mesh, tm, mesh_routing)
+        # Total link flow equals total traffic times mean hops.
+        assert flows.link_flow.sum() == pytest.approx(
+            flows.total_traffic * flows.mean_hops
+        )
+
+    def test_scaled(self, mesh, mesh_routing):
+        tm = uniform_traffic(mesh)
+        flows = assign_flows(mesh, tm, mesh_routing)
+        double = flows.scaled(2.0)
+        assert double.link_flow.sum() == pytest.approx(2 * flows.link_flow.sum())
+
+    def test_node_count_mismatch(self, mesh):
+        with pytest.raises(ValueError):
+            assign_flows(mesh, TrafficMatrix(np.zeros((4, 4))))
+
+    def test_wrong_routing_table(self, mesh):
+        other = build_mesh()
+        rt = RoutingTable(other)
+        with pytest.raises(ValueError):
+            assign_flows(mesh, uniform_traffic(mesh), rt)
+
+
+class TestUtilization:
+    def test_linear_in_injection_rate(self, mesh, mesh_routing):
+        tm = soteriou_traffic(mesh)
+        rates = np.array([0.02, 0.04, 0.08])
+        u = utilization_curve(mesh, tm, rates, mesh_routing)
+        assert u[1] == pytest.approx(2 * u[0])
+        assert u[2] == pytest.approx(4 * u[0])
+
+    def test_r_matches_secant(self, mesh, mesh_routing):
+        tm = soteriou_traffic(mesh)
+        r = rate_of_utilization_increase(mesh, tm, routing=mesh_routing)
+        u = utilization_curve(mesh, tm, np.array([0.1]), mesh_routing)[0]
+        assert r == pytest.approx(u / 0.1, rel=1e-9)
+
+    def test_express_links_reduce_r(self, mesh, mesh_routing, e3_hyppi):
+        # Table III: R drops from 1.122 (plain) to 0.808 (Hops=3).
+        tm_mesh = soteriou_traffic(mesh)
+        tm_e3 = soteriou_traffic(e3_hyppi)
+        r_mesh = rate_of_utilization_increase(mesh, tm_mesh, routing=mesh_routing)
+        r_e3 = rate_of_utilization_increase(e3_hyppi, tm_e3)
+        assert r_e3 < r_mesh
+
+    def test_r_ordering_by_hops(self):
+        # R grows back toward the plain-mesh value as hops increase
+        # (fewer express links; Table III: 0.808 < 0.885 < 1.050 < 1.122).
+        rs = []
+        for hops in (3, 5, 15):
+            topo = build_express_mesh(hops=hops)
+            rs.append(
+                rate_of_utilization_increase(topo, soteriou_traffic(topo))
+            )
+        assert rs[0] < rs[1] < rs[2]
+
+    def test_max_utilization_positive(self, mesh, mesh_routing):
+        flows = assign_flows(mesh, soteriou_traffic(mesh), mesh_routing)
+        assert max_link_utilization(flows) > average_utilization(flows) > 0
+
+    def test_validation(self, mesh, mesh_routing):
+        tm = soteriou_traffic(mesh)
+        with pytest.raises(ValueError):
+            rate_of_utilization_increase(mesh, tm, max_injection_rate=0.0)
+        with pytest.raises(ValueError):
+            utilization_curve(mesh, tm, np.array([]))
+
+
+class TestLatency:
+    def test_link_latency_per_technology(self):
+        assert link_latency_cycles(Technology.ELECTRONIC) == 1
+        for tech in (Technology.PHOTONIC, Technology.PLASMONIC, Technology.HYPPI):
+            assert link_latency_cycles(tech) == 2
+
+    def test_path_latency_electronic(self, mesh, mesh_routing):
+        # 3 hops x (3 router + 1 link) + 3 ejection-router = 15.
+        assert path_latency_cycles(mesh, 0, 3, mesh_routing) == 15
+
+    def test_path_latency_express(self, e3_hyppi):
+        rt = RoutingTable(e3_hyppi)
+        # 5 express hops x (3 + 2) + 3 = 28.
+        assert path_latency_cycles(e3_hyppi, 0, 15, rt) == 28
+
+    def test_serialization(self, mesh, mesh_routing):
+        one = path_latency_cycles(mesh, 0, 3, mesh_routing, packet_flits=1)
+        thirty_two = path_latency_cycles(mesh, 0, 3, mesh_routing, packet_flits=32)
+        assert thirty_two == one + 31
+
+    def test_average_latency_express_helps(self, mesh, e3_hyppi):
+        tm_mesh = soteriou_traffic(mesh)
+        tm_e3 = soteriou_traffic(e3_hyppi)
+        lat_mesh = average_latency_cycles(mesh, tm_mesh)
+        lat_e3 = average_latency_cycles(e3_hyppi, tm_e3)
+        assert lat_e3 < lat_mesh
+
+    def test_zero_traffic_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            average_latency_cycles(mesh, TrafficMatrix(np.zeros((256, 256))))
+
+
+class TestPower:
+    def test_base_mesh_static_matches_paper(self, mesh):
+        # Table IV: 1.53 W for the base electronic mesh. Calibrated to 3%.
+        static = network_static_power_w(mesh)
+        assert static == pytest.approx(1.53, rel=0.03)
+
+    def test_photonic_express_static_near_paper(self):
+        # Table IV: 3.076 W with photonic express links at Hops=3.
+        topo = build_express_mesh(hops=3, express_technology=Technology.PHOTONIC)
+        assert network_static_power_w(topo) == pytest.approx(3.076, rel=0.25)
+
+    def test_hyppi_express_adds_little_static(self, mesh):
+        base = network_static_power_w(mesh)
+        topo = build_express_mesh(hops=3, express_technology=Technology.HYPPI)
+        hyppi = network_static_power_w(topo)
+        assert hyppi < 1.1 * base  # Table IV: 1.545 vs 1.53
+
+    def test_static_power_ordering(self):
+        # Photonic >> electronic ~ HyPPI for every hop count (Table IV).
+        for hops in (3, 5, 15):
+            stats = {
+                tech: network_static_power_w(
+                    build_express_mesh(hops=hops, express_technology=tech)
+                )
+                for tech in (
+                    Technology.ELECTRONIC,
+                    Technology.PHOTONIC,
+                    Technology.HYPPI,
+                )
+            }
+            assert stats[Technology.PHOTONIC] > 1.15 * stats[Technology.ELECTRONIC]
+            assert stats[Technology.HYPPI] < 1.02 * stats[Technology.ELECTRONIC]
+
+    def test_router_config_for_node(self, e3_hyppi):
+        c = router_config_for_node(e3_hyppi, e3_hyppi.node_id(3, 0))
+        assert c.express_ports == 2
+        c = router_config_for_node(e3_hyppi, e3_hyppi.node_id(1, 0))
+        assert c.express_ports == 0
+
+    def test_dynamic_power_scales_with_injection(self, mesh, mesh_routing):
+        tm = soteriou_traffic(mesh)
+        low = network_power(mesh, tm.scaled_to_injection_rate(0.01), mesh_routing)
+        high = network_power(mesh, tm.scaled_to_injection_rate(0.1), mesh_routing)
+        assert high.dynamic_w == pytest.approx(10 * low.dynamic_w, rel=1e-6)
+        assert high.static_w == pytest.approx(low.static_w)
+
+    def test_area_matches_paper_electronic(self, mesh):
+        # Section V: electronic mesh needs 22.1 mm².
+        assert network_area_m2(mesh) * 1e6 == pytest.approx(22.1, rel=0.05)
+
+    def test_trace_energy_accepts_matrix(self, mesh, mesh_routing):
+        m = np.zeros((256, 256))
+        m[0, 3] = 1000.0  # 1000 flits over 3 hops
+        e = trace_dynamic_energy_j(mesh, TrafficMatrix(m), mesh_routing)
+        # 3 links x 6.4 pJ + 4 routers x ~2.1 pJ per flit.
+        assert e.link_dynamic_j == pytest.approx(1000 * 3 * 6.4e-12)
+        assert e.router_dynamic_j > 0
+
+
+class TestNetworkClear:
+    def test_capability_table3(self, mesh):
+        assert aggregate_capability_gbps(mesh) / 256 == pytest.approx(187.5)
+        for hops, c in [(3, 218.75), (5, 206.25), (15, 193.75)]:
+            topo = build_express_mesh(hops=hops)
+            assert aggregate_capability_gbps(topo) / 256 == pytest.approx(c)
+
+    def test_evaluation_fields(self, mesh):
+        ev = evaluate_network(mesh, soteriou_traffic(mesh))
+        assert ev.capability_gbps == pytest.approx(187.5)
+        assert ev.latency_clks > 0
+        assert ev.power.total_w > ev.power.static_w > 0
+        assert ev.area_mm2 > 0
+        assert ev.r_slope > 0
+        assert ev.clear > 0
+        assert len(ev.summary_row()) == 7
+
+    def test_hyppi_express_improves_clear(self, mesh, e3_hyppi):
+        # The headline: E-mesh + HyPPI express gives >= 1.8x CLEAR.
+        base = evaluate_network(mesh, soteriou_traffic(mesh))
+        hyppi = evaluate_network(e3_hyppi, soteriou_traffic(e3_hyppi))
+        assert hyppi.clear / base.clear > 1.8
+
+    def test_injection_rate_validation(self, mesh):
+        with pytest.raises(ValueError):
+            evaluate_network(mesh, soteriou_traffic(mesh), injection_rate=0.0)

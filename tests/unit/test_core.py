@@ -1,0 +1,136 @@
+"""Tests for the core CLEAR metric and design-space exploration."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_NETWORK_TECHS,
+    DesignSpaceExplorer,
+    NocExperimentConfig,
+    PAPER_CONFIG,
+    clear_network,
+)
+from repro.tech import LinkMetrics, Technology
+from repro.core.clear import clear_link
+
+
+class TestClearNetwork:
+    def test_formula(self):
+        # CLEAR = (C/N) / (L * P * A * R).
+        v = clear_network(1000.0, 10, 2.0, 5.0, 4.0, 0.5)
+        assert v == pytest.approx(100.0 / (2.0 * 5.0 * 4.0 * 0.5))
+
+    def test_higher_is_better_semantics(self):
+        base = clear_network(1000.0, 10, 2.0, 5.0, 4.0, 0.5)
+        assert clear_network(2000.0, 10, 2.0, 5.0, 4.0, 0.5) > base
+        assert clear_network(1000.0, 10, 4.0, 5.0, 4.0, 0.5) < base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clear_network(1.0, 0, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            clear_network(1.0, 1, 0.0, 1.0, 1.0, 1.0)
+
+
+class TestClearLink:
+    def test_formula(self):
+        m = LinkMetrics(
+            technology=Technology.HYPPI,
+            length_m=1e-3,
+            capability_gbps=50.0,
+            latency_ps=10.0,
+            energy_fj_per_bit=5.0,
+            area_um2=2.0,
+        )
+        assert clear_link(m) == pytest.approx(50.0 / (10.0 * 5.0 * 2.0))
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        c = PAPER_CONFIG
+        assert c.n_nodes == 256
+        assert c.flit_bits == 64
+        assert c.core_clock_ghz == pytest.approx(0.78125)
+        assert c.express_hops_options == (3, 5, 15)
+
+    def test_flit_rate_consistency_enforced(self):
+        # 64 b x 0.78125 GHz must equal 50 Gb/s; a mismatch is rejected.
+        with pytest.raises(ValueError):
+            NocExperimentConfig(core_clock_ghz=1.0)
+
+    def test_consistent_alternative(self):
+        c = NocExperimentConfig(
+            core_clock_ghz=0.390625, link_capacity_gbps=25.0
+        )
+        assert c.link_capacity_gbps == 25.0
+
+    def test_injection_rate_bounds(self):
+        with pytest.raises(ValueError):
+            NocExperimentConfig(max_injection_rate=1.5)
+
+
+class TestDSE:
+    @pytest.fixture(scope="class")
+    def explorer(self):
+        return DesignSpaceExplorer()
+
+    def test_plain_point(self, explorer):
+        pt = explorer.evaluate_point(Technology.ELECTRONIC)
+        assert pt.express_technology is None
+        assert pt.hops == 0
+        assert "plain" in pt.label
+
+    def test_express_point_label(self, explorer):
+        pt = explorer.evaluate_point(Technology.ELECTRONIC, Technology.HYPPI, 3)
+        assert pt.label == "E-base + hyppi x3"
+        assert pt.evaluation.capability_gbps == pytest.approx(218.75)
+
+    def test_hyppi_wins_for_e_base(self, explorer):
+        # Paper Fig. 5a: with an electronic base, HyPPI express links beat
+        # both electronic and photonic express links in CLEAR.
+        pts = {
+            tech: explorer.evaluate_point(Technology.ELECTRONIC, tech, 3)
+            for tech in DEFAULT_NETWORK_TECHS
+        }
+        hyppi = pts[Technology.HYPPI].evaluation.clear
+        assert hyppi > pts[Technology.ELECTRONIC].evaluation.clear
+        assert hyppi > pts[Technology.PHOTONIC].evaluation.clear
+
+    def test_photonic_express_worst_for_e_base(self, explorer):
+        # "Augmenting with photonics long links is the worst option in
+        # terms of CLEAR, poorer than electronic long links."
+        ph = explorer.evaluate_point(Technology.ELECTRONIC, Technology.PHOTONIC, 3)
+        el = explorer.evaluate_point(Technology.ELECTRONIC, Technology.ELECTRONIC, 3)
+        assert ph.evaluation.clear < el.evaluation.clear
+
+    def test_clear_decreases_with_hops(self, explorer):
+        # "In all the plots, we notice that increasing the hop length
+        # reduces CLEAR."
+        clears = [
+            explorer.evaluate_point(
+                Technology.ELECTRONIC, Technology.HYPPI, h
+            ).evaluation.clear
+            for h in (3, 5, 15)
+        ]
+        assert clears[0] > clears[1] > clears[2]
+
+    def test_headline_1_8x_improvement(self, explorer):
+        # "augmenting an electronic mesh with HyPPI can give a CLEAR
+        # improvement by up to 1.8x (for Express Hops = 3)".
+        base = explorer.evaluate_point(Technology.ELECTRONIC)
+        best = explorer.evaluate_point(Technology.ELECTRONIC, Technology.HYPPI, 3)
+        ratio = best.evaluation.clear / base.evaluation.clear
+        assert ratio > 1.8
+
+    def test_best_selectors(self, explorer):
+        pts = [
+            explorer.evaluate_point(Technology.ELECTRONIC),
+            explorer.evaluate_point(Technology.ELECTRONIC, Technology.HYPPI, 3),
+        ]
+        assert DesignSpaceExplorer.best_by_clear(pts) is pts[1]
+        assert DesignSpaceExplorer.best_by_latency(pts) is pts[1]
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer.best_by_clear([])
+
+    def test_injection_rate_validation(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer(injection_rate=0.5)  # above the paper's max

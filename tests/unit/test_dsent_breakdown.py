@@ -1,0 +1,43 @@
+"""Tests for the DSENT router breakdown report."""
+
+import pytest
+
+from repro.dsent import RouterConfig, RouterPowerArea
+
+
+class TestBreakdown:
+    @pytest.fixture(scope="class")
+    def router(self):
+        return RouterPowerArea(RouterConfig(express_ports=2))
+
+    def test_components_present(self, router):
+        bd = router.breakdown()
+        assert set(bd) == {
+            "input_buffers",
+            "express_staging",
+            "crossbar",
+            "allocator",
+            "clock",
+        }
+
+    def test_breakdown_sums_to_total(self, router):
+        bd = router.breakdown()
+        total = router.evaluate()
+        assert sum(c.static_w for c in bd.values()) == pytest.approx(total.static_w)
+        assert sum(c.dynamic_j_per_event for c in bd.values()) == pytest.approx(
+            total.dynamic_j_per_event
+        )
+        assert sum(c.area_m2 for c in bd.values()) == pytest.approx(total.area_m2)
+
+    def test_buffers_dominate_static(self, router):
+        # DSENT's classic result for buffered VC routers at deep submicron.
+        bd = router.breakdown()
+        assert bd["input_buffers"].static_w > 0.5 * router.evaluate().static_w
+
+    def test_plain_router_has_no_express_staging(self):
+        bd = RouterPowerArea(RouterConfig()).breakdown()
+        assert bd["express_staging"].static_w == 0.0
+        assert bd["express_staging"].area_m2 == 0.0
+
+    def test_clock_has_no_area(self, router):
+        assert router.breakdown()["clock"].area_m2 == 0.0

@@ -1,0 +1,181 @@
+"""Unit tests for the DSENT electrical component models."""
+
+import math
+
+import pytest
+
+from repro.dsent import (
+    Allocator,
+    ClockTree,
+    ComponentPower,
+    Crossbar,
+    FlitBuffer,
+    RepeatedWire,
+    TECH_11NM,
+    TechNode,
+)
+
+
+class TestComponentPower:
+    def test_add(self):
+        a = ComponentPower(1.0, 2.0, 3.0)
+        b = ComponentPower(0.5, 0.5, 0.5)
+        c = a + b
+        assert c.static_w == 1.5
+        assert c.dynamic_j_per_event == 2.5
+        assert c.area_m2 == 3.5
+
+    def test_scaled(self):
+        c = ComponentPower(1.0, 2.0, 3.0).scaled(4)
+        assert (c.static_w, c.dynamic_j_per_event, c.area_m2) == (4.0, 8.0, 12.0)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ComponentPower(1.0, 1.0, 1.0).scaled(-1)
+
+    def test_rejects_negative_figures(self):
+        with pytest.raises(ValueError):
+            ComponentPower(-1.0, 0.0, 0.0)
+
+
+class TestFlitBuffer:
+    def test_total_bits(self):
+        assert FlitBuffer(64, 4, 8).total_bits == 2048
+
+    def test_leakage_scales_with_bits(self):
+        small = FlitBuffer(64, 4, 8).evaluate()
+        big = FlitBuffer(64, 4, 16).evaluate()
+        assert big.static_w == pytest.approx(2 * small.static_w)
+
+    def test_write_energy_independent_of_depth(self):
+        shallow = FlitBuffer(64, 4, 2).evaluate()
+        deep = FlitBuffer(64, 4, 32).evaluate()
+        assert shallow.dynamic_j_per_event == pytest.approx(deep.dynamic_j_per_event)
+
+    def test_energy_scales_with_width(self):
+        w64 = FlitBuffer(64, 4, 8).evaluate()
+        w128 = FlitBuffer(128, 4, 8).evaluate()
+        assert w128.dynamic_j_per_event == pytest.approx(2 * w64.dynamic_j_per_event)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            FlitBuffer(0, 4, 8)
+        with pytest.raises(ValueError):
+            FlitBuffer(64, 0, 8)
+        with pytest.raises(ValueError):
+            FlitBuffer(64, 4, 0)
+
+
+class TestCrossbar:
+    def test_area_grows_quadratically_with_ports(self):
+        x5 = Crossbar(5, 5, 64).evaluate()
+        x10 = Crossbar(10, 10, 64).evaluate()
+        # gates = (n-1) * bits * n, so 10 ports is 90/20 = 4.5x the 5-port.
+        assert x10.area_m2 / x5.area_m2 == pytest.approx(90 / 20)
+
+    def test_dynamic_grows_with_ports(self):
+        assert (
+            Crossbar(7, 7, 64).evaluate().dynamic_j_per_event
+            > Crossbar(5, 5, 64).evaluate().dynamic_j_per_event
+        )
+
+    def test_rejects_single_input(self):
+        with pytest.raises(ValueError):
+            Crossbar(1, 5, 64)
+
+
+class TestAllocator:
+    def test_vc_count_increases_cost(self):
+        a2 = Allocator(5, 5, 2).evaluate()
+        a8 = Allocator(5, 5, 8).evaluate()
+        assert a8.static_w > a2.static_w
+        assert a8.area_m2 > a2.area_m2
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            Allocator(0, 5, 4)
+
+
+class TestClockTree:
+    def test_power_linear_in_frequency(self):
+        p1 = ClockTree(1000, 1.0).evaluate().static_w
+        p2 = ClockTree(1000, 2.0).evaluate().static_w
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_no_dynamic_or_area(self):
+        c = ClockTree(1000, 1.0).evaluate()
+        assert c.dynamic_j_per_event == 0.0
+        assert c.area_m2 == 0.0
+
+    def test_zero_bits_ok(self):
+        assert ClockTree(0, 1.0).evaluate().static_w == 0.0
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            ClockTree(100, 0.0)
+
+
+class TestRepeatedWire:
+    def test_energy_linear_in_length(self):
+        e1 = RepeatedWire(1.0, 64).evaluate().dynamic_j_per_event
+        e3 = RepeatedWire(3.0, 64).evaluate().dynamic_j_per_event
+        assert e3 == pytest.approx(3 * e1)
+
+    def test_express_costs_more(self):
+        normal = RepeatedWire(3.0, 64).evaluate()
+        express = RepeatedWire(3.0, 64, express=True).evaluate()
+        factor = TECH_11NM.wire_energy_express_factor
+        assert express.dynamic_j_per_event == pytest.approx(
+            factor * normal.dynamic_j_per_event
+        )
+
+    def test_one_mm_64bit_flit_energy(self):
+        # 64 bits x 100 fJ/bit/mm = 6.4 pJ/flit for a 1 mm regular link.
+        e = RepeatedWire(1.0, 64).evaluate().dynamic_j_per_event
+        assert e == pytest.approx(6.4e-12)
+
+    def test_delay(self):
+        assert RepeatedWire(2.0, 1).delay_ps() == pytest.approx(
+            2 * TECH_11NM.wire_delay_ps_per_mm
+        )
+
+    def test_area_dominated_by_pitch(self):
+        a = RepeatedWire(1.0, 64).evaluate().area_m2
+        pitch_part = 64 * TECH_11NM.wire_pitch_um * 1000 * 1e-12
+        assert a > pitch_part
+        assert a < 1.5 * pitch_part
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            RepeatedWire(0.0, 64)
+        with pytest.raises(ValueError):
+            RepeatedWire(1.0, 0)
+
+
+class TestTechNode:
+    def test_validation_positive(self):
+        with pytest.raises(ValueError):
+            TechNode(
+                name="bad", vdd_v=-1.0, dff_energy_fj=1, dff_leakage_uw=1,
+                dff_area_um2=1, gate_energy_fj=1, gate_leakage_uw=1,
+                gate_area_um2=1, wire_cap_ff_per_mm=1,
+                wire_energy_fj_per_bit_mm=1, wire_energy_express_factor=1.5,
+                wire_delay_ps_per_mm=1, wire_leakage_uw_per_mm=1,
+                wire_pitch_um=1, wire_repeater_area_um2_per_mm=1,
+                clock_power_uw_per_ghz_per_bit=1,
+            )
+
+    def test_express_factor_floor(self):
+        with pytest.raises(ValueError):
+            TechNode(
+                name="bad", vdd_v=0.7, dff_energy_fj=1, dff_leakage_uw=1,
+                dff_area_um2=1, gate_energy_fj=1, gate_leakage_uw=1,
+                gate_area_um2=1, wire_cap_ff_per_mm=1,
+                wire_energy_fj_per_bit_mm=1, wire_energy_express_factor=0.5,
+                wire_delay_ps_per_mm=1, wire_leakage_uw_per_mm=1,
+                wire_pitch_um=1, wire_repeater_area_um2_per_mm=1,
+                clock_power_uw_per_ghz_per_bit=1,
+            )
+
+    def test_paper_wire_pitch(self):
+        assert TECH_11NM.wire_pitch_um == pytest.approx(0.32)

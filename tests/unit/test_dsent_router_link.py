@@ -1,0 +1,176 @@
+"""Tests for the DSENT router and NoC-link front-end models, including the
+paper's calibration anchors (Table IV neighbourhood)."""
+
+import pytest
+
+from repro.dsent import (
+    MAX_SERDES_RATE_GBPS,
+    NocLinkConfig,
+    NocLinkModel,
+    NocOpticalLink,
+    OpticalLinkConfig,
+    RouterConfig,
+    RouterPowerArea,
+    Serdes,
+    SerdesConfig,
+)
+from repro.tech import Technology
+
+
+class TestRouterConfig:
+    def test_paper_defaults(self):
+        c = RouterConfig()
+        assert c.flit_bits == 64
+        assert c.base_ports == 5
+        assert c.n_vcs == 4
+        assert c.buffers_per_vc == 8
+        assert c.pipeline_stages == 3
+        assert c.frequency_ghz == pytest.approx(0.78125)
+
+    def test_total_ports(self):
+        assert RouterConfig(express_ports=2).total_ports == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RouterConfig(base_ports=1)
+        with pytest.raises(ValueError):
+            RouterConfig(express_ports=-1)
+        with pytest.raises(ValueError):
+            RouterConfig(pipeline_stages=0)
+        with pytest.raises(ValueError):
+            RouterConfig(frequency_ghz=0.0)
+
+
+class TestRouterPowerArea:
+    def test_static_power_calibration(self):
+        # 256 five-port routers plus base-mesh links land near the paper's
+        # 1.53 W (DESIGN.md section 5); the router alone is ~5.7 mW.
+        static_mw = RouterPowerArea(RouterConfig()).static_power_w() * 1e3
+        assert 5.0 < static_mw < 6.5
+
+    def test_express_ports_add_little_static(self):
+        r5 = RouterPowerArea(RouterConfig()).static_power_w()
+        r7 = RouterPowerArea(RouterConfig(express_ports=2)).static_power_w()
+        assert r7 > r5
+        assert (r7 - r5) / r5 < 0.10  # lightweight express ports (Fig. 4)
+
+    def test_dynamic_energy_magnitude(self):
+        dyn_pj = RouterPowerArea(RouterConfig()).dynamic_energy_j_per_flit() * 1e12
+        assert 0.5 < dyn_pj < 10.0
+
+    def test_area_magnitude(self):
+        # DSENT-class 11 nm router: ~0.01 mm².
+        area_mm2 = RouterPowerArea(RouterConfig()).area_m2() * 1e6
+        assert 0.003 < area_mm2 < 0.05
+
+    def test_more_vcs_cost_more(self):
+        small = RouterPowerArea(RouterConfig(n_vcs=2)).evaluate()
+        big = RouterPowerArea(RouterConfig(n_vcs=8)).evaluate()
+        assert big.static_w > small.static_w
+        assert big.area_m2 > small.area_m2
+
+    def test_latency_cycles(self):
+        assert RouterPowerArea(RouterConfig()).latency_cycles() == 3
+
+
+class TestSerdes:
+    def test_rate_cap_enforced(self):
+        with pytest.raises(ValueError):
+            SerdesConfig(line_rate_gbps=MAX_SERDES_RATE_GBPS + 1)
+
+    def test_flit_energy(self):
+        # 64 bits x 150 fJ ~ 9.6 pJ/flit.
+        dyn = Serdes().evaluate().dynamic_j_per_event
+        assert dyn == pytest.approx(64 * 150e-15)
+
+    def test_static_fraction(self):
+        cfg = SerdesConfig(static_fraction=0.0)
+        assert Serdes(cfg).evaluate().static_w == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SerdesConfig(parallel_bits=0)
+        with pytest.raises(ValueError):
+            SerdesConfig(static_fraction=1.5)
+
+
+class TestNocOpticalLink:
+    def test_photonic_needs_two_wavelengths(self):
+        link = NocOpticalLink(
+            OpticalLinkConfig(technology=Technology.PHOTONIC, length_m=3e-3)
+        )
+        assert link.n_wavelengths == 2
+        assert link.n_rings == 4
+
+    def test_hyppi_single_wavelength_no_rings(self):
+        link = NocOpticalLink(
+            OpticalLinkConfig(technology=Technology.HYPPI, length_m=3e-3)
+        )
+        assert link.n_wavelengths == 1
+        assert link.n_rings == 0
+
+    def test_photonic_static_dominated_by_tuning(self):
+        link = NocOpticalLink(
+            OpticalLinkConfig(technology=Technology.PHOTONIC, length_m=3e-3)
+        )
+        assert link.thermal_tuning_w() > 10 * link.laser_wallplug_w()
+
+    def test_hyppi_static_two_orders_below_photonic(self):
+        ph = NocOpticalLink(
+            OpticalLinkConfig(technology=Technology.PHOTONIC, length_m=3e-3)
+        ).evaluate()
+        hy = NocOpticalLink(
+            OpticalLinkConfig(technology=Technology.HYPPI, length_m=3e-3)
+        ).evaluate()
+        assert ph.static_w > 30 * hy.static_w  # Table IV's 19.3 vs 0.16 mW
+
+    def test_laser_grows_with_length(self):
+        short = NocOpticalLink(
+            OpticalLinkConfig(technology=Technology.HYPPI, length_m=3e-3)
+        ).laser_wallplug_w()
+        long = NocOpticalLink(
+            OpticalLinkConfig(technology=Technology.HYPPI, length_m=15e-3)
+        ).laser_wallplug_w()
+        assert long > short
+
+    def test_rejects_electronic(self):
+        with pytest.raises(ValueError):
+            OpticalLinkConfig(technology=Technology.ELECTRONIC, length_m=1e-3)
+
+
+class TestNocLinkModel:
+    def test_latencies_match_paper_table2(self):
+        el = NocLinkModel(NocLinkConfig(Technology.ELECTRONIC, 1e-3))
+        hy = NocLinkModel(NocLinkConfig(Technology.HYPPI, 3e-3))
+        ph = NocLinkModel(NocLinkConfig(Technology.PHOTONIC, 3e-3))
+        assert el.latency_cycles() == 1
+        assert hy.latency_cycles() == 2
+        assert ph.latency_cycles() == 2
+
+    def test_electronic_1mm_calibration(self):
+        fig = NocLinkModel(NocLinkConfig(Technology.ELECTRONIC, 1e-3)).evaluate()
+        assert fig.dynamic_j_per_flit == pytest.approx(6.4e-12)
+
+    def test_express_electronic_costs_more_per_mm(self):
+        base = NocLinkModel(NocLinkConfig(Technology.ELECTRONIC, 3e-3)).evaluate()
+        express = NocLinkModel(
+            NocLinkConfig(Technology.ELECTRONIC, 3e-3, express=True)
+        ).evaluate()
+        assert express.dynamic_j_per_flit > base.dynamic_j_per_flit
+
+    def test_optical_express_energy_flat_in_length(self):
+        e3 = NocLinkModel(
+            NocLinkConfig(Technology.HYPPI, 3e-3, express=True)
+        ).evaluate()
+        e15 = NocLinkModel(
+            NocLinkConfig(Technology.HYPPI, 15e-3, express=True)
+        ).evaluate()
+        # Dynamic energy is length-independent for optical links (Table V's
+        # flat HyPPI row); only the laser static grows slightly.
+        assert e15.dynamic_j_per_flit == pytest.approx(e3.dynamic_j_per_flit)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NocLinkConfig(Technology.HYPPI, 0.0)
+        with pytest.raises(ValueError):
+            NocLinkConfig(Technology.HYPPI, 1e-3, flit_bits=0)

@@ -1,0 +1,212 @@
+"""Tests for the per-technology link models and link-level CLEAR (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clear import clear_link, find_crossover_m, sweep_link_clear
+from repro.tech import (
+    CapabilityMode,
+    ElectronicLinkModel,
+    HyPPILinkModel,
+    PhotonicLinkModel,
+    PlasmonicLinkModel,
+    Technology,
+    link_model_for,
+)
+from repro.tech.optical import laser_energy_fj_per_bit
+from repro.tech.parameters import HYPPI, PHOTONIC
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {
+        Technology.ELECTRONIC: ElectronicLinkModel(),
+        Technology.PHOTONIC: PhotonicLinkModel(),
+        Technology.PLASMONIC: PlasmonicLinkModel(),
+        Technology.HYPPI: HyPPILinkModel(),
+    }
+
+
+class TestElectronicModel:
+    def test_latency_linear_in_length(self):
+        m = ElectronicLinkModel()
+        l1 = m.evaluate(1e-3).latency_ps
+        l2 = m.evaluate(2e-3).latency_ps
+        fixed = m.params.fixed_latency_ps
+        assert l2 - fixed == pytest.approx(2 * (l1 - fixed))
+
+    def test_energy_linear_in_length(self):
+        m = ElectronicLinkModel()
+        e1 = m.evaluate(1e-3).energy_fj_per_bit
+        e2 = m.evaluate(3e-3).energy_fj_per_bit
+        fixed = m.params.energy_fj_per_bit_fixed
+        assert e2 - fixed == pytest.approx(3 * (e1 - fixed))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            ElectronicLinkModel().evaluate(-1.0)
+
+    def test_bus_scales_capability_not_latency(self):
+        m = ElectronicLinkModel()
+        one = m.evaluate(1e-3)
+        bus = m.bus(1e-3, 64)
+        assert bus.capability_gbps == pytest.approx(64 * one.capability_gbps)
+        assert bus.area_um2 == pytest.approx(64 * one.area_um2)
+        assert bus.latency_ps == one.latency_ps
+        assert bus.energy_fj_per_bit == one.energy_fj_per_bit
+
+    def test_bus_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            ElectronicLinkModel().bus(1e-3, 0)
+
+    def test_one_mm_wire_width_for_64_bits(self):
+        # Paper: "a 64-bit link requires around 20 um in width".
+        m = ElectronicLinkModel()
+        assert 64 * m.params.wire_pitch_um == pytest.approx(20.48)
+
+
+class TestOpticalModels:
+    def test_laser_energy_exponential_in_loss(self):
+        e0 = laser_energy_fj_per_bit(HYPPI, 0.0)
+        e10 = laser_energy_fj_per_bit(HYPPI, 10.0)
+        assert e10 == pytest.approx(10 * e0)
+
+    def test_laser_energy_responsivity_penalty(self):
+        # HyPPI's 0.1 A/W detector needs more laser energy than the photonic
+        # 0.8 A/W detector would for the same charge and efficiency.
+        e_hyppi = laser_energy_fj_per_bit(HYPPI, 0.0)
+        e_phot = laser_energy_fj_per_bit(PHOTONIC, 0.0)
+        assert e_hyppi > e_phot
+
+    def test_time_of_flight_component(self):
+        m = HyPPILinkModel()
+        near = m.evaluate(1e-6).latency_ps
+        far = m.evaluate(10e-3).latency_ps
+        assert far - near == pytest.approx(4.2 * 10e-3 / 2.99792458e8 * 1e12, rel=1e-3)
+
+    def test_plasmonic_energy_explodes_at_mm(self):
+        m = PlasmonicLinkModel()
+        e_10um = m.evaluate(10e-6).energy_fj_per_bit
+        e_1mm = m.evaluate(1e-3).energy_fj_per_bit
+        assert e_1mm > 100 * e_10um  # 44 dB of extra loss
+
+    def test_hyppi_energy_flat_at_mm(self):
+        m = HyPPILinkModel()
+        e_1mm = m.evaluate(1e-3).energy_fj_per_bit
+        e_5mm = m.evaluate(5e-3).energy_fj_per_bit
+        assert e_5mm < 1.2 * e_1mm  # only 0.4 dB extra
+
+    def test_area_uses_pitch(self):
+        m = PhotonicLinkModel()
+        a1 = m.evaluate(1e-3).area_um2
+        a2 = m.evaluate(2e-3).area_um2
+        assert a2 - a1 == pytest.approx(PHOTONIC.waveguide.pitch_um * 1000.0)
+
+    def test_serdes_mode_caps_rate(self):
+        m = HyPPILinkModel()
+        dev = m.evaluate(1e-3, mode=CapabilityMode.DEVICE)
+        ser = m.evaluate(1e-3, mode=CapabilityMode.SERDES)
+        assert dev.capability_gbps == 700.0
+        assert ser.capability_gbps == 50.0
+
+    def test_wrong_params_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonicLinkModel(HYPPI)
+        with pytest.raises(ValueError):
+            HyPPILinkModel(PHOTONIC)
+
+    def test_max_reach(self):
+        m = PlasmonicLinkModel()
+        reach = m.max_reach_m(10.0)
+        # budget 10 dB - fixed 2.36 dB over 440 dB/cm -> ~174 um
+        assert reach == pytest.approx((10.0 - 2.36) / 44000.0, rel=1e-6)
+
+    def test_max_reach_exhausted_budget(self):
+        m = HyPPILinkModel()
+        assert m.max_reach_m(1.0) == 0.0  # fixed losses are 2.6 dB
+
+    def test_max_reach_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            HyPPILinkModel().max_reach_m(0.0)
+
+    def test_link_model_for_all_technologies(self):
+        for tech in Technology:
+            assert link_model_for(tech).technology is tech
+
+
+class TestFig3Shape:
+    """The qualitative claims of Fig. 3 / Section III-A."""
+
+    def test_electronics_wins_at_short_range(self, models):
+        length = 5e-6
+        ce = clear_link(models[Technology.ELECTRONIC].evaluate(length))
+        for tech in (Technology.PHOTONIC, Technology.PLASMONIC, Technology.HYPPI):
+            assert ce > clear_link(models[tech].evaluate(length))
+
+    def test_hyppi_wins_at_inter_core_distance(self, models):
+        length = 1e-3  # the paper's core spacing
+        ch = clear_link(models[Technology.HYPPI].evaluate(length))
+        for tech in (Technology.ELECTRONIC, Technology.PHOTONIC, Technology.PLASMONIC):
+            assert ch > clear_link(models[tech].evaluate(length))
+
+    def test_photonics_beats_electronics_at_long_range(self, models):
+        length = 20e-3
+        cp = clear_link(models[Technology.PHOTONIC].evaluate(length))
+        ce = clear_link(models[Technology.ELECTRONIC].evaluate(length))
+        assert cp > ce
+
+    def test_plasmonics_short_reach_only(self, models):
+        pl = models[Technology.PLASMONIC]
+        assert clear_link(pl.evaluate(10e-6)) > 1e4 * clear_link(pl.evaluate(1e-3))
+
+    def test_plasmonic_beats_photonic_at_micron_scale_serdes(self, models):
+        cpl = clear_link(
+            models[Technology.PLASMONIC].evaluate(5e-6, mode=CapabilityMode.SERDES)
+        )
+        cph = clear_link(
+            models[Technology.PHOTONIC].evaluate(5e-6, mode=CapabilityMode.SERDES)
+        )
+        assert cpl > cph
+
+    def test_crossover_electronic_hyppi(self, models):
+        x = find_crossover_m(
+            models[Technology.ELECTRONIC], models[Technology.HYPPI], 1e-6, 10e-3
+        )
+        assert x is not None
+        assert 10e-6 < x < 1e-3  # hand-off below the 1 mm core spacing
+
+    def test_no_crossover_returns_none(self, models):
+        # HyPPI dominates photonics across the whole sweep in device mode.
+        x = find_crossover_m(
+            models[Technology.HYPPI], models[Technology.PHOTONIC], 1e-4, 50e-3
+        )
+        assert x is None
+
+    def test_crossover_input_validation(self, models):
+        with pytest.raises(ValueError):
+            find_crossover_m(
+                models[Technology.ELECTRONIC], models[Technology.HYPPI], 1e-3, 1e-6
+            )
+
+
+class TestSweep:
+    def test_sweep_shapes(self, models):
+        lengths = np.logspace(-6, -2, 17)
+        sweep = sweep_link_clear(models[Technology.HYPPI], lengths)
+        assert sweep.clear.shape == (17,)
+        assert sweep.latency_ps.shape == (17,)
+        assert np.all(sweep.clear > 0)
+        assert sweep.technology is Technology.HYPPI
+
+    def test_sweep_monotone_latency(self, models):
+        lengths = np.linspace(1e-6, 1e-2, 50)
+        sweep = sweep_link_clear(models[Technology.ELECTRONIC], lengths)
+        assert np.all(np.diff(sweep.latency_ps) > 0)
+
+    def test_sweep_rejects_empty(self, models):
+        with pytest.raises(ValueError):
+            sweep_link_clear(models[Technology.HYPPI], [])
+
+    def test_sweep_rejects_negative(self, models):
+        with pytest.raises(ValueError):
+            sweep_link_clear(models[Technology.HYPPI], [-1.0])

@@ -1,0 +1,120 @@
+"""Tests for heterogeneous express placement and the greedy optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import optimize_express_placement
+from repro.simulation import Simulator
+from repro.topology import (
+    ExpressSpec,
+    RoutingTable,
+    build_custom_express_mesh,
+    build_express_mesh,
+)
+from repro.traffic import PacketRecord, Trace, TrafficMatrix
+
+
+class TestExpressSpec:
+    def test_span(self):
+        assert ExpressSpec(0, 2, 7).span == 5
+
+    def test_rejects_adjacent(self):
+        with pytest.raises(ValueError):
+            ExpressSpec(0, 3, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ExpressSpec(-1, 0, 3)
+
+
+class TestCustomExpressMesh:
+    def test_single_link(self):
+        topo = build_custom_express_mesh(8, 8, express=[ExpressSpec(2, 0, 5)])
+        assert len(topo.express_links()) == 2  # both directions
+        assert topo.express_links()[0].length_m == pytest.approx(5e-3)
+
+    def test_heterogeneous_rows_route_correctly(self):
+        # Row 2 has an express link; row 3 does not. Routing must differ.
+        topo = build_custom_express_mesh(8, 8, express=[ExpressSpec(2, 0, 5)])
+        rt = RoutingTable(topo)
+        with_express = rt.hop_count(topo.node_id(0, 2), topo.node_id(5, 2))
+        without = rt.hop_count(topo.node_id(0, 3), topo.node_id(5, 3))
+        assert with_express == 1
+        assert without == 5
+
+    def test_matches_uniform_builder(self):
+        # A custom placement replicating the uniform Hops=3 grid routes
+        # identically to build_express_mesh.
+        specs = [
+            ExpressSpec(row, col, col + 3)
+            for row in range(16)
+            for col in range(0, 15, 3)
+            if col + 3 <= 15
+        ]
+        custom = build_custom_express_mesh(express=specs)
+        uniform = build_express_mesh(hops=3)
+        rt_c, rt_u = RoutingTable(custom), RoutingTable(uniform)
+        for s, d in [(0, 15), (17, 30), (240, 255), (5, 250)]:
+            assert rt_c.hop_count(s, d) == rt_u.hop_count(s, d)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            build_custom_express_mesh(
+                8, 8, express=[ExpressSpec(0, 0, 4), ExpressSpec(0, 4, 0)]
+            )
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(ValueError):
+            build_custom_express_mesh(8, 8, express=[ExpressSpec(0, 0, 9)])
+
+    def test_simulation_on_custom_topology(self):
+        topo = build_custom_express_mesh(8, 8, express=[ExpressSpec(1, 0, 6)])
+        trace = Trace(
+            64,
+            [PacketRecord(0, topo.node_id(0, 1), topo.node_id(6, 1), 32)],
+        )
+        stats = Simulator(topo).run(trace)
+        assert stats.drained
+        # One express hop (2 cycles) instead of six regular ones.
+        assert stats.packet_latencies[0] < 6 * 4 + 4 + 31
+
+
+class TestOptimizer:
+    def test_places_link_on_hot_row(self):
+        n = 64
+        m = np.zeros((n, n))
+        for c in range(3):
+            m[5 * 8 + c, 5 * 8 + 7 - c] = 5.0
+        m += 0.01 * (1 - np.eye(n))
+        result = optimize_express_placement(
+            TrafficMatrix(m), budget=1, width=8, height=8, min_span=4, max_span=7
+        )
+        assert len(result.placement) == 1
+        assert result.placement[0].row == 5
+        assert result.improvement > 1.05
+
+    def test_stops_when_no_improvement(self):
+        # Nearest-neighbour traffic cannot benefit from any express link.
+        n = 64
+        m = np.zeros((n, n))
+        for s in range(n - 1):
+            if (s + 1) % 8 != 0:
+                m[s, s + 1] = 1.0
+        result = optimize_express_placement(
+            TrafficMatrix(m), budget=3, width=8, height=8, min_span=4, max_span=6
+        )
+        assert result.placement == ()
+        assert result.improvement == pytest.approx(1.0)
+
+    def test_validation(self):
+        tm = TrafficMatrix(np.zeros((64, 64)))
+        with pytest.raises(ValueError):
+            optimize_express_placement(tm, budget=0, width=8, height=8)
+        with pytest.raises(ValueError):
+            optimize_express_placement(
+                tm, budget=1, width=8, height=8, min_span=1
+            )
+        with pytest.raises(ValueError):
+            optimize_express_placement(
+                TrafficMatrix(np.zeros((16, 16))), budget=1, width=8, height=8
+            )

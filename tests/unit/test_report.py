@@ -1,0 +1,71 @@
+"""Tests for the JSON report serialization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import evaluate_network
+from repro.analysis.report import (
+    evaluation_to_dict,
+    load_points_to_dicts,
+    load_report,
+    save_report,
+    sim_stats_to_dict,
+)
+from repro.simulation import LoadPoint, Simulator
+from repro.topology import build_mesh
+from repro.traffic import PacketRecord, Trace, uniform_traffic
+
+
+@pytest.fixture(scope="module")
+def mesh8():
+    return build_mesh(8, 8)
+
+
+class TestEvaluationDict:
+    def test_roundtrips_through_json(self, mesh8, tmp_path):
+        ev = evaluate_network(mesh8, uniform_traffic(mesh8))
+        d = evaluation_to_dict(ev)
+        path = tmp_path / "ev.json"
+        save_report(d, path)
+        loaded = load_report(path)
+        assert loaded["clear"] == pytest.approx(ev.clear)
+        assert loaded["power_w"]["total"] == pytest.approx(ev.power.total_w)
+        assert loaded["n_nodes"] == 64
+
+    def test_power_components_sum(self, mesh8):
+        ev = evaluate_network(mesh8, uniform_traffic(mesh8))
+        d = evaluation_to_dict(ev)
+        parts = (
+            d["power_w"]["router_static"]
+            + d["power_w"]["link_static"]
+            + d["power_w"]["router_dynamic"]
+            + d["power_w"]["link_dynamic"]
+        )
+        assert parts == pytest.approx(d["power_w"]["total"])
+
+
+class TestSimStatsDict:
+    def test_fields(self, mesh8):
+        stats = Simulator(mesh8).run(Trace(64, [PacketRecord(0, 0, 5, 4)]))
+        d = sim_stats_to_dict(stats)
+        assert d["n_packets"] == 1
+        assert d["drained"] is True
+        assert d["total_link_traversals"] == 4 * 5
+        assert "avg_latency" in d
+
+    def test_empty_run_has_no_latency(self, mesh8):
+        stats = Simulator(mesh8).run(Trace(64, []))
+        d = sim_stats_to_dict(stats)
+        assert "avg_latency" not in d
+
+
+class TestLoadPoints:
+    def test_serialization(self):
+        pts = [LoadPoint(0.1, 20.0, 50.0, True)]
+        (d,) = load_points_to_dicts(pts)
+        assert d == {
+            "injection_rate": 0.1,
+            "avg_latency": 20.0,
+            "p99_latency": 50.0,
+            "drained": True,
+        }

@@ -1,0 +1,87 @@
+"""White-box tests of simulator internals (dateline classes, VC ranges)."""
+
+import pytest
+
+from repro.simulation import SimConfig, Simulator
+from repro.simulation.router import LOCAL_PORT
+from repro.tech import Technology
+from repro.topology import build_express_mesh, build_mesh, build_torus
+from repro.traffic import PacketRecord, Trace
+
+
+class TestVcRanges:
+    def test_plain_mesh_never_partitions(self):
+        sim = Simulator(build_mesh(8, 8))
+        for link_id in range(sim.topology.n_links):
+            assert sim._vc_range(0, link_id) is None
+            assert sim._vc_range(1, link_id) is None
+
+    def test_express_mesh_partitions_row_links_only(self):
+        topo = build_express_mesh(8, 8, hops=3)
+        sim = Simulator(topo)
+        for link in topo.links:
+            row = topo.coords(link.src)[1] == topo.coords(link.dst)[1]
+            rng0 = sim._vc_range(0, link.link_id)
+            rng1 = sim._vc_range(1, link.link_id)
+            if row:
+                assert rng0 == (0, 2)
+                assert rng1 == (2, 4)
+            else:
+                assert rng0 is None and rng1 is None
+
+    def test_full_torus_partitions_both_dimensions(self):
+        topo = build_torus(8, 8)
+        sim = Simulator(topo)
+        partitioned = [
+            sim._vc_range(0, link.link_id) is not None for link in topo.links
+        ]
+        assert all(partitioned)
+
+    def test_local_port_never_partitioned(self):
+        sim = Simulator(build_express_mesh(8, 8, hops=3))
+        assert sim._vc_range(0, LOCAL_PORT) is None
+
+    def test_single_vc_disables_partition(self):
+        topo = build_express_mesh(8, 8, hops=3)
+        sim = Simulator(topo, config=SimConfig(n_vcs=1, vc_depth=4))
+        assert sim._vc_range(1, topo.express_links()[0].link_id) is None
+
+
+class TestDatelinePromotion:
+    def test_packet_promoted_after_express_crossing(self):
+        topo = build_express_mesh(hops=3, express_technology=Technology.HYPPI)
+        sim = Simulator(topo)
+        # 0 -> 6 rides two express links; run and confirm delivery (the
+        # promotion path is exercised; misallocation would overflow or
+        # deadlock, both of which raise).
+        stats = sim.run(Trace(256, [PacketRecord(0, 0, 6, 32)]))
+        assert stats.drained
+
+    def test_heavy_wraparound_traffic_drains(self):
+        # Stress the Hops=15 dateline: all pairs are wrap-distance.
+        topo = build_express_mesh(hops=15, express_technology=Technology.HYPPI)
+        records = []
+        t = 0
+        for y in range(16):
+            for x in (1, 2, 3):
+                src = topo.node_id(x, y)
+                dst = topo.node_id(14, (y + 3) % 16)
+                records.append(PacketRecord(t % 17, src, dst, 32))
+                t += 1
+        stats = Simulator(topo).run(Trace(256, records))
+        assert stats.drained
+
+    def test_opposing_wrap_flows_drain(self):
+        # Eastbound and westbound wrap traffic in the same rows — the
+        # pattern that would deadlock without the dateline partition.
+        topo = build_express_mesh(hops=15, express_technology=Technology.HYPPI)
+        records = []
+        for y in range(16):
+            records.append(
+                PacketRecord(0, topo.node_id(2, y), topo.node_id(14, y), 32)
+            )
+            records.append(
+                PacketRecord(0, topo.node_id(13, y), topo.node_id(1, y), 32)
+            )
+        stats = Simulator(topo).run(Trace(256, records), max_cycles=100_000)
+        assert stats.drained

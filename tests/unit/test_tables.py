@@ -1,0 +1,83 @@
+"""Unit tests for repro.util.tables ASCII rendering."""
+
+import pytest
+
+from repro.util.tables import ascii_bar_chart, ascii_xy_plot, format_series, format_table
+
+
+class TestFormatTable:
+    def test_headers_present(self):
+        out = format_table(["a", "b"], [[1, 2]])
+        assert "a" in out and "b" in out
+
+    def test_rows_rendered(self):
+        out = format_table(["x"], [["hello"], ["world"]])
+        assert "hello" in out and "world" in out
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159265]], float_fmt=".3f")
+        assert "3.142" in out
+
+    def test_title(self):
+        out = format_table(["v"], [[1]], title="Table III")
+        assert out.splitlines()[0] == "Table III"
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        out = format_table(["name", "v"], [["long-name-here", 1], ["x", 22]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("y", [1.0, 2.0], [10.0, 20.0])
+        assert "10" in out and "20" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("y", [1.0], [1.0, 2.0])
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_zero_values(self):
+        out = ascii_bar_chart(["a"], [0.0])
+        assert "#" not in out
+
+    def test_empty(self):
+        assert ascii_bar_chart([], [], title="t") == "t"
+
+
+class TestXYPlot:
+    def test_markers_present(self):
+        out = ascii_xy_plot({"alpha": ([1, 2, 3], [1, 4, 9])}, width=20, height=5)
+        assert "a" in out
+
+    def test_legend(self):
+        out = ascii_xy_plot({"beta": ([1], [1])})
+        assert "b=beta" in out
+
+    def test_log_axes_skip_nonpositive(self):
+        out = ascii_xy_plot({"s": ([0.0, 1.0], [1.0, 1.0])}, logx=True)
+        # The zero-x point is dropped rather than crashing log10.
+        assert "s" in out
+
+    def test_empty_series(self):
+        assert ascii_xy_plot({}, title="nothing") == "nothing"

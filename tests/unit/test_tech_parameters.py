@@ -1,0 +1,154 @@
+"""Tests that the Table I transcription matches the paper."""
+
+import dataclasses
+
+import pytest
+
+from repro.tech import (
+    ELECTRONIC_14NM,
+    HYPPI,
+    PHOTONIC,
+    PLASMONIC,
+    CapabilityMode,
+    LaserParams,
+    Technology,
+    optical_params,
+)
+
+
+class TestTableITranscription:
+    """Spot-check every Table I value against the paper text."""
+
+    def test_laser_efficiency(self):
+        assert PHOTONIC.laser.efficiency == 0.25
+        assert PLASMONIC.laser.efficiency == 0.20
+        assert HYPPI.laser.efficiency == 0.20
+
+    def test_laser_area(self):
+        assert PHOTONIC.laser.area_um2 == 200.0
+        assert PLASMONIC.laser.area_um2 == 0.003
+        assert HYPPI.laser.area_um2 == 0.003
+
+    def test_modulator_device_rates(self):
+        assert PHOTONIC.modulator.device_rate_gbps == 25.0
+        assert PLASMONIC.modulator.device_rate_gbps == 59.0
+        assert HYPPI.modulator.device_rate_gbps == 2100.0
+
+    def test_modulator_serdes_rates(self):
+        assert PHOTONIC.modulator.serdes_rate_gbps == 25.0
+        assert PLASMONIC.modulator.serdes_rate_gbps == 50.0
+        assert HYPPI.modulator.serdes_rate_gbps == 50.0
+
+    def test_modulator_energy(self):
+        assert PHOTONIC.modulator.energy_fj_per_bit == 2.77
+        assert PLASMONIC.modulator.energy_fj_per_bit == 6.8
+        assert HYPPI.modulator.energy_fj_per_bit == 4.25
+
+    def test_modulator_insertion_loss(self):
+        assert PHOTONIC.modulator.insertion_loss_db == 1.02
+        assert PLASMONIC.modulator.insertion_loss_db == 1.1
+        assert HYPPI.modulator.insertion_loss_db == 0.6
+
+    def test_modulator_extinction_ratio(self):
+        assert PHOTONIC.modulator.extinction_ratio_db == 6.18
+        assert PLASMONIC.modulator.extinction_ratio_db == 17.0
+        assert HYPPI.modulator.extinction_ratio_db == 12.0
+
+    def test_modulator_area(self):
+        assert PHOTONIC.modulator.area_um2 == 100.0
+        assert PLASMONIC.modulator.area_um2 == 4.0
+        assert HYPPI.modulator.area_um2 == 1.0
+
+    def test_modulator_capacitance(self):
+        assert PHOTONIC.modulator.capacitance_ff == 16.0
+        assert PLASMONIC.modulator.capacitance_ff == 14.0
+        assert HYPPI.modulator.capacitance_ff == 0.94
+
+    def test_photodetector(self):
+        assert PHOTONIC.photodetector.rate_gbps == 40.0
+        assert PLASMONIC.photodetector.device_rate_gbps == 700.0
+        assert HYPPI.photodetector.energy_fj_per_bit == 0.14
+        assert PHOTONIC.photodetector.energy_fj_per_bit == 0.0
+        assert PHOTONIC.photodetector.responsivity_a_per_w == 0.8
+        assert HYPPI.photodetector.responsivity_a_per_w == 0.1
+        assert PHOTONIC.photodetector.area_um2 == 100.0
+        assert HYPPI.photodetector.area_um2 == 4.0
+
+    def test_waveguide(self):
+        assert PHOTONIC.waveguide.propagation_loss_db_per_cm == 1.0
+        assert PLASMONIC.waveguide.propagation_loss_db_per_cm == 440.0
+        assert HYPPI.waveguide.propagation_loss_db_per_cm == 1.0
+        assert PHOTONIC.waveguide.coupling_loss_db == 0.0
+        assert PLASMONIC.waveguide.coupling_loss_db == 0.63
+        assert HYPPI.waveguide.coupling_loss_db == 1.0
+        assert PHOTONIC.waveguide.pitch_um == 4.0
+        assert PLASMONIC.waveguide.pitch_um == 0.5
+        assert HYPPI.waveguide.pitch_um == 1.0
+        assert PHOTONIC.waveguide.width_um == 0.35
+        assert PLASMONIC.waveguide.width_um == 0.1
+        assert HYPPI.waveguide.width_um == 0.35
+
+    def test_electronic_wire_pitch_from_paper(self):
+        # "each electronic wire is 160nm wide with 160nm spacing"
+        assert ELECTRONIC_14NM.wire_pitch_um == pytest.approx(0.32)
+
+
+class TestDerivedQuantities:
+    def test_data_rate_device_mode(self):
+        assert HYPPI.data_rate_gbps(CapabilityMode.DEVICE) == 700.0  # detector-limited
+        assert PHOTONIC.data_rate_gbps(CapabilityMode.DEVICE) == 25.0
+        assert PLASMONIC.data_rate_gbps(CapabilityMode.DEVICE) == 59.0
+
+    def test_data_rate_serdes_mode(self):
+        assert HYPPI.data_rate_gbps(CapabilityMode.SERDES) == 50.0
+        assert PLASMONIC.data_rate_gbps(CapabilityMode.SERDES) == 50.0
+        assert PHOTONIC.data_rate_gbps(CapabilityMode.SERDES) == 25.0
+
+    def test_fixed_loss(self):
+        assert PHOTONIC.total_fixed_loss_db() == pytest.approx(1.02)
+        assert HYPPI.total_fixed_loss_db() == pytest.approx(0.6 + 2 * 1.0)
+        assert PLASMONIC.total_fixed_loss_db() == pytest.approx(1.1 + 2 * 0.63)
+
+    def test_propagation_loss_scaling(self):
+        assert HYPPI.propagation_loss_db(0.01) == pytest.approx(1.0)  # 1 cm @ 1 dB/cm
+        assert PLASMONIC.propagation_loss_db(100e-6) == pytest.approx(4.4)
+
+    def test_propagation_loss_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HYPPI.propagation_loss_db(-1.0)
+
+    def test_path_loss_is_sum(self):
+        assert HYPPI.path_loss_db(0.01) == pytest.approx(
+            HYPPI.total_fixed_loss_db() + 1.0
+        )
+
+
+class TestValidation:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PHOTONIC.laser.efficiency = 0.5  # type: ignore[misc]
+
+    def test_laser_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            LaserParams(efficiency=0.0, area_um2=1.0)
+        with pytest.raises(ValueError):
+            LaserParams(efficiency=1.5, area_um2=1.0)
+
+    def test_laser_negative_area(self):
+        with pytest.raises(ValueError):
+            LaserParams(efficiency=0.2, area_um2=-1.0)
+
+    def test_optical_params_lookup(self):
+        assert optical_params(Technology.PHOTONIC) is PHOTONIC
+        assert optical_params(Technology.PLASMONIC) is PLASMONIC
+        assert optical_params(Technology.HYPPI) is HYPPI
+
+    def test_optical_params_rejects_electronic(self):
+        with pytest.raises(KeyError):
+            optical_params(Technology.ELECTRONIC)
+
+    def test_is_optical(self):
+        assert not Technology.ELECTRONIC.is_optical
+        assert Technology.PHOTONIC.is_optical
+        assert Technology.PLASMONIC.is_optical
+        assert Technology.HYPPI.is_optical

@@ -1,0 +1,205 @@
+"""Tests for topology construction and routing (paper Fig. 2, Table III)."""
+
+import pytest
+
+from repro.tech import Technology
+from repro.topology import (
+    LinkKind,
+    RoutingTable,
+    Topology,
+    build_express_mesh,
+    build_mesh,
+    express_link_count_per_row,
+    route_path,
+)
+
+
+class TestMeshConstruction:
+    def test_16x16_link_count(self):
+        # 2 * 2 * 16 * 15 unidirectional links = 960 (Table III arithmetic).
+        assert build_mesh().n_links == 960
+
+    def test_all_links_bidirectional(self):
+        build_mesh().validate_bidirectional()
+
+    def test_link_lengths(self):
+        m = build_mesh(core_spacing_m=1e-3)
+        assert all(l.length_m == 1e-3 for l in m.links)
+
+    def test_link_technology(self):
+        m = build_mesh(link_technology=Technology.HYPPI)
+        assert all(l.technology is Technology.HYPPI for l in m.links)
+
+    def test_coords_roundtrip(self):
+        m = build_mesh()
+        for node in (0, 15, 16, 255):
+            x, y = m.coords(node)
+            assert m.node_id(x, y) == node
+
+    def test_corner_router_ports(self):
+        m = build_mesh()
+        assert m.router_ports(0) == 3  # 2 neighbours + local
+        assert m.router_ports(m.node_id(5, 5)) == 5
+
+    def test_manhattan_distance(self):
+        m = build_mesh()
+        assert m.manhattan_distance(0, 255) == 30
+        assert m.manhattan_distance(0, 0) == 0
+
+    def test_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(name="t", width=1, height=5)
+
+    def test_bad_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            build_mesh(core_spacing_m=0.0)
+
+
+class TestExpressMesh:
+    @pytest.mark.parametrize("hops,expected", [(3, 5), (5, 3), (15, 1)])
+    def test_express_count_per_row_matches_paper(self, hops, expected):
+        # "with Hops=3 we have 5 waveguides per direction in each row ...
+        # with Hops=5, we have only 3".
+        assert express_link_count_per_row(16, hops) == expected
+
+    @pytest.mark.parametrize("hops,n_express", [(3, 160), (5, 96), (15, 32)])
+    def test_total_express_links(self, hops, n_express):
+        topo = build_express_mesh(hops=hops)
+        assert len(topo.express_links()) == n_express
+
+    @pytest.mark.parametrize("hops,total", [(3, 1120), (5, 1056), (15, 992)])
+    def test_table3_capability_arithmetic(self, hops, total):
+        # C = n_links * 50 / 256: 218.75 / 206.25 / 193.75 Gb/s (Table III).
+        topo = build_express_mesh(hops=hops)
+        assert topo.n_links == total
+
+    def test_express_lengths(self):
+        topo = build_express_mesh(hops=5, core_spacing_m=1e-3)
+        assert all(l.length_m == 5e-3 for l in topo.express_links())
+
+    def test_express_technology_independent_of_base(self):
+        topo = build_express_mesh(
+            hops=3,
+            base_technology=Technology.PHOTONIC,
+            express_technology=Technology.HYPPI,
+        )
+        assert all(l.technology is Technology.PHOTONIC for l in topo.regular_links())
+        assert all(l.technology is Technology.HYPPI for l in topo.express_links())
+
+    def test_hybrid_router_has_7_ports(self):
+        topo = build_express_mesh(hops=3)
+        # A mid-row express column node: 4 neighbours + 2 express + local.
+        assert topo.router_ports(topo.node_id(3, 5)) == 7
+        # Column 1 has no express links.
+        assert topo.router_ports(topo.node_id(1, 5)) == 5
+
+    def test_bidirectional(self):
+        build_express_mesh(hops=3).validate_bidirectional()
+
+    def test_invalid_hops(self):
+        with pytest.raises(ValueError):
+            build_express_mesh(hops=1)
+        with pytest.raises(ValueError):
+            build_express_mesh(hops=16)
+
+
+class TestRouting:
+    def test_path_empty_for_self(self):
+        m = build_mesh()
+        assert route_path(m, 7, 7) == []
+
+    def test_xy_order(self):
+        m = build_mesh()
+        path = route_path(m, m.node_id(0, 0), m.node_id(3, 2))
+        xs = [m.coords(l.dst) for l in path]
+        # X moves first (x reaches 3 before y changes).
+        assert xs[:3] == [(1, 0), (2, 0), (3, 0)]
+        assert xs[3:] == [(3, 1), (3, 2)]
+
+    def test_hop_count_plain_mesh_is_manhattan(self):
+        m = build_mesh()
+        rt = RoutingTable(m)
+        for s, d in [(0, 255), (5, 250), (16, 31)]:
+            assert rt.hop_count(s, d) == m.manhattan_distance(s, d)
+
+    def test_express_reduces_hops(self):
+        e3 = build_express_mesh(hops=3)
+        rt = RoutingTable(e3)
+        # 0 -> 15: five express rides instead of 15 regular hops.
+        assert rt.hop_count(0, 15) == 5
+        path = rt.path(0, 15)
+        assert all(l.kind is LinkKind.EXPRESS for l in path)
+
+    def test_express_partial_use(self):
+        e3 = build_express_mesh(hops=3)
+        rt = RoutingTable(e3)
+        # From column 1 to column 8: 1,2,3 regular; 3->6 express; 6,7,8.
+        src = e3.node_id(1, 4)
+        dst = e3.node_id(8, 4)
+        path = rt.path(src, dst)
+        kinds = [l.kind for l in path]
+        assert kinds.count(LinkKind.EXPRESS) == 1
+        assert len(path) == 5
+
+    def test_overshoot_taken_when_strictly_shorter(self):
+        e5 = build_express_mesh(hops=5)
+        rt = RoutingTable(e5)
+        # Column 0 -> column 4: riding the 0->5 express and stepping back
+        # (2 hops) beats 4 regular hops — shortest-path routing overshoots.
+        path = rt.path(0, 4)
+        assert len(path) == 2
+        assert path[0].kind is LinkKind.EXPRESS
+        # Column 0 -> column 2: overshooting (0->5->4->3->2 = 4 hops) ties
+        # with 2 regular hops... it does not: regular wins strictly.
+        assert len(rt.path(0, 2)) == 2
+
+    def test_hops15_behaves_like_torus(self):
+        # "Hops=15 makes the network effectively a 2D torus": wraparound
+        # detours through the full-row express are taken when shorter.
+        e15 = build_express_mesh(hops=15)
+        rt = RoutingTable(e15)
+        src, dst = e15.node_id(2, 7), e15.node_id(14, 7)
+        path = rt.path(src, dst)
+        assert len(path) == 4  # 2 west + express + 1 west, not 12 east
+        assert any(l.kind is LinkKind.EXPRESS for l in path)
+
+    def test_hops15_short_distances_stay_regular(self):
+        e15 = build_express_mesh(hops=15)
+        rt = RoutingTable(e15)
+        path = rt.path(e15.node_id(4, 0), e15.node_id(10, 0))
+        assert all(l.kind is LinkKind.REGULAR for l in path)
+        assert len(path) == 6
+
+    def test_westward_express(self):
+        e3 = build_express_mesh(hops=3)
+        rt = RoutingTable(e3)
+        path = rt.path(15, 0)
+        assert all(l.kind is LinkKind.EXPRESS for l in path)
+        assert len(path) == 5
+
+    def test_next_link_is_path_prefix(self):
+        e3 = build_express_mesh(hops=3)
+        rt = RoutingTable(e3)
+        for s, d in [(0, 255), (17, 14), (240, 15)]:
+            full = rt.path(s, d)
+            assert rt.next_link(s, d) == full[0]
+            # Memoryless consistency: re-routing from the next node gives
+            # the path suffix.
+            assert rt.path(full[0].dst, d) == full[1:]
+
+    def test_next_link_rejects_self(self):
+        rt = RoutingTable(build_mesh())
+        with pytest.raises(ValueError):
+            rt.next_link(5, 5)
+
+    def test_paths_terminate_at_destination(self):
+        e15 = build_express_mesh(hops=15)
+        rt = RoutingTable(e15)
+        for s, d in [(0, 255), (255, 0), (128, 127)]:
+            path = rt.path(s, d)
+            assert path[-1].dst == d
+            # Path is connected.
+            node = s
+            for link in path:
+                assert link.src == node
+                node = link.dst

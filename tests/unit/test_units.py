@@ -1,0 +1,87 @@
+"""Unit tests for repro.util.units."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestDecibels:
+    def test_db_to_linear_zero(self):
+        assert units.db_to_linear(0.0) == 1.0
+
+    def test_db_to_linear_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_db_to_linear_three(self):
+        assert units.db_to_linear(3.0) == pytest.approx(1.9952623)
+
+    def test_negative_db_attenuates(self):
+        assert units.db_to_linear(-10.0) == pytest.approx(0.1)
+
+    def test_linear_to_db_roundtrip(self):
+        for db in (-30.0, -3.0, 0.0, 0.5, 17.0):
+            assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+    def test_dbm_zero_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_dbm_roundtrip(self):
+        assert units.watts_to_dbm(units.dbm_to_watts(-17.2)) == pytest.approx(-17.2)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+
+
+class TestLinearConversions:
+    def test_length_roundtrips(self):
+        assert units.m_to_um(units.um_to_m(123.0)) == pytest.approx(123.0)
+        assert units.m_to_mm(units.mm_to_m(4.5)) == pytest.approx(4.5)
+        assert units.cm_to_m(100.0) == pytest.approx(1.0)
+
+    def test_area_roundtrips(self):
+        assert units.m2_to_um2(units.um2_to_m2(77.0)) == pytest.approx(77.0)
+        assert units.m2_to_mm2(units.mm2_to_m2(2.5)) == pytest.approx(2.5)
+
+    def test_area_magnitudes(self):
+        assert units.um2_to_m2(1.0) == pytest.approx(1e-12)
+        assert units.mm2_to_m2(1.0) == pytest.approx(1e-6)
+
+    def test_rate_conversions(self):
+        assert units.gbps_to_bps(50.0) == pytest.approx(50e9)
+        assert units.bps_to_gbps(25e9) == pytest.approx(25.0)
+
+    def test_energy_conversions(self):
+        assert units.fj_to_j(1.0) == pytest.approx(1e-15)
+        assert units.j_to_fj(2e-15) == pytest.approx(2.0)
+        assert units.pj_to_j(3.0) == pytest.approx(3e-12)
+        assert units.j_to_pj(4e-12) == pytest.approx(4.0)
+
+    def test_time_conversions(self):
+        assert units.ps_to_s(1.0) == pytest.approx(1e-12)
+        assert units.s_to_ps(5e-12) == pytest.approx(5.0)
+        assert units.ns_to_s(1.0) == pytest.approx(1e-9)
+        assert units.s_to_ns(7e-9) == pytest.approx(7.0)
+
+    def test_frequency_conversions(self):
+        assert units.ghz_to_hz(0.78125) == pytest.approx(781250000.0)
+        assert units.hz_to_ghz(1e9) == pytest.approx(1.0)
+
+    def test_propagation_loss_conversion(self):
+        assert units.db_per_cm_to_db_per_m(1.0) == pytest.approx(100.0)
+
+    def test_speed_of_light(self):
+        assert units.SPEED_OF_LIGHT_M_S == pytest.approx(2.99792458e8)
+
+    def test_tof_one_mm_silicon(self):
+        # Group index 4.2 over 1 mm is ~14 ps: the figure used in DESIGN.md.
+        tof_s = 4.2 * 1e-3 / units.SPEED_OF_LIGHT_M_S
+        assert units.s_to_ps(tof_s) == pytest.approx(14.0, rel=0.01)

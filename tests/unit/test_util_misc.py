@@ -1,0 +1,69 @@
+"""Tests for repro.util.rng and repro.util.sweep."""
+
+import numpy as np
+import pytest
+
+from repro.util import ensure_rng, grid, lin_space, log_space, spawn_child
+
+
+class TestRng:
+    def test_none_is_deterministic(self):
+        a = ensure_rng(None).integers(0, 1000, 10)
+        b = ensure_rng(None).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_int_seed(self):
+        a = ensure_rng(5).random(4)
+        b = ensure_rng(5).random(4)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert ensure_rng(g) is g
+
+    def test_spawn_child_independent_streams(self):
+        parent = ensure_rng(0)
+        c0 = spawn_child(parent, 0)
+        parent2 = ensure_rng(0)
+        c1 = spawn_child(parent2, 1)
+        assert not np.array_equal(c0.random(8), c1.random(8))
+
+    def test_spawn_child_reproducible(self):
+        a = spawn_child(ensure_rng(0), 3).random(5)
+        b = spawn_child(ensure_rng(0), 3).random(5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_child_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_child(ensure_rng(0), -1)
+
+
+class TestSweep:
+    def test_grid_product(self):
+        combos = list(grid({"a": [1, 2], "b": ["x", "y"]}))
+        assert len(combos) == 4
+        assert {"a": 2, "b": "y"} in combos
+
+    def test_grid_empty_axis(self):
+        assert list(grid({"a": []})) == []
+
+    def test_grid_preserves_key_order(self):
+        combos = list(grid({"first": [1], "second": [2]}))
+        assert list(combos[0]) == ["first", "second"]
+
+    def test_log_space_endpoints(self):
+        pts = log_space(1e-6, 1e-2, 5)
+        assert pts[0] == pytest.approx(1e-6)
+        assert pts[-1] == pytest.approx(1e-2)
+
+    def test_log_space_validation(self):
+        with pytest.raises(ValueError):
+            log_space(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            log_space(1.0, 10.0, 1)
+
+    def test_lin_space(self):
+        pts = lin_space(0.0, 1.0, 3)
+        assert list(pts) == [0.0, 0.5, 1.0]
+        with pytest.raises(ValueError):
+            lin_space(0.0, 1.0, 1)

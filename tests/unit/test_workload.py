@@ -1,0 +1,143 @@
+"""Tests for open-loop synthetic workloads and the saturation sweep."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    SimConfig,
+    Simulator,
+    latency_throughput_sweep,
+    synthetic_trace,
+)
+from repro.topology import build_mesh
+from repro.traffic import uniform_traffic
+
+
+@pytest.fixture(scope="module")
+def mesh8():
+    return build_mesh(8, 8)
+
+
+class TestSyntheticTrace:
+    def test_rate_approximately_met(self, mesh8):
+        tm = uniform_traffic(mesh8)
+        trace = synthetic_trace(tm, injection_rate=0.1, cycles=4000, seed=1)
+        measured = trace.total_flits / (64 * 4000)
+        assert measured == pytest.approx(0.1, rel=0.1)
+
+    def test_deterministic(self, mesh8):
+        tm = uniform_traffic(mesh8)
+        a = synthetic_trace(tm, injection_rate=0.05, cycles=500, seed=7)
+        b = synthetic_trace(tm, injection_rate=0.05, cycles=500, seed=7)
+        assert a.packets == b.packets
+
+    def test_destinations_follow_matrix(self, mesh8):
+        # A one-hot matrix must produce packets only for that pair.
+        m = np.zeros((64, 64))
+        m[3, 11] = 1.0
+        from repro.traffic import TrafficMatrix
+
+        # Mean rate 0.01 over 64 nodes concentrates 0.64 flits/cycle on
+        # the single active source — still below its 1/cycle limit.
+        trace = synthetic_trace(
+            TrafficMatrix(m), injection_rate=0.01, cycles=2000, seed=0
+        )
+        assert trace.n_packets > 0
+        assert all(p.src == 3 and p.dst == 11 for p in trace.packets)
+
+    def test_packet_flits_respected(self, mesh8):
+        tm = uniform_traffic(mesh8)
+        trace = synthetic_trace(tm, injection_rate=0.1, cycles=300, packet_flits=32)
+        assert all(p.size_flits == 32 for p in trace.packets)
+
+    def test_validation(self, mesh8):
+        tm = uniform_traffic(mesh8)
+        with pytest.raises(ValueError):
+            synthetic_trace(tm, injection_rate=0.0, cycles=100)
+        with pytest.raises(ValueError):
+            synthetic_trace(tm, injection_rate=0.1, cycles=0)
+        with pytest.raises(ValueError):
+            synthetic_trace(tm, injection_rate=0.1, cycles=100, packet_flits=64)
+
+    def test_concentrated_overload_rejected(self, mesh8):
+        # A one-hot matrix at mean rate 0.1 puts 6.4 flits/cycle on one
+        # source, which no injection port can sustain.
+        m = np.zeros((64, 64))
+        m[3, 11] = 1.0
+        from repro.traffic import TrafficMatrix
+
+        with pytest.raises(ValueError):
+            synthetic_trace(TrafficMatrix(m), injection_rate=0.1, cycles=100)
+
+
+class TestLatencyThroughputSweep:
+    def test_latency_nondecreasing_trend(self, mesh8):
+        tm = uniform_traffic(mesh8)
+        points = latency_throughput_sweep(
+            mesh8, tm, np.array([0.02, 0.35]), cycles=1500, seed=0
+        )
+        # Near saturation the average latency must exceed the light-load one.
+        assert points[1].avg_latency > points[0].avg_latency
+
+    def test_light_load_near_zero_load_bound(self, mesh8):
+        tm = uniform_traffic(mesh8)
+        (pt,) = latency_throughput_sweep(
+            mesh8, tm, np.array([0.01]), cycles=1500, seed=0
+        )
+        # Uniform 8x8 zero-load mean ~ (16/3)*4 + 4 ~ 25 cycles.
+        assert pt.drained
+        assert pt.avg_latency < 40
+
+    def test_validation(self, mesh8):
+        tm = uniform_traffic(mesh8)
+        with pytest.raises(ValueError):
+            latency_throughput_sweep(mesh8, tm, np.array([]))
+
+
+class TestCLI:
+    def test_table6_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "Table VI" in out
+        assert "hyppi" in out
+
+    def test_fig3_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig3"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_parser_has_all_commands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        text = parser.format_help()
+        for cmd in ("table3", "table4", "fig3", "fig5", "fig6", "table6",
+                    "fig8", "sweep"):
+            assert cmd in text
+
+
+class TestCLIDataCommands:
+    def test_table4_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "photonic" in out
+
+    def test_fig8_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+        assert "all-hyppi" in out
