@@ -10,13 +10,22 @@ from repro.core import DesignSpaceExplorer
 from repro.tech import Technology
 from repro.util import format_table
 
+EXPLORER = DesignSpaceExplorer()
+
 
 def _explore():
-    return DesignSpaceExplorer().explore()
+    return EXPLORER.explore()
 
 
 def test_fig5_design_space(benchmark, save_result):
     points = benchmark.pedantic(_explore, rounds=1, iterations=1)
+
+    # The grid routes through the experiment engine: a re-exploration is
+    # served entirely from the evaluation cache.
+    evaluated = EXPLORER.cache.misses
+    again = EXPLORER.explore()
+    assert EXPLORER.cache.misses == evaluated
+    assert [pt.evaluation for pt in again] == [pt.evaluation for pt in points]
     rows = [
         [
             pt.label,

@@ -12,18 +12,11 @@ scaling and the resulting paper-vs-measured ratios.
 
 import pytest
 
-from repro.simulation import Simulator
-from repro.tech import Technology
-from repro.topology import build_express_mesh, build_mesh
-from repro.traffic import cg_trace, ft_trace, lu_trace, mg_trace
+from repro.experiments import Runner, scenario_family
 from repro.util import format_table
 
-TRACES = {
-    "FT": lambda: ft_trace(volume_scale=3e-3, iterations=1),
-    "CG": lambda: cg_trace(volume_scale=3e-4, iterations=1),
-    "MG": lambda: mg_trace(volume_scale=0.005, iterations=1),
-    "LU": lambda: lu_trace(volume_scale=0.01, iterations=2),
-}
+KERNELS = ("FT", "CG", "MG", "LU")
+HOPS_OPTIONS = (0, 3, 5, 15)
 
 PAPER_SPEEDUPS = {  # best express configuration per kernel, from the text
     "CG": 1.25,
@@ -34,18 +27,19 @@ PAPER_SPEEDUPS = {  # best express configuration per kernel, from the text
 
 
 def _run_all():
-    topos = {"mesh": build_mesh()}
-    for hops in (3, 5, 15):
-        topos[f"h{hops}"] = build_express_mesh(
-            hops=hops, express_technology=Technology.HYPPI
-        )
+    # The engine's NPB family carries the same per-kernel volume scales /
+    # iteration counts this bench used to hand-roll (DEFAULT_NPB_WORKLOADS).
+    scenarios = scenario_family(
+        "npb-kernels", kernels=KERNELS, hops_options=HOPS_OPTIONS
+    )
+    results = Runner(jobs=1).run(scenarios)
     out = {}
-    for kernel, make in TRACES.items():
-        trace = make()
-        for name, topo in topos.items():
-            stats = Simulator(topo).run(trace)
-            assert stats.drained, f"{kernel}@{name} undrained"
-            out[kernel, name] = stats.avg_latency
+    for scenario, res in zip(scenarios, results):
+        kernel = dict(scenario.traffic.params)["kernel"]
+        hops = scenario.topology.hops
+        name = "mesh" if hops == 0 else f"h{hops}"
+        assert res.metrics["drained"], f"{kernel}@{name} undrained"
+        out[kernel, name] = res.metrics["avg_latency"]
     return out
 
 

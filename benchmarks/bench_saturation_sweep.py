@@ -6,34 +6,28 @@ amortized across their high data rate. Hence realistic injection ratios are
 important": sweeps open-loop uniform traffic on the plain mesh and the
 HyPPI-express hybrid up to the paper's 0.1 operating point and beyond,
 locating where each network's latency departs from the zero-load regime.
+
+The sweep is expressed as engine scenarios (``"saturation-sweep"``
+family) and run through the :class:`~repro.experiments.Runner`, so the
+same points are addressable from the CLI (``python -m repro sweep``) and
+share its per-point deterministic seeding.
 """
 
 import numpy as np
 
-from repro.simulation import latency_throughput_sweep
-from repro.tech import Technology
-from repro.topology import RoutingTable, build_express_mesh, build_mesh
-from repro.traffic import uniform_traffic
+from repro.experiments import Runner, scenario_family
 from repro.util import format_table
 
-RATES = np.array([0.02, 0.05, 0.1, 0.2, 0.3])
+RATES = [0.02, 0.05, 0.1, 0.2, 0.3]
 
 
 def _sweep():
     out = {}
-    for name, topo in (
-        ("mesh", build_mesh()),
-        ("h3-hyppi", build_express_mesh(hops=3, express_technology=Technology.HYPPI)),
-    ):
-        routing = RoutingTable(topo)
-        out[name] = latency_throughput_sweep(
-            topo,
-            uniform_traffic(topo),
-            RATES,
-            cycles=1200,
-            routing=routing,
-            seed=0,
+    for name, hops in (("mesh", 0), ("h3-hyppi", 3)):
+        scenarios = scenario_family(
+            "saturation-sweep", rates=RATES, hops=hops, cycles=1200, seed=0
         )
+        out[name] = [res.metrics for res in Runner(jobs=1).run(scenarios)]
     return out
 
 
@@ -44,9 +38,10 @@ def test_saturation_sweep(benchmark, save_result):
         rows.append(
             [
                 rate,
-                curves["mesh"][i].avg_latency,
-                curves["h3-hyppi"][i].avg_latency,
-                curves["mesh"][i].avg_latency / curves["h3-hyppi"][i].avg_latency,
+                curves["mesh"][i]["avg_latency"],
+                curves["h3-hyppi"][i]["avg_latency"],
+                curves["mesh"][i]["avg_latency"]
+                / curves["h3-hyppi"][i]["avg_latency"],
             ]
         )
     save_result(
@@ -59,13 +54,14 @@ def test_saturation_sweep(benchmark, save_result):
     )
     # At the paper's 0.1 operating point both networks are unsaturated and
     # the express network is at least as fast.
-    i_01 = int(np.argwhere(RATES == 0.1)[0][0])
-    assert curves["mesh"][i_01].drained
-    assert curves["h3-hyppi"][i_01].drained
+    i_01 = RATES.index(0.1)
+    assert curves["mesh"][i_01]["drained"]
+    assert curves["h3-hyppi"][i_01]["drained"]
     assert (
-        curves["h3-hyppi"][i_01].avg_latency
-        <= 1.05 * curves["mesh"][i_01].avg_latency
+        curves["h3-hyppi"][i_01]["avg_latency"]
+        <= 1.05 * curves["mesh"][i_01]["avg_latency"]
     )
     # Latency grows with offered load on the plain mesh.
-    mesh_lat = [pt.avg_latency for pt in curves["mesh"]]
+    mesh_lat = [m["avg_latency"] for m in curves["mesh"]]
     assert mesh_lat[-1] > mesh_lat[0]
+    assert not np.isnan(mesh_lat).any()

@@ -1,13 +1,19 @@
 """Throughput benchmarks of the substrates themselves.
 
 Not a paper figure: these track the speed of the cycle simulator, the
-flow-assignment kernel and the routing-table build, the three hot paths of
-the reproduction (the HPC guides' rule: measure before optimizing).
+flow-assignment kernel, the routing-table build and the parallel
+experiment runner — the hot paths of the reproduction (the HPC guides'
+rule: measure before optimizing). The runner benchmark emits a JSON
+record (points/sec at jobs=1 vs jobs=4) for the perf trajectory.
 """
+
+import json
+import time
 
 import numpy as np
 
 from repro.analysis import assign_flows
+from repro.experiments import Runner, scenario_family
 from repro.simulation import Simulator
 from repro.topology import RoutingTable, build_mesh
 from repro.traffic import PacketRecord, Trace, uniform_traffic
@@ -52,3 +58,44 @@ def test_perf_routing_table_build(benchmark):
 
     rt = benchmark.pedantic(build, rounds=3, iterations=1)
     assert rt.hop_count(0, 255) == 30
+
+
+def test_perf_parallel_runner(results_dir):
+    """Experiment-engine throughput: points/sec serial vs process pool.
+
+    Records whatever the hardware gives: near-linear speedup on multi-core
+    hosts, below 1.0 on single-core CI boxes (pool overhead with no
+    parallelism). Correctness is asserted either way — executor choice
+    must never change a metric.
+    """
+    scenarios = scenario_family(
+        "saturation-sweep",
+        rates=[0.01 + 0.01 * i for i in range(8)],
+        cycles=500,
+        seed=0,
+    )
+
+    throughput = {}
+    metrics_by_jobs = {}
+    for jobs in (1, 4):
+        runner = Runner(jobs=jobs)  # fresh cache: every point evaluates
+        t0 = time.perf_counter()
+        results = runner.run(scenarios)
+        elapsed = time.perf_counter() - t0
+        throughput[jobs] = len(results) / elapsed
+        metrics_by_jobs[jobs] = [res.metrics for res in results]
+        assert runner.cache.misses == len(scenarios)
+
+    # Parallel execution must not change a single metric.
+    assert metrics_by_jobs[1] == metrics_by_jobs[4]
+
+    record = {
+        "benchmark": "parallel_runner_throughput",
+        "n_points": len(scenarios),
+        "points_per_sec_jobs1": throughput[1],
+        "points_per_sec_jobs4": throughput[4],
+        "speedup_jobs4": throughput[4] / throughput[1],
+    }
+    path = results_dir / "runner_throughput.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n{json.dumps(record, indent=2)}\n[saved to {path}]")

@@ -16,16 +16,30 @@ Subpackages:
 * :mod:`repro.simulation` — cycle-accurate flit-level NoC simulator.
 * :mod:`repro.optical` — all-optical routers, path losses, Fig. 8
   projections.
+* :mod:`repro.experiments` — declarative scenarios, the serial /
+  process-pool runner and the evaluation cache behind every sweep.
 """
 
-from repro import analysis, core, dsent, optical, simulation, tech, topology, traffic, util
+from repro import (
+    analysis,
+    core,
+    dsent,
+    experiments,
+    optical,
+    simulation,
+    tech,
+    topology,
+    traffic,
+    util,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "core",
     "dsent",
+    "experiments",
     "optical",
     "simulation",
     "tech",

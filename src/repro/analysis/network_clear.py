@@ -63,6 +63,46 @@ class NetworkEvaluation:
             self.clear,
         ]
 
+    def to_metrics(self) -> dict[str, object]:
+        """Flat JSON-safe form (the experiment engine's cacheable unit).
+
+        Inverse of :meth:`from_metrics`; keep the two in sync when fields
+        change.
+        """
+        return {
+            "topology_name": self.topology_name,
+            "n_nodes": self.n_nodes,
+            "capability_gbps": self.capability_gbps,
+            "latency_clks": self.latency_clks,
+            "router_static_w": self.power.router_static_w,
+            "link_static_w": self.power.link_static_w,
+            "router_dynamic_w": self.power.router_dynamic_w,
+            "link_dynamic_w": self.power.link_dynamic_w,
+            "power_total_w": self.power.total_w,
+            "area_mm2": self.area_mm2,
+            "r_slope": self.r_slope,
+            "clear": self.clear,
+        }
+
+    @classmethod
+    def from_metrics(cls, metrics: dict[str, object]) -> "NetworkEvaluation":
+        """Rebuild an evaluation from :meth:`to_metrics` output."""
+        return cls(
+            topology_name=str(metrics["topology_name"]),
+            n_nodes=int(metrics["n_nodes"]),
+            capability_gbps=float(metrics["capability_gbps"]),
+            latency_clks=float(metrics["latency_clks"]),
+            power=NetworkPower(
+                router_static_w=float(metrics["router_static_w"]),
+                link_static_w=float(metrics["link_static_w"]),
+                router_dynamic_w=float(metrics["router_dynamic_w"]),
+                link_dynamic_w=float(metrics["link_dynamic_w"]),
+            ),
+            area_mm2=float(metrics["area_mm2"]),
+            r_slope=float(metrics["r_slope"]),
+            clear=float(metrics["clear"]),
+        )
+
 
 def evaluate_network(
     topo: Topology,

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro table3              # Table III (C and R)
     python -m repro table4              # Table IV (static power)
-    python -m repro fig5                # Fig. 5 design-space exploration
+    python -m repro fig5 --jobs 4       # Fig. 5 design-space exploration
     python -m repro fig3                # Fig. 3 link CLEAR sweep
     python -m repro fig8                # Fig. 8 all-optical projections
     python -m repro table6              # Table VI router comparison
@@ -12,12 +12,18 @@ Usage::
     python -m repro sweep --hops 3      # latency vs injection rate
 
 Each command prints the rendered ASCII table/figure to stdout; heavier
-commands expose their main knobs as flags.
+commands expose their main knobs as flags. Sweep-shaped commands route
+through the experiment engine (:mod:`repro.experiments`): ``--jobs N``
+evaluates design points on a process pool (results are bit-identical to
+serial runs), repeated points are served from the evaluation cache, and
+saturated simulation points are flagged instead of crashing.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
+import sys
 from collections.abc import Sequence
 
 import numpy as np
@@ -25,35 +31,67 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _status(drained: bool) -> str:
+    """Human-readable drain flag for simulation rows."""
+    return "ok" if drained else "SATURATED"
+
+
+def _fmt_latency(value: float) -> object:
+    """Render a latency figure, making undefined (nan) values explicit."""
+    return "n/a" if isinstance(value, float) and math.isnan(value) else value
+
+
 def _cmd_table3(args: argparse.Namespace) -> None:
-    from repro.analysis import (
-        aggregate_capability_gbps,
-        rate_of_utilization_increase,
-    )
-    from repro.topology import build_express_mesh, build_mesh
-    from repro.traffic import soteriou_traffic
+    from repro.experiments import Runner
+    from repro.experiments.registry import paper_point
+    from repro.tech import Technology
     from repro.util import format_table
 
-    rows = []
-    for hops in (0, 3, 5, 15):
-        topo = build_mesh() if hops == 0 else build_express_mesh(hops=hops)
-        c = aggregate_capability_gbps(topo) / topo.n_nodes
-        r = rate_of_utilization_increase(topo, soteriou_traffic(topo, seed=args.seed))
-        rows.append(["plain mesh" if hops == 0 else f"hops={hops}", c, r])
+    scenarios = [
+        paper_point(
+            Technology.ELECTRONIC,
+            None if hops == 0 else Technology.HYPPI,
+            hops,
+            seed=args.seed,
+        )
+        for hops in (0, 3, 5, 15)
+    ]
+    results = Runner(jobs=args.jobs).run(scenarios)
+    rows = [
+        [
+            "plain mesh" if hops == 0 else f"hops={hops}",
+            res.metrics["capability_gbps"],
+            res.metrics["r_slope"],
+        ]
+        for hops, res in zip((0, 3, 5, 15), results)
+    ]
     print(format_table(["topology", "C (Gb/s)", "R"], rows, title="Table III"))
 
 
 def _cmd_table4(args: argparse.Namespace) -> None:
-    from repro.analysis import network_static_power_w
+    from repro.experiments import Runner
+    from repro.experiments.registry import paper_point
     from repro.tech import Technology
-    from repro.topology import build_express_mesh, build_mesh
     from repro.util import format_table
 
-    rows = [["base mesh", "-", network_static_power_w(build_mesh())]]
-    for tech in (Technology.ELECTRONIC, Technology.PHOTONIC, Technology.HYPPI):
-        for hops in (3, 5, 15):
-            topo = build_express_mesh(hops=hops, express_technology=tech)
-            rows.append([tech.value, hops, network_static_power_w(topo)])
+    options: list[tuple[Technology | None, int]] = [(None, 0)]
+    options += [
+        (tech, hops)
+        for tech in (Technology.ELECTRONIC, Technology.PHOTONIC, Technology.HYPPI)
+        for hops in (3, 5, 15)
+    ]
+    scenarios = [
+        paper_point(Technology.ELECTRONIC, tech, hops, seed=args.seed)
+        for tech, hops in options
+    ]
+    results = Runner(jobs=args.jobs).run(scenarios)
+    rows = []
+    for (tech, hops), res in zip(options, results):
+        static_w = res.metrics["router_static_w"] + res.metrics["link_static_w"]
+        if tech is None:
+            rows.append(["base mesh", "-", static_w])
+        else:
+            rows.append([tech.value, hops, static_w])
     print(
         format_table(
             ["express tech", "hops", "static power (W)"], rows, title="Table IV"
@@ -95,8 +133,10 @@ def _cmd_fig5(args: argparse.Namespace) -> None:
     from repro.core import DesignSpaceExplorer
     from repro.util import format_table
 
-    explorer = DesignSpaceExplorer(injection_rate=args.injection_rate, seed=args.seed)
-    points = explorer.explore()
+    explorer = DesignSpaceExplorer(
+        injection_rate=args.injection_rate, seed=args.seed, jobs=args.jobs
+    )
+    points = explorer.explore(hops_options=args.hops)
     rows = [
         [
             pt.label,
@@ -117,47 +157,65 @@ def _cmd_fig5(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> None:
-    from repro.simulation import Simulator
-    from repro.tech import Technology
-    from repro.topology import build_express_mesh, build_mesh
-    from repro.traffic import npb_trace
+    from repro.experiments import Runner, scenario_family
     from repro.util import format_table
 
-    trace = npb_trace(args.kernel, volume_scale=args.volume_scale)
-    rows = []
-    for hops in (0, 3, 5, 15):
-        topo = (
-            build_mesh()
-            if hops == 0
-            else build_express_mesh(hops=hops, express_technology=Technology.HYPPI)
-        )
-        stats = Simulator(topo).run(trace)
-        rows.append(
-            ["mesh" if hops == 0 else f"hops={hops}", stats.avg_latency,
-             stats.p99_latency, stats.drained]
-        )
+    hops_options = (0, 3, 5, 15)
+    scenarios = scenario_family(
+        "npb-kernels",
+        kernels=[args.kernel],
+        hops_options=hops_options,
+        workloads={args.kernel: (args.volume_scale, None)},
+    )
+    results = Runner(jobs=args.jobs).run(scenarios)
+    rows = [
+        [
+            "mesh" if hops == 0 else f"hops={hops}",
+            _fmt_latency(res.metrics["avg_latency"]),
+            _fmt_latency(res.metrics["p99_latency"]),
+            _status(res.metrics["drained"]),
+        ]
+        for hops, res in zip(hops_options, results)
+    ]
     print(
         format_table(
-            ["network", "avg latency (clk)", "p99 (clk)", "drained"],
+            ["network", "avg latency (clk)", "p99 (clk)", "status"],
             rows,
             title=f"Fig. 6 — NPB {args.kernel.upper()} "
             f"(volume scale {args.volume_scale:g})",
         )
     )
+    if any(not res.metrics["drained"] for res in results):
+        print(
+            "note: SATURATED rows exhausted the cycle budget before the "
+            "trace drained; latencies there cover delivered packets only."
+        )
+
+
+def _table6_row(entry: tuple[str, object]) -> list[object]:
+    """One Table VI row (module-level so process pools can pickle it)."""
+    from repro.optical import optimal_port_assignment
+
+    name, router = entry
+    lo, hi = router.loss_range_db()
+    _, expected = optimal_port_assignment(router)
+    return [
+        name,
+        router.control_energy_fj_per_bit(),
+        f"{lo:.2f}-{hi:.2f}",
+        router.area_um2(),
+        expected,
+    ]
 
 
 def _cmd_table6(args: argparse.Namespace) -> None:
-    from repro.optical import HYPPI_ROUTER, PHOTONIC_ROUTER, optimal_port_assignment
+    from repro.experiments import Runner
+    from repro.optical import HYPPI_ROUTER, PHOTONIC_ROUTER
     from repro.util import format_table
 
-    rows = []
-    for name, router in (("photonic", PHOTONIC_ROUTER), ("hyppi", HYPPI_ROUTER)):
-        lo, hi = router.loss_range_db()
-        _, expected = optimal_port_assignment(router)
-        rows.append(
-            [name, router.control_energy_fj_per_bit(), f"{lo:.2f}-{hi:.2f}",
-             router.area_um2(), expected]
-        )
+    rows = Runner(jobs=args.jobs).map(
+        _table6_row, [("photonic", PHOTONIC_ROUTER), ("hyppi", HYPPI_ROUTER)]
+    )
     print(
         format_table(
             ["router", "control (fJ/bit)", "loss (dB)", "area (um2)",
@@ -189,30 +247,50 @@ def _cmd_fig8(args: argparse.Namespace) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
-    from repro.simulation import latency_throughput_sweep
-    from repro.tech import Technology
-    from repro.topology import build_express_mesh, build_mesh
-    from repro.traffic import uniform_traffic
+    from repro.experiments import Runner, scenario_family
     from repro.util import format_table
 
-    topo = (
-        build_mesh()
-        if args.hops == 0
-        else build_express_mesh(hops=args.hops, express_technology=Technology.HYPPI)
-    )
     rates = np.linspace(args.min_rate, args.max_rate, args.points)
-    points = latency_throughput_sweep(
-        topo, uniform_traffic(topo), rates, cycles=args.cycles, seed=args.seed
+    scenarios = scenario_family(
+        "saturation-sweep",
+        rates=[float(r) for r in rates],
+        hops=args.hops,
+        cycles=args.cycles,
+        drain_budget=args.drain_budget,
+        seed=args.seed,
     )
+    results = Runner(jobs=args.jobs).run(scenarios)
     rows = [
-        [p.injection_rate, p.avg_latency, p.p99_latency, p.drained] for p in points
+        [
+            res.scenario.traffic.injection_rate,
+            _fmt_latency(res.metrics["avg_latency"]),
+            _fmt_latency(res.metrics["p99_latency"]),
+            _status(res.metrics["drained"]),
+        ]
+        for res in results
     ]
+    topo_name = results[0].metrics["topology_name"] if results else "mesh"
     print(
         format_table(
-            ["injection rate", "avg latency", "p99", "drained"],
+            ["injection rate", "avg latency", "p99", "status"],
             rows,
-            title=f"latency vs offered load — {topo.name}",
+            title=f"latency vs offered load — {topo_name}",
         )
+    )
+    if any(not res.metrics["drained"] for res in results):
+        print(
+            "note: SATURATED points did not drain within the cycle budget "
+            "(offered load beyond network saturation)."
+        )
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment engine (1 = serial; "
+        "results are identical either way)",
     )
 
 
@@ -224,25 +302,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="traffic RNG seed")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table3", help="Table III: capability and R").set_defaults(
-        func=_cmd_table3
-    )
-    sub.add_parser("table4", help="Table IV: static power").set_defaults(
-        func=_cmd_table4
-    )
+    p3 = sub.add_parser("table3", help="Table III: capability and R")
+    _add_jobs_flag(p3)
+    p3.set_defaults(func=_cmd_table3)
+    p4 = sub.add_parser("table4", help="Table IV: static power")
+    _add_jobs_flag(p4)
+    p4.set_defaults(func=_cmd_table4)
     sub.add_parser("fig3", help="Fig. 3: link CLEAR sweep").set_defaults(
         func=_cmd_fig3
     )
     p5 = sub.add_parser("fig5", help="Fig. 5: design-space exploration")
     p5.add_argument("--injection-rate", type=float, default=0.1)
+    p5.add_argument(
+        "--hops",
+        type=int,
+        nargs="+",
+        default=None,
+        help="express hop counts to sweep (default: 3 5 15)",
+    )
+    _add_jobs_flag(p5)
     p5.set_defaults(func=_cmd_fig5)
     p6 = sub.add_parser("fig6", help="Fig. 6: NPB trace simulation")
     p6.add_argument("--kernel", choices=["FT", "CG", "MG", "LU"], default="CG")
     p6.add_argument("--volume-scale", type=float, default=3e-4)
+    _add_jobs_flag(p6)
     p6.set_defaults(func=_cmd_fig6)
-    sub.add_parser("table6", help="Table VI: optical routers").set_defaults(
-        func=_cmd_table6
-    )
+    p6t = sub.add_parser("table6", help="Table VI: optical routers")
+    _add_jobs_flag(p6t)
+    p6t.set_defaults(func=_cmd_table6)
     p8 = sub.add_parser("fig8", help="Fig. 8: all-optical projections")
     p8.add_argument("--amortization-rate", type=float, default=0.001)
     p8.set_defaults(func=_cmd_fig8)
@@ -252,6 +339,13 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--max-rate", type=float, default=0.3)
     ps.add_argument("--points", type=int, default=5)
     ps.add_argument("--cycles", type=int, default=1000)
+    ps.add_argument(
+        "--drain-budget",
+        type=int,
+        default=200_000,
+        help="post-injection cycles before a point is declared saturated",
+    )
+    _add_jobs_flag(ps)
     ps.set_defaults(func=_cmd_sweep)
     return parser
 
@@ -260,5 +354,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
+    try:
+        args.func(args)
+    except ValueError as exc:
+        # Domain validation (bad --jobs, --hops, rates, ...) should read
+        # as a usage error, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0

@@ -5,6 +5,13 @@ count} and evaluates each network analytically with the Soteriou traffic
 model, producing the data behind the paper's Fig. 5 grid (CLEAR, latency,
 power, area per hybridization option) and Table III.
 
+The sweep itself is delegated to the experiment engine
+(:mod:`repro.experiments`): each design point becomes a declarative
+scenario, evaluation is memoized in a shared cache (duplicate points —
+the plain meshes every express option shares, repeated ``evaluate_point``
+calls — are computed once), and ``jobs > 1`` runs the grid on a process
+pool with bit-identical results.
+
 Plasmonics is excluded from the sweep by default, as in the paper: "pure
 plasmonics is not considered any further in our network level explorations"
 (its 440 dB/cm loss cannot span even the 1 mm core spacing).
@@ -13,20 +20,20 @@ plasmonics is not considered any further in our network level explorations"
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.config import PAPER_CONFIG, NocExperimentConfig
+from repro.experiments.cache import EvaluationCache
+from repro.experiments.registry import paper_point, scenario_family
+from repro.experiments.runner import Runner
 from repro.tech.parameters import Technology
 from repro.topology.graph import Topology
-from repro.topology.mesh import build_express_mesh, build_mesh
-from repro.topology.routing import RoutingTable
-from repro.traffic.synthetic import soteriou_traffic
-from repro.util.rng import SeedLike
 
 if TYPE_CHECKING:  # avoid a circular import at module load (analysis -> core)
     from repro.analysis.network_clear import NetworkEvaluation
+    from repro.experiments.spec import Scenario
 
 __all__ = ["DSEPoint", "DesignSpaceExplorer", "DEFAULT_NETWORK_TECHS"]
 
@@ -58,15 +65,34 @@ class DSEPoint:
         return f"{base}-base + {self.express_technology.value} x{self.hops}"
 
 
+def _evaluation_from_metrics(metrics: dict[str, Any]) -> "NetworkEvaluation":
+    """Rebuild a :class:`NetworkEvaluation` from engine metrics."""
+    from repro.analysis.network_clear import NetworkEvaluation
+
+    return NetworkEvaluation.from_metrics(metrics)
+
+
 class DesignSpaceExplorer:
-    """Sweep hybrid NoC options and rank them by CLEAR (Fig. 5 driver)."""
+    """Sweep hybrid NoC options and rank them by CLEAR (Fig. 5 driver).
+
+    Args:
+        config: network parameters (paper Table II by default).
+        injection_rate: operating point (defaults to the config maximum).
+        seed: Soteriou traffic seed (integer; scenarios must serialize).
+        jobs: default worker-process count for :meth:`explore` /
+            :meth:`explore_iter` (1 = in-process serial).
+        cache: evaluation cache to use; defaults to a private one that
+            persists across this explorer's calls.
+    """
 
     def __init__(
         self,
         config: NocExperimentConfig = PAPER_CONFIG,
         *,
         injection_rate: float | None = None,
-        seed: SeedLike = 0,
+        seed: int | None = 0,
+        jobs: int = 1,
+        cache: EvaluationCache | None = None,
     ) -> None:
         self.config = config
         self.injection_rate = (
@@ -77,9 +103,36 @@ class DesignSpaceExplorer:
                 f"injection rate must be in (0, {config.max_injection_rate}], "
                 f"got {self.injection_rate}"
             )
+        if seed is None:
+            seed = 0
+        if not isinstance(seed, int):
+            raise ValueError(
+                "DSE scenarios are serialized records and need an integer "
+                f"seed, got {type(seed).__name__}"
+            )
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.seed = seed
+        self.jobs = jobs
+        self.cache = cache if cache is not None else EvaluationCache()
 
     # -- single-point evaluation -------------------------------------------
+
+    def scenario_for(
+        self,
+        base_technology: Technology,
+        express_technology: Technology | None = None,
+        hops: int = 0,
+    ) -> "Scenario":
+        """The declarative scenario for one hybridization option."""
+        return paper_point(
+            base_technology,
+            express_technology,
+            hops,
+            config=self.config,
+            injection_rate=self.injection_rate,
+            seed=self.seed,
+        )
 
     def build_topology(
         self,
@@ -88,21 +141,9 @@ class DesignSpaceExplorer:
         hops: int,
     ) -> Topology:
         """Construct the mesh / express mesh for one design point."""
-        if express_technology is None:
-            return build_mesh(
-                self.config.width,
-                self.config.height,
-                link_technology=base_technology,
-                core_spacing_m=self.config.core_spacing_m,
-            )
-        return build_express_mesh(
-            self.config.width,
-            self.config.height,
-            hops=hops,
-            base_technology=base_technology,
-            express_technology=express_technology,
-            core_spacing_m=self.config.core_spacing_m,
-        )
+        return self.scenario_for(
+            base_technology, express_technology, hops
+        ).topology.build()
 
     def evaluate_point(
         self,
@@ -110,54 +151,71 @@ class DesignSpaceExplorer:
         express_technology: Technology | None = None,
         hops: int = 0,
     ) -> DSEPoint:
-        """Evaluate one hybridization option."""
-        from repro.analysis.network_clear import evaluate_network
-
-        topo = self.build_topology(base_technology, express_technology, hops)
-        routing = RoutingTable(topo)
-        traffic = soteriou_traffic(
-            topo,
-            p=self.config.soteriou_p,
-            sigma=self.config.soteriou_sigma,
-            injection_rate=self.injection_rate,
-            seed=self.seed,
-        )
-        evaluation = evaluate_network(
-            topo, traffic, injection_rate=self.injection_rate, routing=routing
-        )
+        """Evaluate one hybridization option (memoized in the cache)."""
+        scenario = self.scenario_for(base_technology, express_technology, hops)
+        (result,) = Runner(jobs=1, cache=self.cache).run([scenario])
         return DSEPoint(
             base_technology=base_technology,
             express_technology=express_technology,
             hops=hops if express_technology is not None else 0,
-            evaluation=evaluation,
+            evaluation=_evaluation_from_metrics(result.metrics),
         )
 
     # -- full sweep ----------------------------------------------------------
+
+    def explore_iter(
+        self,
+        base_technologies: Sequence[Technology] = DEFAULT_NETWORK_TECHS,
+        express_technologies: Sequence[Technology] = DEFAULT_NETWORK_TECHS,
+        hops_options: Sequence[int] | None = None,
+        *,
+        jobs: int | None = None,
+    ) -> Iterator[DSEPoint]:
+        """Stream the base x express x hops grid plus plain meshes.
+
+        Points arrive in a stable order: for each base technology, the
+        plain mesh first, then express options grouped by technology then
+        hop count — the layout of the paper's Fig. 5 panels. Duplicate
+        design points (however the axes are spelled) evaluate once via
+        the cache; with ``jobs > 1`` the grid runs on a process pool and
+        the stream yields each point as its turn completes.
+        """
+        scenarios = scenario_family(
+            "paper-grid",
+            config=self.config,
+            injection_rate=self.injection_rate,
+            seed=self.seed,
+            base_technologies=tuple(base_technologies),
+            express_technologies=tuple(express_technologies),
+            hops_options=hops_options,
+        )
+        runner = Runner(jobs=self.jobs if jobs is None else jobs, cache=self.cache)
+        for result in runner.run_iter(scenarios):
+            topo_spec = result.scenario.topology
+            yield DSEPoint(
+                base_technology=topo_spec.base_technology,
+                express_technology=topo_spec.express_technology,
+                hops=topo_spec.hops,
+                evaluation=_evaluation_from_metrics(result.metrics),
+            )
 
     def explore(
         self,
         base_technologies: Sequence[Technology] = DEFAULT_NETWORK_TECHS,
         express_technologies: Sequence[Technology] = DEFAULT_NETWORK_TECHS,
         hops_options: Sequence[int] | None = None,
+        *,
+        jobs: int | None = None,
     ) -> list[DSEPoint]:
-        """Evaluate the full base x express x hops grid plus plain meshes.
-
-        Returns points in a stable order: for each base technology, the
-        plain mesh first, then express options grouped by technology then
-        hop count — the layout of the paper's Fig. 5 panels.
-        """
-        hops_list = (
-            list(self.config.express_hops_options)
-            if hops_options is None
-            else list(hops_options)
+        """Evaluate the full grid (see :meth:`explore_iter` for ordering)."""
+        return list(
+            self.explore_iter(
+                base_technologies,
+                express_technologies,
+                hops_options,
+                jobs=jobs,
+            )
         )
-        points: list[DSEPoint] = []
-        for base in base_technologies:
-            points.append(self.evaluate_point(base))
-            for express in express_technologies:
-                for hops in hops_list:
-                    points.append(self.evaluate_point(base, express, hops))
-        return points
 
     @staticmethod
     def best_by_clear(points: Sequence[DSEPoint]) -> DSEPoint:

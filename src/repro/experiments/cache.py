@@ -1,0 +1,89 @@
+"""Evaluation memoization keyed on scenario content hashes.
+
+The expensive evaluations behind the paper's sweeps (DSENT-backed
+analytical CLEAR points, cycle simulations) are pure functions of their
+:class:`~repro.experiments.spec.Scenario`; this cache remembers their
+metric dictionaries so repeated design points — the plain meshes that
+recur across every express option, a re-run of a benchmark, a CLI
+invocation over a previously-explored grid — cost one dictionary lookup.
+Entries can be persisted as JSON for the analysis/report layer and
+reloaded in a later process (the content hash is process-stable).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.experiments.spec import Scenario, scenario_hash, scenario_to_json
+
+__all__ = ["EvaluationCache"]
+
+_FORMAT_VERSION = 1
+
+
+class EvaluationCache:
+    """In-memory scenario -> metrics store with JSON persistence."""
+
+    def __init__(self) -> None:
+        self._store: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, scenario: Scenario) -> bool:
+        return scenario_hash(scenario) in self._store
+
+    def get(self, scenario: Scenario) -> dict[str, Any] | None:
+        """Cached metrics for ``scenario``, counting the hit or miss."""
+        entry = self._store.get(scenario_hash(scenario))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["metrics"]
+
+    def put(self, scenario: Scenario, metrics: dict[str, Any]) -> None:
+        """Store ``metrics`` for ``scenario`` (overwrites silently)."""
+        self._store[scenario_hash(scenario)] = {
+            "scenario": scenario_to_json(scenario),
+            "metrics": dict(metrics),
+        }
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters (for logs and benchmark reports)."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Write all entries to ``path`` as indented, diffable JSON."""
+        payload = {"version": _FORMAT_VERSION, "entries": self._store}
+        pathlib.Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "EvaluationCache":
+        """Rebuild a cache from :meth:`save` output."""
+        payload = json.loads(pathlib.Path(path).read_text())
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported cache format version {version!r}")
+        cache = cls()
+        cache._store = dict(payload["entries"])
+        return cache
+
+    def merge(self, other: "EvaluationCache") -> None:
+        """Absorb ``other``'s entries (other wins on key collisions)."""
+        self._store.update(other._store)

@@ -1,0 +1,213 @@
+"""Scenario evaluation and the serial / process-pool runner.
+
+:func:`evaluate_scenario` is a *pure* function: every stochastic input
+(traffic seed, injection schedule) is named inside the scenario itself,
+so evaluating the same scenario in this process, a worker process, or
+next week yields identical metrics. That purity is what lets the
+:class:`Runner` swap its serial loop for a ``ProcessPoolExecutor``
+(``jobs=N``) with bit-identical results, and what makes the
+:class:`~repro.experiments.cache.EvaluationCache` sound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, TypeVar
+
+from repro.experiments.cache import EvaluationCache
+from repro.experiments.spec import Scenario, TopologySpec, scenario_hash
+from repro.topology.graph import Topology
+from repro.topology.routing import RoutingTable
+
+__all__ = ["Runner", "ScenarioResult", "evaluate_scenario"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+@lru_cache(maxsize=8)
+def _materialize(spec: TopologySpec) -> tuple[Topology, RoutingTable]:
+    """Build (topology, routing) once per distinct spec in this process.
+
+    Multi-point sweeps share one topology across many scenarios; reusing
+    the routing table keeps its memoized path cache warm instead of
+    rebuilding it per point (the routing-table build is a tracked hot
+    path). Sharing is safe: both objects are immutable with respect to
+    evaluation, and the path memo is deterministic.
+    """
+    topo = spec.build()
+    return topo, RoutingTable(topo)
+
+
+def evaluate_scenario(scenario: Scenario) -> dict[str, Any]:
+    """Evaluate one scenario into a flat, JSON-safe metrics dictionary."""
+    if scenario.kind == "analytical":
+        return _evaluate_analytical(scenario)
+    if scenario.kind == "simulation":
+        return _evaluate_simulation(scenario)
+    return _evaluate_all_optical(scenario)
+
+
+def _evaluate_analytical(scenario: Scenario) -> dict[str, Any]:
+    # Lazy import: analysis pulls in the DSENT substrate (analysis -> core).
+    from repro.analysis.network_clear import evaluate_network
+
+    topo, routing = _materialize(scenario.topology)
+    tm = scenario.traffic.matrix(topo)
+    ev = evaluate_network(
+        topo,
+        tm,
+        injection_rate=scenario.traffic.injection_rate,
+        routing=routing,
+    )
+    return {"kind": "analytical", **ev.to_metrics()}
+
+
+def _evaluate_simulation(scenario: Scenario) -> dict[str, Any]:
+    from repro.simulation.simulator import Simulator
+
+    sim_spec = scenario.sim
+    topo, routing = _materialize(scenario.topology)
+    trace = scenario.traffic.trace(topo, sim=sim_spec)
+    sim = Simulator(topo, routing, sim_spec.sim_config())
+    trace_based = scenario.traffic.generator == "npb"
+    stats = sim.run(trace, max_cycles=sim_spec.cycle_budget(trace_based))
+    return {
+        "kind": "simulation",
+        "topology_name": topo.name,
+        "injection_rate": scenario.traffic.injection_rate,
+        "n_packets": stats.n_packets,
+        "n_flits": stats.n_flits,
+        "cycles": stats.cycles,
+        "drained": stats.drained,
+        "avg_latency": stats.avg_latency,
+        "p99_latency": stats.p99_latency,
+        "avg_hops": stats.avg_hops,
+        "total_link_traversals": int(stats.link_flit_counts.sum()),
+        "total_router_traversals": int(stats.router_flit_counts.sum()),
+    }
+
+
+def _evaluate_all_optical(scenario: Scenario) -> dict[str, Any]:
+    from repro.optical.projection import project_all_optical
+
+    params = dict(scenario.traffic.params)
+    cmp = project_all_optical(
+        width=scenario.topology.width,
+        height=scenario.topology.height,
+        core_spacing_m=scenario.topology.core_spacing_m,
+        injection_rate=scenario.traffic.injection_rate,
+        amortization_injection_rate=params.get(
+            "amortization_injection_rate", 0.001
+        ),
+        seed=scenario.traffic.seed,
+    )
+    metrics: dict[str, Any] = {"kind": "all_optical"}
+    for proj in cmp.all():
+        key = proj.name.replace("-", "_").replace(" ", "_")
+        metrics[f"{key}_latency_clks"] = proj.latency_clks
+        metrics[f"{key}_energy_per_bit_fj"] = proj.energy_per_bit_fj
+        metrics[f"{key}_area_mm2"] = proj.area_mm2
+    metrics["energy_ratio_electronic_over_hyppi"] = (
+        cmp.energy_ratio_electronic_over_hyppi
+    )
+    metrics["area_ratio_photonic_over_hyppi"] = cmp.area_ratio_photonic_over_hyppi
+    return metrics
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One evaluated scenario: the spec, its metrics, and provenance."""
+
+    scenario: Scenario
+    metrics: dict[str, Any]
+    cached: bool
+    """True if the metrics were served from the cache (including an
+    earlier duplicate within the same batch)."""
+
+
+class Runner:
+    """Run batches of scenarios serially or on a process pool.
+
+    Duplicate scenarios within a batch are evaluated once; everything
+    flows through the runner's :class:`EvaluationCache` (pass a shared
+    cache to amortize across runners, or persist it between processes).
+    Results preserve input order regardless of executor, and — because
+    evaluation is pure with per-scenario seeds — ``jobs=1`` and
+    ``jobs=N`` produce bit-identical metrics.
+    """
+
+    def __init__(self, *, jobs: int = 1, cache: EvaluationCache | None = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache if cache is not None else EvaluationCache()
+
+    def run(self, scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
+        """Evaluate all scenarios, preserving input order."""
+        return list(self.run_iter(scenarios))
+
+    def run_iter(self, scenarios: Iterable[Scenario]) -> Iterator[ScenarioResult]:
+        """Stream results in input order as they become available.
+
+        Serial mode evaluates lazily (one point per ``next()``); parallel
+        mode submits every unique uncached scenario up front and yields
+        each result as soon as its turn comes.
+        """
+        batch = list(scenarios)
+
+        if self.jobs > 1:
+            hashes = [scenario_hash(s) for s in batch]
+            pending: dict[str, Scenario] = {}
+            for s, h in zip(batch, hashes):
+                if h not in pending and s not in self.cache:
+                    pending[h] = s
+            if len(pending) > 1:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(pending))
+                )
+                try:
+                    futures = {
+                        h: pool.submit(evaluate_scenario, s)
+                        for h, s in pending.items()
+                    }
+                    for s, h in zip(batch, hashes):
+                        metrics = self.cache.get(s)
+                        if metrics is None:
+                            metrics = futures[h].result()
+                            self.cache.put(s, metrics)
+                            yield ScenarioResult(s, metrics, cached=False)
+                        else:
+                            yield ScenarioResult(s, metrics, cached=True)
+                finally:
+                    # An abandoned stream must not join the whole batch:
+                    # drop queued work and let running points finish alone.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                return
+
+        for s in batch:
+            metrics = self.cache.get(s)
+            if metrics is None:
+                metrics = evaluate_scenario(s)
+                self.cache.put(s, metrics)
+                yield ScenarioResult(s, metrics, cached=False)
+            else:
+                yield ScenarioResult(s, metrics, cached=True)
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        """Order-preserving map on this runner's executor.
+
+        A convenience for non-scenario work that should still honour
+        ``--jobs`` (e.g. the Table VI router evaluations). With
+        ``jobs > 1`` the callable and items must be picklable
+        (module-level function, plain-data arguments); results are not
+        cached.
+        """
+        items = list(items)
+        if self.jobs == 1 or len(items) < 2:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
+            return list(pool.map(fn, items))

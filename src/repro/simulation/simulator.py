@@ -30,6 +30,7 @@ flits rather than network size.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -87,16 +88,22 @@ class SimStats:
 
     @property
     def avg_latency(self) -> float:
-        """Mean packet latency, cycles (the paper's Fig. 6 metric)."""
+        """Mean packet latency, cycles (the paper's Fig. 6 metric).
+
+        ``nan`` when no packet was delivered (a fully saturated or empty
+        run) so sweeps past saturation report rather than crash; check
+        :attr:`drained` to distinguish saturation from success.
+        """
         if self.packet_latencies.size == 0:
-            raise ValueError("no delivered packets")
+            return math.nan
         return float(self.packet_latencies.mean())
 
     @property
     def p99_latency(self) -> float:
-        """99th-percentile packet latency, cycles."""
+        """99th-percentile packet latency, cycles (``nan`` if none
+        delivered, as for :attr:`avg_latency`)."""
         if self.packet_latencies.size == 0:
-            raise ValueError("no delivered packets")
+            return math.nan
         return float(np.percentile(self.packet_latencies, 99))
 
     @property

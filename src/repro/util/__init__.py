@@ -1,12 +1,13 @@
 """Shared utilities: units, deterministic RNG, sweeps, ASCII tables."""
 
 from repro.util import units
-from repro.util.rng import ensure_rng, spawn_child
+from repro.util.rng import derive_seed, ensure_rng, spawn_child
 from repro.util.sweep import grid, lin_space, log_space
 from repro.util.tables import ascii_bar_chart, ascii_xy_plot, format_series, format_table
 
 __all__ = [
     "units",
+    "derive_seed",
     "ensure_rng",
     "spawn_child",
     "grid",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_child"]
+__all__ = ["ensure_rng", "spawn_child", "derive_seed"]
 
 SeedLike = int | np.random.Generator | None
 
@@ -38,3 +38,16 @@ def spawn_child(rng: np.random.Generator, stream: int) -> np.random.Generator:
         raise ValueError(f"stream index must be >= 0, got {stream}")
     seed = rng.integers(0, 2**63 - 1, dtype=np.int64)
     return np.random.default_rng([int(seed), stream])
+
+
+def derive_seed(base_seed: int, *keys: int) -> int:
+    """Deterministic integer child seed for an indexed sub-experiment.
+
+    Unlike drawing successive seeds from one shared generator, the result
+    depends only on ``(base_seed, *keys)`` — point ``i`` of a sweep gets
+    the same workload whether points run serially, in parallel, or alone.
+    """
+    if any(k < 0 for k in keys):
+        raise ValueError(f"seed keys must be >= 0, got {keys}")
+    state = np.random.SeedSequence([int(base_seed), *map(int, keys)])
+    return int(state.generate_state(1, dtype=np.uint64)[0])

@@ -14,6 +14,11 @@ __all__ = ["grid", "log_space", "lin_space"]
 def grid(axes: Mapping[str, Sequence[Any]]) -> Iterator[dict[str, Any]]:
     """Yield the Cartesian product of named axes as dictionaries.
 
+    This is the enumeration primitive behind the experiment engine's
+    scenario families (:mod:`repro.experiments.registry`): an axes
+    mapping *is* a declarative sweep, and each yielded dictionary names
+    one scenario's parameters.
+
     >>> list(grid({"a": [1, 2], "b": ["x"]}))
     [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
     """
