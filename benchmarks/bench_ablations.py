@@ -8,9 +8,9 @@
   against a first-principles setup+transfer estimate.
 """
 
-import numpy as np
 import pytest
 
+from repro.bench import HEAVY_POLICY, benchmark_spec
 from repro.core import DesignSpaceExplorer
 from repro.optical import paper_latency_approximation, setup_transfer_latency
 from repro.simulation import SimConfig, Simulator
@@ -20,19 +20,63 @@ from repro.traffic import cg_trace
 from repro.util import format_table
 
 
-def test_ablation_injection_rate(benchmark, save_result):
-    def sweep():
-        out = []
-        for rate in (0.01, 0.02, 0.05, 0.1):
-            ex = DesignSpaceExplorer(injection_rate=rate)
-            plain = ex.evaluate_point(Technology.ELECTRONIC).evaluation.clear
-            hyppi = ex.evaluate_point(
-                Technology.ELECTRONIC, Technology.HYPPI, 3
-            ).evaluation.clear
-            out.append((rate, plain, hyppi, hyppi / plain))
-        return out
+@benchmark_spec("ablation_injection_rate", points=8, tags=("ablation",))
+def sweep_injection_rate():
+    """CLEAR at injection rates 0.01-0.1, plain vs HyPPI-express."""
+    out = []
+    for rate in (0.01, 0.02, 0.05, 0.1):
+        ex = DesignSpaceExplorer(injection_rate=rate)
+        plain = ex.evaluate_point(Technology.ELECTRONIC).evaluation.clear
+        hyppi = ex.evaluate_point(
+            Technology.ELECTRONIC, Technology.HYPPI, 3
+        ).evaluation.clear
+        out.append((rate, plain, hyppi, hyppi / plain))
+    return out
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+@benchmark_spec(
+    "ablation_router_pipeline",
+    points=6,
+    policy=HEAVY_POLICY,
+    tags=("ablation", "simulation"),
+)
+def sweep_router_pipeline():
+    """CG latency at 2/3/4 router pipeline stages, mesh vs h3 express."""
+    trace = cg_trace(volume_scale=2e-4, iterations=1)
+    mesh = build_mesh()
+    e3 = build_express_mesh(hops=3, express_technology=Technology.HYPPI)
+    out = []
+    for stages in (2, 3, 4):
+        cfg = SimConfig(router_pipeline=stages)
+        base = Simulator(mesh, config=cfg).run(trace).avg_latency
+        express = Simulator(e3, config=cfg).run(trace).avg_latency
+        out.append((stages, base, express, base / express))
+    return out
+
+
+@benchmark_spec("ablation_circuit_latency", points=3, tags=("ablation", "smoke"))
+def compare_circuit_latency_models():
+    """Paper's 50% rule vs a first-principles setup+transfer estimate."""
+    from repro.analysis import average_latency_cycles
+    from repro.topology.routing import RoutingTable
+    from repro.traffic import soteriou_traffic
+
+    mesh = build_mesh()
+    routing = RoutingTable(mesh)
+    tm = soteriou_traffic(mesh)
+    # Compare like with like: a 32-flit packet on both networks.
+    e_lat = average_latency_cycles(mesh, tm, routing, packet_flits=32)
+    paper = paper_latency_approximation(e_lat)
+    # First-principles: average 10.6-hop path, 32-flit payload.
+    dist = 10.6
+    first_principles = setup_transfer_latency(
+        dist, 32, path_length_m=dist * 1e-3
+    )
+    return e_lat, paper, first_principles
+
+
+def test_ablation_injection_rate(run_bench, save_result):
+    rows = run_bench("ablation_injection_rate")
     save_result(
         "ablation_injection_rate",
         format_table(
@@ -41,7 +85,6 @@ def test_ablation_injection_rate(benchmark, save_result):
             title="Ablation — CLEAR vs injection rate",
         ),
     )
-    rates = [r[0] for r in rows]
     plain = [r[1] for r in rows]
     ratio = [r[3] for r in rows]
     # CLEAR decreases mildly with injection rate (power grows), and the
@@ -50,21 +93,8 @@ def test_ablation_injection_rate(benchmark, save_result):
     assert min(ratio) > 1.5
 
 
-def test_ablation_router_pipeline(benchmark, save_result):
-    trace = cg_trace(volume_scale=2e-4, iterations=1)
-    mesh = build_mesh()
-    e3 = build_express_mesh(hops=3, express_technology=Technology.HYPPI)
-
-    def sweep():
-        out = []
-        for stages in (2, 3, 4):
-            cfg = SimConfig(router_pipeline=stages)
-            base = Simulator(mesh, config=cfg).run(trace).avg_latency
-            express = Simulator(e3, config=cfg).run(trace).avg_latency
-            out.append((stages, base, express, base / express))
-        return out
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def test_ablation_router_pipeline(run_bench, save_result):
+    rows = run_bench("ablation_router_pipeline")
     save_result(
         "ablation_router_pipeline",
         format_table(
@@ -80,26 +110,8 @@ def test_ablation_router_pipeline(benchmark, save_result):
     assert all(r[3] > 1.02 for r in rows)
 
 
-def test_ablation_circuit_latency_model(benchmark, save_result):
-    def compare():
-        from repro.analysis import average_latency_cycles
-        from repro.topology.routing import RoutingTable
-        from repro.traffic import soteriou_traffic
-
-        mesh = build_mesh()
-        routing = RoutingTable(mesh)
-        tm = soteriou_traffic(mesh)
-        # Compare like with like: a 32-flit packet on both networks.
-        e_lat = average_latency_cycles(mesh, tm, routing, packet_flits=32)
-        paper = paper_latency_approximation(e_lat)
-        # First-principles: average 10.6-hop path, 32-flit payload.
-        dist = 10.6
-        first_principles = setup_transfer_latency(
-            dist, 32, path_length_m=dist * 1e-3
-        )
-        return e_lat, paper, first_principles
-
-    e_lat, paper, fp = benchmark.pedantic(compare, rounds=1, iterations=1)
+def test_ablation_circuit_latency_model(run_bench, save_result):
+    e_lat, paper, fp = run_bench("ablation_circuit_latency")
     save_result(
         "ablation_circuit_latency",
         format_table(

@@ -9,6 +9,7 @@ and the technology hand-off points.
 
 import numpy as np
 
+from repro.bench import benchmark_spec
 from repro.core import find_crossover_m, sweep_link_clear
 from repro.tech import (
     CapabilityMode,
@@ -48,8 +49,34 @@ def _sweep_all(mode: CapabilityMode):
     }
 
 
-def test_fig3_device_mode(benchmark, save_result):
-    sweeps = benchmark(_sweep_all, CapabilityMode.DEVICE)
+@benchmark_spec("fig3_device_sweep", points=4 * 60, tags=("figure", "smoke"))
+def sweep_device_mode():
+    """CLEAR-vs-length sweep of all four technologies at device rates."""
+    return _sweep_all(CapabilityMode.DEVICE)
+
+
+@benchmark_spec("fig3_serdes_sweep", points=4 * 60, tags=("figure", "smoke"))
+def sweep_serdes_mode():
+    """CLEAR-vs-length sweep at SERDES-capped (50 Gb/s) rates."""
+    return _sweep_all(CapabilityMode.SERDES)
+
+
+@benchmark_spec("fig3_crossovers", points=2, tags=("figure", "smoke"))
+def compute_crossovers():
+    """Technology hand-off lengths (electronic -> HyPPI / photonic)."""
+    e = MODELS[Technology.ELECTRONIC]
+    return {
+        "electronic->hyppi": find_crossover_m(
+            e, MODELS[Technology.HYPPI], 1e-6, 10e-3
+        ),
+        "electronic->photonic": find_crossover_m(
+            e, MODELS[Technology.PHOTONIC], 1e-6, 50e-3
+        ),
+    }
+
+
+def test_fig3_device_mode(run_bench, save_result):
+    sweeps = run_bench("fig3_device_sweep")
     plot = ascii_xy_plot(
         {name: (s.lengths_m, s.clear) for name, s in sweeps.items()},
         logx=True,
@@ -79,20 +106,8 @@ def test_fig3_device_mode(benchmark, save_result):
     assert at("photonic", 20e-3) > at("electronic", 20e-3)
 
 
-def test_fig3_crossovers(benchmark, save_result):
-    def crossovers():
-        e = MODELS[Technology.ELECTRONIC]
-        out = {
-            "electronic->hyppi": find_crossover_m(
-                e, MODELS[Technology.HYPPI], 1e-6, 10e-3
-            ),
-            "electronic->photonic": find_crossover_m(
-                e, MODELS[Technology.PHOTONIC], 1e-6, 50e-3
-            ),
-        }
-        return out
-
-    points = benchmark(crossovers)
+def test_fig3_crossovers(run_bench, save_result):
+    points = run_bench("fig3_crossovers")
     rows = [[k, "-" if v is None else v * 1e3] for k, v in points.items()]
     save_result(
         "fig3_crossovers",
@@ -107,8 +122,8 @@ def test_fig3_crossovers(benchmark, save_result):
     assert points["electronic->photonic"] > points["electronic->hyppi"]
 
 
-def test_fig3_serdes_mode(benchmark, save_result):
-    sweeps = benchmark(_sweep_all, CapabilityMode.SERDES)
+def test_fig3_serdes_mode(run_bench, save_result):
+    sweeps = run_bench("fig3_serdes_sweep")
     plot = ascii_xy_plot(
         {name: (s.lengths_m, s.clear) for name, s in sweeps.items()},
         logx=True,
@@ -116,6 +131,7 @@ def test_fig3_serdes_mode(benchmark, save_result):
         title="Fig. 3 variant — link CLEAR, SERDES-limited rates",
     )
     save_result("fig3_link_clear_serdes", plot)
+
     # With rates equalized at 50 Gb/s, plasmonics wins over the other
     # *optical* options at micrometre scale (its natural niche).
     def at(name, length):

@@ -12,6 +12,7 @@ scaling and the resulting paper-vs-measured ratios.
 
 import pytest
 
+from repro.bench import HEAVY_POLICY, benchmark_spec
 from repro.experiments import Runner, scenario_family
 from repro.util import format_table
 
@@ -26,7 +27,14 @@ PAPER_SPEEDUPS = {  # best express configuration per kernel, from the text
 }
 
 
-def _run_all():
+@benchmark_spec(
+    "fig6_npb_latency",
+    points=len(KERNELS) * len(HOPS_OPTIONS),
+    policy=HEAVY_POLICY,
+    tags=("figure", "simulation"),
+)
+def simulate_npb_grid():
+    """Cycle-simulate every NPB kernel on every topology option."""
     # The engine's NPB family carries the same per-kernel volume scales /
     # iteration counts this bench used to hand-roll (DEFAULT_NPB_WORKLOADS).
     scenarios = scenario_family(
@@ -43,8 +51,8 @@ def _run_all():
     return out
 
 
-def test_fig6_npb_latency(benchmark, save_result):
-    lat = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+def test_fig6_npb_latency(run_bench, save_result):
+    lat = run_bench("fig6_npb_latency")
     kernels = ("FT", "CG", "MG", "LU")
     rows = []
     for k in kernels:

@@ -8,6 +8,7 @@ option").
 
 import pytest
 
+from repro.bench import benchmark_spec
 from repro.optical import project_all_optical
 from repro.util import ascii_bar_chart, format_table
 
@@ -19,8 +20,14 @@ PAPER = {
 }
 
 
-def test_fig8_projection(benchmark, save_result):
-    cmp = benchmark.pedantic(project_all_optical, rounds=1, iterations=1)
+@benchmark_spec("fig8_all_optical", points=3, tags=("figure", "smoke"))
+def project():
+    """The three-way all-optical projection (latency / energy / area)."""
+    return project_all_optical()
+
+
+def test_fig8_projection(run_bench, save_result):
+    cmp = run_bench("fig8_all_optical")
     rows = []
     for proj in cmp.all():
         paper_e, paper_a = PAPER[proj.name]
@@ -58,8 +65,8 @@ def test_fig8_projection(benchmark, save_result):
     )
 
 
-def test_fig8_radar_dominance(benchmark):
-    cmp = benchmark.pedantic(project_all_optical, rounds=1, iterations=1)
+def test_fig8_radar_dominance(run_bench):
+    cmp = run_bench("fig8_all_optical")
     # all-HyPPI dominates all-photonic on every axis (smaller triangle).
     assert cmp.hyppi.latency_clks <= cmp.photonic.latency_clks
     assert cmp.hyppi.area_mm2 < cmp.photonic.area_mm2

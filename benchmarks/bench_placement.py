@@ -9,6 +9,7 @@ links recovers most of the latency benefit of the full uniform grid.
 import numpy as np
 
 from repro.analysis import average_latency_cycles
+from repro.bench import benchmark_spec
 from repro.core import optimize_express_placement
 from repro.topology import RoutingTable, build_express_mesh, build_mesh
 from repro.traffic import TrafficMatrix
@@ -31,7 +32,9 @@ def _skewed_traffic() -> TrafficMatrix:
     return TrafficMatrix(m, name="row-skewed")
 
 
-def _compute():
+@benchmark_spec("placement_greedy", points=3, tags=("extension", "smoke"))
+def compute_placement():
+    """Mesh / uniform-grid / greedy-placement latency comparison."""
     tm = _skewed_traffic()
     mesh = build_mesh(WIDTH, HEIGHT)
     lat_mesh = average_latency_cycles(mesh, tm, RoutingTable(mesh))
@@ -50,8 +53,8 @@ def _compute():
     }, placed
 
 
-def test_placement_vs_uniform(benchmark, save_result):
-    results, placed = benchmark.pedantic(_compute, rounds=1, iterations=1)
+def test_placement_vs_uniform(run_bench, save_result):
+    results, placed = run_bench("placement_greedy")
     rows = [
         [name, latency, links, results["mesh"][0] / latency]
         for name, (latency, links) in results.items()

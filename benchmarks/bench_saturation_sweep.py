@@ -15,13 +15,21 @@ share its per-point deterministic seeding.
 
 import numpy as np
 
+from repro.bench import HEAVY_POLICY, benchmark_spec
 from repro.experiments import Runner, scenario_family
 from repro.util import format_table
 
 RATES = [0.02, 0.05, 0.1, 0.2, 0.3]
 
 
-def _sweep():
+@benchmark_spec(
+    "saturation_sweep",
+    points=2 * len(RATES),
+    policy=HEAVY_POLICY,
+    tags=("extension", "simulation"),
+)
+def sweep_saturation():
+    """Latency-vs-load curves for the plain mesh and the h3 hybrid."""
     out = {}
     for name, hops in (("mesh", 0), ("h3-hyppi", 3)):
         scenarios = scenario_family(
@@ -31,8 +39,8 @@ def _sweep():
     return out
 
 
-def test_saturation_sweep(benchmark, save_result):
-    curves = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_saturation_sweep(run_bench, save_result):
+    curves = run_bench("saturation_sweep")
     rows = []
     for i, rate in enumerate(RATES):
         rows.append(

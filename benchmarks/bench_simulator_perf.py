@@ -3,99 +3,127 @@
 Not a paper figure: these track the speed of the cycle simulator, the
 flow-assignment kernel, the routing-table build and the parallel
 experiment runner — the hot paths of the reproduction (the HPC guides'
-rule: measure before optimizing). The runner benchmark emits a JSON
-record (points/sec at jobs=1 vs jobs=4) for the perf trajectory.
+rule: measure before optimizing). All timing goes through the
+:mod:`repro.bench` harness; ``simulator_run`` is the record the perf CI
+gate watches for cycle-simulator regressions.
 """
-
-import json
-import time
 
 import numpy as np
 
 from repro.analysis import assign_flows
+from repro.bench import HEAVY_POLICY, benchmark_spec
 from repro.experiments import Runner, scenario_family
 from repro.simulation import Simulator
 from repro.topology import RoutingTable, build_mesh
 from repro.traffic import PacketRecord, Trace, uniform_traffic
 
+N_PACKETS = 2000
 
-def _uniform_trace(n_packets=2000, seed=0):
+
+def _uniform_trace(n_packets=N_PACKETS, seed=0):
     rng = np.random.default_rng(seed)
     records = []
-    for i in range(n_packets):
+    for _ in range(n_packets):
         s, d = rng.choice(256, size=2, replace=False)
         records.append(PacketRecord(int(rng.integers(0, 2000)), int(s), int(d), 1))
     return Trace(256, records)
 
 
-def test_perf_cycle_simulator(benchmark):
+def _simulator_fixture():
     mesh = build_mesh()
-    routing = RoutingTable(mesh)
-    trace = _uniform_trace()
-    sim = Simulator(mesh, routing)
-    stats = benchmark.pedantic(
-        lambda: sim.run(trace), rounds=3, iterations=1, warmup_rounds=1
-    )
-    assert stats.drained
+    return Simulator(mesh, RoutingTable(mesh)), _uniform_trace()
 
 
-def test_perf_flow_assignment(benchmark):
+@benchmark_spec(
+    "simulator_run",
+    setup=_simulator_fixture,
+    points=N_PACKETS,
+    tags=("perf", "simulation", "smoke"),
+)
+def run_simulator(fixture):
+    """One full cycle-simulation of 2000 uniform packets on the 16x16 mesh."""
+    sim, trace = fixture
+    return sim.run(trace)
+
+
+def _flow_fixture():
     mesh = build_mesh()
     routing = RoutingTable(mesh)
     tm = uniform_traffic(mesh)
     assign_flows(mesh, tm, routing)  # warm the path cache
-    flows = benchmark(assign_flows, mesh, tm, routing)
-    assert flows.total_traffic > 0
+    return mesh, tm, routing
 
 
-def test_perf_routing_table_build(benchmark):
-    mesh = build_mesh()
-
-    def build():
-        rt = RoutingTable(mesh)
-        rt.build_all()
-        return rt
-
-    rt = benchmark.pedantic(build, rounds=3, iterations=1)
-    assert rt.hop_count(0, 255) == 30
+@benchmark_spec(
+    "flow_assignment", setup=_flow_fixture, points=256 * 255, tags=("perf", "smoke")
+)
+def run_flow_assignment(fixture):
+    """Flow assignment of the full 256-node uniform traffic matrix."""
+    mesh, tm, routing = fixture
+    return assign_flows(mesh, tm, routing)
 
 
-def test_perf_parallel_runner(results_dir):
-    """Experiment-engine throughput: points/sec serial vs process pool.
+@benchmark_spec(
+    "routing_table_build", setup=build_mesh, points=256 * 255, tags=("perf", "smoke")
+)
+def run_routing_table_build(mesh):
+    """Full all-pairs routing-table construction on the 16x16 mesh."""
+    rt = RoutingTable(mesh)
+    rt.build_all()
+    return rt
 
-    Records whatever the hardware gives: near-linear speedup on multi-core
-    hosts, below 1.0 on single-core CI boxes (pool overhead with no
-    parallelism). Correctness is asserted either way — executor choice
-    must never change a metric.
-    """
-    scenarios = scenario_family(
+
+def _runner_scenarios():
+    return scenario_family(
         "saturation-sweep",
         rates=[0.01 + 0.01 * i for i in range(8)],
         cycles=500,
         seed=0,
     )
 
-    throughput = {}
-    metrics_by_jobs = {}
-    for jobs in (1, 4):
-        runner = Runner(jobs=jobs)  # fresh cache: every point evaluates
-        t0 = time.perf_counter()
-        results = runner.run(scenarios)
-        elapsed = time.perf_counter() - t0
-        throughput[jobs] = len(results) / elapsed
-        metrics_by_jobs[jobs] = [res.metrics for res in results]
-        assert runner.cache.misses == len(scenarios)
 
-    # Parallel execution must not change a single metric.
-    assert metrics_by_jobs[1] == metrics_by_jobs[4]
+def _run_with_jobs(jobs: int):
+    scenarios = _runner_scenarios()
+    runner = Runner(jobs=jobs)  # fresh cache: every point evaluates
+    results = runner.run(scenarios)
+    assert runner.cache.misses == len(scenarios)
+    return [res.metrics for res in results]
 
-    record = {
-        "benchmark": "parallel_runner_throughput",
-        "n_points": len(scenarios),
-        "points_per_sec_jobs1": throughput[1],
-        "points_per_sec_jobs4": throughput[4],
-        "speedup_jobs4": throughput[4] / throughput[1],
-    }
-    path = results_dir / "runner_throughput.json"
-    path.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"\n{json.dumps(record, indent=2)}\n[saved to {path}]")
+
+@benchmark_spec(
+    "runner_serial", points=8, policy=HEAVY_POLICY, tags=("perf", "simulation")
+)
+def run_runner_serial():
+    """Experiment-engine throughput, serial executor (8 sweep points)."""
+    return _run_with_jobs(1)
+
+
+@benchmark_spec(
+    "runner_pool4", points=8, policy=HEAVY_POLICY, tags=("perf", "simulation")
+)
+def run_runner_pool4():
+    """Experiment-engine throughput, 4-process pool (same 8 points)."""
+    return _run_with_jobs(4)
+
+
+def test_perf_cycle_simulator(run_bench):
+    stats = run_bench("simulator_run")
+    assert stats.drained
+
+
+def test_perf_flow_assignment(run_bench):
+    flows = run_bench("flow_assignment")
+    assert flows.total_traffic > 0
+
+
+def test_perf_routing_table_build(run_bench):
+    rt = run_bench("routing_table_build")
+    assert rt.hop_count(0, 255) == 30
+
+
+def test_perf_parallel_runner(run_bench):
+    """Executor choice must never change a metric — the speedup itself is
+    whatever the hardware gives (compare the two BENCH records)."""
+    serial = run_bench("runner_serial")
+    pooled = run_bench("runner_pool4")
+    assert serial == pooled

@@ -4,11 +4,14 @@ Renders the transcribed device table and benchmarks the derived link-budget
 computations that every other experiment leans on.
 """
 
+from repro.bench import benchmark_spec
 from repro.tech import HYPPI, PHOTONIC, PLASMONIC
 from repro.util import format_table
 
 
-def _render() -> str:
+@benchmark_spec("table1_render", tags=("table", "smoke"))
+def render_table1() -> str:
+    """Render the transcribed Table I device-parameter table."""
     cols = {"Photonic": PHOTONIC, "Plasmonic": PLASMONIC, "HyPPI": HYPPI}
     rows = [
         ["Laser efficiency (%)"] + [p.laser.efficiency * 100 for p in cols.values()],
@@ -46,21 +49,24 @@ def _render() -> str:
     )
 
 
-def test_table1_parameters(benchmark, save_result):
-    table = benchmark(_render)
+@benchmark_spec("table1_loss_budgets", points=3, tags=("table", "smoke"))
+def compute_loss_budgets() -> dict[str, float]:
+    """1 mm path-loss budgets for the three optical technologies."""
+    return {
+        p.technology.value: p.path_loss_db(1e-3)
+        for p in (PHOTONIC, PLASMONIC, HYPPI)
+    }
+
+
+def test_table1_parameters(run_bench, save_result):
+    table = run_bench("table1_render")
     save_result("table1_parameters", table)
     assert "2100" in table  # HyPPI's 2.1 Tb/s modulator
     assert "440" in table  # plasmonic ohmic loss
 
 
-def test_table1_loss_budgets(benchmark):
-    def budgets():
-        return {
-            p.technology.value: p.path_loss_db(1e-3)
-            for p in (PHOTONIC, PLASMONIC, HYPPI)
-        }
-
-    losses = benchmark(budgets)
+def test_table1_loss_budgets(run_bench):
+    losses = run_bench("table1_loss_budgets")
     # Plasmonics pays 44 dB/mm; the others stay near their fixed losses.
     assert losses["plasmonic"] > 40
     assert losses["photonic"] < 2

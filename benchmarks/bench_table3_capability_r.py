@@ -9,6 +9,7 @@ unpublished utilization normalization; see EXPERIMENTS.md).
 import pytest
 
 from repro.analysis import aggregate_capability_gbps, rate_of_utilization_increase
+from repro.bench import benchmark_spec
 from repro.topology import build_express_mesh, build_mesh
 from repro.traffic import soteriou_traffic
 from repro.util import format_table
@@ -22,7 +23,9 @@ def _topologies():
             5: build_express_mesh(hops=5), 15: build_express_mesh(hops=15)}
 
 
-def _compute():
+@benchmark_spec("table3_capability_r", points=4, tags=("table", "smoke"))
+def compute_table3() -> dict[int, tuple[float, float]]:
+    """C and R for the plain mesh and the three express hop counts."""
     out = {}
     for hops, topo in _topologies().items():
         c = aggregate_capability_gbps(topo) / topo.n_nodes
@@ -31,8 +34,8 @@ def _compute():
     return out
 
 
-def test_table3(benchmark, save_result):
-    results = benchmark.pedantic(_compute, rounds=1, iterations=1)
+def test_table3(run_bench, save_result):
+    results = run_bench("table3_capability_r")
     rows = [
         [
             "plain mesh" if hops == 0 else f"express hops={hops}",

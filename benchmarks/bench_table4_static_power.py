@@ -8,6 +8,7 @@ the ~1.5 W photonic-express adder (DESIGN.md section 5).
 import pytest
 
 from repro.analysis import network_static_power_w
+from repro.bench import benchmark_spec
 from repro.tech import Technology
 from repro.topology import build_express_mesh, build_mesh
 from repro.util import format_table
@@ -26,7 +27,9 @@ PAPER = {
 PAPER_BASE = 1.53
 
 
-def _compute():
+@benchmark_spec("table4_static_power", points=10, tags=("table", "smoke"))
+def compute_static_power_grid() -> dict:
+    """Static power for the base mesh and every express tech x hops point."""
     grid = {"base": network_static_power_w(build_mesh())}
     for (tech, hops) in PAPER:
         topo = build_express_mesh(hops=hops, express_technology=tech)
@@ -34,8 +37,8 @@ def _compute():
     return grid
 
 
-def test_table4_static_power(benchmark, save_result):
-    grid = benchmark.pedantic(_compute, rounds=1, iterations=1)
+def test_table4_static_power(run_bench, save_result):
+    grid = run_bench("table4_static_power")
     rows = [["base electronic mesh", "-", grid["base"], PAPER_BASE]]
     for tech in (Technology.ELECTRONIC, Technology.PHOTONIC, Technology.HYPPI):
         for hops in (3, 5, 15):

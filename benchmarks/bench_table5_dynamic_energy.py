@@ -14,6 +14,7 @@ from repro.analysis import (
     network_static_power_w,
     trace_dynamic_energy_j,
 )
+from repro.bench import HEAVY_POLICY, benchmark_spec
 from repro.tech import Technology
 from repro.topology import RoutingTable, build_express_mesh, build_mesh
 from repro.traffic import TrafficMatrix
@@ -52,7 +53,11 @@ def _ft_flit_matrix(volume_scale: float, iterations: int) -> TrafficMatrix:
     return TrafficMatrix(m, name="ft-class-a")
 
 
-def _compute():
+@benchmark_spec(
+    "table5_dynamic_energy", points=10, policy=HEAVY_POLICY, tags=("table",)
+)
+def compute_table5() -> dict:
+    """FT-volume dynamic energy for the base mesh and every express point."""
     counts = _ft_flit_matrix(FT_VOLUME_SCALE, iterations=6)
     results = {}
     mesh = build_mesh()
@@ -72,8 +77,8 @@ def _compute():
     return results
 
 
-def test_table5_dynamic_energy(benchmark, save_result):
-    results = benchmark.pedantic(_compute, rounds=1, iterations=1)
+def test_table5_dynamic_energy(run_bench, save_result):
+    results = run_bench("table5_dynamic_energy")
     rows = [["base mesh", "-", results["base"][0], 0.0, PAPER_J["base"]]]
     for tech in (Technology.ELECTRONIC, Technology.PHOTONIC, Technology.HYPPI):
         for hops in (3, 5, 15):

@@ -7,6 +7,7 @@ wide loss range under X-Y routing.
 
 import pytest
 
+from repro.bench import benchmark_spec
 from repro.optical import (
     HYPPI_ROUTER,
     PHOTONIC_ROUTER,
@@ -20,7 +21,9 @@ PAPER = {
 }
 
 
-def _compute():
+@benchmark_spec("table6_routers", points=2, tags=("table", "smoke"))
+def compute_table6() -> dict:
+    """Control energy, loss range, area, E[loss|XY] for both routers."""
     out = {}
     for name, router in (("photonic", PHOTONIC_ROUTER), ("hyppi", HYPPI_ROUTER)):
         lo, hi = router.loss_range_db()
@@ -34,8 +37,8 @@ def _compute():
     return out
 
 
-def test_table6_routers(benchmark, save_result):
-    results = benchmark(_compute)
+def test_table6_routers(run_bench, save_result):
+    results = run_bench("table6_routers")
     rows = []
     for name in ("photonic", "hyppi"):
         r, p = results[name], PAPER[name]

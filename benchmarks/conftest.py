@@ -1,8 +1,12 @@
 """Shared benchmark fixtures.
 
-Every benchmark regenerates one of the paper's tables or figures; the
-rendered artefact is written to ``benchmarks/results/<name>.txt`` so the
-reproduction can be diffed against the paper after a run.
+Every benchmark regenerates one of the paper's tables or figures. Timing
+goes through the :mod:`repro.bench` harness — under pytest in *quick*
+mode (one timed iteration; calibrated multi-repeat timing is the CLI's
+job: ``python -m repro bench run``) — and each run writes its canonical
+``BENCH_<name>.json`` record. Rendered artefacts land next to them in
+``benchmarks/results/`` (gitignored) so the reproduction can be diffed
+against the paper after a run.
 """
 
 from __future__ import annotations
@@ -11,6 +15,8 @@ import pathlib
 
 import pytest
 
+from repro.bench import BenchSuite, get_benchmark
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -18,6 +24,24 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_suite(results_dir) -> BenchSuite:
+    return BenchSuite(results_dir, quick=True)
+
+
+@pytest.fixture()
+def run_bench(bench_suite):
+    """Run a registered benchmark through the harness; returns the payload
+    result so the test can assert on it. Writes ``BENCH_<name>.json``."""
+
+    def _run(name: str):
+        result = bench_suite.run_one(get_benchmark(name))
+        print(f"\n[{name}: {result.median_ns / 1e6:.2f} ms, BENCH_{name}.json saved]")
+        return result.value
+
+    return _run
 
 
 @pytest.fixture()

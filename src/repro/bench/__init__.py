@@ -1,0 +1,59 @@
+"""``repro.bench`` — the unified benchmarking harness.
+
+One way to time anything in the repro: declare a
+:class:`~repro.bench.spec.Benchmark` (setup + payload + repeat policy),
+run it through the :class:`~repro.bench.runner.BenchRunner`
+(``perf_counter_ns``, warmup, min-runtime auto-calibration), persist the
+canonical ``BENCH_<name>.json`` record via
+:class:`~repro.bench.suite.BenchSuite`, and gate regressions with
+:func:`~repro.bench.suite.compare`. The ``repro bench`` CLI and the
+``benchmarks/`` pytest suite are both thin clients of this package.
+"""
+
+from repro.bench.runner import BenchResult, BenchRunner, environment_fingerprint
+from repro.bench.schema import (
+    SCHEMA,
+    SUITE_SCHEMA,
+    record_from_result,
+    validate_record,
+    validate_suite,
+)
+from repro.bench.spec import (
+    HEAVY_POLICY,
+    QUICK_POLICY,
+    Benchmark,
+    RepeatPolicy,
+    benchmark_spec,
+    clear_registry,
+    get_benchmark,
+    register,
+    registered_benchmarks,
+)
+from repro.bench.suite import BenchSuite, Comparison, Delta, compare, load_records
+from repro.bench.discovery import discover
+
+__all__ = [
+    "SCHEMA",
+    "SUITE_SCHEMA",
+    "HEAVY_POLICY",
+    "QUICK_POLICY",
+    "Benchmark",
+    "BenchResult",
+    "BenchRunner",
+    "BenchSuite",
+    "Comparison",
+    "Delta",
+    "RepeatPolicy",
+    "benchmark_spec",
+    "clear_registry",
+    "compare",
+    "discover",
+    "environment_fingerprint",
+    "get_benchmark",
+    "load_records",
+    "record_from_result",
+    "register",
+    "registered_benchmarks",
+    "validate_record",
+    "validate_suite",
+]

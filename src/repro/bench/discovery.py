@@ -1,0 +1,48 @@
+"""Load ``bench_*.py`` modules so their specs land in the registry.
+
+Benchmark definitions live next to their pytest assertions in the
+repository's ``benchmarks/`` directory (outside the installed package),
+so the CLI imports them by file path. Import is registration: each module
+decorates its payloads with :func:`~repro.bench.spec.benchmark_spec` at
+import time. Modules are imported under a stable synthetic package name
+(``repro_bench_defs.<stem>``) — re-discovering is idempotent thanks to
+``sys.modules`` and replace-on-reregister semantics.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+__all__ = ["discover"]
+
+_MODULE_PREFIX = "repro_bench_defs"
+
+
+def discover(directory: str | pathlib.Path) -> list[str]:
+    """Import every ``bench_*.py`` under ``directory``; returns module stems.
+
+    Raises:
+        ValueError: missing directory or a module that fails to import —
+            a broken benchmark file must fail the run, not shrink it.
+    """
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        raise ValueError(f"benchmark directory not found: {directory}")
+    stems: list[str] = []
+    for path in sorted(directory.glob("bench_*.py")):
+        module_name = f"{_MODULE_PREFIX}.{path.stem}"
+        if module_name not in sys.modules:
+            spec = importlib.util.spec_from_file_location(module_name, path)
+            if spec is None or spec.loader is None:  # pragma: no cover
+                raise ValueError(f"cannot load benchmark module {path}")
+            module = importlib.util.module_from_spec(spec)
+            sys.modules[module_name] = module
+            try:
+                spec.loader.exec_module(module)
+            except Exception as exc:
+                del sys.modules[module_name]
+                raise ValueError(f"benchmark module {path} failed to import: {exc}")
+        stems.append(path.stem)
+    return stems

@@ -1,0 +1,145 @@
+"""Timing engine: run one :class:`~repro.bench.spec.Benchmark`.
+
+``perf_counter_ns`` end-to-end: warmup iterations (untimed, also used as
+the calibration probe), an auto-calibrated repeat count, then one
+``BenchResult`` carrying the raw per-repeat samples, robust aggregates
+(median/mean/stdev/min) and the points-per-second throughput. The runner
+is deliberately free of I/O — persistence is :mod:`repro.bench.suite`'s
+job — so tests can time payloads and still assert on their return values.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.spec import QUICK_POLICY, Benchmark, RepeatPolicy
+
+__all__ = ["BenchResult", "BenchRunner", "environment_fingerprint"]
+
+
+def environment_fingerprint() -> dict[str, object]:
+    """Where a record was measured: enough to judge comparability.
+
+    Fields are stable identifiers only (no timestamps): records measured
+    in identical environments fingerprint identically.
+    """
+    import numpy
+
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = ""
+    return {
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": numpy.__version__,
+        "git_sha": sha or "unknown",
+    }
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark execution: samples, aggregates, and the last payload
+    return value (``value``, for correctness assertions in tests)."""
+
+    name: str
+    times_ns: tuple[int, ...]
+    warmup: int
+    points: int | None
+    value: object = field(repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not self.times_ns:
+            raise ValueError("benchmark produced no samples")
+
+    @property
+    def repeats(self) -> int:
+        return len(self.times_ns)
+
+    @property
+    def median_ns(self) -> int:
+        return int(statistics.median(self.times_ns))
+
+    @property
+    def mean_ns(self) -> float:
+        return statistics.fmean(self.times_ns)
+
+    @property
+    def stdev_ns(self) -> float:
+        """Sample stdev (0.0 with a single repeat)."""
+        if len(self.times_ns) < 2:
+            return 0.0
+        return statistics.stdev(self.times_ns)
+
+    @property
+    def min_ns(self) -> int:
+        return min(self.times_ns)
+
+    @property
+    def points_per_sec(self) -> float | None:
+        """Throughput at the median sample (None if points undeclared)."""
+        if self.points is None:
+            return None
+        return self.points / (self.median_ns / 1e9)
+
+
+class BenchRunner:
+    """Times benchmarks under their repeat policy (or the quick policy)."""
+
+    def __init__(self, *, quick: bool = False) -> None:
+        self.quick = quick
+
+    def policy_for(self, bench: Benchmark) -> RepeatPolicy:
+        """Effective policy: quick mode overrides per-spec calibration."""
+        return QUICK_POLICY if self.quick else bench.policy
+
+    def run(self, bench: Benchmark) -> BenchResult:
+        """Execute ``bench``: setup, warmup, calibrate, measure."""
+        policy = self.policy_for(bench)
+        args = () if bench.setup is None else (bench.setup(),)
+
+        estimate_ns = 0
+        for _ in range(policy.warmup):
+            t0 = time.perf_counter_ns()
+            bench.payload(*args)
+            estimate_ns = time.perf_counter_ns() - t0
+
+        if policy.warmup == 0 or estimate_ns == 0:
+            # No warmup to calibrate from: probe once, and count the probe
+            # as the first timed sample so quick mode stays single-run.
+            t0 = time.perf_counter_ns()
+            value = bench.payload(*args)
+            estimate_ns = time.perf_counter_ns() - t0
+            samples = [estimate_ns]
+        else:
+            value = None
+            samples = []
+
+        repeats = policy.calibrate(estimate_ns)
+        while len(samples) < repeats:
+            t0 = time.perf_counter_ns()
+            value = bench.payload(*args)
+            samples.append(time.perf_counter_ns() - t0)
+
+        return BenchResult(
+            name=bench.name,
+            times_ns=tuple(samples),
+            warmup=policy.warmup,
+            points=bench.resolve_points(value),
+            value=value,
+        )

@@ -1,0 +1,144 @@
+"""The canonical ``BENCH_<name>.json`` record schema (v1).
+
+One schema for every benchmark in the repo, so perf trajectories are
+diffable across commits and machines:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.bench/v1",
+      "name": "simulator_run",
+      "quick": false,
+      "warmup": 1,
+      "repeats": 5,
+      "times_ns": [1200345, ...],
+      "median_ns": 1200345,
+      "mean_ns": 1201000.5,
+      "stdev_ns": 4321.0,
+      "min_ns": 1199000,
+      "points": 2000,
+      "points_per_sec": 1665.3,
+      "tags": ["simulation"],
+      "environment": {"python": "3.12.1", "cpu_count": 8, "git_sha": "..."}
+    }
+
+``points``/``points_per_sec`` are ``null`` for benchmarks without a
+throughput denominator. Suite documents (``repro.bench/v1-suite``) bundle
+many records with one shared environment block.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bench.runner import BenchResult
+
+__all__ = [
+    "SCHEMA",
+    "SUITE_SCHEMA",
+    "record_from_result",
+    "validate_record",
+    "validate_suite",
+]
+
+SCHEMA = "repro.bench/v1"
+SUITE_SCHEMA = "repro.bench/v1-suite"
+
+#: record key -> allowed types (bool before int: bool is an int subclass).
+_FIELDS: dict[str, tuple[type, ...]] = {
+    "schema": (str,),
+    "name": (str,),
+    "quick": (bool,),
+    "warmup": (int,),
+    "repeats": (int,),
+    "times_ns": (list,),
+    "median_ns": (int,),
+    "mean_ns": (int, float),
+    "stdev_ns": (int, float),
+    "min_ns": (int,),
+    "points": (int, type(None)),
+    "points_per_sec": (int, float, type(None)),
+    "tags": (list,),
+}
+
+
+def record_from_result(
+    result: BenchResult, *, quick: bool, tags: tuple[str, ...] = ()
+) -> dict[str, Any]:
+    """Serialize one run to the canonical record (environment excluded —
+    the suite writer attaches it once per document)."""
+    return {
+        "schema": SCHEMA,
+        "name": result.name,
+        "quick": quick,
+        "warmup": result.warmup,
+        "repeats": result.repeats,
+        "times_ns": list(result.times_ns),
+        "median_ns": result.median_ns,
+        "mean_ns": result.mean_ns,
+        "stdev_ns": result.stdev_ns,
+        "min_ns": result.min_ns,
+        "points": result.points,
+        "points_per_sec": result.points_per_sec,
+        "tags": list(tags),
+    }
+
+
+def validate_record(record: Any) -> dict[str, Any]:
+    """Check one record against the v1 schema; returns it for chaining.
+
+    Raises:
+        ValueError: on any structural mismatch, naming the offending key —
+            a corrupted perf baseline must fail loudly, not compare as 0ns.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"bench record must be an object, got {type(record).__name__}")
+    if record.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {record.get('schema')!r} (expected {SCHEMA!r})"
+        )
+    for key, types in _FIELDS.items():
+        if key not in record:
+            raise ValueError(f"bench record missing key {key!r}")
+        value = record[key]
+        if bool not in types and isinstance(value, bool):
+            raise ValueError(f"bench record key {key!r} must not be a bool")
+        if not isinstance(value, types):
+            raise ValueError(
+                f"bench record key {key!r} has type {type(value).__name__}, "
+                f"expected one of {[t.__name__ for t in types]}"
+            )
+    times = record["times_ns"]
+    if not times or not all(isinstance(t, int) and t >= 0 for t in times):
+        raise ValueError("times_ns must be a non-empty list of non-negative ints")
+    if record["repeats"] != len(times):
+        raise ValueError(
+            f"repeats ({record['repeats']}) != len(times_ns) ({len(times)})"
+        )
+    if record["median_ns"] < 0 or record["min_ns"] < 0:
+        raise ValueError("negative timing aggregate")
+    if not all(isinstance(t, str) for t in record["tags"]):
+        raise ValueError("tags must be strings")
+    return record
+
+
+def validate_suite(doc: Any) -> dict[str, Any]:
+    """Check a suite document; returns it for chaining."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"suite must be an object, got {type(doc).__name__}")
+    if doc.get("schema") != SUITE_SCHEMA:
+        raise ValueError(
+            f"unsupported suite schema {doc.get('schema')!r} "
+            f"(expected {SUITE_SCHEMA!r})"
+        )
+    if not isinstance(doc.get("environment"), dict):
+        raise ValueError("suite missing environment object")
+    results = doc.get("results")
+    if not isinstance(results, list):
+        raise ValueError("suite missing results list")
+    for record in results:
+        validate_record(record)
+    names = [r["name"] for r in results]
+    if len(names) != len(set(names)):
+        raise ValueError(f"suite has duplicate benchmark names: {sorted(names)}")
+    return doc

@@ -1,0 +1,202 @@
+"""Benchmark specifications and the process-wide registry.
+
+A :class:`Benchmark` declares *what* to measure — an optional ``setup``
+building fixture state, a ``payload`` that is the timed region, and how to
+convert the payload's return value into a throughput denominator — while
+the repeat policy declares *how long* to measure (warmup iterations plus
+auto-calibration toward a minimum total runtime). Timing itself lives in
+:mod:`repro.bench.runner`; persistence and comparison in
+:mod:`repro.bench.suite`.
+
+Benchmark modules register specs with the :func:`benchmark_spec`
+decorator; the CLI and the pytest fixtures both look them up by name in
+the shared registry.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Benchmark",
+    "RepeatPolicy",
+    "HEAVY_POLICY",
+    "QUICK_POLICY",
+    "benchmark_spec",
+    "clear_registry",
+    "get_benchmark",
+    "register",
+    "registered_benchmarks",
+]
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_.-]*$")
+
+
+@dataclass(frozen=True)
+class RepeatPolicy:
+    """How many times to run a payload and how to auto-calibrate.
+
+    The runner always executes ``warmup`` untimed iterations, then picks a
+    repeat count ``r`` with ``min_repeats <= r <= max_repeats`` such that
+    the *estimated* total timed runtime reaches ``min_runtime_s`` (using
+    the last warmup — or one probe iteration — as the estimate). Slow
+    payloads therefore run ``min_repeats`` times; microbenchmarks run
+    enough repeats for a stable median.
+    """
+
+    warmup: int = 1
+    min_repeats: int = 3
+    max_repeats: int = 50
+    min_runtime_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.min_repeats < 1:
+            raise ValueError(f"min_repeats must be >= 1, got {self.min_repeats}")
+        if self.max_repeats < self.min_repeats:
+            raise ValueError(
+                f"max_repeats ({self.max_repeats}) < min_repeats ({self.min_repeats})"
+            )
+        if self.min_runtime_s < 0:
+            raise ValueError(f"min_runtime_s must be >= 0, got {self.min_runtime_s}")
+
+    def calibrate(self, estimate_ns: int) -> int:
+        """Repeat count for a payload estimated at ``estimate_ns`` per run."""
+        if estimate_ns <= 0:
+            return self.max_repeats
+        wanted = int(self.min_runtime_s * 1e9 // estimate_ns) + 1
+        return max(self.min_repeats, min(self.max_repeats, wanted))
+
+
+#: Policy for smoke runs (CI, pytest): one timed iteration, no calibration.
+QUICK_POLICY = RepeatPolicy(warmup=0, min_repeats=1, max_repeats=1, min_runtime_s=0.0)
+
+#: Policy for multi-second simulation payloads: no warmup (the probe run
+#: counts as the first sample), at most a handful of repeats.
+HEAVY_POLICY = RepeatPolicy(warmup=0, min_repeats=1, max_repeats=3, min_runtime_s=2.0)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One named, timeable workload.
+
+    ``payload`` is the timed region. If ``setup`` is given, it runs once,
+    untimed, and its return value is passed to every payload invocation —
+    fixture construction (topologies, traces) stays out of the
+    measurement. ``points`` turns the payload result into a throughput
+    denominator: an ``int`` for a fixed per-run quantum, or a callable on
+    the payload's return value (e.g. ``len``); ``None`` disables the
+    points-per-second metric.
+    """
+
+    name: str
+    payload: Callable[..., object]
+    setup: Callable[[], object] | None = None
+    points: int | Callable[[object], int] | None = None
+    policy: RepeatPolicy = RepeatPolicy()
+    tags: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(
+                f"benchmark name must be [a-z0-9_.-] and start alphanumeric, "
+                f"got {self.name!r}"
+            )
+        if isinstance(self.points, int) and self.points < 1:
+            raise ValueError(f"points must be >= 1, got {self.points}")
+
+    def resolve_points(self, result: object) -> int | None:
+        """Throughput denominator for one payload run (None = no metric)."""
+        if self.points is None:
+            return None
+        if callable(self.points):
+            n = int(self.points(result))
+        else:
+            n = self.points
+        if n < 1:
+            raise ValueError(f"benchmark {self.name!r} resolved points {n} < 1")
+        return n
+
+
+_REGISTRY: dict[str, Benchmark] = {}
+
+
+def register(bench: Benchmark) -> Benchmark:
+    """Add ``bench`` to the registry (same-name re-registration replaces,
+    so module reloads under pytest/importlib stay idempotent)."""
+    _REGISTRY[bench.name] = bench
+    return bench
+
+
+def benchmark_spec(
+    name: str,
+    *,
+    setup: Callable[[], object] | None = None,
+    points: int | Callable[[object], int] | None = None,
+    policy: RepeatPolicy = RepeatPolicy(),
+    tags: Sequence[str] = (),
+) -> Callable[[Callable[..., object]], Callable[..., object]]:
+    """Decorator: register the function as a benchmark payload.
+
+    The decorated function is returned unchanged, so it stays directly
+    callable from tests (assertions run on its result, untimed).
+    """
+
+    def wrap(fn: Callable[..., object]) -> Callable[..., object]:
+        register(
+            Benchmark(
+                name=name,
+                payload=fn,
+                setup=setup,
+                points=points,
+                policy=policy,
+                tags=tuple(tags),
+                description=(fn.__doc__ or "").strip().splitlines()[0]
+                if fn.__doc__
+                else "",
+            )
+        )
+        return fn
+
+    return wrap
+
+
+def registered_benchmarks(
+    *, tags: Sequence[str] = (), names: Sequence[str] = ()
+) -> list[Benchmark]:
+    """Registered specs sorted by name, optionally filtered.
+
+    ``tags`` keeps benchmarks carrying *all* given tags; ``names`` keeps
+    exact names and raises on unknown ones (typos must not silently skip).
+    """
+    found = sorted(_REGISTRY.values(), key=lambda b: b.name)
+    if names:
+        unknown = sorted(set(names) - set(_REGISTRY))
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {unknown}; registered: {sorted(_REGISTRY)}"
+            )
+        found = [b for b in found if b.name in set(names)]
+    if tags:
+        want = set(tags)
+        found = [b for b in found if want <= set(b.tags)]
+    return found
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up one spec by exact name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def clear_registry() -> None:
+    """Drop all registrations (test isolation)."""
+    _REGISTRY.clear()

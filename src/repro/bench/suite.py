@@ -1,0 +1,182 @@
+"""Suite execution, persistence, and regression comparison.
+
+:class:`BenchSuite` runs a set of specs through the
+:class:`~repro.bench.runner.BenchRunner` and writes the canonical
+artefacts — one ``BENCH_<name>.json`` per benchmark plus a bundled
+``BENCH_SUITE.json`` — into a results directory. :func:`compare` is the
+perf gate: given two recordings (suite or single-record files) it flags
+every benchmark whose median slowed down by more than a threshold factor,
+plus benchmarks that disappeared, and says whether the gate passes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.bench.runner import BenchResult, BenchRunner, environment_fingerprint
+from repro.bench.schema import (
+    SUITE_SCHEMA,
+    record_from_result,
+    validate_record,
+    validate_suite,
+)
+from repro.bench.spec import Benchmark
+
+__all__ = ["BenchSuite", "Comparison", "Delta", "compare", "load_records"]
+
+SUITE_FILENAME = "BENCH_SUITE.json"
+
+
+def _bench_filename(name: str) -> str:
+    return f"BENCH_{name}.json"
+
+
+def _dump(path: pathlib.Path, doc: dict[str, Any]) -> None:
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+class BenchSuite:
+    """Runs benchmarks and persists canonical records under one directory."""
+
+    def __init__(
+        self, results_dir: str | pathlib.Path, *, quick: bool = False
+    ) -> None:
+        self.results_dir = pathlib.Path(results_dir)
+        self.runner = BenchRunner(quick=quick)
+        self.environment = environment_fingerprint()
+
+    def run_one(self, bench: Benchmark) -> BenchResult:
+        """Time one spec and write its ``BENCH_<name>.json``."""
+        result = self.runner.run(bench)
+        record = record_from_result(result, quick=self.runner.quick, tags=bench.tags)
+        record["environment"] = self.environment
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        _dump(self.results_dir / _bench_filename(bench.name), record)
+        return result
+
+    def run(self, benchmarks: list[Benchmark]) -> list[BenchResult]:
+        """Time every spec, then bundle all records into the suite file."""
+        results = [self.run_one(b) for b in benchmarks]
+        self.write_suite(results, [b.tags for b in benchmarks])
+        return results
+
+    def write_suite(
+        self, results: list[BenchResult], tags: list[tuple[str, ...]] | None = None
+    ) -> pathlib.Path:
+        """Write (and validate) the bundled ``BENCH_SUITE.json``."""
+        tag_list = tags if tags is not None else [()] * len(results)
+        doc = {
+            "schema": SUITE_SCHEMA,
+            "environment": self.environment,
+            "results": [
+                record_from_result(res, quick=self.runner.quick, tags=t)
+                for res, t in zip(results, tag_list)
+            ],
+        }
+        validate_suite(doc)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        path = self.results_dir / SUITE_FILENAME
+        _dump(path, doc)
+        return path
+
+
+def load_records(path: str | pathlib.Path) -> dict[str, dict[str, Any]]:
+    """Load a recording — suite document or single record — as name->record.
+
+    Raises:
+        ValueError: unreadable JSON or schema violation.
+    """
+    path = pathlib.Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ValueError(f"bench recording not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"bench recording {path} is not valid JSON: {exc}") from None
+    if isinstance(doc, dict) and doc.get("schema") == SUITE_SCHEMA:
+        validate_suite(doc)
+        return {r["name"]: r for r in doc["results"]}
+    validate_record(doc)
+    return {doc["name"]: doc}
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One benchmark's old-vs-new movement."""
+
+    name: str
+    old_median_ns: int
+    new_median_ns: int
+
+    @property
+    def ratio(self) -> float:
+        """new/old median (>1 slower, <1 faster); inf when old was 0."""
+        if self.old_median_ns == 0:
+            return float("inf") if self.new_median_ns > 0 else 1.0
+        return self.new_median_ns / self.old_median_ns
+
+    @property
+    def speedup(self) -> float:
+        """old/new median (the human-friendly direction)."""
+        if self.new_median_ns == 0:
+            return float("inf") if self.old_median_ns > 0 else 1.0
+        return self.old_median_ns / self.new_median_ns
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of a perf gate between two recordings."""
+
+    deltas: list[Delta]
+    threshold: float
+    missing: list[str]
+    """Benchmarks present in the old recording but absent from the new one
+    (a vanished benchmark would otherwise hide its own regression)."""
+    added: list[str]
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.ratio > self.threshold]
+
+    @property
+    def improvements(self) -> list[Delta]:
+        return [d for d in self.deltas if d.ratio < 1.0 / self.threshold]
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no regressions and no vanished benchmarks."""
+        return not self.regressions and not self.missing
+
+
+def compare(
+    old: str | pathlib.Path | dict[str, dict[str, Any]],
+    new: str | pathlib.Path | dict[str, dict[str, Any]],
+    *,
+    threshold: float = 1.25,
+) -> Comparison:
+    """Compare two recordings; ``threshold`` is the allowed slowdown factor.
+
+    Benchmarks only present in ``new`` are reported as ``added`` but never
+    fail the gate (new coverage must not need a baseline refresh first).
+    """
+    if threshold < 1.0:
+        raise ValueError(f"threshold must be >= 1.0, got {threshold}")
+    old_records = old if isinstance(old, dict) else load_records(old)
+    new_records = new if isinstance(new, dict) else load_records(new)
+    deltas = [
+        Delta(
+            name=name,
+            old_median_ns=old_records[name]["median_ns"],
+            new_median_ns=new_records[name]["median_ns"],
+        )
+        for name in sorted(set(old_records) & set(new_records))
+    ]
+    return Comparison(
+        deltas=deltas,
+        threshold=threshold,
+        missing=sorted(set(old_records) - set(new_records)),
+        added=sorted(set(new_records) - set(old_records)),
+    )

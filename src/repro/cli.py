@@ -10,6 +10,8 @@ Usage::
     python -m repro table6              # Table VI router comparison
     python -m repro fig6 --kernel CG    # cycle-simulate one NPB kernel
     python -m repro sweep --hops 3      # latency vs injection rate
+    python -m repro bench run --quick   # benchmark harness (BENCH_*.json)
+    python -m repro bench compare a b   # perf gate: exit 1 on regression
 
 Each command prints the rendered ASCII table/figure to stdout; heavier
 commands expose their main knobs as flags. Sweep-shaped commands route
@@ -284,6 +286,89 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro.bench import discover, registered_benchmarks
+    from repro.util import format_table
+
+    discover(args.dir)
+    benches = registered_benchmarks(tags=args.tag)
+    rows = [
+        [b.name, ",".join(b.tags) or "-", b.description or "-"] for b in benches
+    ]
+    print(format_table(["benchmark", "tags", "description"], rows, title="benchmarks"))
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import BenchSuite, discover, registered_benchmarks
+    from repro.util import format_table
+
+    discover(args.dir)
+    benches = registered_benchmarks(tags=args.tag, names=args.name)
+    if not benches:
+        print("error: no benchmarks match the given filters", file=sys.stderr)
+        return 2
+    suite = BenchSuite(args.out, quick=args.quick)
+    results = suite.run(benches)
+    rows = [
+        [
+            res.name,
+            res.repeats,
+            res.median_ns / 1e6,
+            res.stdev_ns / 1e6,
+            "-" if res.points_per_sec is None else f"{res.points_per_sec:,.1f}",
+        ]
+        for res in results
+    ]
+    print(
+        format_table(
+            ["benchmark", "repeats", "median (ms)", "stdev (ms)", "points/sec"],
+            rows,
+            title=f"repro bench ({'quick' if args.quick else 'calibrated'} mode)",
+        )
+    )
+    print(f"records written to {suite.results_dir}/BENCH_<name>.json")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import compare
+    from repro.util import format_table
+
+    cmp = compare(args.old, args.new, threshold=args.threshold)
+    rows = [
+        [
+            d.name,
+            d.old_median_ns / 1e6,
+            d.new_median_ns / 1e6,
+            f"{d.ratio:.3f}",
+            "REGRESSION"
+            if d.ratio > cmp.threshold
+            else ("improved" if d.ratio < 1.0 / cmp.threshold else "ok"),
+        ]
+        for d in cmp.deltas
+    ]
+    print(
+        format_table(
+            ["benchmark", "old median (ms)", "new median (ms)", "new/old", "verdict"],
+            rows,
+            title=f"bench compare (threshold {cmp.threshold:g}x)",
+        )
+    )
+    for name in cmp.missing:
+        print(f"MISSING: {name} (in old recording, absent from new)")
+    for name in cmp.added:
+        print(f"added: {name} (no baseline yet; not gated)")
+    if cmp.ok:
+        print("gate: OK")
+        return 0
+    print(
+        f"gate: FAIL ({len(cmp.regressions)} regression(s), "
+        f"{len(cmp.missing)} missing)"
+    )
+    return 1
+
+
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -347,6 +432,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(ps)
     ps.set_defaults(func=_cmd_sweep)
+
+    pb = sub.add_parser("bench", help="benchmark harness (run/list/compare)")
+    bench_sub = pb.add_subparsers(dest="bench_command", required=True)
+    pbl = bench_sub.add_parser("list", help="list registered benchmarks")
+    pbl.add_argument("--dir", default="benchmarks", help="benchmark definitions dir")
+    pbl.add_argument("--tag", action="append", default=[], help="filter by tag")
+    pbl.set_defaults(func=_cmd_bench_list)
+    pbr = bench_sub.add_parser(
+        "run", help="run benchmarks, write BENCH_<name>.json records"
+    )
+    pbr.add_argument("--dir", default="benchmarks", help="benchmark definitions dir")
+    pbr.add_argument(
+        "--out",
+        default="benchmarks/results",
+        help="results directory for BENCH_<name>.json + BENCH_SUITE.json",
+    )
+    pbr.add_argument(
+        "--quick",
+        action="store_true",
+        help="single timed iteration per benchmark (smoke/CI mode)",
+    )
+    pbr.add_argument(
+        "--tag",
+        action="append",
+        default=[],
+        help="only benchmarks carrying all given tags (e.g. --tag smoke)",
+    )
+    pbr.add_argument(
+        "--name", action="append", default=[], help="only the named benchmark(s)"
+    )
+    pbr.set_defaults(func=_cmd_bench_run)
+    pbc = bench_sub.add_parser(
+        "compare", help="gate a new recording against a baseline"
+    )
+    pbc.add_argument("old", help="baseline recording (suite or single record)")
+    pbc.add_argument("new", help="new recording to gate")
+    pbc.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="allowed slowdown factor before the gate fails (default 1.25)",
+    )
+    pbc.set_defaults(func=_cmd_bench_compare)
     return parser
 
 
@@ -355,10 +483,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        args.func(args)
+        rc = args.func(args)
     except ValueError as exc:
         # Domain validation (bad --jobs, --hops, rates, ...) should read
         # as a usage error, not a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    return 0
+    return 0 if rc is None else int(rc)

@@ -1,0 +1,300 @@
+"""Unit tests for the ``repro.bench`` harness.
+
+Covers the satellite checklist: calibration always picks >= 1 repeat, the
+canonical JSON schema round-trips, and ``repro bench compare`` exits
+0/1 correctly on improvement / regression / missing benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    Benchmark,
+    BenchRunner,
+    BenchSuite,
+    RepeatPolicy,
+    benchmark_spec,
+    compare,
+    discover,
+    environment_fingerprint,
+    get_benchmark,
+    load_records,
+    record_from_result,
+    registered_benchmarks,
+    validate_record,
+)
+from repro.cli import main
+
+
+def _bench(name, payload, **kwargs):
+    return Benchmark(name=name, payload=payload, **kwargs)
+
+
+class TestRepeatPolicy:
+    def test_calibration_always_picks_at_least_one_repeat(self):
+        policy = RepeatPolicy(min_repeats=1, max_repeats=50, min_runtime_s=0.0)
+        # Even for an arbitrarily slow payload estimate, >= 1 repeat runs.
+        for estimate_ns in (1, 10**6, 10**12, 10**15):
+            assert policy.calibrate(estimate_ns) >= 1
+
+    def test_calibration_scales_repeats_toward_min_runtime(self):
+        policy = RepeatPolicy(min_repeats=3, max_repeats=50, min_runtime_s=0.5)
+        assert policy.calibrate(10**12) == 3  # slow payload: floor
+        assert policy.calibrate(25_000_000) == 21  # 0.5s / 25ms + 1
+        assert policy.calibrate(1) == 50  # microbenchmark: ceiling
+        assert policy.calibrate(0) == 50  # degenerate estimate: ceiling
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RepeatPolicy(min_repeats=0)
+        with pytest.raises(ValueError):
+            RepeatPolicy(min_repeats=5, max_repeats=2)
+        with pytest.raises(ValueError):
+            RepeatPolicy(warmup=-1)
+
+
+class TestBenchRunner:
+    def test_counts_warmup_and_repeats(self):
+        calls = []
+        bench = _bench(
+            "unit_count",
+            lambda: calls.append(1),
+            policy=RepeatPolicy(
+                warmup=2, min_repeats=4, max_repeats=4, min_runtime_s=0.0
+            ),
+        )
+        result = BenchRunner().run(bench)
+        assert result.repeats == 4
+        assert len(calls) == 2 + 4  # warmups + timed repeats
+        assert result.stdev_ns >= 0.0
+        assert result.min_ns <= result.median_ns
+
+    def test_quick_mode_runs_payload_exactly_once(self):
+        calls = []
+        bench = _bench("unit_quick", lambda: calls.append(1) or 42)
+        result = BenchRunner(quick=True).run(bench)
+        assert len(calls) == 1
+        assert result.repeats == 1
+        assert result.value == 42
+
+    def test_setup_result_passed_to_payload_untimed(self):
+        bench = _bench(
+            "unit_setup",
+            lambda state: state * 2,
+            setup=lambda: 21,
+        )
+        result = BenchRunner(quick=True).run(bench)
+        assert result.value == 42
+
+    def test_points_callable_and_throughput(self):
+        bench = _bench("unit_points", lambda: [1, 2, 3], points=len)
+        result = BenchRunner(quick=True).run(bench)
+        assert result.points == 3
+        assert result.points_per_sec > 0
+
+    def test_no_points_means_no_throughput(self):
+        result = BenchRunner(quick=True).run(_bench("unit_nopts", lambda: None))
+        assert result.points is None
+        assert result.points_per_sec is None
+
+
+class TestRegistry:
+    def test_decorator_registers_and_returns_function(self):
+        @benchmark_spec("unit_registered", points=2, tags=("unit-only",))
+        def payload():
+            """One-line doc becomes the description."""
+            return (1, 2)
+
+        assert payload() == (1, 2)  # still directly callable
+        bench = get_benchmark("unit_registered")
+        assert bench.description == "One-line doc becomes the description."
+        assert [b.name for b in registered_benchmarks(tags=["unit-only"])] == [
+            "unit_registered"
+        ]
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ValueError, match="no_such_bench"):
+            get_benchmark("no_such_bench")
+        with pytest.raises(ValueError, match="no_such_bench"):
+            registered_benchmarks(names=["no_such_bench"])
+
+    def test_bad_benchmark_names_rejected(self):
+        with pytest.raises(ValueError):
+            _bench("Bad Name!", lambda: None)
+
+
+class TestSchemaRoundTrip:
+    def test_record_round_trips_through_disk(self, tmp_path):
+        suite = BenchSuite(tmp_path, quick=True)
+        result = suite.run([_bench("unit_rt", lambda: 7, points=7)])[0]
+        raw = json.loads((tmp_path / "BENCH_unit_rt.json").read_text())
+        validate_record(raw)
+        expected = record_from_result(result, quick=True)
+        assert {k: raw[k] for k in expected} == expected
+        assert raw["environment"] == environment_fingerprint()
+        # The suite bundle carries the same record and also round-trips.
+        assert load_records(tmp_path / "BENCH_SUITE.json")["unit_rt"] == expected
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda r: r.pop("median_ns"),
+            lambda r: r.update(schema="repro.bench/v0"),
+            lambda r: r.update(times_ns=[]),
+            lambda r: r.update(times_ns=[1.5]),
+            lambda r: r.update(repeats=99),
+            lambda r: r.update(median_ns=-1),
+            lambda r: r.update(median_ns=True),
+            lambda r: r.update(tags=[1]),
+        ],
+    )
+    def test_corrupted_records_fail_validation(self, tmp_path, mutate):
+        suite = BenchSuite(tmp_path, quick=True)
+        suite.run([_bench("unit_bad", lambda: None)])
+        record = json.loads((tmp_path / "BENCH_unit_bad.json").read_text())
+        mutate(record)
+        with pytest.raises(ValueError):
+            validate_record(record)
+
+    def test_load_records_rejects_garbage(self, tmp_path):
+        with pytest.raises(ValueError, match="not found"):
+            load_records(tmp_path / "nope.json")
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_records(path)
+
+
+def _record_pair(tmp_path, old_ns, new_ns, *, new_name="unit_cmp"):
+    """Two single-record files with controlled medians."""
+    suite = BenchSuite(tmp_path, quick=True)
+    suite.run([_bench("unit_cmp", lambda: None)])
+    base = json.loads((tmp_path / "BENCH_unit_cmp.json").read_text())
+    old_path = tmp_path / "old.json"
+    new_path = tmp_path / "new.json"
+    old = dict(base, median_ns=old_ns)
+    new = dict(base, name=new_name, median_ns=new_ns)
+    old_path.write_text(json.dumps(old))
+    new_path.write_text(json.dumps(new))
+    return str(old_path), str(new_path)
+
+
+class TestCompare:
+    def test_improvement_passes(self, tmp_path):
+        old, new = _record_pair(tmp_path, 1000, 500)
+        cmp = compare(old, new, threshold=1.25)
+        assert cmp.ok
+        assert [d.name for d in cmp.improvements] == ["unit_cmp"]
+        assert cmp.deltas[0].speedup == pytest.approx(2.0)
+        assert main(["bench", "compare", old, new]) == 0
+
+    def test_within_threshold_passes(self, tmp_path):
+        old, new = _record_pair(tmp_path, 1000, 1200)
+        assert compare(old, new, threshold=1.25).ok
+        assert main(["bench", "compare", old, new, "--threshold", "1.25"]) == 0
+
+    def test_regression_fails(self, tmp_path):
+        old, new = _record_pair(tmp_path, 1000, 1500)
+        cmp = compare(old, new, threshold=1.25)
+        assert not cmp.ok
+        assert [d.name for d in cmp.regressions] == ["unit_cmp"]
+        assert main(["bench", "compare", old, new, "--threshold", "1.25"]) == 1
+
+    def test_missing_benchmark_fails(self, tmp_path):
+        old, new = _record_pair(tmp_path, 1000, 1000, new_name="unit_other")
+        cmp = compare(old, new, threshold=1.25)
+        assert cmp.missing == ["unit_cmp"]
+        assert cmp.added == ["unit_other"]
+        assert not cmp.ok
+        assert main(["bench", "compare", old, new]) == 1
+
+    def test_zero_old_median_is_not_a_crash(self, tmp_path):
+        old, new = _record_pair(tmp_path, 0, 1000)
+        cmp = compare(old, new, threshold=1.25)
+        assert cmp.deltas[0].ratio == float("inf")
+        assert not cmp.ok
+
+    def test_threshold_below_one_rejected(self, tmp_path):
+        old, new = _record_pair(tmp_path, 1000, 1000)
+        with pytest.raises(ValueError):
+            compare(old, new, threshold=0.9)
+        assert main(["bench", "compare", old, new, "--threshold", "0.5"]) == 2
+
+
+BENCH_MODULE = '''
+from repro.bench import benchmark_spec
+
+
+@benchmark_spec("{name}", points=1000, tags=("unit-cli",))
+def payload():
+    """Tiny summation payload."""
+    return sum(range(1000))
+'''
+
+
+class TestCliAndDiscovery:
+    def _write_module(self, directory, stem, name):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"bench_{stem}.py").write_text(BENCH_MODULE.format(name=name))
+
+    def test_discover_imports_and_registers(self, tmp_path):
+        self._write_module(tmp_path, "disco", "unit_disco")
+        assert discover(tmp_path) == ["bench_disco"]
+        assert get_benchmark("unit_disco").tags == ("unit-cli",)
+        # Re-discovery is idempotent (sys.modules short-circuit).
+        assert discover(tmp_path) == ["bench_disco"]
+
+    def test_discover_missing_dir_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="not found"):
+            discover(tmp_path / "nope")
+
+    def test_discover_broken_module_raises(self, tmp_path):
+        (tmp_path / "bench_broken_unit.py").write_text("raise RuntimeError('boom')")
+        with pytest.raises(ValueError, match="failed to import"):
+            discover(tmp_path)
+
+    def test_bench_run_writes_schema_valid_records(self, tmp_path, capsys):
+        self._write_module(tmp_path / "defs", "clirun", "unit_clirun")
+        out = tmp_path / "results"
+        rc = main(
+            [
+                "bench",
+                "run",
+                "--quick",
+                "--dir",
+                str(tmp_path / "defs"),
+                "--out",
+                str(out),
+                "--name",
+                "unit_clirun",
+            ]
+        )
+        assert rc == 0
+        records = load_records(out / "BENCH_SUITE.json")
+        assert set(records) == {"unit_clirun"}
+        validate_record(json.loads((out / "BENCH_unit_clirun.json").read_text()))
+        assert "unit_clirun" in capsys.readouterr().out
+
+    def test_bench_run_no_match_is_usage_error(self, tmp_path):
+        self._write_module(tmp_path / "defs2", "clirun2", "unit_clirun2")
+        rc = main(
+            [
+                "bench",
+                "run",
+                "--dir",
+                str(tmp_path / "defs2"),
+                "--out",
+                str(tmp_path / "r"),
+                "--tag",
+                "no-such-tag",
+            ]
+        )
+        assert rc == 2
+
+    def test_bench_list_shows_benchmarks(self, tmp_path, capsys):
+        self._write_module(tmp_path / "defs3", "clilist", "unit_clilist")
+        assert main(["bench", "list", "--dir", str(tmp_path / "defs3")]) == 0
+        assert "unit_clilist" in capsys.readouterr().out
