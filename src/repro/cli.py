@@ -10,6 +10,10 @@ Usage::
     python -m repro table6              # Table VI router comparison
     python -m repro fig6 --kernel CG    # cycle-simulate one NPB kernel
     python -m repro sweep --hops 3      # latency vs injection rate
+    python -m repro workload list       # registered workload models
+    python -m repro workload gen --model onoff --out trace.npz
+    python -m repro workload stats trace.npz
+    python -m repro workload sweep --model onoff --param duty=0.25
     python -m repro bench run --quick   # benchmark harness (BENCH_*.json)
     python -m repro bench compare a b   # perf gate: exit 1 on regression
 
@@ -286,6 +290,144 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         )
 
 
+def _parse_params(pairs: Sequence[str]) -> dict[str, object]:
+    """Parse repeated ``--param key=value`` flags (values literal-eval'd)."""
+    import ast
+
+    out: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--param expects key=value, got {pair!r}")
+        try:
+            value: object = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            value = raw
+        out[key] = tuple(value) if isinstance(value, list) else value
+    return out
+
+
+def _cmd_workload_list(args: argparse.Namespace) -> int:
+    from repro.workloads import SKELETONS, TEMPORAL_MODELS
+    from repro.util import format_table
+
+    def doc(fn) -> str:
+        return (fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else "-"
+
+    rows = [
+        [name, "temporal", doc(fn)] for name, fn in sorted(TEMPORAL_MODELS.items())
+    ]
+    rows += [
+        [name, "skeleton", doc(fn)] for name, fn in sorted(SKELETONS.items())
+    ]
+    print(format_table(["model", "kind", "description"], rows, title="workloads"))
+    return 0
+
+
+def _workload_spec(args: argparse.Namespace):
+    from repro.workloads import WorkloadSpec
+
+    return WorkloadSpec.make(
+        args.model,
+        injection_rate=args.rate,
+        cycles=args.cycles,
+        packet_flits=args.packet_flits,
+        seed=args.seed,
+        traffic=args.traffic,
+        **_parse_params(args.param),
+    )
+
+
+def _cmd_workload_gen(args: argparse.Namespace) -> int:
+    from repro.topology import build_mesh
+    from repro.util import format_table
+    from repro.workloads import save_trace_npz, trace_stats
+
+    spec = _workload_spec(args)
+    trace = spec.build(build_mesh(args.width, args.height))
+    save_trace_npz(trace, args.out, extra={"workload_spec": spec.to_json()})
+    stats = trace_stats(trace)
+    print(
+        format_table(
+            ["metric", "value"],
+            stats.rows(),
+            title=f"{trace.name} -> {args.out}",
+        )
+    )
+    return 0
+
+
+def _cmd_workload_stats(args: argparse.Namespace) -> int:
+    from repro.util import format_table
+    from repro.workloads import stats_from_arrays, trace_columns
+
+    import zipfile
+
+    if zipfile.is_zipfile(args.file):
+        # npz store: invalid archives must fail loudly (version/format
+        # diagnostics), never fall through to the text parser.
+        header, cols = trace_columns(args.file)
+        n_nodes, name = int(header["n_nodes"]), header["name"]
+        time, src, size = cols["time"], cols["src"], cols["size_flits"]
+    else:
+        # Line-oriented text format (repro.traffic.io).
+        from repro.traffic import load_trace
+
+        trace = load_trace(args.file)
+        n_nodes, name = trace.n_nodes, trace.name
+        cols = trace.columns()
+        time, src, size = cols["time"], cols["src"], cols["size_flits"]
+    stats = stats_from_arrays(
+        n_nodes, time, src, size, window=args.window, gap=args.gap
+    )
+    print(format_table(["metric", "value"], stats.rows(), title=str(name)))
+    return 0
+
+
+def _cmd_workload_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import Runner, scenario_family
+    from repro.util import format_table
+
+    rates = np.linspace(args.min_rate, args.max_rate, args.points)
+    scenarios = scenario_family(
+        "workload-saturation",
+        rates=[float(r) for r in rates],
+        model=args.model,
+        traffic=args.traffic,
+        hops=args.hops,
+        cycles=args.cycles,
+        packet_flits=args.packet_flits,
+        drain_budget=args.drain_budget,
+        seed=args.seed,
+        **_parse_params(args.param),
+    )
+    results = Runner(jobs=args.jobs).run(scenarios)
+    rows = [
+        [
+            res.scenario.traffic.injection_rate,
+            _fmt_latency(res.metrics["avg_latency"]),
+            _fmt_latency(res.metrics["p99_latency"]),
+            _status(res.metrics["drained"]),
+        ]
+        for res in results
+    ]
+    topo_name = results[0].metrics["topology_name"] if results else "mesh"
+    print(
+        format_table(
+            ["injection rate", "avg latency", "p99", "status"],
+            rows,
+            title=f"latency vs offered load — {args.model}/{args.traffic} "
+            f"on {topo_name}",
+        )
+    )
+    if any(not res.metrics["drained"] for res in results):
+        print(
+            "note: SATURATED points did not drain within the cycle budget "
+            "(bursty models saturate at or below the Bernoulli point)."
+        )
+    return 0
+
+
 def _cmd_bench_list(args: argparse.Namespace) -> int:
     from repro.bench import discover, registered_benchmarks
     from repro.util import format_table
@@ -432,6 +574,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(ps)
     ps.set_defaults(func=_cmd_sweep)
+
+    pw = sub.add_parser(
+        "workload", help="workload models & trace files (list/gen/stats/sweep)"
+    )
+    wsub = pw.add_subparsers(dest="workload_command", required=True)
+    pwl = wsub.add_parser("list", help="list registered workload models")
+    pwl.set_defaults(func=_cmd_workload_list)
+
+    def _add_model_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--model", default="onoff", help="workload model name (see list)"
+        )
+        p.add_argument(
+            "--traffic",
+            default="uniform",
+            help="destination matrix generator (temporal models)",
+        )
+        p.add_argument("--cycles", type=int, default=1000)
+        p.add_argument("--packet-flits", type=int, default=1)
+        p.add_argument(
+            "--param",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="extra model/traffic parameter (repeatable); values are "
+            "Python literals, e.g. --param duty=0.25 "
+            "--param hotspot_nodes=[0,119]",
+        )
+
+    pwg = wsub.add_parser(
+        "gen", help="generate a trace file (byte-deterministic npz format)"
+    )
+    _add_model_flags(pwg)
+    pwg.add_argument("--rate", type=float, default=0.1, help="mean flits/node/cycle")
+    pwg.add_argument("--width", type=int, default=16)
+    pwg.add_argument("--height", type=int, default=16)
+    pwg.add_argument("--out", required=True, help="output trace path (.npz)")
+    pwg.set_defaults(func=_cmd_workload_gen)
+    pws = wsub.add_parser("stats", help="summarize a stored trace file")
+    pws.add_argument("file", help="trace file (npz or text format)")
+    pws.add_argument("--window", type=int, default=64, help="burstiness window")
+    pws.add_argument("--gap", type=int, default=64, help="phase-gap threshold")
+    pws.set_defaults(func=_cmd_workload_stats)
+    pww = wsub.add_parser(
+        "sweep", help="latency vs offered load for any workload model"
+    )
+    _add_model_flags(pww)
+    pww.add_argument("--hops", type=int, default=0, choices=[0, 3, 5, 15])
+    pww.add_argument("--min-rate", type=float, default=0.02)
+    pww.add_argument("--max-rate", type=float, default=0.3)
+    pww.add_argument("--points", type=int, default=5)
+    pww.add_argument("--drain-budget", type=int, default=200_000)
+    _add_jobs_flag(pww)
+    pww.set_defaults(func=_cmd_workload_sweep)
 
     pb = sub.add_parser("bench", help="benchmark harness (run/list/compare)")
     bench_sub = pb.add_subparsers(dest="bench_command", required=True)

@@ -7,6 +7,8 @@ of the paper's sweeps. Built-ins cover the headline artefacts:
 * ``"paper-grid"`` — the Fig. 5 design-space grid (plain meshes plus
   base x express x hops, Soteriou traffic at the paper's operating point);
 * ``"saturation-sweep"`` — open-loop latency-vs-load simulation points;
+* ``"workload-saturation"`` — latency-vs-load for any registered
+  :mod:`repro.workloads` temporal model (bursty, self-similar, ...);
 * ``"npb-kernels"`` — cycle simulations of the NAS kernels on the mesh
   and the express hybrids (Fig. 6);
 * ``"all-optical-projection"`` — the Fig. 8 three-way comparison.
@@ -235,6 +237,64 @@ def saturation_sweep(
             )
         )
     return scenarios
+
+
+@register_family("workload-saturation")
+def workload_saturation(
+    *,
+    rates: Sequence[float],
+    model: str = "onoff",
+    traffic: str = "uniform",
+    hops: int = 0,
+    base_technology: Technology = Technology.ELECTRONIC,
+    express_technology: Technology = Technology.HYPPI,
+    width: int = 16,
+    height: int = 16,
+    cycles: int = 1200,
+    packet_flits: int = 1,
+    drain_budget: int = 200_000,
+    seed: int = 0,
+    **model_params: object,
+) -> list[Scenario]:
+    """Latency-vs-load points for *any* registered workload model.
+
+    The generalization of ``"saturation-sweep"``: ``model`` names a
+    temporal model from :mod:`repro.workloads` (``bernoulli``, ``onoff``,
+    ``pareto``, ``modulated``) and ``model_params`` forwards its knobs
+    (``duty``, ``burst_len``, ``alpha``, ``hotspot_nodes``, ...; sequence
+    values must be tuples so scenarios stay hashable). At equal mean rate
+    a bursty model saturates at or below the Bernoulli saturation point —
+    comparing the ``drained`` flags across models at the same ``rates``
+    locates how much headroom burstiness costs. Per-rate workload seeds
+    derive from ``(seed, index)`` exactly like ``"saturation-sweep"``.
+    """
+    topo = (
+        TopologySpec.plain(base_technology, width=width, height=height)
+        if hops == 0
+        else TopologySpec.express(
+            base_technology, express_technology, hops, width=width, height=height
+        )
+    )
+    sim = SimSpec(
+        cycles=cycles, packet_flits=packet_flits, drain_budget=drain_budget
+    )
+    return [
+        Scenario(
+            kind="simulation",
+            topology=topo,
+            traffic=TrafficSpec.make(
+                "workload",
+                injection_rate=float(rate),
+                seed=derive_seed(seed, i),
+                model=model,
+                traffic=traffic,
+                **model_params,
+            ),
+            sim=sim,
+            name=f"{model}-{traffic}-r{float(rate):g}",
+        )
+        for i, rate in enumerate(rates)
+    ]
 
 
 @register_family("npb-kernels")

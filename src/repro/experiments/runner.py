@@ -73,7 +73,7 @@ def _evaluate_simulation(scenario: Scenario) -> dict[str, Any]:
     topo, routing = _materialize(scenario.topology)
     trace = scenario.traffic.trace(topo, sim=sim_spec)
     sim = Simulator(topo, routing, sim_spec.sim_config())
-    trace_based = scenario.traffic.generator == "npb"
+    trace_based = scenario.traffic.trace_based
     stats = sim.run(trace, max_cycles=sim_spec.cycle_budget(trace_based))
     return {
         "kind": "simulation",

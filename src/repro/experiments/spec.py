@@ -45,27 +45,21 @@ __all__ = [
 
 KINDS = ("analytical", "simulation", "all_optical")
 
-#: Traffic-matrix generators a :class:`TrafficSpec` may name. Values are
-#: ``(module, function)`` pairs resolved lazily to keep import time low.
-_MATRIX_GENERATORS = {
-    "soteriou": ("repro.traffic.synthetic", "soteriou_traffic"),
-    "uniform": ("repro.traffic.synthetic", "uniform_traffic"),
-    "transpose": ("repro.traffic.synthetic", "transpose_traffic"),
-    "bit_complement": ("repro.traffic.synthetic", "bit_complement_traffic"),
-    "neighbor": ("repro.traffic.synthetic", "neighbor_traffic"),
-    "shuffle": ("repro.traffic.patterns", "shuffle_traffic"),
-    "bit_reverse": ("repro.traffic.patterns", "bit_reverse_traffic"),
-    "tornado": ("repro.traffic.patterns", "tornado_traffic"),
-    "hotspot": ("repro.traffic.patterns", "hotspot_traffic"),
-}
 
-#: Generators whose draw depends on the RNG seed (the rest are
-#: deterministic functions of the topology and their params).
-_SEEDED_GENERATORS = frozenset({"soteriou"})
+def _matrix_generator_names() -> list[str]:
+    """Matrix generators a :class:`TrafficSpec` may name (the registry is
+    owned by :mod:`repro.workloads.spec`; imported lazily to keep import
+    time low)."""
+    from repro.workloads.spec import matrix_generator_names
+
+    return matrix_generator_names()
 
 
 def _params_tuple(params: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
-    return tuple(sorted(params.items()))
+    """Hashable params view (shared normalization with WorkloadSpec)."""
+    from repro.workloads.spec import params_tuple
+
+    return params_tuple(params)
 
 
 @dataclass(frozen=True)
@@ -184,9 +178,12 @@ class TopologySpec:
 class TrafficSpec:
     """How to generate the offered traffic of one design point.
 
-    ``generator`` is either a traffic-matrix generator name (soteriou,
-    uniform, transpose, ...) or ``"npb"`` for the synthetic NAS kernels;
-    extra generator keywords live in ``params`` as a sorted tuple of
+    ``generator`` is a traffic-matrix generator name (soteriou, uniform,
+    transpose, ...), ``"npb"`` for the synthetic NAS kernels, or
+    ``"workload"`` for a :class:`repro.workloads.WorkloadSpec` model (a
+    ``"model"`` param names the temporal model or application skeleton,
+    an optional ``"traffic"`` param its destination matrix); extra
+    generator keywords live in ``params`` as a sorted tuple of
     ``(key, value)`` pairs so the spec stays hashable.
     """
 
@@ -196,10 +193,13 @@ class TrafficSpec:
     params: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.generator != "npb" and self.generator not in _MATRIX_GENERATORS:
+        if (
+            self.generator not in ("npb", "workload")
+            and self.generator not in _matrix_generator_names()
+        ):
             raise ValueError(
                 f"unknown traffic generator {self.generator!r}; expected "
-                f"'npb' or one of {sorted(_MATRIX_GENERATORS)}"
+                f"'npb', 'workload' or one of {_matrix_generator_names()}"
             )
         if self.injection_rate < 0:
             raise ValueError(
@@ -207,6 +207,8 @@ class TrafficSpec:
             )
         if self.generator == "npb" and "kernel" not in dict(self.params):
             raise ValueError("npb traffic needs a 'kernel' param")
+        if self.generator == "workload" and "model" not in dict(self.params):
+            raise ValueError("workload traffic needs a 'model' param")
 
     @classmethod
     def make(
@@ -225,19 +227,35 @@ class TrafficSpec:
             params=_params_tuple(params),
         )
 
+    @property
+    def trace_based(self) -> bool:
+        """True when the workload fixes its own injection schedule (NPB
+        kernels and application skeletons), so the simulator should use
+        the hard ``max_cycles`` cap instead of the open-loop
+        cycles + drain budget."""
+        if self.generator == "npb":
+            return True
+        if self.generator == "workload":
+            from repro.workloads import SKELETONS
+
+            return dict(self.params)["model"] in SKELETONS
+        return False
+
     def matrix(self, topo: Topology) -> TrafficMatrix:
         """Generate the traffic matrix (matrix generators only)."""
-        if self.generator == "npb":
-            raise ValueError("npb traffic is trace-based; use trace()")
-        import importlib
+        if self.generator in ("npb", "workload"):
+            raise ValueError(
+                f"{self.generator} traffic is trace-based; use trace()"
+            )
+        from repro.workloads.spec import build_traffic_matrix
 
-        module, name = _MATRIX_GENERATORS[self.generator]
-        fn = getattr(importlib.import_module(module), name)
-        kwargs = dict(self.params)
-        kwargs["injection_rate"] = self.injection_rate
-        if self.generator in _SEEDED_GENERATORS:
-            kwargs["seed"] = self.seed
-        return fn(topo, **kwargs)
+        return build_traffic_matrix(
+            self.generator,
+            topo,
+            injection_rate=self.injection_rate,
+            seed=self.seed,
+            **dict(self.params),
+        )
 
     def trace(self, topo: Topology, *, sim: "SimSpec") -> Trace:
         """Generate the workload trace for a simulation scenario."""
@@ -248,6 +266,20 @@ class TrafficSpec:
             if builder is None:
                 raise ValueError(f"unknown NPB kernel {kernel!r}")
             return builder(**kwargs)
+        if self.generator == "workload":
+            from repro.workloads import WorkloadSpec
+
+            kwargs = dict(self.params)
+            model = str(kwargs.pop("model"))
+            return WorkloadSpec.make(
+                model,
+                injection_rate=self.injection_rate,
+                cycles=sim.cycles,
+                packet_flits=sim.packet_flits,
+                seed=self.seed,
+                traffic=str(kwargs.pop("traffic", "uniform")),
+                **kwargs,
+            ).build(topo)
         from repro.simulation.workload import synthetic_trace
 
         return synthetic_trace(

@@ -81,9 +81,11 @@ def synthetic_trace(
         # Geometric inter-arrival sampling is O(packets), not O(cycles).
         t = int(rng.geometric(min(1.0, rates[s]))) - 1
         while t < cycles:
+            # No self-draw filtering needed: TrafficMatrix enforces a zero
+            # diagonal, so dest_probs[s][s] == 0 and every draw is a real
+            # injection — the effective rate matches the requested one.
             d = int(rng.choice(n, p=dest_probs[s]))
-            if d != s:
-                records.append(PacketRecord(t, s, d, packet_flits))
+            records.append(PacketRecord(t, s, d, packet_flits))
             t += int(rng.geometric(min(1.0, rates[s])))
     return Trace(
         n,

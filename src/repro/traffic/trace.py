@@ -130,6 +130,20 @@ class Trace:
             return 0
         return self.packets[-1].time + 1
 
+    def columns(self) -> dict[str, np.ndarray]:
+        """Vectorized column view: ``time``/``src``/``dst``/``size_flits``
+        int64 arrays in packet order (the trace store and the statistics
+        both consume this)."""
+        n = len(self.packets)
+        return {
+            "time": np.fromiter((p.time for p in self.packets), np.int64, n),
+            "src": np.fromiter((p.src for p in self.packets), np.int64, n),
+            "dst": np.fromiter((p.dst for p in self.packets), np.int64, n),
+            "size_flits": np.fromiter(
+                (p.size_flits for p in self.packets), np.int64, n
+            ),
+        }
+
     def flit_count_matrix(self) -> TrafficMatrix:
         """Per-pair flit counts (the paper's Table V input view)."""
         m = np.zeros((self.n_nodes, self.n_nodes))

@@ -1,0 +1,83 @@
+"""Workload subsystem: temporal traffic models, application skeletons,
+and the persistent trace store.
+
+Three pillars on top of :mod:`repro.traffic`:
+
+* :mod:`repro.workloads.temporal` — injection processes beyond Bernoulli
+  (ON/OFF bursts, Pareto self-similar sources, rate envelopes, hotspot
+  overlays);
+* :mod:`repro.workloads.skeletons` — bulk-synchronous application
+  archetypes (stencil, all-reduce butterfly, FFT transpose, wavefront);
+* :mod:`repro.workloads.store` / :mod:`repro.workloads.stats` — a
+  versioned, byte-deterministic on-disk trace format plus the statistics
+  that characterize a workload's shape.
+
+:class:`WorkloadSpec` names any of these declaratively; the experiment
+engine (``"workload"`` traffic generator, ``"workload-saturation"``
+scenario family) and the ``repro workload`` CLI group both address
+workloads through it.
+"""
+
+from repro.workloads.skeletons import (
+    allreduce_trace,
+    fft_transpose_trace,
+    stencil_trace,
+    wavefront_trace,
+)
+from repro.workloads.spec import (
+    SKELETONS,
+    TEMPORAL_MODELS,
+    WorkloadSpec,
+    build_traffic_matrix,
+    matrix_generator_names,
+    register_skeleton,
+    register_temporal_model,
+    workload_model_names,
+)
+from repro.workloads.stats import TraceStats, stats_from_arrays, trace_stats
+from repro.workloads.store import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    iter_trace_packets,
+    load_trace_npz,
+    read_trace_header,
+    save_trace_npz,
+    trace_columns,
+)
+from repro.workloads.temporal import (
+    ENVELOPES,
+    hotspot_overlay,
+    modulated_trace,
+    onoff_trace,
+    pareto_onoff_trace,
+)
+
+__all__ = [
+    "ENVELOPES",
+    "SKELETONS",
+    "TEMPORAL_MODELS",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TraceStats",
+    "WorkloadSpec",
+    "allreduce_trace",
+    "build_traffic_matrix",
+    "fft_transpose_trace",
+    "hotspot_overlay",
+    "iter_trace_packets",
+    "load_trace_npz",
+    "matrix_generator_names",
+    "modulated_trace",
+    "onoff_trace",
+    "pareto_onoff_trace",
+    "read_trace_header",
+    "register_skeleton",
+    "register_temporal_model",
+    "save_trace_npz",
+    "stats_from_arrays",
+    "stencil_trace",
+    "trace_columns",
+    "trace_stats",
+    "wavefront_trace",
+    "workload_model_names",
+]

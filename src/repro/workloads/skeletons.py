@@ -1,0 +1,247 @@
+"""Application communication skeletons (bulk-synchronous phase traces).
+
+The NPB generators (`repro.traffic.npb`) reproduce four specific Class-A
+kernels. This module provides the *archetypes* those kernels instantiate —
+parameterized generators for the canonical bulk-synchronous communication
+patterns of parallel computing — so any mesh size and message volume can
+be phase-scheduled onto the network:
+
+* :func:`stencil_trace` — iterative halo exchange on the processor grid
+  (the Jacobi/CFD archetype; nearest-neighbour, optionally with corners).
+* :func:`allreduce_trace` — recursive-doubling butterfly all-reduce
+  (the collective behind every distributed optimizer step); partner
+  distances double each phase, covering 1-hop to cross-chip traffic.
+* :func:`fft_transpose_trace` — 2-D pencil-decomposed FFT: all-to-all
+  within processor rows, then within columns (the transpose archetype).
+* :func:`wavefront_trace` — diagonal pipeline sweeps with true wavefront
+  phase structure (the SSOR/Smith-Waterman archetype): one phase per
+  anti-diagonal, so parallelism ramps up and down during the sweep.
+
+All return :class:`~repro.traffic.trace.Trace` via
+:func:`~repro.traffic.trace.schedule_phases`: within a phase every source
+serializes its packets at the pacing interval, and the next phase starts
+only after the slowest source finishes plus a compute gap — the same
+bulk-synchronous structure the paper's NPB traces follow. Nodes are
+row-major on a ``width x height`` grid (node ``y * width + x``), matching
+the mesh topology's coordinate layout.
+"""
+
+from __future__ import annotations
+
+from repro.traffic.trace import Message, Trace, schedule_phases
+
+__all__ = [
+    "allreduce_trace",
+    "fft_transpose_trace",
+    "stencil_trace",
+    "wavefront_trace",
+]
+
+
+def _check_grid(width: int, height: int) -> int:
+    if width < 2 or height < 1 or width * height < 2:
+        raise ValueError(f"grid must have >= 2 nodes, got {width}x{height}")
+    return width * height
+
+
+def _check_positive(**values: float) -> None:
+    for key, value in values.items():
+        if value < 1:
+            raise ValueError(f"{key} must be >= 1, got {value}")
+
+
+def stencil_trace(
+    width: int = 16,
+    height: int = 16,
+    *,
+    halo_bytes: int = 4096,
+    iterations: int = 4,
+    corners: bool = False,
+    flit_interval: int = 2,
+    inter_phase_gap: int = 256,
+) -> Trace:
+    """Iterative 2-D stencil halo exchange (Jacobi archetype).
+
+    Each iteration is one phase in which every node exchanges
+    ``halo_bytes`` with each in-grid neighbour (4-point, or 8-point with
+    ``corners=True``; corner halos carry a token byte volume since real
+    corner exchanges are a single cell wide).
+    """
+    _check_grid(width, height)
+    _check_positive(halo_bytes=halo_bytes, iterations=iterations)
+    corner_bytes = max(1, halo_bytes // max(width, height))
+
+    def phase() -> list[Message]:
+        msgs: list[Message] = []
+        for y in range(height):
+            for x in range(width):
+                src = y * width + x
+                sides = ((x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1))
+                diag = ((x - 1, y - 1), (x + 1, y - 1), (x - 1, y + 1), (x + 1, y + 1))
+                for nx, ny in sides:
+                    if 0 <= nx < width and 0 <= ny < height:
+                        msgs.append(Message(src, ny * width + nx, halo_bytes))
+                if corners:
+                    for nx, ny in diag:
+                        if 0 <= nx < width and 0 <= ny < height:
+                            msgs.append(Message(src, ny * width + nx, corner_bytes))
+        return msgs
+
+    return schedule_phases(
+        width * height,
+        [phase() for _ in range(iterations)],
+        flit_interval=flit_interval,
+        inter_phase_gap=inter_phase_gap,
+        name=f"stencil-{width}x{height}",
+    )
+
+
+def allreduce_trace(
+    width: int = 16,
+    height: int = 16,
+    *,
+    message_bytes: int = 8192,
+    iterations: int = 4,
+    flit_interval: int = 2,
+    inter_phase_gap: int = 256,
+) -> Trace:
+    """Recursive-doubling butterfly all-reduce across all nodes.
+
+    Each iteration runs ``log2(N)`` phases; in phase ``i`` every node
+    exchanges ``message_bytes`` with its butterfly partner at XOR distance
+    ``2**i``. Early phases are neighbour traffic, late phases span half
+    the chip — the pattern that benefits most from express links.
+    Requires a power-of-two node count.
+    """
+    n = _check_grid(width, height)
+    _check_positive(message_bytes=message_bytes, iterations=iterations)
+    stages = n.bit_length() - 1
+    if 1 << stages != n:
+        raise ValueError(f"all-reduce needs a power-of-two node count, got {n}")
+    phases = [
+        [Message(s, s ^ (1 << i), message_bytes) for s in range(n)]
+        for _ in range(iterations)
+        for i in range(stages)
+    ]
+    return schedule_phases(
+        n,
+        phases,
+        flit_interval=flit_interval,
+        inter_phase_gap=inter_phase_gap,
+        name=f"allreduce-{width}x{height}",
+    )
+
+
+def fft_transpose_trace(
+    width: int = 16,
+    height: int = 16,
+    *,
+    volume_bytes: int = 1 << 20,
+    iterations: int = 1,
+    flit_interval: int = 4,
+    inter_phase_gap: int = 1024,
+) -> Trace:
+    """2-D pencil-decomposed FFT transpose (row then column all-to-all).
+
+    Each iteration performs two phases: an all-to-all among the nodes of
+    every processor *row* (the x-pencil to y-pencil transpose), then an
+    all-to-all among every *column*. ``volume_bytes`` is the per-node data
+    volume; each exchange slices it evenly across the row (resp. column)
+    partners. Destination order is rank-staggered like an MPI_Alltoall so
+    exchange steps pair distinct (src, dst) sets.
+    """
+    n = _check_grid(width, height)
+    _check_positive(volume_bytes=volume_bytes, iterations=iterations)
+    if width < 2 or height < 2:
+        raise ValueError(f"FFT transpose needs a 2-D grid, got {width}x{height}")
+    row_bytes = max(1, volume_bytes // width)
+    col_bytes = max(1, volume_bytes // height)
+
+    def row_phase() -> list[Message]:
+        msgs: list[Message] = []
+        for y in range(height):
+            base = y * width
+            for k in range(1, width):
+                for x in range(width):
+                    msgs.append(
+                        Message(base + x, base + (x + k) % width, row_bytes)
+                    )
+        return msgs
+
+    def col_phase() -> list[Message]:
+        msgs: list[Message] = []
+        for x in range(width):
+            for k in range(1, height):
+                for y in range(height):
+                    msgs.append(
+                        Message(y * width + x, ((y + k) % height) * width + x, col_bytes)
+                    )
+        return msgs
+
+    phases: list[list[Message]] = []
+    for _ in range(iterations):
+        phases.append(row_phase())
+        phases.append(col_phase())
+    return schedule_phases(
+        n,
+        phases,
+        flit_interval=flit_interval,
+        inter_phase_gap=inter_phase_gap,
+        name=f"fft-{width}x{height}",
+    )
+
+
+def wavefront_trace(
+    width: int = 16,
+    height: int = 16,
+    *,
+    pencil_bytes: int = 2048,
+    sweeps: int = 2,
+    flit_interval: int = 1,
+    inter_phase_gap: int = 64,
+) -> Trace:
+    """Diagonal wavefront sweeps with per-diagonal phase structure.
+
+    A forward sweep runs one phase per anti-diagonal: nodes on diagonal
+    ``x + y = d`` forward ``pencil_bytes`` east and south, releasing the
+    next diagonal — so activity ramps from one node up to the full
+    diagonal and back down, the defining shape of pipelined wavefront
+    codes. The backward sweep mirrors it (west/north). Unlike the NPB LU
+    generator (all ranks in one phase), the true dependency structure is
+    preserved, which makes the network's diameter visible in the
+    end-to-end makespan.
+    """
+    n = _check_grid(width, height)
+    _check_positive(pencil_bytes=pencil_bytes, sweeps=sweeps)
+
+    def sweep(forward: bool) -> list[list[Message]]:
+        phases: list[list[Message]] = []
+        diagonals = range(width + height - 1)
+        for d in diagonals if forward else reversed(diagonals):
+            phase: list[Message] = []
+            for y in range(height):
+                x = d - y
+                if not 0 <= x < width:
+                    continue
+                src = y * width + x
+                step = 1 if forward else -1
+                nx, ny = x + step, y + step
+                if 0 <= nx < width:
+                    phase.append(Message(src, y * width + nx, pencil_bytes))
+                if 0 <= ny < height:
+                    phase.append(Message(src, ny * width + x, pencil_bytes))
+            if phase:
+                phases.append(phase)
+        return phases
+
+    phases: list[list[Message]] = []
+    for _ in range(sweeps):
+        phases.extend(sweep(forward=True))
+        phases.extend(sweep(forward=False))
+    return schedule_phases(
+        n,
+        phases,
+        flit_interval=flit_interval,
+        inter_phase_gap=inter_phase_gap,
+        name=f"wavefront-{width}x{height}",
+    )

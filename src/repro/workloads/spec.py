@@ -1,0 +1,306 @@
+"""Workload specifications and the model registry.
+
+A :class:`WorkloadSpec` names one workload — a temporal model (or
+application skeleton), its destination traffic matrix, operating point
+and seed — as a frozen, hashable, JSON-serializable record, mirroring how
+:class:`~repro.experiments.spec.Scenario` treats design points. Because a
+workload is *data*, the experiment engine can sweep it, the CLI can
+generate it to a trace file, and the trace header can embed it as
+provenance.
+
+Two model families are addressable by name:
+
+* **temporal models** (``bernoulli``, ``onoff``, ``pareto``,
+  ``modulated``) — open-loop injection processes driving destinations
+  drawn from a named traffic matrix (``uniform``, ``soteriou``,
+  ``transpose``, ...). Matrix-generator keywords use a ``traffic_``
+  prefix in ``params`` (e.g. ``traffic_p=0.05`` for the Soteriou model);
+  ``hotspot_nodes`` / ``hotspot_fraction`` apply the hotspot overlay to
+  any matrix.
+* **application skeletons** (``stencil``, ``allreduce``,
+  ``fft_transpose``, ``wavefront``) — phase-structured bulk-synchronous
+  traces; ``injection_rate`` and the traffic matrix do not apply.
+
+Register new models with :func:`register_temporal_model` /
+:func:`register_skeleton` to make them addressable from the CLI and the
+``"workload-saturation"`` scenario family.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.simulation.workload import synthetic_trace
+from repro.topology.graph import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.trace import Trace
+from repro.workloads import skeletons as _skeletons
+from repro.workloads import temporal as _temporal
+from repro.workloads.temporal import hotspot_overlay
+
+__all__ = [
+    "SKELETONS",
+    "TEMPORAL_MODELS",
+    "WorkloadSpec",
+    "build_traffic_matrix",
+    "matrix_generator_names",
+    "register_skeleton",
+    "register_temporal_model",
+    "workload_model_names",
+]
+
+#: Traffic-matrix generators a temporal workload may name; values are
+#: ``(module, function, seeded)`` triples resolved lazily.
+_MATRIX_GENERATORS: dict[str, tuple[str, str, bool]] = {
+    "soteriou": ("repro.traffic.synthetic", "soteriou_traffic", True),
+    "uniform": ("repro.traffic.synthetic", "uniform_traffic", False),
+    "transpose": ("repro.traffic.synthetic", "transpose_traffic", False),
+    "bit_complement": ("repro.traffic.synthetic", "bit_complement_traffic", False),
+    "neighbor": ("repro.traffic.synthetic", "neighbor_traffic", False),
+    "shuffle": ("repro.traffic.patterns", "shuffle_traffic", False),
+    "bit_reverse": ("repro.traffic.patterns", "bit_reverse_traffic", False),
+    "tornado": ("repro.traffic.patterns", "tornado_traffic", False),
+    "hotspot": ("repro.traffic.patterns", "hotspot_traffic", False),
+}
+
+TEMPORAL_MODELS: dict[str, Callable[..., Trace]] = {}
+SKELETONS: dict[str, Callable[..., Trace]] = {}
+
+#: Spec-level param keys consumed by :meth:`WorkloadSpec.build` itself
+#: (everything else is forwarded to the model / skeleton builder).
+_OVERLAY_KEYS = ("hotspot_nodes", "hotspot_fraction")
+_TRAFFIC_PREFIX = "traffic_"
+
+
+def register_temporal_model(name: str) -> Callable[[Callable[..., Trace]], Callable[..., Trace]]:
+    """Decorator: register an injection-process builder under ``name``.
+
+    The builder signature is ``fn(traffic_matrix, *, injection_rate,
+    cycles, packet_flits, seed, **params) -> Trace``.
+    """
+
+    def wrap(fn: Callable[..., Trace]) -> Callable[..., Trace]:
+        if name in TEMPORAL_MODELS or name in SKELETONS:
+            raise ValueError(f"workload model {name!r} already registered")
+        TEMPORAL_MODELS[name] = fn
+        return fn
+
+    return wrap
+
+
+def register_skeleton(name: str) -> Callable[[Callable[..., Trace]], Callable[..., Trace]]:
+    """Decorator: register an application-skeleton builder under ``name``.
+
+    The builder signature is ``fn(width, height, **params) -> Trace``.
+    """
+
+    def wrap(fn: Callable[..., Trace]) -> Callable[..., Trace]:
+        if name in TEMPORAL_MODELS or name in SKELETONS:
+            raise ValueError(f"workload model {name!r} already registered")
+        SKELETONS[name] = fn
+        return fn
+
+    return wrap
+
+
+def workload_model_names() -> list[str]:
+    """All registered workload model names (temporal + skeletons), sorted."""
+    return sorted((*TEMPORAL_MODELS, *SKELETONS))
+
+
+def matrix_generator_names() -> list[str]:
+    """All traffic-matrix generator names, sorted.
+
+    The single source of truth for matrix generators — the experiment
+    engine's :class:`~repro.experiments.spec.TrafficSpec` validates and
+    builds against this registry too.
+    """
+    return sorted(_MATRIX_GENERATORS)
+
+
+def build_traffic_matrix(
+    generator: str,
+    topo: Topology,
+    *,
+    injection_rate: float,
+    seed: int = 0,
+    **kwargs: Any,
+) -> TrafficMatrix:
+    """Build a named destination matrix for a temporal workload."""
+    try:
+        module, fn_name, seeded = _MATRIX_GENERATORS[generator]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic generator {generator!r}; "
+            f"one of {sorted(_MATRIX_GENERATORS)}"
+        ) from None
+    import importlib
+
+    fn = getattr(importlib.import_module(module), fn_name)
+    if seeded:
+        kwargs["seed"] = seed
+    return fn(topo, injection_rate=injection_rate, **kwargs)
+
+
+def params_tuple(params: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
+    """Sorted, hashable ``((key, value), ...)`` view of keyword params.
+
+    Sequence values are normalized to tuples so specs built from CLI
+    lists (e.g. ``hotspot_nodes=[0, 119]``) stay hashable. Shared with
+    :class:`repro.experiments.spec.TrafficSpec`.
+    """
+    return tuple(
+        (k, tuple(v) if isinstance(v, (list, tuple)) else v)
+        for k, v in sorted(params.items())
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named workload: model + traffic + operating point + seed."""
+
+    model: str = "bernoulli"
+    injection_rate: float = 0.1
+    cycles: int = 1000
+    packet_flits: int = 1
+    seed: int = 0
+    traffic: str = "uniform"
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.model not in TEMPORAL_MODELS and self.model not in SKELETONS:
+            raise ValueError(
+                f"unknown workload model {self.model!r}; "
+                f"one of {workload_model_names()}"
+            )
+        if self.model in TEMPORAL_MODELS:
+            if self.traffic not in _MATRIX_GENERATORS:
+                raise ValueError(
+                    f"unknown traffic generator {self.traffic!r}; "
+                    f"one of {sorted(_MATRIX_GENERATORS)}"
+                )
+            if not 0 < self.injection_rate <= 1:
+                raise ValueError(
+                    f"injection rate must be in (0, 1], got {self.injection_rate}"
+                )
+            if self.cycles < 1:
+                raise ValueError(f"cycles must be >= 1, got {self.cycles}")
+
+    @classmethod
+    def make(
+        cls,
+        model: str,
+        *,
+        injection_rate: float = 0.1,
+        cycles: int = 1000,
+        packet_flits: int = 1,
+        seed: int = 0,
+        traffic: str = "uniform",
+        **params: Any,
+    ) -> "WorkloadSpec":
+        """Build a spec from keyword model parameters."""
+        return cls(
+            model=model,
+            injection_rate=injection_rate,
+            cycles=cycles,
+            packet_flits=packet_flits,
+            seed=seed,
+            traffic=traffic,
+            params=params_tuple(params),
+        )
+
+    @property
+    def is_skeleton(self) -> bool:
+        """True for phase-structured application skeletons."""
+        return self.model in SKELETONS
+
+    def split_params(self) -> tuple[dict[str, Any], dict[str, Any], dict[str, Any]]:
+        """``(model_kwargs, traffic_kwargs, overlay_kwargs)`` views of params."""
+        model_kwargs: dict[str, Any] = {}
+        traffic_kwargs: dict[str, Any] = {}
+        overlay_kwargs: dict[str, Any] = {}
+        for key, value in self.params:
+            if key in _OVERLAY_KEYS:
+                overlay_kwargs[key] = value
+            elif key.startswith(_TRAFFIC_PREFIX):
+                traffic_kwargs[key[len(_TRAFFIC_PREFIX):]] = value
+            else:
+                model_kwargs[key] = value
+        return model_kwargs, traffic_kwargs, overlay_kwargs
+
+    def matrix(self, topo: Topology) -> TrafficMatrix:
+        """The destination matrix (temporal models only), overlay applied."""
+        if self.is_skeleton:
+            raise ValueError(f"skeleton workload {self.model!r} has no matrix")
+        _, traffic_kwargs, overlay_kwargs = self.split_params()
+        tm = build_traffic_matrix(
+            self.traffic,
+            topo,
+            injection_rate=self.injection_rate,
+            seed=self.seed,
+            **traffic_kwargs,
+        )
+        if overlay_kwargs:
+            if "hotspot_nodes" not in overlay_kwargs:
+                raise ValueError("hotspot_fraction needs hotspot_nodes")
+            tm = hotspot_overlay(
+                tm,
+                hotspots=overlay_kwargs["hotspot_nodes"],
+                fraction=overlay_kwargs.get("hotspot_fraction", 0.2),
+            )
+        return tm
+
+    def build(self, topo: Topology) -> Trace:
+        """Materialize the workload trace on ``topo``'s node grid."""
+        model_kwargs, _, _ = self.split_params()
+        if self.is_skeleton:
+            return SKELETONS[self.model](topo.width, topo.height, **model_kwargs)
+        return TEMPORAL_MODELS[self.model](
+            self.matrix(topo),
+            injection_rate=self.injection_rate,
+            cycles=self.cycles,
+            packet_flits=self.packet_flits,
+            seed=self.seed,
+            **model_kwargs,
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "model": self.model,
+            "injection_rate": self.injection_rate,
+            "cycles": self.cycles,
+            "packet_flits": self.packet_flits,
+            "seed": self.seed,
+            "traffic": self.traffic,
+            "params": [[k, list(v) if isinstance(v, tuple) else v]
+                       for k, v in self.params],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "WorkloadSpec":
+        return cls.make(
+            data["model"],
+            injection_rate=data["injection_rate"],
+            cycles=data["cycles"],
+            packet_flits=data["packet_flits"],
+            seed=data["seed"],
+            traffic=data["traffic"],
+            **dict(data["params"]),
+        )
+
+
+@register_temporal_model("bernoulli")
+def _bernoulli(traffic: TrafficMatrix, **kwargs: Any) -> Trace:
+    """Memoryless Bernoulli open loop (the paper's baseline process)."""
+    return synthetic_trace(traffic, **kwargs)
+
+
+register_temporal_model("onoff")(_temporal.onoff_trace)
+register_temporal_model("pareto")(_temporal.pareto_onoff_trace)
+register_temporal_model("modulated")(_temporal.modulated_trace)
+register_skeleton("stencil")(_skeletons.stencil_trace)
+register_skeleton("allreduce")(_skeletons.allreduce_trace)
+register_skeleton("fft_transpose")(_skeletons.fft_transpose_trace)
+register_skeleton("wavefront")(_skeletons.wavefront_trace)

@@ -77,10 +77,10 @@ class TestTrafficSpec:
         np.testing.assert_array_equal(a.matrix, b.matrix)
 
     def test_every_advertised_generator_is_evaluable(self):
-        from repro.experiments.spec import _MATRIX_GENERATORS
+        from repro.workloads import matrix_generator_names
 
         topo = TopologySpec.plain(Technology.ELECTRONIC, width=4, height=4).build()
-        for name in _MATRIX_GENERATORS:
+        for name in matrix_generator_names():
             tm = TrafficSpec.make(name, injection_rate=0.05, seed=1).matrix(topo)
             assert tm.n_nodes == topo.n_nodes, name
 

@@ -59,6 +59,26 @@ class TestSyntheticTrace:
         with pytest.raises(ValueError):
             synthetic_trace(tm, injection_rate=0.1, cycles=100, packet_flits=64)
 
+    def test_diagonal_mass_rejected_at_matrix_level(self):
+        # Regression: self-traffic must be rejected when the matrix is
+        # built, not silently skipped at draw time (which would deflate
+        # the effective injection rate below the requested one).
+        from repro.traffic import TrafficMatrix
+
+        m = np.full((8, 8), 1.0)
+        with pytest.raises(ValueError, match="diagonal"):
+            TrafficMatrix(m)
+
+    def test_effective_rate_not_deflated(self, mesh8):
+        # Regression for the dead `if d != s` guard: every Bernoulli draw
+        # must become a packet, so the measured packet count matches the
+        # expected open-loop count, not a filtered subset of it.
+        tm = uniform_traffic(mesh8)
+        cycles, rate = 6000, 0.08
+        trace = synthetic_trace(tm, injection_rate=rate, cycles=cycles, seed=11)
+        expected = 64 * cycles * rate
+        assert trace.n_packets == pytest.approx(expected, rel=0.05)
+
     def test_concentrated_overload_rejected(self, mesh8):
         # A one-hot matrix at mean rate 0.1 puts 6.4 flits/cycle on one
         # source, which no injection port can sustain.

@@ -1,0 +1,126 @@
+"""Tests for the application skeletons (repro.workloads.skeletons)."""
+
+import pytest
+
+from repro.workloads import (
+    allreduce_trace,
+    fft_transpose_trace,
+    stencil_trace,
+    trace_stats,
+    wavefront_trace,
+)
+
+
+def _pairs(trace):
+    return {(p.src, p.dst) for p in trace.packets}
+
+
+def _grid_dist(a, b, width):
+    ax, ay = a % width, a // width
+    bx, by = b % width, b // width
+    return abs(ax - bx) + abs(ay - by)
+
+
+class TestStencil:
+    def test_only_neighbor_traffic(self):
+        trace = stencil_trace(8, 8, iterations=1)
+        assert all(_grid_dist(s, d, 8) == 1 for s, d in _pairs(trace))
+
+    def test_corners_add_diagonal_traffic(self):
+        trace = stencil_trace(8, 8, iterations=1, corners=True)
+        dists = {_grid_dist(s, d, 8) for s, d in _pairs(trace)}
+        assert dists == {1, 2}
+
+    def test_interior_node_sends_four_halos(self):
+        trace = stencil_trace(8, 8, iterations=1)
+        sent = [p for p in trace.packets if p.src == 9 + 8]  # node (1, 2)
+        dsts = {p.dst for p in sent}
+        assert dsts == {9 + 8 - 1, 9 + 8 + 1, 9, 9 + 16}
+
+    def test_iterations_become_phases(self):
+        trace = stencil_trace(8, 8, iterations=3, inter_phase_gap=512)
+        assert trace_stats(trace, gap=256).n_phases == 3
+
+    def test_rectangular_grid(self):
+        trace = stencil_trace(8, 4, iterations=1)
+        assert trace.n_nodes == 32
+        assert all(_grid_dist(s, d, 8) == 1 for s, d in _pairs(trace))
+
+
+class TestAllreduce:
+    def test_partner_distances_are_xor_powers(self):
+        trace = allreduce_trace(4, 4, iterations=1)
+        assert all((s ^ d).bit_count() == 1 for s, d in _pairs(trace))
+        # All log2(16) = 4 butterfly stages appear.
+        assert {(s ^ d) for s, d in _pairs(trace)} == {1, 2, 4, 8}
+
+    def test_every_node_participates_every_stage(self):
+        trace = allreduce_trace(4, 4, iterations=1)
+        for stage in (1, 2, 4, 8):
+            srcs = {s for s, d in _pairs(trace) if s ^ d == stage}
+            assert srcs == set(range(16))
+
+    def test_needs_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            allreduce_trace(6, 2)
+
+
+class TestFftTranspose:
+    def test_row_and_column_coverage(self):
+        trace = fft_transpose_trace(4, 4, volume_bytes=256, iterations=1)
+        pairs = _pairs(trace)
+        same_row = {(s, d) for s, d in pairs if s // 4 == d // 4}
+        same_col = {(s, d) for s, d in pairs if s % 4 == d % 4}
+        # Full all-to-all within every row and every column, nothing else.
+        assert len(same_row) == 4 * 4 * 3
+        assert len(same_col) == 4 * 4 * 3
+        assert pairs == same_row | same_col
+
+    def test_needs_2d_grid(self):
+        with pytest.raises(ValueError, match="2-D"):
+            fft_transpose_trace(8, 1)
+
+
+class TestWavefront:
+    def test_forward_sweep_steps_east_and_south(self):
+        trace = wavefront_trace(4, 4, sweeps=1)
+        for s, d in _pairs(trace):
+            dx = d % 4 - s % 4
+            dy = d // 4 - s // 4
+            assert (abs(dx), abs(dy)) in ((1, 0), (0, 1))
+
+    def test_diagonal_phase_order(self):
+        # In the forward half, node (0,0) must inject strictly before the
+        # far corner's diagonal becomes active.
+        trace = wavefront_trace(4, 4, sweeps=1)
+        t_origin = min(p.time for p in trace.packets if p.src == 0)
+        far = 4 * 4 - 2  # node (2, 3), on the last forward diagonal with sends
+        t_far = min(p.time for p in trace.packets if p.src == far)
+        assert t_origin < t_far
+
+    def test_phase_count_matches_diagonals(self):
+        # 4x4: 7 diagonals; forward sweep has 6 non-empty phases (last
+        # diagonal cannot send forward), backward has 6.
+        trace = wavefront_trace(4, 4, sweeps=1, inter_phase_gap=512)
+        assert trace_stats(trace, gap=256).n_phases == 12
+
+
+class TestCommon:
+    @pytest.mark.parametrize(
+        "builder",
+        [stencil_trace, allreduce_trace, fft_transpose_trace, wavefront_trace],
+    )
+    def test_deterministic_and_well_formed(self, builder):
+        a = builder(4, 4)
+        b = builder(4, 4)
+        assert a == b  # pure functions: no hidden RNG
+        assert a.n_packets > 0
+        assert all(0 <= p.src < 16 and 0 <= p.dst < 16 for p in a.packets)
+
+    @pytest.mark.parametrize(
+        "builder",
+        [stencil_trace, allreduce_trace, fft_transpose_trace, wavefront_trace],
+    )
+    def test_rejects_degenerate_grid(self, builder):
+        with pytest.raises(ValueError):
+            builder(1, 1)

@@ -1,0 +1,228 @@
+"""Tests for WorkloadSpec, the model registry, and engine/CLI wiring."""
+
+import pytest
+
+from repro.experiments import scenario_family
+from repro.experiments.spec import SimSpec, TrafficSpec, scenario_from_json
+from repro.topology import build_mesh
+from repro.workloads import (
+    SKELETONS,
+    TEMPORAL_MODELS,
+    WorkloadSpec,
+    register_skeleton,
+    register_temporal_model,
+    workload_model_names,
+)
+
+
+@pytest.fixture(scope="module")
+def mesh8():
+    return build_mesh(8, 8)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"bernoulli", "onoff", "pareto", "modulated"} <= set(TEMPORAL_MODELS)
+        assert {"stencil", "allreduce", "fft_transpose", "wavefront"} <= set(
+            SKELETONS
+        )
+        assert workload_model_names() == sorted((*TEMPORAL_MODELS, *SKELETONS))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_temporal_model("onoff")(lambda *a, **k: None)
+        with pytest.raises(ValueError, match="already registered"):
+            register_skeleton("bernoulli")(lambda *a, **k: None)
+
+
+class TestWorkloadSpec:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload model"):
+            WorkloadSpec.make("nope")
+
+    def test_unknown_traffic_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic generator"):
+            WorkloadSpec.make("onoff", traffic="nope")
+
+    def test_json_round_trip(self):
+        spec = WorkloadSpec.make(
+            "onoff",
+            injection_rate=0.05,
+            cycles=500,
+            seed=3,
+            traffic="soteriou",
+            duty=0.2,
+            traffic_p=0.05,
+            hotspot_nodes=[1, 2],
+        )
+        assert WorkloadSpec.from_json(spec.to_json()) == spec
+
+    def test_split_params(self):
+        spec = WorkloadSpec.make(
+            "onoff", duty=0.2, traffic_p=0.05, hotspot_nodes=(1, 2)
+        )
+        model_kwargs, traffic_kwargs, overlay_kwargs = spec.split_params()
+        assert model_kwargs == {"duty": 0.2}
+        assert traffic_kwargs == {"p": 0.05}
+        assert overlay_kwargs == {"hotspot_nodes": (1, 2)}
+
+    def test_build_temporal(self, mesh8):
+        trace = WorkloadSpec.make(
+            "onoff", injection_rate=0.05, cycles=400, duty=0.5, seed=1
+        ).build(mesh8)
+        assert trace.n_packets > 0
+        assert trace.n_nodes == 64
+
+    def test_build_skeleton_ignores_rate(self, mesh8):
+        spec = WorkloadSpec.make("stencil", iterations=1)
+        trace = spec.build(mesh8)
+        assert spec.is_skeleton
+        assert trace.name == "stencil-8x8"
+        with pytest.raises(ValueError, match="no matrix"):
+            spec.matrix(mesh8)
+
+    def test_hotspot_overlay_applied(self, mesh8):
+        spec = WorkloadSpec.make(
+            "bernoulli", hotspot_nodes=(7,), hotspot_fraction=0.8
+        )
+        tm = spec.matrix(mesh8)
+        received = tm.matrix.sum(axis=0)
+        assert received[7] > 10 * received[8]
+
+    def test_hotspot_fraction_without_nodes_rejected(self, mesh8):
+        spec = WorkloadSpec.make("bernoulli", hotspot_fraction=0.8)
+        with pytest.raises(ValueError, match="hotspot_nodes"):
+            spec.matrix(mesh8)
+
+
+class TestEngineWiring:
+    def test_traffic_spec_accepts_workload(self, mesh8):
+        ts = TrafficSpec.make(
+            "workload", injection_rate=0.05, seed=2, model="onoff", duty=0.5
+        )
+        trace = ts.trace(mesh8, sim=SimSpec(cycles=300))
+        assert trace.n_packets > 0
+        with pytest.raises(ValueError, match="trace-based"):
+            ts.matrix(mesh8)
+
+    def test_workload_spec_requires_model_param(self):
+        with pytest.raises(ValueError, match="model"):
+            TrafficSpec.make("workload", injection_rate=0.05)
+
+    def test_skeletons_get_trace_based_cycle_budget(self):
+        # Regression: a phase-structured skeleton fixes its own injection
+        # schedule, so it must get the hard max_cycles cap (like NPB), not
+        # the open-loop cycles + drain budget — long skeleton traces would
+        # otherwise be truncated and misreported as SATURATED.
+        sim = SimSpec(cycles=1200, drain_budget=1000, max_cycles=500_000)
+        skeleton = TrafficSpec.make("workload", model="stencil")
+        temporal = TrafficSpec.make("workload", model="onoff")
+        npb = TrafficSpec.make("npb", kernel="CG")
+        matrix = TrafficSpec.make("uniform", injection_rate=0.05)
+        assert skeleton.trace_based and npb.trace_based
+        assert not temporal.trace_based and not matrix.trace_based
+        assert sim.cycle_budget(skeleton.trace_based) == 500_000
+        assert sim.cycle_budget(temporal.trace_based) == 2200
+
+    def test_list_valued_params_stay_hashable(self):
+        # CLI-style list values (hotspot_nodes=[...]) must normalize to
+        # tuples so scenarios honour the documented hashability contract.
+        (scenario,) = scenario_family(
+            "workload-saturation",
+            rates=[0.05],
+            model="onoff",
+            duty=0.5,
+            hotspot_nodes=[0, 5],
+        )
+        assert isinstance(hash(scenario), int)
+        assert dict(scenario.traffic.params)["hotspot_nodes"] == (0, 5)
+
+    def test_family_expansion_and_json(self):
+        scenarios = scenario_family(
+            "workload-saturation",
+            rates=[0.05, 0.1],
+            model="pareto",
+            traffic="uniform",
+            duty=0.5,
+            alpha=1.4,
+        )
+        assert [s.traffic.injection_rate for s in scenarios] == [0.05, 0.1]
+        assert all(dict(s.traffic.params)["model"] == "pareto" for s in scenarios)
+        # Per-point seeds must differ (derived from (seed, index)).
+        assert scenarios[0].traffic.seed != scenarios[1].traffic.seed
+        # Scenario JSON round-trips with the workload generator.
+        rebuilt = scenario_from_json(scenarios[0].to_json())
+        assert rebuilt.traffic == scenarios[0].traffic
+
+    def test_family_matches_direct_build(self, mesh8):
+        (scenario,) = scenario_family(
+            "workload-saturation", rates=[0.05], model="onoff", duty=0.5, seed=9
+        )
+        trace = scenario.traffic.trace(mesh8, sim=scenario.sim)
+        from repro.util.rng import derive_seed
+        from repro.workloads import onoff_trace
+        from repro.traffic import uniform_traffic
+
+        expected = onoff_trace(
+            uniform_traffic(mesh8, injection_rate=0.05),
+            injection_rate=0.05,
+            cycles=scenario.sim.cycles,
+            duty=0.5,
+            seed=derive_seed(9, 0),
+        )
+        assert trace.packets == expected.packets
+
+
+class TestWorkloadCLI:
+    def test_list_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["workload", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "onoff" in out and "stencil" in out
+
+    def test_gen_and_stats_commands(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "t.npz"
+        rc = main(
+            ["workload", "gen", "--model", "onoff", "--param", "duty=0.5",
+             "--width", "4", "--height", "4", "--cycles", "300",
+             "--out", str(out_path)]
+        )
+        assert rc == 0
+        assert out_path.exists()
+        assert main(["workload", "stats", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "burstiness" in out
+
+    def test_stats_reads_text_format(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.traffic import PacketRecord, Trace, save_trace
+
+        path = tmp_path / "t.trace"
+        save_trace(Trace(4, [PacketRecord(0, 0, 1, 1)]), path)
+        assert main(["workload", "stats", str(path)]) == 0
+        assert "mean rate" in capsys.readouterr().out
+
+    def test_gen_rejects_bad_param(self, tmp_path):
+        from repro.cli import main
+
+        rc = main(
+            ["workload", "gen", "--model", "onoff", "--param", "oops",
+             "--out", str(tmp_path / "x.npz")]
+        )
+        assert rc == 2
+
+    def test_stats_invalid_npz_fails_loudly(self, tmp_path, capsys):
+        # An invalid *zip* trace must surface the store's diagnostic as a
+        # usage error, never fall through to the text parser.
+        import zipfile
+
+        from repro.cli import main
+
+        path = tmp_path / "bad.npz"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("header.json", '{"format": "alien", "version": 1}')
+        assert main(["workload", "stats", str(path)]) == 2
+        assert "format" in capsys.readouterr().err

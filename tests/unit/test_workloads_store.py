@@ -1,0 +1,183 @@
+"""Tests for the trace store and trace statistics."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.topology import build_mesh
+from repro.traffic import PacketRecord, Trace, uniform_traffic
+from repro.workloads import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    iter_trace_packets,
+    load_trace_npz,
+    onoff_trace,
+    read_trace_header,
+    save_trace_npz,
+    stats_from_arrays,
+    trace_columns,
+    trace_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_trace():
+    tm = uniform_traffic(build_mesh(4, 4), injection_rate=0.1)
+    return onoff_trace(tm, injection_rate=0.1, cycles=800, duty=0.5, seed=9)
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace_npz(sample_trace, path)
+        assert load_trace_npz(path) == sample_trace
+
+    def test_byte_deterministic(self, sample_trace, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        extra = {"note": "same"}
+        save_trace_npz(sample_trace, a, extra=extra)
+        save_trace_npz(sample_trace, b, extra=extra)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        empty = Trace(4, [], name="empty")
+        path = tmp_path / "empty.npz"
+        save_trace_npz(empty, path)
+        loaded = load_trace_npz(path)
+        assert loaded == empty
+        assert loaded.n_packets == 0
+
+    def test_header_fields(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace_npz(sample_trace, path, extra={"spec": {"model": "onoff"}})
+        header = read_trace_header(path)
+        assert header["format"] == TRACE_FORMAT
+        assert header["version"] == TRACE_VERSION
+        assert header["n_nodes"] == sample_trace.n_nodes
+        assert header["n_packets"] == sample_trace.n_packets
+        assert header["total_flits"] == sample_trace.total_flits
+        assert header["extra"] == {"spec": {"model": "onoff"}}
+
+
+class TestStreaming:
+    def test_iter_matches_packets(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace_npz(sample_trace, path)
+        streamed = list(iter_trace_packets(path))
+        assert streamed == sample_trace.packets
+        assert all(isinstance(p, PacketRecord) for p in streamed[:3])
+
+    def test_trace_columns_method_matches_packets(self, sample_trace):
+        cols = sample_trace.columns()
+        assert [tuple(row) for row in zip(
+            cols["time"], cols["src"], cols["dst"], cols["size_flits"]
+        )] == [
+            (p.time, p.src, p.dst, p.size_flits) for p in sample_trace.packets
+        ]
+
+    def test_columns_view(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace_npz(sample_trace, path)
+        header, cols = trace_columns(path)
+        assert cols["time"].dtype == np.int64
+        assert cols["src"].shape == (sample_trace.n_packets,)
+        assert int(cols["size_flits"].sum()) == sample_trace.total_flits
+
+    def test_iter_is_lazy(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace_npz(sample_trace, path)
+        it = iter_trace_packets(path)
+        assert next(it) == sample_trace.packets[0]
+
+
+class TestValidation:
+    def test_not_a_zip(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"definitely not a zip")
+        with pytest.raises(ValueError, match="not a readable trace archive"):
+            read_trace_header(path)
+
+    def test_missing_header_entry(self, tmp_path):
+        path = tmp_path / "noheader.npz"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("other.json", "{}")
+        with pytest.raises(ValueError, match="missing header.json"):
+            read_trace_header(path)
+
+    def test_wrong_format_id(self, tmp_path):
+        path = tmp_path / "alien.npz"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("header.json", json.dumps({"format": "alien", "version": 1}))
+        with pytest.raises(ValueError, match="format"):
+            read_trace_header(path)
+
+    def test_future_version_rejected(self, sample_trace, tmp_path):
+        path = tmp_path / "future.npz"
+        save_trace_npz(sample_trace, path)
+        with zipfile.ZipFile(path) as zf:
+            entries = {n: zf.read(n) for n in zf.namelist()}
+        header = json.loads(entries["header.json"])
+        header["version"] = TRACE_VERSION + 1
+        entries["header.json"] = json.dumps(header).encode()
+        with zipfile.ZipFile(path, "w") as zf:
+            for name, data in entries.items():
+                zf.writestr(name, data)
+        with pytest.raises(ValueError, match="version"):
+            load_trace_npz(path)
+
+    def test_header_count_mismatch_rejected(self, sample_trace, tmp_path):
+        path = tmp_path / "short.npz"
+        save_trace_npz(sample_trace, path)
+        with zipfile.ZipFile(path) as zf:
+            entries = {n: zf.read(n) for n in zf.namelist()}
+        header = json.loads(entries["header.json"])
+        header["n_packets"] += 1
+        entries["header.json"] = json.dumps(header).encode()
+        with zipfile.ZipFile(path, "w") as zf:
+            for name, data in entries.items():
+                zf.writestr(name, data)
+        with pytest.raises(ValueError, match="packets"):
+            load_trace_npz(path)
+
+
+class TestStats:
+    def test_empty_trace(self):
+        stats = trace_stats(Trace(4, [], name="empty"))
+        assert stats.n_packets == 0
+        assert stats.mean_rate == 0.0
+        assert stats.n_phases == 0
+
+    def test_mean_rate_and_duration(self):
+        packets = [PacketRecord(t, 0, 1, 2) for t in range(0, 100, 10)]
+        stats = trace_stats(Trace(4, packets))
+        assert stats.duration_cycles == 91
+        assert stats.total_flits == 20
+        assert stats.mean_rate == pytest.approx(20 / (91 * 4))
+
+    def test_phase_detection(self):
+        packets = [PacketRecord(t, 0, 1, 1) for t in (0, 5, 500, 505, 1000)]
+        stats = trace_stats(Trace(4, packets), gap=100)
+        assert stats.n_phases == 3
+
+    def test_node_load_cv_zero_when_balanced(self):
+        packets = [PacketRecord(t, s, (s + 1) % 4, 1)
+                   for t in range(10) for s in range(4)]
+        assert trace_stats(Trace(4, packets)).node_load_cv == pytest.approx(0.0)
+
+    def test_single_hot_source_has_high_cv(self):
+        packets = [PacketRecord(t, 0, 1, 1) for t in range(40)]
+        assert trace_stats(Trace(4, packets)).node_load_cv > 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stats_from_arrays(1, np.array([]), np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            stats_from_arrays(
+                4, np.array([0]), np.array([0]), np.array([1]), window=0
+            )
+        with pytest.raises(ValueError):
+            stats_from_arrays(
+                4, np.array([0]), np.array([0]), np.array([1]), gap=0
+            )

@@ -1,0 +1,173 @@
+"""Tests for the temporal injection models (repro.workloads.temporal)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import synthetic_trace
+from repro.topology import build_mesh
+from repro.traffic import TrafficMatrix, uniform_traffic
+from repro.workloads import (
+    hotspot_overlay,
+    modulated_trace,
+    onoff_trace,
+    pareto_onoff_trace,
+    trace_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def mesh8():
+    return build_mesh(8, 8)
+
+
+@pytest.fixture(scope="module")
+def tm(mesh8):
+    return uniform_traffic(mesh8, injection_rate=0.1)
+
+
+MODELS = {
+    "onoff": onoff_trace,
+    "pareto": pareto_onoff_trace,
+    "modulated": modulated_trace,
+}
+
+
+class TestModelInvariants:
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_mean_rate_met(self, tm, model):
+        trace = MODELS[model](tm, injection_rate=0.1, cycles=6000, seed=2)
+        measured = trace.total_flits / (64 * 6000)
+        assert measured == pytest.approx(0.1, rel=0.1)
+
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_deterministic(self, tm, model):
+        a = MODELS[model](tm, injection_rate=0.05, cycles=800, seed=7)
+        b = MODELS[model](tm, injection_rate=0.05, cycles=800, seed=7)
+        assert a == b
+
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_seed_changes_trace(self, tm, model):
+        a = MODELS[model](tm, injection_rate=0.05, cycles=800, seed=1)
+        b = MODELS[model](tm, injection_rate=0.05, cycles=800, seed=2)
+        assert a.packets != b.packets
+
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_times_within_window_and_packet_size(self, tm, model):
+        trace = MODELS[model](
+            tm, injection_rate=0.1, cycles=500, packet_flits=4, seed=0
+        )
+        assert all(0 <= p.time < 500 for p in trace.packets)
+        assert all(p.size_flits == 4 for p in trace.packets)
+        assert all(0 <= p.dst < 64 and p.src != p.dst for p in trace.packets)
+
+    def test_destinations_follow_matrix(self, mesh8):
+        m = np.zeros((64, 64))
+        m[5, 9] = 1.0
+        trace = onoff_trace(
+            TrafficMatrix(m), injection_rate=0.002, cycles=4000, duty=0.5, seed=0
+        )
+        assert trace.n_packets > 0
+        assert all(p.src == 5 and p.dst == 9 for p in trace.packets)
+
+
+class TestBurstiness:
+    def test_onoff_burstier_than_bernoulli(self, tm):
+        bern = synthetic_trace(tm, injection_rate=0.1, cycles=6000, seed=4)
+        bursty = onoff_trace(tm, injection_rate=0.1, cycles=6000, duty=0.25, seed=4)
+        assert (
+            trace_stats(bursty).burstiness > 2 * trace_stats(bern).burstiness
+        )
+
+    def test_pareto_burstier_than_bernoulli(self, tm):
+        bern = synthetic_trace(tm, injection_rate=0.1, cycles=6000, seed=4)
+        heavy = pareto_onoff_trace(
+            tm, injection_rate=0.1, cycles=6000, duty=0.25, alpha=1.5, seed=4
+        )
+        assert trace_stats(heavy).burstiness > 2 * trace_stats(bern).burstiness
+
+    def test_lower_duty_is_burstier(self, tm):
+        tight = onoff_trace(tm, injection_rate=0.05, cycles=6000, duty=0.1, seed=3)
+        loose = onoff_trace(tm, injection_rate=0.05, cycles=6000, duty=0.9, seed=3)
+        assert trace_stats(tight).burstiness > trace_stats(loose).burstiness
+
+    def test_square_envelope_concentrates_in_high_half(self, tm):
+        trace = modulated_trace(
+            tm,
+            injection_rate=0.1,
+            cycles=4096,
+            period=512,
+            depth=0.9,
+            envelope="square",
+            seed=5,
+        )
+        phase = np.array([p.time % 512 for p in trace.packets])
+        high = int(np.count_nonzero(phase < 256))
+        low = trace.n_packets - high
+        # Rates 1.9 vs 0.1 x mean: the high half must dominate heavily.
+        assert high > 5 * low
+
+
+class TestValidation:
+    def test_onoff_rejects_bad_duty_and_burst(self, tm):
+        with pytest.raises(ValueError):
+            onoff_trace(tm, injection_rate=0.1, cycles=100, duty=0.0)
+        with pytest.raises(ValueError):
+            onoff_trace(tm, injection_rate=0.1, cycles=100, duty=1.5)
+        with pytest.raises(ValueError):
+            onoff_trace(tm, injection_rate=0.1, cycles=100, burst_len=0.5)
+
+    def test_peak_rate_guard(self, tm):
+        # duty 0.05 means 20x bursts: 2 packets/cycle/node is impossible.
+        with pytest.raises(ValueError, match="peak"):
+            onoff_trace(tm, injection_rate=0.1, cycles=100, duty=0.05)
+        with pytest.raises(ValueError, match="peak"):
+            modulated_trace(tm, injection_rate=0.6, cycles=100, depth=0.9)
+
+    def test_sub_cycle_off_period_rejected(self, tm):
+        # burst_len 2, duty 0.9 => mean OFF 0.22 cycles, unrealizable:
+        # the 1-cycle OFF floor would silently undershoot the mean rate.
+        with pytest.raises(ValueError, match="OFF period"):
+            onoff_trace(tm, injection_rate=0.1, cycles=100, burst_len=2, duty=0.9)
+        with pytest.raises(ValueError, match="OFF period"):
+            pareto_onoff_trace(
+                tm, injection_rate=0.1, cycles=100, min_on=2, duty=0.9
+            )
+        # duty=1 (no OFF periods at all) stays valid.
+        trace = onoff_trace(
+            tm, injection_rate=0.1, cycles=2000, burst_len=2, duty=1.0
+        )
+        assert trace.total_flits / (64 * 2000) == pytest.approx(0.1, rel=0.15)
+
+    def test_pareto_needs_finite_mean(self, tm):
+        with pytest.raises(ValueError, match="alpha"):
+            pareto_onoff_trace(tm, injection_rate=0.1, cycles=100, alpha=1.0)
+
+    def test_modulated_rejects_unknown_envelope(self, tm):
+        with pytest.raises(ValueError, match="envelope"):
+            modulated_trace(tm, injection_rate=0.1, cycles=100, envelope="saw")
+
+
+class TestHotspotOverlay:
+    def test_preserves_row_sums_and_diagonal(self, tm):
+        hot = hotspot_overlay(tm, hotspots=[0, 27], fraction=0.5)
+        assert np.allclose(hot.injection_rates(), tm.injection_rates())
+        assert np.all(np.diag(hot.matrix) == 0)
+
+    def test_skews_node_load_toward_hotspots(self, tm):
+        hot = hotspot_overlay(tm, hotspots=[27], fraction=0.6)
+        received = hot.matrix.sum(axis=0)
+        assert received[27] > 10 * np.median(received)
+
+    def test_fraction_one_sends_everything_to_hotspots(self, tm):
+        hot = hotspot_overlay(tm, hotspots=[3], fraction=1.0)
+        for s in range(64):
+            if s != 3:
+                assert hot.matrix[s].sum() == pytest.approx(hot.matrix[s, 3])
+
+    def test_validation(self, tm):
+        with pytest.raises(ValueError):
+            hotspot_overlay(tm, hotspots=[], fraction=0.5)
+        with pytest.raises(ValueError):
+            hotspot_overlay(tm, hotspots=[99], fraction=0.5)
+        with pytest.raises(ValueError):
+            hotspot_overlay(tm, hotspots=[0], fraction=1.5)
