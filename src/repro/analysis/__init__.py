@@ -23,9 +23,15 @@ from repro.analysis.power import (
     CORE_CLOCK_HZ,
     NetworkEnergy,
     NetworkPower,
+    RouterFigures,
+    dynamic_energy_from_counts,
+    evaluate_link,
+    evaluate_router,
+    link_config_for,
     network_area_m2,
     network_power,
     network_static_power_w,
+    per_flit_energies,
     router_config_for_node,
     trace_dynamic_energy_j,
 )
@@ -49,6 +55,12 @@ __all__ = [
     "CORE_CLOCK_HZ",
     "NetworkEnergy",
     "NetworkPower",
+    "RouterFigures",
+    "dynamic_energy_from_counts",
+    "evaluate_link",
+    "evaluate_router",
+    "link_config_for",
+    "per_flit_energies",
     "network_area_m2",
     "network_power",
     "network_static_power_w",

@@ -9,12 +9,23 @@ Static power sums every router and link-direction model; dynamic power
 multiplies per-flit energies by per-component flit rates from the flow
 assignment. For trace energy (Table V) the same machinery runs on flit
 *counts* instead of rates.
+
+The per-component evaluation API — :func:`evaluate_router`,
+:func:`evaluate_link`, :func:`link_config_for`, :func:`per_flit_energies`
+and :func:`dynamic_energy_from_counts` — is public: the simulation energy
+accounting (:mod:`repro.simulation.energy`) and the telemetry power
+traces (:mod:`repro.telemetry.power_trace`) consume the *same* cached
+DSENT figures this module's roll-ups use, which is what makes simulated,
+windowed and analytical energies directly comparable (and, for the
+telemetry conservation invariant, bit-identical).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+
+import numpy as np
 
 from repro.analysis.flows import FlowAssignment, assign_flows
 from repro.dsent.link_model import LinkFigures, NocLinkConfig, NocLinkModel
@@ -27,9 +38,15 @@ from repro.traffic.trace import Trace
 __all__ = [
     "NetworkPower",
     "NetworkEnergy",
+    "RouterFigures",
+    "dynamic_energy_from_counts",
+    "evaluate_link",
+    "evaluate_router",
+    "link_config_for",
     "network_static_power_w",
     "network_power",
     "network_area_m2",
+    "per_flit_energies",
     "trace_dynamic_energy_j",
     "router_config_for_node",
 ]
@@ -47,24 +64,92 @@ def router_config_for_node(topo: Topology, node: int) -> RouterConfig:
     return RouterConfig(base_ports=5, express_ports=len(express_neighbors))
 
 
+@dataclass(frozen=True)
+class RouterFigures:
+    """Cached DSENT router figures: the per-component evaluation result."""
+
+    static_w: float
+    dynamic_j_per_flit: float
+    area_m2: float
+
+
 @lru_cache(maxsize=None)
-def _router_eval(config: RouterConfig) -> tuple[float, float, float]:
+def evaluate_router(config: RouterConfig) -> RouterFigures:
+    """DSENT figures for one router configuration (process-wide cache)."""
     r = RouterPowerArea(config).evaluate()
-    return r.static_w, r.dynamic_j_per_event, r.area_m2
+    return RouterFigures(
+        static_w=r.static_w,
+        dynamic_j_per_flit=r.dynamic_j_per_event,
+        area_m2=r.area_m2,
+    )
 
 
 @lru_cache(maxsize=None)
-def _link_eval(config: NocLinkConfig) -> LinkFigures:
+def evaluate_link(config: NocLinkConfig) -> LinkFigures:
+    """DSENT figures for one link configuration (process-wide cache)."""
     return NocLinkModel(config).evaluate()
 
 
-def _link_config(topo: Topology, link_id: int) -> NocLinkConfig:
+def link_config_for(topo: Topology, link_id: int) -> NocLinkConfig:
+    """Link-model configuration of ``topo``'s link ``link_id``."""
     link = topo.links[link_id]
     return NocLinkConfig(
         technology=link.technology,
         length_m=link.length_m,
         express=link.kind is LinkKind.EXPRESS,
     )
+
+
+def per_flit_energies(topo: Topology) -> tuple[np.ndarray, np.ndarray]:
+    """``(router_j_per_flit, link_j_per_flit)`` vectors over ``topo``.
+
+    The vectorized view of the cached DSENT evaluations — one dynamic
+    energy per node (indexed by node id) and per link direction (indexed
+    by link id). Telemetry converts windowed flit counts into energy
+    series with a single matrix product against these.
+    """
+    router_j = np.fromiter(
+        (
+            evaluate_router(router_config_for_node(topo, node)).dynamic_j_per_flit
+            for node in range(topo.n_nodes)
+        ),
+        dtype=np.float64,
+        count=topo.n_nodes,
+    )
+    link_j = np.fromiter(
+        (
+            evaluate_link(link_config_for(topo, link_id)).dynamic_j_per_flit
+            for link_id in range(topo.n_links)
+        ),
+        dtype=np.float64,
+        count=topo.n_links,
+    )
+    return router_j, link_j
+
+
+def dynamic_energy_from_counts(
+    topo: Topology,
+    router_counts,
+    link_counts,
+) -> "NetworkEnergy":
+    """Dynamic energy of measured per-component flit counts.
+
+    The single accumulation path shared by the simulator's whole-run
+    energy (:func:`repro.simulation.energy.sim_dynamic_energy_j`) and the
+    telemetry power trace's conservation total: both sum
+    ``count * E_per_flit`` in component order, so a telemetry trace whose
+    summed window counts equal the run totals yields a **bit-identical**
+    energy figure.
+    """
+    router_j = 0.0
+    for node in range(topo.n_nodes):
+        fig = evaluate_router(router_config_for_node(topo, node))
+        router_j += float(router_counts[node]) * fig.dynamic_j_per_flit
+    link_j = 0.0
+    for link_id in range(topo.n_links):
+        fig = evaluate_link(link_config_for(topo, link_id))
+        link_j += float(link_counts[link_id]) * fig.dynamic_j_per_flit
+    return NetworkEnergy(router_dynamic_j=router_j, link_dynamic_j=link_j)
 
 
 @dataclass(frozen=True)
@@ -109,9 +194,9 @@ def network_static_power_w(topo: Topology) -> float:
     """Total static power of routers + all link directions (Table IV)."""
     total = 0.0
     for node in range(topo.n_nodes):
-        total += _router_eval(router_config_for_node(topo, node))[0]
+        total += evaluate_router(router_config_for_node(topo, node)).static_w
     for link_id in range(topo.n_links):
-        total += _link_eval(_link_config(topo, link_id)).static_w
+        total += evaluate_link(link_config_for(topo, link_id)).static_w
     return total
 
 
@@ -134,14 +219,14 @@ def network_power(
     router_static = 0.0
     router_dynamic = 0.0
     for node in range(topo.n_nodes):
-        static_w, dyn_j, _ = _router_eval(router_config_for_node(topo, node))
-        router_static += static_w
-        router_dynamic += flows.router_flow[node] * clock_hz * dyn_j
+        rf = evaluate_router(router_config_for_node(topo, node))
+        router_static += rf.static_w
+        router_dynamic += flows.router_flow[node] * clock_hz * rf.dynamic_j_per_flit
 
     link_static = 0.0
     link_dynamic = 0.0
     for link_id in range(topo.n_links):
-        fig = _link_eval(_link_config(topo, link_id))
+        fig = evaluate_link(link_config_for(topo, link_id))
         link_static += fig.static_w
         link_dynamic += flows.link_flow[link_id] * clock_hz * fig.dynamic_j_per_flit
     return NetworkPower(
@@ -156,9 +241,9 @@ def network_area_m2(topo: Topology) -> float:
     """Total layout area: routers + all link directions, m²."""
     total = 0.0
     for node in range(topo.n_nodes):
-        total += _router_eval(router_config_for_node(topo, node))[2]
+        total += evaluate_router(router_config_for_node(topo, node)).area_m2
     for link_id in range(topo.n_links):
-        total += _link_eval(_link_config(topo, link_id)).area_m2
+        total += evaluate_link(link_config_for(topo, link_id)).area_m2
     return total
 
 
@@ -181,11 +266,11 @@ def trace_dynamic_energy_j(
 
     router_j = 0.0
     for node in range(topo.n_nodes):
-        _, dyn_j, _ = _router_eval(router_config_for_node(topo, node))
-        router_j += flows.router_flow[node] * dyn_j
+        rf = evaluate_router(router_config_for_node(topo, node))
+        router_j += flows.router_flow[node] * rf.dynamic_j_per_flit
 
     link_j = 0.0
     for link_id in range(topo.n_links):
-        fig = _link_eval(_link_config(topo, link_id))
+        fig = evaluate_link(link_config_for(topo, link_id))
         link_j += flows.link_flow[link_id] * fig.dynamic_j_per_flit
     return NetworkEnergy(router_dynamic_j=router_j, link_dynamic_j=link_j)

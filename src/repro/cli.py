@@ -13,7 +13,11 @@ Usage::
     python -m repro workload list       # registered workload models
     python -m repro workload gen --model onoff --out trace.npz
     python -m repro workload stats trace.npz
+    python -m repro workload import dump.txt --out trace.npz
     python -m repro workload sweep --model onoff --param duty=0.25
+    python -m repro telemetry run --model onoff --rate 0.3
+    python -m repro telemetry export --out run.npz  # byte-deterministic
+    python -m repro telemetry stats run.npz
     python -m repro bench run --quick   # benchmark harness (BENCH_*.json)
     python -m repro bench compare a b   # perf gate: exit 1 on regression
 
@@ -384,6 +388,116 @@ def _cmd_workload_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload_import(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.traffic import load_external_trace
+    from repro.util import format_table
+    from repro.workloads import save_trace_npz, trace_stats
+
+    trace = load_external_trace(
+        args.input, n_nodes=args.nodes, name=args.name
+    )
+    save_trace_npz(
+        trace,
+        args.out,
+        extra={
+            "imported_from": pathlib.Path(args.input).name,
+            "source_format": "external-text",
+        },
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            trace_stats(trace).rows(),
+            title=f"{trace.name} -> {args.out}",
+        )
+    )
+    return 0
+
+
+def _telemetry_scenario(args: argparse.Namespace):
+    """The single telemetry-profile scenario the run/export commands use."""
+    from repro.experiments import scenario_family
+
+    return scenario_family(
+        "telemetry-profile",
+        rates=[args.rate],
+        model=args.model,
+        traffic=args.traffic,
+        width=args.width,
+        height=args.height,
+        cycles=args.cycles,
+        window=args.window,
+        packet_flits=args.packet_flits,
+        drain_budget=args.drain_budget,
+        seed=args.seed,
+        **_parse_params(args.param),
+    )[0]
+
+
+def _save_telemetry(args: argparse.Namespace, scenario, telemetry, power) -> None:
+    from repro.telemetry import save_telemetry_npz
+
+    save_telemetry_npz(
+        args.out,
+        telemetry,
+        power,
+        extra={"scenario": scenario.to_json()},
+    )
+    print(f"telemetry written to {args.out} (byte-deterministic)")
+
+
+def _cmd_telemetry_run(args: argparse.Namespace) -> int:
+    from repro.telemetry import profile_scenario, render_report
+
+    scenario = _telemetry_scenario(args)
+    stats, telemetry, power, findings = profile_scenario(scenario)
+    print(
+        render_report(
+            telemetry,
+            power,
+            findings,
+            title=scenario.label,
+            max_rows=args.max_rows,
+        )
+    )
+    if not stats.drained:
+        print(
+            "note: the run did not drain within the cycle budget; the "
+            "windowed series shows where it degraded."
+        )
+    if args.out:
+        _save_telemetry(args, scenario, telemetry, power)
+    return 0
+
+
+def _cmd_telemetry_export(args: argparse.Namespace) -> int:
+    from repro.telemetry import profile_scenario
+
+    scenario = _telemetry_scenario(args)
+    _, telemetry, power, findings = profile_scenario(scenario)
+    onset = findings.saturation_onset_cycle
+    print(
+        f"{scenario.label}: {telemetry.n_windows} windows x "
+        f"{telemetry.window} cycles, saturation onset: "
+        f"{'none' if onset is None else f'cycle {onset}'}"
+    )
+    _save_telemetry(args, scenario, telemetry, power)
+    return 0
+
+
+def _cmd_telemetry_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_telemetry_npz, render_report
+
+    telemetry, power, header = load_telemetry_npz(args.file)
+    title = str(
+        header.get("extra", {}).get("scenario", {}).get("name") or args.file
+    )
+    print(render_report(telemetry, power, title=title, max_rows=args.max_rows))
+    return 0
+
+
 def _cmd_workload_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import Runner, scenario_family
     from repro.util import format_table
@@ -617,6 +731,22 @@ def build_parser() -> argparse.ArgumentParser:
     pws.add_argument("--window", type=int, default=64, help="burstiness window")
     pws.add_argument("--gap", type=int, default=64, help="phase-gap threshold")
     pws.set_defaults(func=_cmd_workload_stats)
+    pwi = wsub.add_parser(
+        "import",
+        help="import a BookSim/Netrace-style text dump into the npz store",
+    )
+    pwi.add_argument("input", help="external text trace (cycle src dst [size])")
+    pwi.add_argument("--out", required=True, help="output trace path (.npz)")
+    pwi.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="node count (default: inferred as max endpoint + 1)",
+    )
+    pwi.add_argument(
+        "--name", default=None, help="trace name (default: input file stem)"
+    )
+    pwi.set_defaults(func=_cmd_workload_import)
     pww = wsub.add_parser(
         "sweep", help="latency vs offered load for any workload model"
     )
@@ -628,6 +758,62 @@ def build_parser() -> argparse.ArgumentParser:
     pww.add_argument("--drain-budget", type=int, default=200_000)
     _add_jobs_flag(pww)
     pww.set_defaults(func=_cmd_workload_sweep)
+
+    pt = sub.add_parser(
+        "telemetry",
+        help="time-resolved profiling: windowed activity, power, saturation "
+        "onset (run/stats/export)",
+    )
+    tsub = pt.add_subparsers(dest="telemetry_command", required=True)
+
+    def _add_profile_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--model", default="onoff", help="workload model (see workload list)"
+        )
+        p.add_argument(
+            "--traffic", default="uniform", help="destination matrix generator"
+        )
+        p.add_argument("--rate", type=float, default=0.1, help="mean flits/node/cycle")
+        p.add_argument("--width", type=int, default=8)
+        p.add_argument("--height", type=int, default=8)
+        p.add_argument("--cycles", type=int, default=4000)
+        p.add_argument(
+            "--window", type=int, default=128, help="telemetry window (cycles)"
+        )
+        p.add_argument("--packet-flits", type=int, default=1)
+        p.add_argument("--drain-budget", type=int, default=200_000)
+        p.add_argument(
+            "--param",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="extra model/traffic parameter (repeatable)",
+        )
+        p.add_argument(
+            "--max-rows",
+            type=int,
+            default=24,
+            help="window rows shown before the report elides the middle",
+        )
+
+    ptr = tsub.add_parser(
+        "run", help="profile one workload run and print the windowed report"
+    )
+    _add_profile_flags(ptr)
+    ptr.add_argument(
+        "--out", default=None, help="also save the telemetry npz dump here"
+    )
+    ptr.set_defaults(func=_cmd_telemetry_run)
+    pte = tsub.add_parser(
+        "export", help="profile and save a byte-deterministic telemetry npz"
+    )
+    _add_profile_flags(pte)
+    pte.add_argument("--out", required=True, help="output telemetry path (.npz)")
+    pte.set_defaults(func=_cmd_telemetry_export)
+    pts = tsub.add_parser("stats", help="report a stored telemetry npz file")
+    pts.add_argument("file", help="telemetry file written by run/export")
+    pts.add_argument("--max-rows", type=int, default=24)
+    pts.set_defaults(func=_cmd_telemetry_stats)
 
     pb = sub.add_parser("bench", help="benchmark harness (run/list/compare)")
     bench_sub = pb.add_subparsers(dest="bench_command", required=True)

@@ -25,7 +25,12 @@ from repro.experiments.registry import (
     register_family,
     scenario_family,
 )
-from repro.experiments.runner import Runner, ScenarioResult, evaluate_scenario
+from repro.experiments.runner import (
+    Runner,
+    ScenarioResult,
+    evaluate_scenario,
+    simulate_scenario,
+)
 from repro.experiments.spec import (
     Scenario,
     SimSpec,
@@ -44,6 +49,7 @@ __all__ = [
     "Runner",
     "ScenarioResult",
     "evaluate_scenario",
+    "simulate_scenario",
     "Scenario",
     "SimSpec",
     "TopologySpec",

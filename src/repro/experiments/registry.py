@@ -297,6 +297,66 @@ def workload_saturation(
     ]
 
 
+@register_family("telemetry-profile")
+def telemetry_profile(
+    *,
+    rates: Sequence[float] = (0.1,),
+    model: str = "onoff",
+    traffic: str = "uniform",
+    hops: int = 0,
+    base_technology: Technology = Technology.ELECTRONIC,
+    express_technology: Technology = Technology.HYPPI,
+    width: int = 8,
+    height: int = 8,
+    cycles: int = 4000,
+    window: int = 128,
+    packet_flits: int = 1,
+    drain_budget: int = 200_000,
+    seed: int = 0,
+    **model_params: object,
+) -> list[Scenario]:
+    """Time-resolved profiling points: simulation with telemetry sampling.
+
+    The observability companion of ``"workload-saturation"``: identical
+    workload knobs, but every run samples windowed activity every
+    ``window`` cycles (:mod:`repro.telemetry`), so its metrics include the
+    saturation-onset cycle, sustained hotspot routers and windowed power
+    figures instead of only the end-of-run SATURATED flag. Defaults to an
+    8x8 mesh — profiling runs are longer than sweep points, and transient
+    structure (bursts, phases) shows at small scale just as well.
+    """
+    topo = (
+        TopologySpec.plain(base_technology, width=width, height=height)
+        if hops == 0
+        else TopologySpec.express(
+            base_technology, express_technology, hops, width=width, height=height
+        )
+    )
+    sim = SimSpec(
+        cycles=cycles,
+        packet_flits=packet_flits,
+        drain_budget=drain_budget,
+        telemetry_window=window,
+    )
+    return [
+        Scenario(
+            kind="simulation",
+            topology=topo,
+            traffic=TrafficSpec.make(
+                "workload",
+                injection_rate=float(rate),
+                seed=derive_seed(seed, i),
+                model=model,
+                traffic=traffic,
+                **model_params,
+            ),
+            sim=sim,
+            name=f"telemetry-{model}-{traffic}-r{float(rate):g}",
+        )
+        for i, rate in enumerate(rates)
+    ]
+
+
 @register_family("npb-kernels")
 def npb_kernels(
     *,

@@ -22,7 +22,7 @@ from repro.experiments.spec import Scenario, TopologySpec, scenario_hash
 from repro.topology.graph import Topology
 from repro.topology.routing import RoutingTable
 
-__all__ = ["Runner", "ScenarioResult", "evaluate_scenario"]
+__all__ = ["Runner", "ScenarioResult", "evaluate_scenario", "simulate_scenario"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -66,16 +66,43 @@ def _evaluate_analytical(scenario: Scenario) -> dict[str, Any]:
     return {"kind": "analytical", **ev.to_metrics()}
 
 
-def _evaluate_simulation(scenario: Scenario) -> dict[str, Any]:
+def simulate_scenario(scenario: Scenario):
+    """Run a simulation scenario's cycle simulation; ``(topology, stats)``.
+
+    The engine's single evaluation recipe — shared per-process topology
+    cache, trace generation from the traffic spec, the spec's cycle
+    budget, and telemetry sampling when ``SimSpec.telemetry_window`` is
+    set. Both the flat-metrics path below and the rich
+    :func:`repro.telemetry.report.profile_scenario` view go through
+    here, so the CLI's windowed reports are provably the same runs the
+    engine caches metrics for.
+    """
     from repro.simulation.simulator import Simulator
 
+    if scenario.kind != "simulation" or scenario.sim is None:
+        raise ValueError(f"not a simulation scenario: {scenario.label}")
     sim_spec = scenario.sim
     topo, routing = _materialize(scenario.topology)
     trace = scenario.traffic.trace(topo, sim=sim_spec)
     sim = Simulator(topo, routing, sim_spec.sim_config())
-    trace_based = scenario.traffic.trace_based
-    stats = sim.run(trace, max_cycles=sim_spec.cycle_budget(trace_based))
-    return {
+    telemetry_cfg = None
+    if sim_spec.telemetry_window > 0:
+        from repro.telemetry import TelemetryConfig
+
+        telemetry_cfg = TelemetryConfig(window=sim_spec.telemetry_window)
+    stats = sim.run(
+        trace,
+        max_cycles=sim_spec.cycle_budget(scenario.traffic.trace_based),
+        telemetry=telemetry_cfg,
+    )
+    return topo, stats
+
+
+def _evaluate_simulation(scenario: Scenario) -> dict[str, Any]:
+    import math
+
+    topo, stats = simulate_scenario(scenario)
+    metrics = {
         "kind": "simulation",
         "topology_name": topo.name,
         "injection_rate": scenario.traffic.injection_rate,
@@ -89,6 +116,27 @@ def _evaluate_simulation(scenario: Scenario) -> dict[str, Any]:
         "total_link_traversals": int(stats.link_flit_counts.sum()),
         "total_router_traversals": int(stats.router_flit_counts.sum()),
     }
+    if stats.telemetry is not None:
+        from repro.telemetry import analyze, power_trace
+
+        def _finite(x: float) -> float | None:
+            return None if math.isnan(x) else float(x)
+
+        findings = analyze(stats.telemetry)
+        power = power_trace(topo, stats.telemetry)
+        metrics.update(
+            telemetry_window=stats.telemetry.window,
+            telemetry_windows=stats.telemetry.n_windows,
+            saturation_onset_cycle=findings.saturation_onset_cycle,
+            baseline_latency=_finite(findings.baseline_latency),
+            hotspot_nodes=list(findings.hotspot_nodes),
+            first_collapse_cycle=findings.first_collapse_cycle,
+            static_w=power.static_w,
+            peak_dynamic_w=_finite(power.peak_dynamic_w),
+            mean_dynamic_w=_finite(power.mean_dynamic_w),
+            dynamic_energy_j=power.total.dynamic_j,
+        )
+    return metrics
 
 
 def _evaluate_all_optical(scenario: Scenario) -> dict[str, Any]:

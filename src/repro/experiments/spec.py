@@ -324,12 +324,20 @@ class SimSpec:
     """Post-injection drain allowance for synthetic traffic."""
     max_cycles: int = 2_000_000
     """Hard cycle cap for trace workloads (NPB)."""
+    telemetry_window: int = 0
+    """Windowed-telemetry sampling period in cycles (0 = disabled; see
+    :mod:`repro.telemetry`). Enabled runs additionally report saturation
+    onset, hotspots and windowed power in their metrics."""
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
             raise ValueError(f"cycles must be >= 1, got {self.cycles}")
         if self.drain_budget < 1 or self.max_cycles < 1:
             raise ValueError(f"cycle budgets must be >= 1: {self}")
+        if self.telemetry_window < 0:
+            raise ValueError(
+                f"telemetry window must be >= 0, got {self.telemetry_window}"
+            )
 
     def sim_config(self) -> SimConfig:
         return SimConfig(
@@ -355,6 +363,7 @@ class SimSpec:
             "packet_flits": self.packet_flits,
             "drain_budget": self.drain_budget,
             "max_cycles": self.max_cycles,
+            "telemetry_window": self.telemetry_window,
         }
 
     @classmethod

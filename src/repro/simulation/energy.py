@@ -5,17 +5,18 @@ modified-DSENT per-flit energies — the same models the analytical pipeline
 uses, so simulated and analytical energies are directly comparable
 (the paper does exactly this: BookSim supplies the paths, DSENT the
 energy-per-flit numbers).
+
+The accumulation itself lives in
+:func:`repro.analysis.power.dynamic_energy_from_counts`, shared with the
+telemetry power traces: summing a telemetry trace's window counts and
+feeding them through the same path reproduces this module's figures
+bit-for-bit (the conservation invariant of
+:mod:`repro.telemetry.power_trace`).
 """
 
 from __future__ import annotations
 
-from repro.analysis.power import (
-    _link_config,
-    _link_eval,
-    _router_eval,
-    router_config_for_node,
-)
-from repro.analysis.power import NetworkEnergy
+from repro.analysis.power import NetworkEnergy, dynamic_energy_from_counts
 from repro.simulation.simulator import SimStats
 from repro.topology.graph import Topology
 
@@ -34,12 +35,6 @@ def sim_dynamic_energy_j(topo: Topology, stats: SimStats) -> NetworkEnergy:
             f"stats cover {stats.link_flit_counts.shape[0]} links, "
             f"topology has {topo.n_links}"
         )
-    router_j = 0.0
-    for node in range(topo.n_nodes):
-        _, dyn_j, _ = _router_eval(router_config_for_node(topo, node))
-        router_j += float(stats.router_flit_counts[node]) * dyn_j
-    link_j = 0.0
-    for link_id in range(topo.n_links):
-        fig = _link_eval(_link_config(topo, link_id))
-        link_j += float(stats.link_flit_counts[link_id]) * fig.dynamic_j_per_flit
-    return NetworkEnergy(router_dynamic_j=router_j, link_dynamic_j=link_j)
+    return dynamic_energy_from_counts(
+        topo, stats.router_flit_counts, stats.link_flit_counts
+    )

@@ -40,6 +40,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -49,6 +50,9 @@ from repro.tech.parameters import Technology
 from repro.topology.graph import LinkKind, Topology
 from repro.topology.routing import RoutingTable
 from repro.traffic.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (telemetry -> sim)
+    from repro.telemetry.sampler import TelemetryConfig, TelemetryTrace
 
 __all__ = ["SimConfig", "SimStats", "Simulator"]
 
@@ -93,6 +97,8 @@ class SimStats:
     """Flit traversals per router."""
     drained: bool
     """True if every injected packet was delivered before the cycle limit."""
+    telemetry: "TelemetryTrace | None" = None
+    """Windowed activity samples (only when the run requested telemetry)."""
 
     @property
     def avg_latency(self) -> float:
@@ -218,8 +224,23 @@ class Simulator:
         half = n // 2
         return (0, half) if vc_class == 0 else (half, n)
 
-    def run(self, trace: Trace, *, max_cycles: int = 2_000_000) -> SimStats:
-        """Simulate a trace until drained or ``max_cycles`` is reached."""
+    def run(
+        self,
+        trace: Trace,
+        *,
+        max_cycles: int = 2_000_000,
+        telemetry: "TelemetryConfig | None" = None,
+    ) -> SimStats:
+        """Simulate a trace until drained or ``max_cycles`` is reached.
+
+        With ``telemetry`` set, windowed activity samples are collected
+        (see :mod:`repro.telemetry.sampler`) and attached to the returned
+        :attr:`SimStats.telemetry`. Sampling never changes simulation
+        behaviour — all counters, schedules and round-robin state are
+        identical with or without it — and costs O(network size) per
+        *window*, not per cycle; disabled, it reduces to one integer
+        comparison per cycle against an unreachable sentinel.
+        """
         if trace.n_nodes != self.topology.n_nodes:
             raise ValueError(
                 f"trace has {trace.n_nodes} nodes, topology has "
@@ -227,6 +248,16 @@ class Simulator:
             )
         if max_cycles < 1:
             raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        if telemetry is not None:
+            from repro.telemetry.sampler import TelemetrySession
+
+            session = TelemetrySession(
+                telemetry, self.topology.n_nodes, self.topology.n_links
+            )
+            telem_next = session.next_boundary
+        else:
+            session = None
+            telem_next = max_cycles + 1  # unreachable sentinel: never flushes
 
         cfg = self.config
         topo = self.topology
@@ -496,8 +527,28 @@ class Simulator:
                     nxt = wakeups[0][0]
                 if nxt > t:
                     t = nxt
+            # ---- 5. telemetry flush (no-op sentinel when disabled) -----------
+            if t >= telem_next:
+                telem_next = session.flush_to(
+                    t, router_counts, link_counts, occ_mask, len(flight)
+                )
 
-        latencies = lat_buf[lat_buf >= 0]
+        delivered_mask = lat_buf >= 0
+        latencies = lat_buf[delivered_mask]
+        telemetry_trace = None
+        if session is not None:
+            inject_times = np.fromiter(
+                (p.inject_time for p in packets), np.int64, n_packets
+            )
+            telemetry_trace = session.finalize(
+                t,
+                router_counts,
+                link_counts,
+                occ_mask,
+                len(flight),
+                inject_times[delivered_mask] + latencies,
+                latencies,
+            )
         return SimStats(
             n_packets=n_packets,
             n_flits=trace.total_flits,
@@ -506,4 +557,5 @@ class Simulator:
             link_flit_counts=np.asarray(link_counts, dtype=np.int64),
             router_flit_counts=np.asarray(router_counts, dtype=np.int64),
             drained=delivered == n_packets,
+            telemetry=telemetry_trace,
         )

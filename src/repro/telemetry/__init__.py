@@ -1,0 +1,62 @@
+"""Telemetry subsystem: time-resolved observability for simulation runs.
+
+Turns the cycle simulator from a single-number oracle into an observable
+system. Four pillars:
+
+* :mod:`repro.telemetry.sampler` — a windowed activity sampler hooked
+  into :meth:`repro.simulation.Simulator.run` (``telemetry=`` keyword):
+  per-router and per-link flit counts, VC occupancy, deliveries and
+  latency sums per window, snapshot-diffed off the existing cumulative
+  counters so the per-event hot path is untouched and disabled runs stay
+  bit-identical;
+* :mod:`repro.telemetry.power_trace` — windowed dynamic power/energy
+  series through the same cached DSENT figures as the whole-run
+  accounting, with an exact conservation invariant;
+* :mod:`repro.telemetry.detectors` — streaming detectors answering
+  *when* a run saturates (onset cycle), *where* it is hot (sustained
+  hotspot routers) and whether throughput collapsed;
+* :mod:`repro.telemetry.report` — byte-deterministic npz persistence
+  (sharing the workload store's archive primitives) and ASCII reports.
+
+The experiment engine exposes all of it through the
+``SimSpec.telemetry_window`` knob and the ``"telemetry-profile"``
+scenario family; the CLI through ``repro telemetry run/stats/export``.
+"""
+
+from repro.telemetry.detectors import (
+    CollapseDetector,
+    HotspotDetector,
+    SaturationDetector,
+    TelemetryFindings,
+    analyze,
+)
+from repro.telemetry.power_trace import PowerTrace, power_trace
+from repro.telemetry.report import (
+    TELEMETRY_FORMAT,
+    TELEMETRY_VERSION,
+    load_telemetry_npz,
+    profile_scenario,
+    read_telemetry_header,
+    render_report,
+    save_telemetry_npz,
+)
+from repro.telemetry.sampler import TelemetryConfig, TelemetryTrace
+
+__all__ = [
+    "CollapseDetector",
+    "HotspotDetector",
+    "PowerTrace",
+    "SaturationDetector",
+    "TELEMETRY_FORMAT",
+    "TELEMETRY_VERSION",
+    "TelemetryConfig",
+    "TelemetryFindings",
+    "TelemetryTrace",
+    "analyze",
+    "load_telemetry_npz",
+    "power_trace",
+    "profile_scenario",
+    "read_telemetry_header",
+    "render_report",
+    "save_telemetry_npz",
+]

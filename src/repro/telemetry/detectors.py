@@ -1,0 +1,290 @@
+"""Online detectors over windowed telemetry series.
+
+Sweeps today flag a point as SATURATED only after the whole run has burnt
+its drain budget; these detectors watch the *windowed* series instead and
+answer **when** and **where** behaviour degrades:
+
+* :class:`SaturationDetector` — the cycle at which the network leaves the
+  stable regime: windowed ejection latency exceeds a multiple of the
+  early-run baseline (or deliveries stop entirely while buffers stay
+  occupied) for ``patience`` consecutive windows;
+* :class:`HotspotDetector` — routers whose windowed traversal counts stay
+  above a multiple of the network mean in many windows (sustained
+  hotspots, not single-window blips);
+* :class:`CollapseDetector` — throughput collapse: windowed deliveries
+  falling below a fraction of the peak sustained rate while flits remain
+  buffered (distinguishing collapse from a drained, finished run).
+
+Every detector is *streaming*: it consumes one window at a time through
+``update(...)`` and keeps O(1)/O(n_routers) state, so it can run online
+against a live simulation as easily as over a stored
+:class:`~repro.telemetry.sampler.TelemetryTrace` (:func:`analyze` does
+the latter).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.sampler import TelemetryTrace
+
+__all__ = [
+    "CollapseDetector",
+    "HotspotDetector",
+    "SaturationDetector",
+    "TelemetryFindings",
+    "analyze",
+]
+
+
+class SaturationDetector:
+    """Streaming saturation-onset detection from windowed latencies.
+
+    The first ``baseline_windows`` windows with deliveries establish the
+    stable-regime latency; saturation onset is the start cycle of the
+    first window of a ``patience``-long streak in which either the
+    windowed mean latency exceeds ``latency_factor`` times that baseline,
+    or nothing is delivered at all while input VCs remain occupied (the
+    hard-jam signature). ``None`` until/unless that happens.
+    """
+
+    def __init__(
+        self,
+        *,
+        latency_factor: float = 2.0,
+        patience: int = 3,
+        baseline_windows: int = 4,
+    ) -> None:
+        if latency_factor <= 1.0:
+            raise ValueError(f"latency factor must be > 1, got {latency_factor}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if baseline_windows < 1:
+            raise ValueError(
+                f"baseline_windows must be >= 1, got {baseline_windows}"
+            )
+        self.latency_factor = latency_factor
+        self.patience = patience
+        self.baseline_windows = baseline_windows
+        self._baseline_sum = 0.0
+        self._baseline_n = 0
+        self._streak = 0
+        self._streak_start: int | None = None
+        self._streak_window: int | None = None
+        self.onset_cycle: int | None = None
+        self.onset_window: int | None = None
+        self._window_index = -1
+
+    @property
+    def baseline_latency(self) -> float:
+        """Mean windowed latency over the baseline windows (nan if none)."""
+        if self._baseline_n == 0:
+            return math.nan
+        return self._baseline_sum / self._baseline_n
+
+    def update(
+        self, start: int, delivered: int, latency_sum: int, occupied_vcs: int
+    ) -> None:
+        """Feed one window (its start cycle and sampled aggregates)."""
+        self._window_index += 1
+        if self.onset_cycle is not None:
+            return
+        mean_lat = latency_sum / delivered if delivered > 0 else math.nan
+        if self._baseline_n < self.baseline_windows:
+            if delivered > 0:
+                self._baseline_sum += mean_lat
+                self._baseline_n += 1
+            return
+        jammed = delivered == 0 and occupied_vcs > 0
+        blown = (
+            delivered > 0
+            and mean_lat > self.latency_factor * self.baseline_latency
+        )
+        if jammed or blown:
+            if self._streak == 0:
+                self._streak_start = start
+                self._streak_window = self._window_index
+            self._streak += 1
+            if self._streak >= self.patience:
+                self.onset_cycle = self._streak_start
+                self.onset_window = self._streak_window
+        else:
+            self._streak = 0
+            self._streak_start = None
+
+
+class HotspotDetector:
+    """Streaming sustained-hotspot detection from per-router activity.
+
+    A router is *hot* in a window when its traversal count exceeds
+    ``factor`` times the network-mean count of that window (quiet windows
+    with no traffic never mark anyone hot). Routers hot in at least
+    ``min_fraction`` of the active windows are *sustained* hotspots.
+    """
+
+    def __init__(self, *, factor: float = 3.0, min_fraction: float = 0.5) -> None:
+        if factor <= 1.0:
+            raise ValueError(f"hotspot factor must be > 1, got {factor}")
+        if not 0 < min_fraction <= 1:
+            raise ValueError(
+                f"min_fraction must be in (0, 1], got {min_fraction}"
+            )
+        self.factor = factor
+        self.min_fraction = min_fraction
+        self._hot_windows: np.ndarray | None = None
+        self.active_windows = 0
+
+    def update(self, router_flits: np.ndarray) -> None:
+        """Feed one window's per-router traversal counts."""
+        if self._hot_windows is None:
+            self._hot_windows = np.zeros(router_flits.shape[0], dtype=np.int64)
+        total = int(router_flits.sum())
+        if total == 0:
+            return
+        self.active_windows += 1
+        mean = total / router_flits.shape[0]
+        self._hot_windows += router_flits > self.factor * mean
+
+    def sustained_hotspots(self) -> list[int]:
+        """Router ids hot in >= ``min_fraction`` of active windows, sorted."""
+        if self._hot_windows is None or self.active_windows == 0:
+            return []
+        need = self.min_fraction * self.active_windows
+        return [int(n) for n in np.nonzero(self._hot_windows >= need)[0]]
+
+    def hot_window_counts(self) -> np.ndarray:
+        """Per-router count of windows in which the router was hot."""
+        if self._hot_windows is None:
+            return np.zeros(0, dtype=np.int64)
+        return self._hot_windows.copy()
+
+
+class CollapseDetector:
+    """Streaming throughput-collapse detection from windowed deliveries.
+
+    Tracks the peak windowed delivery rate; a window *collapses* when its
+    delivery rate falls below ``fraction`` of that peak while input VCs
+    remain occupied (pending work exists, so this is congestion, not the
+    natural end-of-run drain). Records the first collapse cycle and every
+    collapsed window index.
+    """
+
+    def __init__(self, *, fraction: float = 0.5, warmup_windows: int = 2) -> None:
+        if not 0 < fraction < 1:
+            raise ValueError(f"collapse fraction must be in (0, 1), got {fraction}")
+        if warmup_windows < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup_windows}")
+        self.fraction = fraction
+        self.warmup_windows = warmup_windows
+        self._peak_rate = 0.0
+        self._window_index = -1
+        self.first_collapse_cycle: int | None = None
+        self.collapsed_windows: list[int] = []
+
+    def update(
+        self, start: int, end: int, delivered: int, occupied_vcs: int
+    ) -> None:
+        """Feed one window (bounds, deliveries, closing occupancy)."""
+        self._window_index += 1
+        length = max(end - start, 1)
+        rate = delivered / length
+        if self._window_index < self.warmup_windows:
+            self._peak_rate = max(self._peak_rate, rate)
+            return
+        if (
+            self._peak_rate > 0
+            and occupied_vcs > 0
+            and rate < self.fraction * self._peak_rate
+        ):
+            self.collapsed_windows.append(self._window_index)
+            if self.first_collapse_cycle is None:
+                self.first_collapse_cycle = start
+        self._peak_rate = max(self._peak_rate, rate)
+
+
+@dataclass(frozen=True)
+class TelemetryFindings:
+    """What the detectors concluded about one sampled run.
+
+    Window indices (``saturation_onset_window``, ``collapsed_windows``)
+    are *global* grid indices — the numbering the rendered report and
+    the stored npz use — so they stay meaningful when a ring buffer has
+    evicted early windows (retained window 0 is global window
+    ``dropped_windows``).
+    """
+
+    saturation_onset_cycle: int | None
+    saturation_onset_window: int | None
+    baseline_latency: float
+    hotspot_nodes: list[int] = field(default_factory=list)
+    first_collapse_cycle: int | None = None
+    collapsed_windows: list[int] = field(default_factory=list)
+
+    @property
+    def saturated(self) -> bool:
+        """True when a saturation onset was detected."""
+        return self.saturation_onset_cycle is not None
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "saturation_onset_cycle": self.saturation_onset_cycle,
+            "saturation_onset_window": self.saturation_onset_window,
+            "baseline_latency": (
+                None
+                if math.isnan(self.baseline_latency)
+                else self.baseline_latency
+            ),
+            "hotspot_nodes": list(self.hotspot_nodes),
+            "first_collapse_cycle": self.first_collapse_cycle,
+            "collapsed_windows": list(self.collapsed_windows),
+        }
+
+
+def analyze(
+    telemetry: TelemetryTrace,
+    *,
+    latency_factor: float = 2.0,
+    patience: int = 3,
+    baseline_windows: int = 4,
+    hotspot_factor: float = 3.0,
+    hotspot_min_fraction: float = 0.5,
+    collapse_fraction: float = 0.5,
+) -> TelemetryFindings:
+    """Run all detectors over a stored telemetry trace.
+
+    Replays the retained windows, oldest first, through the streaming
+    detectors exactly as an online consumer would. Ring-evicted windows
+    are not replayable (only carry totals survive), so findings cover the
+    retained span; reported window indices are offset to the global grid
+    numbering (see :class:`TelemetryFindings`).
+    """
+    sat = SaturationDetector(
+        latency_factor=latency_factor,
+        patience=patience,
+        baseline_windows=baseline_windows,
+    )
+    hot = HotspotDetector(factor=hotspot_factor, min_fraction=hotspot_min_fraction)
+    col = CollapseDetector(fraction=collapse_fraction)
+    occupancy = telemetry.occupancy_totals()
+    for i in range(telemetry.n_windows):
+        start = int(telemetry.starts[i])
+        end = int(telemetry.ends[i])
+        delivered = int(telemetry.delivered[i])
+        occ = int(occupancy[i])
+        sat.update(start, delivered, int(telemetry.latency_sum[i]), occ)
+        hot.update(telemetry.router_flits[i])
+        col.update(start, end, delivered, occ)
+    offset = telemetry.dropped_windows
+    return TelemetryFindings(
+        saturation_onset_cycle=sat.onset_cycle,
+        saturation_onset_window=(
+            None if sat.onset_window is None else sat.onset_window + offset
+        ),
+        baseline_latency=sat.baseline_latency,
+        hotspot_nodes=hot.sustained_hotspots(),
+        first_collapse_cycle=col.first_collapse_cycle,
+        collapsed_windows=[w + offset for w in col.collapsed_windows],
+    )

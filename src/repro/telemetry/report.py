@@ -1,0 +1,306 @@
+"""Telemetry persistence and rendered reports.
+
+Storage reuses the versioned, byte-deterministic npz column-archive
+primitives of the workload trace store
+(:func:`repro.workloads.store.write_npz_archive` /
+:func:`~repro.workloads.store.open_npz_archive`): ``header.json`` with a
+telemetry-specific format id, one NPY entry per sampled column (2-D for
+the per-component series), pinned ZIP metadata. The same run always
+serializes to the identical file, so telemetry dumps are
+content-addressable and CI-diffable exactly like workload traces.
+
+:func:`render_report` turns a (telemetry, power, findings) triple into
+the ASCII report the ``repro telemetry`` CLI prints.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.power import NetworkEnergy
+from repro.telemetry.detectors import TelemetryFindings, analyze
+from repro.telemetry.power_trace import PowerTrace
+from repro.telemetry.sampler import TelemetryTrace
+from repro.workloads.store import open_npz_archive, write_npz_archive
+
+__all__ = [
+    "TELEMETRY_FORMAT",
+    "TELEMETRY_VERSION",
+    "load_telemetry_npz",
+    "profile_scenario",
+    "read_telemetry_header",
+    "render_report",
+    "save_telemetry_npz",
+]
+
+TELEMETRY_FORMAT = "repro-telemetry-npz"
+TELEMETRY_VERSION = 1
+
+#: (zip entry, TelemetryTrace attribute) for each sampled column.
+_COLUMNS = (
+    ("starts.npy", "starts"),
+    ("ends.npy", "ends"),
+    ("router_flits.npy", "router_flits"),
+    ("link_flits.npy", "link_flits"),
+    ("occupied_vcs.npy", "occupied_vcs"),
+    ("in_flight.npy", "in_flight"),
+    ("delivered.npy", "delivered"),
+    ("latency_sum.npy", "latency_sum"),
+    ("carry_router_flits.npy", "carry_router_flits"),
+    ("carry_link_flits.npy", "carry_link_flits"),
+)
+#: Power-series entries, present when a PowerTrace is saved alongside.
+_POWER_COLUMNS = (
+    ("router_dynamic_j.npy", "router_dynamic_j"),
+    ("link_dynamic_j.npy", "link_dynamic_j"),
+)
+
+
+def save_telemetry_npz(
+    path: str | pathlib.Path,
+    telemetry: TelemetryTrace,
+    power: PowerTrace | None = None,
+    *,
+    extra: dict[str, Any] | None = None,
+) -> None:
+    """Write a telemetry trace (and optional power series) to ``path``.
+
+    ``extra`` is JSON-safe provenance persisted in the header (e.g. the
+    generating scenario spec). Byte-deterministic: identical inputs
+    always produce the identical file.
+    """
+    header: dict[str, Any] = {
+        "format": TELEMETRY_FORMAT,
+        "version": TELEMETRY_VERSION,
+        "window": telemetry.window,
+        "n_nodes": telemetry.n_nodes,
+        "n_links": telemetry.n_links,
+        "n_windows": telemetry.n_windows,
+        "cycles": telemetry.cycles,
+        "dropped_windows": telemetry.dropped_windows,
+        "carry_delivered": telemetry.carry_delivered,
+        "carry_latency_sum": telemetry.carry_latency_sum,
+        "columns": [entry for entry, _ in _COLUMNS],
+        "extra": extra or {},
+    }
+    arrays = [
+        (entry, np.ascontiguousarray(getattr(telemetry, attr)))
+        for entry, attr in _COLUMNS
+    ]
+    if power is not None:
+        header["power"] = {
+            "clock_hz": power.clock_hz,
+            "static_w": power.static_w,
+            "carry_router_dynamic_j": power.carry_router_dynamic_j,
+            "carry_link_dynamic_j": power.carry_link_dynamic_j,
+            "total_router_dynamic_j": power.total.router_dynamic_j,
+            "total_link_dynamic_j": power.total.link_dynamic_j,
+        }
+        header["columns"] += [entry for entry, _ in _POWER_COLUMNS]
+        arrays += [
+            (entry, np.ascontiguousarray(getattr(power, attr)))
+            for entry, attr in _POWER_COLUMNS
+        ]
+    write_npz_archive(path, header, arrays)
+
+
+def read_telemetry_header(path: str | pathlib.Path) -> dict[str, Any]:
+    """Read and validate only the JSON header of a telemetry file."""
+    zf, header = _open(path)
+    zf.close()
+    return header
+
+
+def _open(path: str | pathlib.Path):
+    return open_npz_archive(
+        path,
+        expected_format=TELEMETRY_FORMAT,
+        max_version=TELEMETRY_VERSION,
+        required_entries=tuple(entry for entry, _ in _COLUMNS),
+        kind="telemetry",
+    )
+
+
+def load_telemetry_npz(
+    path: str | pathlib.Path,
+) -> tuple[TelemetryTrace, PowerTrace | None, dict[str, Any]]:
+    """Load ``(telemetry, power, header)`` from a telemetry file.
+
+    ``power`` is ``None`` when the file was saved without a power series.
+    The round-trip is exact: every column array and carry aggregate is
+    restored bit-for-bit.
+    """
+    zf, header = _open(path)
+    with zf:
+        cols = {
+            entry: np.load(io.BytesIO(zf.read(entry)), allow_pickle=False)
+            for entry in header["columns"]
+        }
+    telemetry = TelemetryTrace(
+        window=int(header["window"]),
+        n_nodes=int(header["n_nodes"]),
+        n_links=int(header["n_links"]),
+        cycles=int(header["cycles"]),
+        starts=cols["starts.npy"],
+        ends=cols["ends.npy"],
+        link_flits=cols["link_flits.npy"],
+        router_flits=cols["router_flits.npy"],
+        occupied_vcs=cols["occupied_vcs.npy"],
+        in_flight=cols["in_flight.npy"],
+        delivered=cols["delivered.npy"],
+        latency_sum=cols["latency_sum.npy"],
+        dropped_windows=int(header["dropped_windows"]),
+        carry_router_flits=cols["carry_router_flits.npy"],
+        carry_link_flits=cols["carry_link_flits.npy"],
+        carry_delivered=int(header["carry_delivered"]),
+        carry_latency_sum=int(header["carry_latency_sum"]),
+    )
+    power = None
+    meta = header.get("power")
+    if meta is not None:
+        power = PowerTrace(
+            clock_hz=float(meta["clock_hz"]),
+            window=telemetry.window,
+            starts=telemetry.starts,
+            ends=telemetry.ends,
+            router_dynamic_j=cols["router_dynamic_j.npy"],
+            link_dynamic_j=cols["link_dynamic_j.npy"],
+            carry_router_dynamic_j=float(meta["carry_router_dynamic_j"]),
+            carry_link_dynamic_j=float(meta["carry_link_dynamic_j"]),
+            static_w=float(meta["static_w"]),
+            total=NetworkEnergy(
+                router_dynamic_j=float(meta["total_router_dynamic_j"]),
+                link_dynamic_j=float(meta["total_link_dynamic_j"]),
+            ),
+        )
+    return telemetry, power, header
+
+
+def profile_scenario(scenario) -> tuple[Any, TelemetryTrace, PowerTrace, TelemetryFindings]:
+    """Evaluate one telemetry-enabled simulation scenario, rich results.
+
+    The experiment engine's :func:`~repro.experiments.runner
+    .evaluate_scenario` flattens telemetry into JSON-safe scalar metrics
+    (cacheable, poolable); the CLI's ``telemetry run``/``export`` need
+    the full window series instead. Both views run through the engine's
+    public :func:`~repro.experiments.runner.simulate_scenario` — the
+    same topology cache, trace generation and cycle budget — so they
+    describe the identical run; this helper returns
+    ``(stats, telemetry, power, findings)``.
+    """
+    from repro.experiments.runner import simulate_scenario
+    from repro.telemetry.power_trace import power_trace
+
+    if scenario.kind != "simulation" or scenario.sim is None:
+        raise ValueError(f"not a simulation scenario: {scenario.label}")
+    if scenario.sim.telemetry_window < 1:
+        raise ValueError(
+            f"scenario {scenario.label} has telemetry disabled "
+            "(sim.telemetry_window == 0)"
+        )
+    topo, stats = simulate_scenario(scenario)
+    power = power_trace(topo, stats.telemetry)
+    return stats, stats.telemetry, power, analyze(stats.telemetry)
+
+
+def _fmt(value: float, digits: int = 2) -> object:
+    """Format a possibly-nan float for table rendering."""
+    return "n/a" if isinstance(value, float) and math.isnan(value) else round(value, digits)
+
+
+def render_report(
+    telemetry: TelemetryTrace,
+    power: PowerTrace | None = None,
+    findings: TelemetryFindings | None = None,
+    *,
+    title: str = "telemetry",
+    max_rows: int = 24,
+) -> str:
+    """Render the windowed series plus findings as an ASCII report.
+
+    Long runs elide interior windows (keeping the head and tail) so the
+    report stays terminal-sized; the npz dump always holds every window.
+    """
+    from repro.util import format_table
+
+    if findings is None:
+        findings = analyze(telemetry)
+    latencies = telemetry.window_latencies()
+    occupancy = telemetry.occupancy_totals()
+    dyn_w = power.dynamic_w() if power is not None else None
+
+    n = telemetry.n_windows
+    if n > max_rows:
+        head = max_rows // 2
+        shown: list[int | None] = list(range(head))
+        shown.append(None)  # elision marker
+        shown += list(range(n - (max_rows - head), n))
+    else:
+        shown = list(range(n))
+
+    headers = ["window", "cycles", "flits", "delivered", "avg lat", "occ VCs"]
+    if dyn_w is not None:
+        headers.append("dyn power (W)")
+    rows: list[list[object]] = []
+    for i in shown:
+        if i is None:
+            rows.append(["..."] + [""] * (len(headers) - 1))
+            continue
+        row: list[object] = [
+            telemetry.dropped_windows + i,
+            f"{int(telemetry.starts[i])}-{int(telemetry.ends[i])}",
+            int(telemetry.router_flits[i].sum()),
+            int(telemetry.delivered[i]),
+            _fmt(float(latencies[i])),
+            int(occupancy[i]),
+        ]
+        if dyn_w is not None:
+            row.append(_fmt(float(dyn_w[i]), 4))
+        rows.append(row)
+    out = [format_table(headers, rows, title=title)]
+
+    summary: list[list[object]] = [
+        ["windows (retained/dropped)", f"{n}/{telemetry.dropped_windows}"],
+        ["window length (cycles)", telemetry.window],
+        ["cycles covered", telemetry.cycles],
+        ["flits (router traversals)", int(telemetry.total_router_flits().sum())],
+        ["packets delivered", telemetry.total_delivered()],
+    ]
+    if power is not None:
+        summary += [
+            ["static power (W)", _fmt(power.static_w, 4)],
+            ["mean dynamic power (W)", _fmt(power.mean_dynamic_w, 4)],
+            ["peak dynamic power (W)", _fmt(power.peak_dynamic_w, 4)],
+            ["total dynamic energy (J)", f"{power.total.dynamic_j:.6e}"],
+        ]
+    if findings.saturation_onset_cycle is None:
+        summary.append(["saturation onset", "none detected"])
+    else:
+        summary.append(
+            [
+                "saturation onset",
+                f"cycle {findings.saturation_onset_cycle} "
+                f"(window {findings.saturation_onset_window})",
+            ]
+        )
+    summary.append(
+        [
+            "sustained hotspots",
+            ", ".join(map(str, findings.hotspot_nodes)) or "none",
+        ]
+    )
+    if findings.first_collapse_cycle is not None:
+        summary.append(
+            [
+                "throughput collapse",
+                f"cycle {findings.first_collapse_cycle} "
+                f"({len(findings.collapsed_windows)} window(s))",
+            ]
+        )
+    out.append(format_table(["metric", "value"], summary, title=f"{title} — summary"))
+    return "\n".join(out)

@@ -1,7 +1,7 @@
 """Traffic models: statistical (Soteriou), classic patterns, NPB traces."""
 
 from repro.traffic.matrix import TrafficMatrix
-from repro.traffic.io import load_trace, save_trace
+from repro.traffic.io import load_external_trace, load_trace, save_trace
 from repro.traffic.npb import (
     NPB_KERNELS,
     cg_trace,
@@ -36,6 +36,7 @@ from repro.traffic.trace import (
 
 __all__ = [
     "TrafficMatrix",
+    "load_external_trace",
     "load_trace",
     "save_trace",
     "bit_reverse_traffic",

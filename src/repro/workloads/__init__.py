@@ -40,9 +40,11 @@ from repro.workloads.store import (
     TRACE_VERSION,
     iter_trace_packets,
     load_trace_npz,
+    open_npz_archive,
     read_trace_header,
     save_trace_npz,
     trace_columns,
+    write_npz_archive,
 )
 from repro.workloads.temporal import (
     ENVELOPES,
@@ -69,6 +71,7 @@ __all__ = [
     "matrix_generator_names",
     "modulated_trace",
     "onoff_trace",
+    "open_npz_archive",
     "pareto_onoff_trace",
     "read_trace_header",
     "register_skeleton",
@@ -80,4 +83,5 @@ __all__ = [
     "trace_stats",
     "wavefront_trace",
     "workload_model_names",
+    "write_npz_archive",
 ]

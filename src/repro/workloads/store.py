@@ -44,9 +44,11 @@ __all__ = [
     "TRACE_VERSION",
     "iter_trace_packets",
     "load_trace_npz",
+    "open_npz_archive",
     "read_trace_header",
     "save_trace_npz",
     "trace_columns",
+    "write_npz_archive",
 ]
 
 TRACE_FORMAT = "repro-trace-npz"
@@ -73,6 +75,78 @@ def _write_entry(zf: zipfile.ZipFile, name: str, payload: bytes) -> None:
     zf.writestr(info, payload, compresslevel=_COMPRESS_LEVEL)
 
 
+def write_npz_archive(
+    path: str | pathlib.Path,
+    header: dict[str, Any],
+    arrays: list[tuple[str, np.ndarray]],
+) -> None:
+    """Write a versioned, byte-deterministic npz column archive.
+
+    The reusable core of the trace store: a canonical-JSON ``header.json``
+    (which must carry ``format`` and ``version`` keys) followed by one NPY
+    entry per ``(name, array)`` pair, in the given order, with pinned ZIP
+    metadata. The same inputs always produce the identical file — the
+    telemetry store (:mod:`repro.telemetry.report`) shares this writer.
+    """
+    if "format" not in header or "version" not in header:
+        raise ValueError("archive header needs 'format' and 'version' keys")
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    with zipfile.ZipFile(pathlib.Path(path), "w") as zf:
+        _write_entry(zf, _HEADER_NAME, header_bytes)
+        for entry, arr in arrays:
+            buf = io.BytesIO()
+            np.save(buf, arr)
+            _write_entry(zf, entry, buf.getvalue())
+
+
+def open_npz_archive(
+    path: str | pathlib.Path,
+    *,
+    expected_format: str,
+    max_version: int,
+    required_entries: tuple[str, ...] = (),
+    kind: str = "trace",
+) -> tuple[zipfile.ZipFile, dict[str, Any]]:
+    """Open and validate an archive written by :func:`write_npz_archive`.
+
+    Returns the open zip handle plus the parsed header; the caller owns
+    closing the handle. Unknown formats, newer versions and missing
+    entries fail loudly with the offending path in the message; ``kind``
+    is the human-readable noun those messages use.
+    """
+    p = pathlib.Path(path)
+    try:
+        zf = zipfile.ZipFile(p, "r")
+    except (zipfile.BadZipFile, OSError) as exc:
+        raise ValueError(f"{p} is not a readable {kind} archive: {exc}") from exc
+    try:
+        names = set(zf.namelist())
+        if _HEADER_NAME not in names:
+            raise ValueError(
+                f"{p}: missing {_HEADER_NAME}; not a {kind} file"
+            )
+        header = json.loads(zf.read(_HEADER_NAME).decode("utf-8"))
+        if header.get("format") != expected_format:
+            raise ValueError(
+                f"{p}: format {header.get('format')!r} != {expected_format!r}"
+            )
+        version = header.get("version")
+        if not isinstance(version, int) or version < 1 or version > max_version:
+            raise ValueError(
+                f"{p}: unsupported {kind} version {version!r} "
+                f"(this reader handles <= {max_version})"
+            )
+        missing = [entry for entry in required_entries if entry not in names]
+        if missing:
+            raise ValueError(f"{p}: missing column entries {missing}")
+        return zf, header
+    except Exception:
+        zf.close()
+        raise
+
+
 def save_trace_npz(
     trace: Trace, path: str | pathlib.Path, *, extra: dict[str, Any] | None = None
 ) -> None:
@@ -95,45 +169,23 @@ def save_trace_npz(
         "columns": [entry for entry, _, _ in _COLUMNS],
         "extra": extra or {},
     }
-    header_bytes = json.dumps(
-        header, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-    with zipfile.ZipFile(p, "w") as zf:
-        _write_entry(zf, _HEADER_NAME, header_bytes)
-        for entry, key, dtype in _COLUMNS:
-            buf = io.BytesIO()
-            np.save(buf, columns[key].astype(dtype, copy=False))
-            _write_entry(zf, entry, buf.getvalue())
+    write_npz_archive(
+        p,
+        header,
+        [
+            (entry, columns[key].astype(dtype, copy=False))
+            for entry, key, dtype in _COLUMNS
+        ],
+    )
 
 
 def _open_validated(path: str | pathlib.Path) -> tuple[zipfile.ZipFile, dict[str, Any]]:
-    p = pathlib.Path(path)
-    try:
-        zf = zipfile.ZipFile(p, "r")
-    except (zipfile.BadZipFile, OSError) as exc:
-        raise ValueError(f"{p} is not a readable trace archive: {exc}") from exc
-    try:
-        names = set(zf.namelist())
-        if _HEADER_NAME not in names:
-            raise ValueError(f"{p}: missing {_HEADER_NAME}; not a trace file")
-        header = json.loads(zf.read(_HEADER_NAME).decode("utf-8"))
-        if header.get("format") != TRACE_FORMAT:
-            raise ValueError(
-                f"{p}: format {header.get('format')!r} != {TRACE_FORMAT!r}"
-            )
-        version = header.get("version")
-        if not isinstance(version, int) or version < 1 or version > TRACE_VERSION:
-            raise ValueError(
-                f"{p}: unsupported trace version {version!r} "
-                f"(this reader handles <= {TRACE_VERSION})"
-            )
-        missing = [entry for entry, _, _ in _COLUMNS if entry not in names]
-        if missing:
-            raise ValueError(f"{p}: missing column entries {missing}")
-        return zf, header
-    except Exception:
-        zf.close()
-        raise
+    return open_npz_archive(
+        path,
+        expected_format=TRACE_FORMAT,
+        max_version=TRACE_VERSION,
+        required_entries=tuple(entry for entry, _, _ in _COLUMNS),
+    )
 
 
 def read_trace_header(path: str | pathlib.Path) -> dict[str, Any]:

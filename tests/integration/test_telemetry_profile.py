@@ -1,0 +1,189 @@
+"""Integration tests pinning the telemetry acceptance criteria.
+
+A ``telemetry-profile`` run on an 8x8 mesh with an ON/OFF workload must
+report the saturation-onset cycle, and the ``repro telemetry`` CLI must
+produce byte-deterministic npz power traces (same spec + seed ->
+identical file).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments import Runner, scenario_family
+from repro.telemetry import load_telemetry_npz
+
+
+@pytest.fixture(scope="module")
+def profile_results():
+    """One light and one bursty-overload ON/OFF point on the 8x8 mesh."""
+    scenarios = scenario_family(
+        "telemetry-profile",
+        rates=[0.08, 0.5],
+        model="onoff",
+        cycles=3000,
+        window=128,
+        drain_budget=3000,
+        duty=0.5,
+        seed=0,
+    )
+    return scenario_family, Runner().run(scenarios)
+
+
+class TestTelemetryProfileFamily:
+    def test_light_point_stays_stable(self, profile_results):
+        _, results = profile_results
+        light = results[0].metrics
+        assert light["drained"]
+        assert light["saturation_onset_cycle"] is None
+        assert light["telemetry_window"] == 128
+        assert light["telemetry_windows"] > 10
+
+    def test_overloaded_point_reports_onset_cycle(self, profile_results):
+        """The headline capability: *when* the point saturates, not only
+        whether the whole run drained (this one eventually drains, which
+        the SATURATED flag alone would report as unremarkable)."""
+        _, results = profile_results
+        hot = results[1].metrics
+        assert hot["saturation_onset_cycle"] is not None
+        assert 0 < hot["saturation_onset_cycle"] < hot["cycles"]
+        assert hot["peak_dynamic_w"] > hot["mean_dynamic_w"] * 0.99
+        assert hot["dynamic_energy_j"] > 0
+
+    def test_metrics_survive_cache_round_trip(self, profile_results, tmp_path):
+        from repro.experiments.cache import EvaluationCache
+
+        _, results = profile_results
+        cache = EvaluationCache()
+        for res in results:
+            cache.put(res.scenario, res.metrics)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        loaded = EvaluationCache.load(path)
+        for res in results:
+            assert loaded.get(res.scenario) == res.metrics
+
+    def test_pool_matches_serial(self, profile_results):
+        scenario_family_fn, results = profile_results
+        scenarios = scenario_family_fn(
+            "telemetry-profile",
+            rates=[0.08, 0.5],
+            model="onoff",
+            cycles=3000,
+            window=128,
+            drain_budget=3000,
+            duty=0.5,
+            seed=0,
+        )
+        pooled = Runner(jobs=2).run(scenarios)
+        assert [r.metrics for r in pooled] == [r.metrics for r in results]
+
+
+class TestTelemetryCli:
+    ARGS = [
+        "telemetry",
+        "export",
+        "--model",
+        "onoff",
+        "--rate",
+        "0.2",
+        "--cycles",
+        "1200",
+        "--window",
+        "128",
+        "--param",
+        "duty=0.5",
+    ]
+
+    def test_export_is_byte_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        assert main([*self.ARGS, "--out", str(a)]) == 0
+        assert main([*self.ARGS, "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        out = capsys.readouterr().out
+        assert "byte-deterministic" in out
+
+    def test_seed_changes_bytes_scenario_recorded(self, tmp_path, capsys):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        assert main(["--seed", "1", *self.ARGS, "--out", str(a)]) == 0
+        assert main(["--seed", "2", *self.ARGS, "--out", str(b)]) == 0
+        assert a.read_bytes() != b.read_bytes()
+        telemetry, power, header = load_telemetry_npz(a)
+        scenario = header["extra"]["scenario"]
+        assert scenario["sim"]["telemetry_window"] == 128
+        assert scenario["traffic"]["generator"] == "workload"
+        assert power is not None
+        assert telemetry.n_windows == power.n_windows
+
+    def test_run_prints_report_and_saves(self, tmp_path, capsys):
+        out_file = tmp_path / "run.npz"
+        rc = main(
+            [
+                "telemetry",
+                "run",
+                "--model",
+                "bernoulli",
+                "--rate",
+                "0.6",
+                "--cycles",
+                "2000",
+                "--window",
+                "128",
+                "--drain-budget",
+                "4000",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "saturation onset" in out
+        assert "cycle" in out  # the onset is reported with its cycle
+        assert "dyn power (W)" in out
+        assert out_file.exists()
+
+    def test_stats_round_trip(self, tmp_path, capsys):
+        out_file = tmp_path / "t.npz"
+        assert main([*self.ARGS, "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "stats", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "summary" in out
+        assert "total dynamic energy (J)" in out
+
+    def test_stats_rejects_workload_trace(self, tmp_path, capsys):
+        trace_file = tmp_path / "w.npz"
+        assert (
+            main(
+                [
+                    "workload",
+                    "gen",
+                    "--model",
+                    "onoff",
+                    "--cycles",
+                    "200",
+                    "--width",
+                    "4",
+                    "--height",
+                    "4",
+                    "--out",
+                    str(trace_file),
+                ]
+            )
+            == 0
+        )
+        assert main(["telemetry", "stats", str(trace_file)]) == 2
+
+    def test_export_conserves_against_whole_run(self, tmp_path):
+        """The saved power trace carries the exact whole-run energy."""
+        out_file = tmp_path / "t.npz"
+        assert main([*self.ARGS, "--out", str(out_file)]) == 0
+        telemetry, power, _ = load_telemetry_npz(out_file)
+        assert power.series_conservation_error() < 1e-12
+        assert (
+            telemetry.total_router_flits().sum()
+            == telemetry.router_flits.sum()
+        )
+        assert np.all(telemetry.window_lengths() > 0)

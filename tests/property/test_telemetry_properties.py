@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the telemetry conservation invariant.
+
+The acceptance contract of the telemetry subsystem: for *any* run with
+telemetry enabled — arbitrary window sizes, ring capacities, injection
+schedules and drain tails — the windowed series must telescope exactly to
+the whole-run :class:`~repro.simulation.simulator.SimStats` totals, and
+the power-trace total evaluated on the summed counts must be bit-equal to
+:func:`~repro.simulation.energy.sim_dynamic_energy_j`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.simulation import SimConfig, Simulator, sim_dynamic_energy_j
+from repro.telemetry import TelemetryConfig, power_trace
+from repro.topology import build_mesh
+from repro.traffic import PacketRecord, Trace
+
+MESH = build_mesh(4, 4)
+SIM = Simulator(MESH)
+
+
+@st.composite
+def traces(draw):
+    """Small random traces with bursty schedules and long idle gaps.
+
+    Times cluster near zero with occasional far-future packets so runs
+    exercise the idle fast-forward (multi-window flush) and drain tails.
+    """
+    n = draw(st.integers(min_value=0, max_value=40))
+    packets = []
+    for _ in range(n):
+        src = draw(st.integers(min_value=0, max_value=15))
+        dst = draw(st.integers(min_value=0, max_value=15).filter(lambda d: d != src))
+        time = draw(
+            st.one_of(
+                st.integers(min_value=0, max_value=60),
+                st.integers(min_value=200, max_value=700),
+            )
+        )
+        size = draw(st.sampled_from([1, 2, 8]))
+        packets.append(PacketRecord(time, src, dst, size))
+    return Trace(16, packets)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=traces(),
+    window=st.integers(min_value=1, max_value=300),
+    max_windows=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+    max_cycles=st.integers(min_value=50, max_value=2000),
+)
+def test_windowed_sums_equal_whole_run_totals(trace, window, max_windows, max_cycles):
+    stats = SIM.run(
+        trace,
+        max_cycles=max_cycles,
+        telemetry=TelemetryConfig(window=window, max_windows=max_windows),
+    )
+    tel = stats.telemetry
+    # Flit-count conservation is exact integer arithmetic.
+    assert np.array_equal(tel.total_router_flits(), stats.router_flit_counts)
+    assert np.array_equal(tel.total_link_flits(), stats.link_flit_counts)
+    # Delivery/latency binning over the same window grid.
+    assert tel.total_delivered() == stats.packet_latencies.size
+    assert tel.total_latency_sum() == int(stats.packet_latencies.sum())
+    # The window grid tiles the simulated span without gaps or overlap.
+    if tel.n_windows:
+        assert int(tel.ends[-1]) == stats.cycles
+        assert np.array_equal(tel.starts[1:], tel.ends[:-1])
+        assert int(tel.starts[0]) == tel.dropped_windows * window
+    # Energy through the shared evaluation path is bit-identical.
+    pw = power_trace(MESH, tel)
+    whole = sim_dynamic_energy_j(MESH, stats)
+    assert pw.total.router_dynamic_j == whole.router_dynamic_j
+    assert pw.total.link_dynamic_j == whole.link_dynamic_j
+    # The per-window float series telescopes up to reassociation error.
+    assert pw.series_conservation_error() < 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    trace=traces(),
+    window=st.integers(min_value=1, max_value=120),
+)
+def test_sampling_never_changes_the_run(trace, window):
+    config = SimConfig(n_vcs=2, vc_depth=4)
+    sim = Simulator(MESH, config=config)
+    plain = sim.run(trace, max_cycles=1500)
+    sampled = sim.run(
+        trace, max_cycles=1500, telemetry=TelemetryConfig(window=window)
+    )
+    assert plain.cycles == sampled.cycles
+    assert plain.drained == sampled.drained
+    assert np.array_equal(plain.packet_latencies, sampled.packet_latencies)
+    assert np.array_equal(plain.link_flit_counts, sampled.link_flit_counts)
+    assert np.array_equal(plain.router_flit_counts, sampled.router_flit_counts)

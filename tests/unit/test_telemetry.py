@@ -1,0 +1,442 @@
+"""Unit tests for the telemetry subsystem (sampler, power, detectors, store)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import network_static_power_w
+from repro.simulation import Simulator, sim_dynamic_energy_j
+from repro.simulation.workload import synthetic_trace
+from repro.telemetry import (
+    CollapseDetector,
+    HotspotDetector,
+    SaturationDetector,
+    TelemetryConfig,
+    analyze,
+    load_telemetry_npz,
+    power_trace,
+    profile_scenario,
+    read_telemetry_header,
+    render_report,
+    save_telemetry_npz,
+)
+from repro.topology import build_mesh
+from repro.traffic import uniform_traffic
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return build_mesh(4, 4)
+
+
+@pytest.fixture(scope="module")
+def run(mesh):
+    """One sampled run plus its unsampled twin."""
+    tm = uniform_traffic(mesh, injection_rate=0.2)
+    trace = synthetic_trace(tm, injection_rate=0.2, cycles=600, seed=5)
+    sim = Simulator(mesh)
+    plain = sim.run(trace)
+    sampled = sim.run(trace, telemetry=TelemetryConfig(window=100))
+    return plain, sampled
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            TelemetryConfig(window=0)
+        with pytest.raises(ValueError, match="max_windows"):
+            TelemetryConfig(window=8, max_windows=0)
+
+    def test_json_round_trip(self):
+        cfg = TelemetryConfig(window=64, max_windows=12)
+        assert TelemetryConfig.from_json(cfg.to_json()) == cfg
+
+
+class TestSampler:
+    def test_disabled_attaches_nothing(self, run):
+        plain, _ = run
+        assert plain.telemetry is None
+
+    def test_sampling_is_observationally_invisible(self, run):
+        plain, sampled = run
+        assert np.array_equal(plain.packet_latencies, sampled.packet_latencies)
+        assert np.array_equal(plain.link_flit_counts, sampled.link_flit_counts)
+        assert plain.cycles == sampled.cycles
+        assert plain.drained == sampled.drained
+
+    def test_window_grid(self, run):
+        _, sampled = run
+        tel = sampled.telemetry
+        assert tel.starts[0] == 0
+        assert int(tel.ends[-1]) == sampled.cycles
+        # Interior boundaries on the fixed W-grid, tail possibly partial.
+        assert np.array_equal(tel.starts[1:], tel.ends[:-1])
+        assert np.all(tel.window_lengths()[:-1] == 100)
+
+    def test_count_conservation(self, run):
+        _, sampled = run
+        tel = sampled.telemetry
+        assert np.array_equal(tel.total_router_flits(), sampled.router_flit_counts)
+        assert np.array_equal(tel.total_link_flits(), sampled.link_flit_counts)
+        assert tel.total_delivered() == sampled.packet_latencies.size
+        assert tel.total_latency_sum() == int(sampled.packet_latencies.sum())
+
+    def test_ring_buffer_carry(self, mesh, run):
+        plain, _ = run
+        tm = uniform_traffic(mesh, injection_rate=0.2)
+        trace = synthetic_trace(tm, injection_rate=0.2, cycles=600, seed=5)
+        stats = Simulator(mesh).run(
+            trace, telemetry=TelemetryConfig(window=50, max_windows=3)
+        )
+        tel = stats.telemetry
+        assert tel.n_windows == 3
+        assert tel.dropped_windows > 0
+        # Conservation holds through the carry aggregates.
+        assert np.array_equal(tel.total_router_flits(), plain.router_flit_counts)
+        assert tel.total_delivered() == plain.packet_latencies.size
+        assert tel.total_latency_sum() == int(plain.packet_latencies.sum())
+
+    def test_window_larger_than_run_single_partial_window(self, mesh):
+        tm = uniform_traffic(mesh, injection_rate=0.1)
+        trace = synthetic_trace(tm, injection_rate=0.1, cycles=100, seed=1)
+        stats = Simulator(mesh).run(trace, telemetry=TelemetryConfig(window=10_000))
+        tel = stats.telemetry
+        assert tel.n_windows == 1
+        assert int(tel.ends[0]) == stats.cycles
+        assert np.array_equal(tel.total_link_flits(), stats.link_flit_counts)
+
+    def test_idle_gap_windows_are_empty(self, mesh):
+        # Two activity bursts separated by a long idle stretch: the
+        # fast-forward skips the gap, and the skipped windows must still
+        # appear — with zero activity.
+        from repro.traffic import PacketRecord, Trace
+
+        trace = Trace(
+            16,
+            [PacketRecord(0, 0, 5, 1), PacketRecord(900, 3, 12, 1)],
+        )
+        stats = Simulator(mesh).run(trace, telemetry=TelemetryConfig(window=100))
+        tel = stats.telemetry
+        per_window = tel.router_flits.sum(axis=1)
+        assert per_window[0] > 0
+        assert np.all(per_window[1:9] == 0)
+        assert per_window[9] > 0
+        assert np.array_equal(tel.total_router_flits(), stats.router_flit_counts)
+
+    def test_derived_series_shapes(self, run):
+        _, sampled = run
+        tel = sampled.telemetry
+        n = tel.n_windows
+        assert tel.router_rates().shape == (n,)
+        assert tel.link_rates().shape == (n,)
+        assert tel.occupancy_totals().shape == (n,)
+        lat = tel.window_latencies()
+        assert lat.shape == (n,)
+        # The loaded network delivers in every full window here.
+        assert np.isfinite(lat[:-1]).all()
+
+
+class TestPowerTrace:
+    def test_total_bit_identical_to_whole_run_energy(self, mesh, run):
+        _, sampled = run
+        pw = power_trace(mesh, sampled.telemetry)
+        whole = sim_dynamic_energy_j(mesh, sampled)
+        assert pw.total.router_dynamic_j == whole.router_dynamic_j
+        assert pw.total.link_dynamic_j == whole.link_dynamic_j
+        assert pw.total.dynamic_j == whole.dynamic_j
+
+    def test_series_sums_to_total(self, mesh, run):
+        _, sampled = run
+        pw = power_trace(mesh, sampled.telemetry)
+        assert pw.series_conservation_error() < 1e-12
+
+    def test_static_matches_table4_rollup(self, mesh, run):
+        _, sampled = run
+        pw = power_trace(mesh, sampled.telemetry)
+        assert pw.static_w == network_static_power_w(mesh)
+
+    def test_power_series(self, mesh, run):
+        _, sampled = run
+        pw = power_trace(mesh, sampled.telemetry)
+        w = pw.dynamic_w()
+        assert w.shape == (pw.n_windows,)
+        assert np.all(w >= 0)
+        assert pw.peak_dynamic_w == pytest.approx(float(np.nanmax(w)))
+        assert pw.mean_dynamic_w > 0
+        assert np.all(pw.total_w() > pw.static_w - 1e-12)
+
+    def test_topology_mismatch_rejected(self, run):
+        _, sampled = run
+        other = build_mesh(8, 8)
+        with pytest.raises(ValueError, match="telemetry covers"):
+            power_trace(other, sampled.telemetry)
+
+    def test_bad_clock_rejected(self, mesh, run):
+        _, sampled = run
+        with pytest.raises(ValueError, match="clock"):
+            power_trace(mesh, sampled.telemetry, clock_hz=0)
+
+
+def _sat_feed(det, windows):
+    for start, delivered, lat_sum, occ in windows:
+        det.update(start, delivered, lat_sum, occ)
+
+
+class TestSaturationDetector:
+    def test_stable_run_never_fires(self):
+        det = SaturationDetector(baseline_windows=2, patience=2)
+        _sat_feed(det, [(i * 10, 5, 100, 3) for i in range(20)])
+        assert det.onset_cycle is None
+
+    def test_latency_blowup_fires_at_streak_start(self):
+        det = SaturationDetector(
+            latency_factor=2.0, baseline_windows=2, patience=2
+        )
+        windows = [(0, 5, 100, 3), (10, 5, 100, 3)]  # baseline: 20/packet
+        windows += [(20, 5, 110, 3)]  # mildly worse: no
+        windows += [(30, 5, 500, 9), (40, 5, 600, 9)]  # 2x blown, streak of 2
+        _sat_feed(det, windows)
+        assert det.onset_cycle == 30
+        assert det.onset_window == 3
+        assert det.baseline_latency == pytest.approx(20.0)
+
+    def test_streak_resets_on_recovery(self):
+        det = SaturationDetector(baseline_windows=1, patience=2)
+        _sat_feed(
+            det,
+            [(0, 5, 100, 3), (10, 5, 900, 9), (20, 5, 100, 3), (30, 5, 900, 9)],
+        )
+        assert det.onset_cycle is None
+
+    def test_hard_jam_counts_as_saturated(self):
+        det = SaturationDetector(baseline_windows=1, patience=2)
+        _sat_feed(det, [(0, 5, 100, 3), (10, 0, 0, 40), (20, 0, 0, 40)])
+        assert det.onset_cycle == 10
+
+    def test_empty_windows_do_not_poison_baseline(self):
+        det = SaturationDetector(baseline_windows=2, patience=1)
+        _sat_feed(det, [(0, 0, 0, 0), (10, 5, 100, 3), (20, 5, 100, 3)])
+        assert det._baseline_n == 2
+        assert det.baseline_latency == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaturationDetector(latency_factor=1.0)
+        with pytest.raises(ValueError):
+            SaturationDetector(patience=0)
+        with pytest.raises(ValueError):
+            SaturationDetector(baseline_windows=0)
+
+
+class TestHotspotDetector:
+    def test_sustained_hotspot_found(self):
+        det = HotspotDetector(factor=3.0, min_fraction=0.5)
+        base = np.ones(16, dtype=np.int64)
+        hot = base.copy()
+        hot[5] = 100
+        for _ in range(6):
+            det.update(hot)
+        for _ in range(2):
+            det.update(base)
+        assert det.sustained_hotspots() == [5]
+        assert det.hot_window_counts()[5] == 6
+
+    def test_single_blip_is_not_sustained(self):
+        det = HotspotDetector(min_fraction=0.5)
+        hot = np.ones(16, dtype=np.int64)
+        hot[3] = 50
+        det.update(hot)
+        for _ in range(5):
+            det.update(np.ones(16, dtype=np.int64))
+        assert det.sustained_hotspots() == []
+
+    def test_quiet_windows_ignored(self):
+        det = HotspotDetector()
+        det.update(np.zeros(16, dtype=np.int64))
+        assert det.active_windows == 0
+        assert det.sustained_hotspots() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotDetector(factor=1.0)
+        with pytest.raises(ValueError):
+            HotspotDetector(min_fraction=0.0)
+
+
+class TestCollapseDetector:
+    def test_collapse_with_pending_work(self):
+        det = CollapseDetector(fraction=0.5, warmup_windows=1)
+        det.update(0, 10, 20, 5)  # warmup: peak 2/cycle
+        det.update(10, 20, 18, 5)
+        det.update(20, 30, 2, 7)  # collapsed: 0.2 < 0.5*2, VCs occupied
+        assert det.first_collapse_cycle == 20
+        assert det.collapsed_windows == [2]
+
+    def test_natural_drain_is_not_collapse(self):
+        det = CollapseDetector(fraction=0.5, warmup_windows=1)
+        det.update(0, 10, 20, 5)
+        det.update(10, 20, 2, 0)  # little delivered but nothing buffered
+        assert det.first_collapse_cycle is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollapseDetector(fraction=1.0)
+        with pytest.raises(ValueError):
+            CollapseDetector(warmup_windows=-1)
+
+
+class TestAnalyze:
+    def test_stable_run_findings(self, run):
+        _, sampled = run
+        f = analyze(sampled.telemetry)
+        assert not f.saturated
+        assert f.hotspot_nodes == []
+        assert math.isfinite(f.baseline_latency)
+        data = f.to_json()
+        assert data["saturation_onset_cycle"] is None
+        assert data["baseline_latency"] == pytest.approx(f.baseline_latency)
+
+    def test_saturated_run_reports_onset(self, mesh):
+        tm = uniform_traffic(mesh, injection_rate=0.8)
+        trace = synthetic_trace(tm, injection_rate=0.8, cycles=1500, seed=2)
+        stats = Simulator(mesh).run(
+            trace, max_cycles=3000, telemetry=TelemetryConfig(window=100)
+        )
+        f = analyze(stats.telemetry)
+        assert f.saturated
+        assert 0 < f.saturation_onset_cycle < stats.cycles
+
+    def test_window_indices_are_global_after_ring_eviction(self, mesh):
+        """Findings must number windows on the global grid — the same
+        numbering the rendered report and the npz use — not relative to
+        the retained ring span."""
+        tm = uniform_traffic(mesh, injection_rate=0.8)
+        trace = synthetic_trace(tm, injection_rate=0.8, cycles=1500, seed=2)
+        sim = Simulator(mesh)
+        full = analyze(
+            sim.run(
+                trace, max_cycles=3000, telemetry=TelemetryConfig(window=100)
+            ).telemetry
+        )
+        ring_tel = sim.run(
+            trace,
+            max_cycles=3000,
+            telemetry=TelemetryConfig(window=100, max_windows=6),
+        ).telemetry
+        assert ring_tel.dropped_windows > 0
+        ring = analyze(ring_tel)
+        if ring.saturation_onset_window is not None:
+            start = int(
+                ring_tel.starts[ring.saturation_onset_window - ring_tel.dropped_windows]
+            )
+            assert start == ring.saturation_onset_cycle
+        for w in ring.collapsed_windows:
+            assert w >= ring_tel.dropped_windows
+        # The full-series onset window maps to its own start cycle too.
+        assert (
+            int(full.saturation_onset_cycle)
+            == full.saturation_onset_window * 100
+        )
+
+
+class TestStore:
+    def test_round_trip_exact(self, mesh, run, tmp_path):
+        _, sampled = run
+        tel = sampled.telemetry
+        pw = power_trace(mesh, tel)
+        path = tmp_path / "t.npz"
+        save_telemetry_npz(path, tel, pw, extra={"k": 1})
+        tel2, pw2, header = load_telemetry_npz(path)
+        assert header["extra"] == {"k": 1}
+        for attr in (
+            "starts",
+            "ends",
+            "router_flits",
+            "link_flits",
+            "occupied_vcs",
+            "in_flight",
+            "delivered",
+            "latency_sum",
+            "carry_router_flits",
+            "carry_link_flits",
+        ):
+            assert np.array_equal(getattr(tel2, attr), getattr(tel, attr)), attr
+        assert tel2.window == tel.window
+        assert tel2.cycles == tel.cycles
+        assert np.array_equal(pw2.router_dynamic_j, pw.router_dynamic_j)
+        assert pw2.total.dynamic_j == pw.total.dynamic_j
+        assert pw2.static_w == pw.static_w
+
+    def test_byte_deterministic(self, mesh, run, tmp_path):
+        _, sampled = run
+        pw = power_trace(mesh, sampled.telemetry)
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_telemetry_npz(a, sampled.telemetry, pw)
+        save_telemetry_npz(b, sampled.telemetry, pw)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_power_optional(self, run, tmp_path):
+        _, sampled = run
+        path = tmp_path / "t.npz"
+        save_telemetry_npz(path, sampled.telemetry)
+        tel2, pw2, header = load_telemetry_npz(path)
+        assert pw2 is None
+        assert "power" not in header
+        assert tel2.total_delivered() == sampled.telemetry.total_delivered()
+
+    def test_rejects_trace_file(self, tmp_path):
+        from repro.workloads import save_trace_npz
+        from repro.traffic import PacketRecord, Trace
+
+        path = tmp_path / "trace.npz"
+        save_trace_npz(Trace(4, [PacketRecord(0, 0, 1, 1)]), path)
+        with pytest.raises(ValueError, match="format"):
+            read_telemetry_header(path)
+
+    def test_rejects_newer_version(self, run, tmp_path, monkeypatch):
+        import repro.telemetry.report as report_mod
+
+        _, sampled = run
+        path = tmp_path / "t.npz"
+        monkeypatch.setattr(report_mod, "TELEMETRY_VERSION", 99)
+        save_telemetry_npz(path, sampled.telemetry)
+        monkeypatch.undo()
+        with pytest.raises(ValueError, match="version"):
+            load_telemetry_npz(path)
+
+
+class TestReportRendering:
+    def test_report_contains_summary(self, mesh, run):
+        _, sampled = run
+        pw = power_trace(mesh, sampled.telemetry)
+        text = render_report(sampled.telemetry, pw, title="unit")
+        assert "unit — summary" in text
+        assert "saturation onset" in text
+        assert "peak dynamic power (W)" in text
+
+    def test_long_series_elided(self, mesh):
+        tm = uniform_traffic(mesh, injection_rate=0.2)
+        trace = synthetic_trace(tm, injection_rate=0.2, cycles=900, seed=1)
+        stats = Simulator(mesh).run(trace, telemetry=TelemetryConfig(window=20))
+        text = render_report(stats.telemetry, max_rows=6)
+        assert "..." in text
+
+    def test_profile_scenario_guards(self):
+        from repro.experiments import scenario_family
+        from repro.experiments.spec import Scenario, SimSpec, TopologySpec, TrafficSpec
+        from repro.tech import Technology
+
+        plain = Scenario(
+            kind="simulation",
+            topology=TopologySpec.plain(Technology.ELECTRONIC, width=4, height=4),
+            traffic=TrafficSpec.make("uniform", injection_rate=0.05),
+            sim=SimSpec(cycles=50),
+        )
+        with pytest.raises(ValueError, match="telemetry disabled"):
+            profile_scenario(plain)
+        analytical = scenario_family("paper-grid")[0]
+        with pytest.raises(ValueError, match="not a simulation"):
+            profile_scenario(analytical)

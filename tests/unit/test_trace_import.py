@@ -1,0 +1,131 @@
+"""Tests for external (BookSim/Netrace-style) trace import."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.traffic import load_external_trace
+from repro.workloads import load_trace_npz, read_trace_header
+
+
+def _write(tmp_path, text, name="dump.txt"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestLoadExternalTrace:
+    def test_four_field_lines(self, tmp_path):
+        path = _write(tmp_path, "0 0 1 2\n5 1 0 1\n")
+        trace = load_external_trace(path)
+        assert trace.n_nodes == 2
+        assert trace.n_packets == 2
+        assert trace.total_flits == 3
+        assert trace.name == "dump"
+
+    def test_three_field_lines_default_single_flit(self, tmp_path):
+        path = _write(tmp_path, "0 0 1\n1 1 3\n")
+        trace = load_external_trace(path)
+        assert all(p.size_flits == 1 for p in trace.packets)
+        assert trace.n_nodes == 4  # inferred: max endpoint + 1
+
+    def test_comment_styles_and_blanks_skipped(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "# hash comment\n% percent comment\n// slash comment\n\n3 0 1 4\n",
+        )
+        trace = load_external_trace(path)
+        assert trace.n_packets == 1
+        assert trace.packets[0].size_flits == 4
+
+    def test_explicit_nodes_pins_the_grid(self, tmp_path):
+        path = _write(tmp_path, "0 0 1\n")
+        trace = load_external_trace(path, n_nodes=16, name="pinned")
+        assert trace.n_nodes == 16
+        assert trace.name == "pinned"
+
+    def test_endpoint_outside_pinned_grid_is_malformed(self, tmp_path):
+        path = _write(tmp_path, "0 0 9\n")
+        with pytest.raises(ValueError, match="endpoint outside 0..3"):
+            load_external_trace(path, n_nodes=4)
+
+    def test_malformed_lines_reported_with_numbers(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "0 0 1\nzero one two\n1 2\n2 3 3\n3 -1 2\n4 0 1 999\n",
+        )
+        with pytest.raises(ValueError) as err:
+            load_external_trace(path)
+        msg = str(err.value)
+        assert "5 malformed line(s)" in msg
+        assert "dump.txt:2: non-integer field" in msg
+        assert "dump.txt:3: expected 3 or 4 fields, got 2" in msg
+        assert "dump.txt:4: self-loop at node 3" in msg
+        assert "dump.txt:5: negative field" in msg
+        assert "dump.txt:6: packet size outside 1..32" in msg
+
+    def test_error_flood_is_suppressed(self, tmp_path):
+        path = _write(tmp_path, "\n".join(["junk"] * 20) + "\n")
+        with pytest.raises(ValueError) as err:
+            load_external_trace(path, max_errors=3)
+        msg = str(err.value)
+        assert "20 malformed line(s)" in msg
+        assert "further malformed lines suppressed" in msg
+        # 3 detail lines, then the suppression marker.
+        assert msg.count("expected 3 or 4 fields") == 3
+
+    def test_empty_dump_rejected(self, tmp_path):
+        path = _write(tmp_path, "# only comments\n")
+        with pytest.raises(ValueError, match="no packet lines"):
+            load_external_trace(path)
+
+    def test_two_node_floor(self, tmp_path):
+        # A dump using only nodes {0, 1} must still build a valid Trace.
+        path = _write(tmp_path, "0 1 0\n")
+        assert load_external_trace(path).n_nodes == 2
+
+
+class TestImportCli:
+    def test_import_round_trips_through_store(self, tmp_path, capsys):
+        dump = _write(tmp_path, "# netrace\n0 0 3 2\n4 1 2\n9 3 0 32\n")
+        out = tmp_path / "imported.npz"
+        assert main(["workload", "import", str(dump), "--out", str(out)]) == 0
+        assert "imported" in capsys.readouterr().out
+        trace = load_trace_npz(out)
+        assert trace.n_packets == 3
+        assert trace.total_flits == 35
+        assert [p.size_flits for p in trace.packets] == [2, 1, 32]
+        header = read_trace_header(out)
+        assert header["extra"]["imported_from"] == "dump.txt"
+        assert header["extra"]["source_format"] == "external-text"
+
+    def test_import_is_byte_deterministic(self, tmp_path, capsys):
+        dump = _write(tmp_path, "0 0 1\n1 1 0\n")
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        assert main(["workload", "import", str(dump), "--out", str(a)]) == 0
+        assert main(["workload", "import", str(dump), "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_import_malformed_exits_with_usage_error(self, tmp_path, capsys):
+        dump = _write(tmp_path, "garbage\n")
+        out = tmp_path / "x.npz"
+        assert main(["workload", "import", str(dump), "--out", str(out)]) == 2
+        assert "malformed" in capsys.readouterr().err
+        assert not out.exists()
+
+    def test_imported_trace_simulates(self, tmp_path, capsys):
+        from repro.simulation import Simulator
+        from repro.topology import build_mesh
+
+        dump = _write(tmp_path, "0 0 15 4\n2 5 10 1\n3 10 5 1\n")
+        out = tmp_path / "sim.npz"
+        assert (
+            main(
+                ["workload", "import", str(dump), "--out", str(out), "--nodes", "16"]
+            )
+            == 0
+        )
+        stats = Simulator(build_mesh(4, 4)).run(load_trace_npz(out))
+        assert stats.drained
+        assert stats.n_flits == 6

@@ -181,3 +181,48 @@ class TestStats:
             stats_from_arrays(
                 4, np.array([0]), np.array([0]), np.array([1]), gap=0
             )
+
+
+class TestArchivePrimitives:
+    """The reusable npz archive core shared with the telemetry store."""
+
+    def test_header_must_carry_format_and_version(self, tmp_path):
+        from repro.workloads import write_npz_archive
+
+        with pytest.raises(ValueError, match="'format' and 'version'"):
+            write_npz_archive(
+                tmp_path / "x.npz", {"format": "f"}, [("a.npy", np.zeros(2))]
+            )
+        with pytest.raises(ValueError, match="'format' and 'version'"):
+            write_npz_archive(
+                tmp_path / "x.npz", {"version": 1}, [("a.npy", np.zeros(2))]
+            )
+
+    def test_generic_archive_round_trip(self, tmp_path):
+        import io as _io
+
+        from repro.workloads import open_npz_archive, write_npz_archive
+
+        path = tmp_path / "arch.npz"
+        mat = np.arange(12, dtype=np.int64).reshape(3, 4)
+        write_npz_archive(
+            path, {"format": "x", "version": 1, "k": "v"}, [("m.npy", mat)]
+        )
+        zf, header = open_npz_archive(
+            path, expected_format="x", max_version=1,
+            required_entries=("m.npy",), kind="generic",
+        )
+        with zf:
+            loaded = np.load(_io.BytesIO(zf.read("m.npy")), allow_pickle=False)
+        assert header["k"] == "v"
+        assert np.array_equal(loaded, mat)
+
+    def test_kind_appears_in_messages(self, tmp_path):
+        from repro.workloads import open_npz_archive
+
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"nope")
+        with pytest.raises(ValueError, match="not a readable widget archive"):
+            open_npz_archive(
+                path, expected_format="x", max_version=1, kind="widget"
+            )
