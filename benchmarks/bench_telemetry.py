@@ -17,43 +17,18 @@ telemetry, sampled runs conserve counts exactly, and the power-trace
 total is bit-identical to the whole-run energy.
 """
 
-import importlib.util
-import pathlib
-import sys
-
 import numpy as np
 
-from repro.bench import benchmark_spec
+from repro.bench import benchmark_spec, load_sibling
 from repro.simulation import sim_dynamic_energy_j
 from repro.telemetry import TelemetryConfig, analyze, power_trace
 
 WINDOW = 64
 
-
-def _sibling(stem: str):
-    """Import a sibling benchmark module to share its fixtures.
-
-    Resolves whichever loader got there first — pytest (plain ``stem``)
-    or the CLI's path-based discovery (``repro_bench_defs.<stem>``) —
-    and falls back to loading the file directly. Re-registration of the
-    sibling's specs is safe (the registry replaces same-name entries).
-    """
-    for name in (f"repro_bench_defs.{stem}", stem):
-        module = sys.modules.get(name)
-        if module is not None:
-            return module
-    path = pathlib.Path(__file__).with_name(f"{stem}.py")
-    spec = importlib.util.spec_from_file_location(f"repro_bench_defs.{stem}", path)
-    module = importlib.util.module_from_spec(spec)
-    sys.modules[spec.name] = module
-    spec.loader.exec_module(module)
-    return module
-
-
 # The CI disabled-overhead gate divides telemetry_disabled_run's median
 # by simulator_run's; sharing the fixture makes "identical workload" a
 # structural fact rather than a copy-paste invariant.
-_sim_perf = _sibling("bench_simulator_perf")
+_sim_perf = load_sibling(__file__, "bench_simulator_perf")
 N_PACKETS = _sim_perf.N_PACKETS
 
 

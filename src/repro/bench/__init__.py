@@ -30,7 +30,7 @@ from repro.bench.spec import (
     registered_benchmarks,
 )
 from repro.bench.suite import BenchSuite, Comparison, Delta, compare, load_records
-from repro.bench.discovery import discover
+from repro.bench.discovery import discover, load_sibling
 
 __all__ = [
     "SCHEMA",
@@ -48,6 +48,7 @@ __all__ = [
     "clear_registry",
     "compare",
     "discover",
+    "load_sibling",
     "environment_fingerprint",
     "get_benchmark",
     "load_records",

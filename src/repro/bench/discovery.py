@@ -15,9 +15,32 @@ import importlib.util
 import pathlib
 import sys
 
-__all__ = ["discover"]
+__all__ = ["discover", "load_sibling"]
 
 _MODULE_PREFIX = "repro_bench_defs"
+
+
+def load_sibling(requester: str | pathlib.Path, stem: str):
+    """Import a sibling benchmark module to share its fixtures.
+
+    Resolves whichever loader got there first — pytest (plain ``stem``)
+    or the CLI's path-based discovery (``repro_bench_defs.<stem>``) —
+    and falls back to loading the file next to ``requester`` directly.
+    Re-registration of the sibling's specs is safe (the registry
+    replaces same-name entries).
+    """
+    for name in (f"{_MODULE_PREFIX}.{stem}", stem):
+        module = sys.modules.get(name)
+        if module is not None:
+            return module
+    path = pathlib.Path(requester).with_name(f"{stem}.py")
+    spec = importlib.util.spec_from_file_location(f"{_MODULE_PREFIX}.{stem}", path)
+    if spec is None or spec.loader is None:  # pragma: no cover
+        raise ValueError(f"cannot load sibling benchmark module {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
 
 
 def discover(directory: str | pathlib.Path) -> list[str]:

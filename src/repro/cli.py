@@ -18,6 +18,10 @@ Usage::
     python -m repro telemetry run --model onoff --rate 0.3
     python -m repro telemetry export --out run.npz  # byte-deterministic
     python -m repro telemetry stats run.npz
+    python -m repro telemetry heatmap run.npz       # per-link utilization
+    python -m repro control run --rate 0.5 --outstanding 4
+    python -m repro control knee --lo 0.1 --hi 0.9  # bisect the knee
+    python -m repro control stats run.npz
     python -m repro bench run --quick   # benchmark harness (BENCH_*.json)
     python -m repro bench compare a b   # perf gate: exit 1 on regression
 
@@ -498,6 +502,199 @@ def _cmd_telemetry_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry_heatmap(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_telemetry_npz, render_link_heatmap
+
+    telemetry, _, _ = load_telemetry_npz(args.file)
+    print(render_link_heatmap(telemetry, csv=args.csv, top=args.top))
+    return 0
+
+
+def _control_scenario(args: argparse.Namespace):
+    """The single closed-loop/control scenario ``control run`` evaluates."""
+    from repro.experiments import scenario_family
+
+    controllers = tuple(
+        name for name in (c.strip() for c in args.controllers.split(",")) if name
+    )
+    return scenario_family(
+        "closed-loop-saturation",
+        rates=[args.rate],
+        window=args.outstanding,
+        think_cycles=args.think,
+        reply_flits=args.reply_flits,
+        model=args.model,
+        traffic=args.traffic,
+        width=args.width,
+        height=args.height,
+        cycles=args.cycles,
+        packet_flits=args.packet_flits,
+        drain_budget=args.drain_budget,
+        telemetry_window=args.window,
+        controllers=controllers,
+        seed=args.seed,
+        **_parse_params(args.param),
+    )[0]
+
+
+def _closed_loop_rows(cl) -> list[list[object]]:
+    return [
+        ["outstanding window", cl.window],
+        ["think cycles", cl.think_cycles],
+        ["demand (requests wanted)", cl.demand_total],
+        ["requests issued / delivered", f"{cl.requests_issued} / {cl.requests_delivered}"],
+        ["replies issued / delivered", f"{cl.replies_issued} / {cl.replies_delivered}"],
+        ["outstanding at end", cl.outstanding_at_end],
+        ["peak outstanding", cl.peak_outstanding],
+        ["stalled demand at end", cl.stalled_demand],
+        ["mean round trip (cycles)", _fmt_latency(round(cl.mean_round_trip, 2) if cl.replies_delivered else math.nan)],
+    ]
+
+
+def _control_actions_table(trace, title: str = "control actions") -> str:
+    """Rendered action log of one ControlTrace (run- and stats-time view)."""
+    from repro.util import format_table
+
+    rows = [
+        [
+            a.window,
+            a.cycle,
+            a.controller,
+            a.kind,
+            a.value,
+            ",".join(map(str, a.nodes)) or "-",
+        ]
+        for a in trace.actions
+    ]
+    return format_table(
+        ["window", "cycle", "controller", "action", "value", "nodes"],
+        rows,
+        title=f"{title} ({trace.n_actions}, final gate period "
+        f"{trace.final_throttle_period})",
+    )
+
+
+def _cmd_control_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import simulate_scenario
+    from repro.util import format_table
+
+    scenario = _control_scenario(args)
+    topo, stats = simulate_scenario(scenario)
+    rows: list[list[object]] = [
+        ["topology", topo.name],
+        ["status", _status(stats.drained)],
+        ["cycles", stats.cycles],
+        ["packets delivered", stats.packet_latencies.size],
+        ["avg latency (clk)", _fmt_latency(round(stats.avg_latency, 2) if stats.packet_latencies.size else math.nan)],
+    ]
+    if stats.closed_loop is not None:
+        rows += _closed_loop_rows(stats.closed_loop)
+    print(format_table(["metric", "value"], rows, title=scenario.label))
+    if stats.control is not None:
+        print(_control_actions_table(stats.control))
+    if not stats.drained:
+        print(
+            "note: the run did not drain within the cycle budget "
+            "(offered demand beyond this operating point)."
+        )
+    if args.out:
+        if stats.telemetry is None:
+            print(
+                "error: --out needs windowed telemetry; pass --window > 0",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.telemetry import power_trace, save_telemetry_npz
+
+        extra: dict[str, object] = {"scenario": scenario.to_json()}
+        if stats.closed_loop is not None:
+            extra["closed_loop"] = stats.closed_loop.to_json()
+        if stats.control is not None:
+            extra["control_trace"] = stats.control.to_json()
+        save_telemetry_npz(
+            args.out, stats.telemetry, power_trace(topo, stats.telemetry), extra=extra
+        )
+        print(f"control run written to {args.out} (byte-deterministic)")
+    return 0
+
+
+def _cmd_control_stats(args: argparse.Namespace) -> int:
+    from repro.control import ClosedLoopStats, ControlTrace
+    from repro.telemetry import load_telemetry_npz
+    from repro.util import format_table
+
+    _, _, header = load_telemetry_npz(args.file)
+    extra = header.get("extra", {})
+    closed = extra.get("closed_loop")
+    control = extra.get("control_trace")
+    if closed is None and control is None:
+        print(
+            f"error: {args.file} holds no closed-loop/control record "
+            "(written by `repro control run --out`?)",
+            file=sys.stderr,
+        )
+        return 2
+    title = str(extra.get("scenario", {}).get("name") or args.file)
+    if closed is not None:
+        cl = ClosedLoopStats.from_json(closed)
+        print(
+            format_table(
+                ["metric", "value"], _closed_loop_rows(cl), title=f"{title} — closed loop"
+            )
+        )
+    if control is not None:
+        trace = ControlTrace.from_json(control)
+        print(_control_actions_table(trace, title=f"{title} — control actions"))
+    return 0
+
+
+def _cmd_control_knee(args: argparse.Namespace) -> int:
+    from repro.control import locate_knee
+    from repro.experiments import Runner
+    from repro.util import format_table
+
+    result = locate_knee(
+        lo=args.lo,
+        hi=args.hi,
+        tolerance=args.tol,
+        runner=Runner(),
+        model=args.model,
+        traffic=args.traffic,
+        width=args.width,
+        height=args.height,
+        cycles=args.cycles,
+        window=args.window,
+        packet_flits=args.packet_flits,
+        drain_budget=args.drain_budget,
+        seed=args.seed,
+        **_parse_params(args.param),
+    )
+    rows = [
+        [
+            f"{p.rate:g}",
+            "SATURATED" if p.saturated else "stable",
+            "-" if p.onset_cycle is None else p.onset_cycle,
+            "cache" if p.cached else "simulated",
+        ]
+        for p in result.probes
+    ]
+    print(
+        format_table(
+            ["rate", "verdict", "onset cycle", "source"],
+            rows,
+            title=f"knee search — {args.model}/{args.traffic} "
+            f"{args.width}x{args.height}",
+        )
+    )
+    grid_points = math.ceil((args.hi - args.lo) / args.tol) + 1
+    print(
+        f"knee at r = {result.knee_rate:g} (bracket {result.lo:g}..{result.hi:g}, "
+        f"tolerance {result.tolerance:g}) in {result.n_simulations} simulations "
+        f"— an equivalent sweep is {grid_points} points."
+    )
+    return 0
+
+
 def _cmd_workload_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import Runner, scenario_family
     from repro.util import format_table
@@ -814,6 +1011,98 @@ def build_parser() -> argparse.ArgumentParser:
     pts.add_argument("file", help="telemetry file written by run/export")
     pts.add_argument("--max-rows", type=int, default=24)
     pts.set_defaults(func=_cmd_telemetry_stats)
+    pth = tsub.add_parser(
+        "heatmap",
+        help="render per-link windowed utilization from a telemetry npz",
+    )
+    pth.add_argument("file", help="telemetry file written by run/export")
+    pth.add_argument(
+        "--csv", action="store_true", help="exact CSV values instead of shading"
+    )
+    pth.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="only the N busiest links (default: all)",
+    )
+    pth.set_defaults(func=_cmd_telemetry_heatmap)
+
+    pc = sub.add_parser(
+        "control",
+        help="closed-loop workloads & adaptive control (run/stats/knee)",
+    )
+    csub = pc.add_subparsers(dest="control_command", required=True)
+
+    def _add_control_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--model", default="bernoulli", help="demand model (see workload list)"
+        )
+        p.add_argument(
+            "--traffic", default="uniform", help="destination matrix generator"
+        )
+        p.add_argument("--rate", type=float, default=0.1, help="demand flits/node/cycle")
+        p.add_argument("--width", type=int, default=8)
+        p.add_argument("--height", type=int, default=8)
+        p.add_argument("--cycles", type=int, default=2000)
+        p.add_argument("--packet-flits", type=int, default=1)
+        p.add_argument("--drain-budget", type=int, default=200_000)
+        p.add_argument(
+            "--param",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="extra model/traffic parameter (repeatable)",
+        )
+
+    pcr = csub.add_parser(
+        "run", help="run one closed-loop / controlled point, print its record"
+    )
+    _add_control_flags(pcr)
+    pcr.add_argument(
+        "--outstanding",
+        type=int,
+        default=4,
+        help="per-source outstanding-request window (0 = open loop)",
+    )
+    pcr.add_argument(
+        "--think", type=int, default=0, help="destination think time (cycles)"
+    )
+    pcr.add_argument("--reply-flits", type=int, default=1)
+    pcr.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="telemetry/control window in cycles (0 = no sampling)",
+    )
+    pcr.add_argument(
+        "--controllers",
+        default="",
+        help="comma-separated online controllers (throttle, vc-bias); "
+        "needs --window > 0",
+    )
+    pcr.add_argument(
+        "--out", default=None, help="save the telemetry+control npz dump here"
+    )
+    pcr.set_defaults(func=_cmd_control_run)
+    pcs = csub.add_parser(
+        "stats", help="report a stored closed-loop/control npz file"
+    )
+    pcs.add_argument("file", help="file written by `control run --out`")
+    pcs.set_defaults(func=_cmd_control_stats)
+    pck = csub.add_parser(
+        "knee",
+        help="bisect the saturation knee in O(log) simulations",
+    )
+    _add_control_flags(pck)
+    pck.add_argument("--lo", type=float, default=0.05, help="stable bracket end")
+    pck.add_argument("--hi", type=float, default=0.9, help="saturated bracket end")
+    pck.add_argument("--tol", type=float, default=0.02, help="rate tolerance")
+    pck.add_argument(
+        "--window", type=int, default=128, help="telemetry window (cycles)"
+    )
+    # Knee probes lean on the streaming detector, not budget exhaustion;
+    # a modest drain budget keeps saturated probes cheap.
+    pck.set_defaults(func=_cmd_control_knee, drain_budget=20_000)
 
     pb = sub.add_parser("bench", help="benchmark harness (run/list/compare)")
     bench_sub = pb.add_subparsers(dest="bench_command", required=True)

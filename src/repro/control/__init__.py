@@ -1,0 +1,75 @@
+"""Control subsystem: closed-loop workloads and online adaptive control.
+
+Closes the loop the paper's open-loop sweeps leave open, in three
+pillars:
+
+* :mod:`repro.control.sources` — request/reply traffic throttled by a
+  per-source outstanding-request window (credit semantics): any
+  registered workload model becomes *demand*, released only while fewer
+  than ``W`` requests are in flight, with replies generated at the
+  destination. Windowed sources plateau at network capacity instead of
+  jamming past it;
+* :mod:`repro.control.controllers` — a :class:`ControlSession` cycle
+  hook mirroring :class:`~repro.telemetry.sampler.TelemetrySession`:
+  controllers consume the telemetry windows as they close and actuate
+  the injection throttle gate and per-node injection-VC limits, with
+  every action recorded in a replayable :class:`ControlTrace`;
+* :mod:`repro.control.knee` — detector-driven bisection that locates the
+  saturation knee to a tolerance in O(log) simulations instead of a full
+  rate sweep.
+
+The experiment engine exposes all of it through
+``SimSpec.closed_loop_window`` / ``SimSpec.controllers`` and the
+``"closed-loop-saturation"`` / ``"knee-search"`` scenario families; the
+CLI through ``repro control run/stats/knee``.
+"""
+
+from repro.control.controllers import (
+    ControlAction,
+    Controller,
+    ControlSession,
+    ControlTrace,
+    Directive,
+    ThrottleController,
+    VcBiasController,
+    WindowSnapshot,
+    controller_names,
+    make_controllers,
+    register_controller,
+    replay_control,
+)
+from repro.control.knee import (
+    KneeProbe,
+    KneeResult,
+    locate_knee,
+    probe_is_saturated,
+    sweep_knee,
+)
+from repro.control.sources import (
+    ClosedLoopConfig,
+    ClosedLoopSession,
+    ClosedLoopStats,
+)
+
+__all__ = [
+    "ClosedLoopConfig",
+    "ClosedLoopSession",
+    "ClosedLoopStats",
+    "ControlAction",
+    "ControlSession",
+    "ControlTrace",
+    "Controller",
+    "Directive",
+    "KneeProbe",
+    "KneeResult",
+    "ThrottleController",
+    "VcBiasController",
+    "WindowSnapshot",
+    "controller_names",
+    "locate_knee",
+    "make_controllers",
+    "probe_is_saturated",
+    "register_controller",
+    "replay_control",
+    "sweep_knee",
+]

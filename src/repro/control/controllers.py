@@ -1,0 +1,502 @@
+"""Online adaptive controllers acting at telemetry window boundaries.
+
+PR 4's streaming detectors answer *when* a run degrades; this module
+closes the loop: a :class:`ControlSession` registers as the telemetry
+sampler's window observer (:class:`repro.telemetry.sampler
+.TelemetrySession`), feeds each closing window to its controllers, and
+translates their directives into the two actuators the simulator
+exposes:
+
+* the **injection throttle gate** — at throttle level ``L`` new packets
+  may only start on every ``2^L``-th cycle, a deterministic duty-cycle
+  realization of "halve the offered rate" (level 0 = open);
+* **per-node injection-VC limits** — hot routers admit new local packets
+  into fewer VCs, freeing input buffers for through-traffic (safe:
+  injection ports sit outside every channel dependency cycle).
+
+Controllers are *streaming and pure*: each decision is a function of the
+window history observed so far, never of hidden simulator state. That is
+what makes the recorded :class:`ControlTrace` replayable — running
+:func:`replay_control` over the stored telemetry of a controlled run
+with fresh controller instances reproduces the action sequence exactly
+(a property test pins this).
+
+Built-ins:
+
+* :class:`ThrottleController` — halves the offered rate on each
+  :class:`~repro.telemetry.detectors.SaturationDetector` onset (re-armed
+  via its :meth:`~repro.telemetry.detectors.SaturationDetector.reset`),
+  and releases one level after a sustained healthy streak;
+* :class:`VcBiasController` — tracks a
+  :class:`~repro.telemetry.detectors.HotspotDetector` and restricts the
+  injection VCs of sustained-hotspot routers, restoring them when the
+  hotspot dissolves.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.telemetry.detectors import HotspotDetector, SaturationDetector
+from repro.telemetry.sampler import TelemetryTrace, WindowRow
+
+__all__ = [
+    "ControlAction",
+    "ControlSession",
+    "ControlTrace",
+    "Controller",
+    "Directive",
+    "ThrottleController",
+    "VcBiasController",
+    "WindowSnapshot",
+    "controller_names",
+    "make_controllers",
+    "register_controller",
+    "replay_control",
+]
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """One closed telemetry window, as controllers see it."""
+
+    index: int
+    """Global window index (ring eviction never renumbers)."""
+    start: int
+    end: int
+    router_flits: np.ndarray
+    """Per-router traversal counts within the window."""
+    delivered: int
+    latency_sum: int
+    occupied_vcs: int
+    """Network-wide occupied input VCs at the window's closing edge."""
+    in_flight: int
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean ejection latency of the window (nan if none delivered)."""
+        if self.delivered == 0:
+            return math.nan
+        return self.latency_sum / self.delivered
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One actuator change requested by a controller.
+
+    ``kind`` is ``"throttle"`` (``value`` = new level, gate period
+    ``2**value``) or ``"vc_limit"`` (``value`` = injection-VC cap for
+    ``nodes``).
+    """
+
+    kind: str
+    value: int
+    nodes: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("throttle", "vc_limit"):
+            raise ValueError(f"unknown directive kind {self.kind!r}")
+        if self.value < 0:
+            raise ValueError(f"directive value must be >= 0, got {self.value}")
+        if self.kind == "vc_limit" and self.value < 1:
+            # Limit 0 would block the targeted nodes' injection forever.
+            raise ValueError("vc_limit directives need >= 1 usable VC")
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """One applied directive, stamped with when it took effect."""
+
+    window: int
+    """Global index of the window whose close triggered the action."""
+    cycle: int
+    """Boundary cycle at which the actuator changed."""
+    controller: str
+    kind: str
+    value: int
+    nodes: tuple[int, ...] = ()
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "window": self.window,
+            "cycle": self.cycle,
+            "controller": self.controller,
+            "kind": self.kind,
+            "value": self.value,
+            "nodes": list(self.nodes),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ControlAction":
+        return cls(
+            window=data["window"],
+            cycle=data["cycle"],
+            controller=data["controller"],
+            kind=data["kind"],
+            value=data["value"],
+            nodes=tuple(data["nodes"]),
+        )
+
+
+@dataclass(frozen=True)
+class ControlTrace:
+    """Complete record of one control session: every action, per window.
+
+    Frozen and tuple-valued so traces compare by value — the determinism
+    contract is ``online trace == replay_control(saved telemetry)``.
+    """
+
+    window: int
+    n_windows: int
+    cycles: int
+    actions: tuple[ControlAction, ...]
+    final_throttle_period: int
+    restricted_nodes: tuple[int, ...]
+    """Nodes whose injection-VC limit was still below n_vcs at the end."""
+
+    @property
+    def n_actions(self) -> int:
+        return len(self.actions)
+
+    def actions_in_window(self, index: int) -> list[ControlAction]:
+        """Actions triggered by the close of global window ``index``."""
+        return [a for a in self.actions if a.window == index]
+
+    def throttle_level_series(self) -> list[tuple[int, int]]:
+        """(window, level) steps of the throttle actuator, in order."""
+        return [
+            (a.window, a.value) for a in self.actions if a.kind == "throttle"
+        ]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "window": self.window,
+            "n_windows": self.n_windows,
+            "cycles": self.cycles,
+            "actions": [a.to_json() for a in self.actions],
+            "final_throttle_period": self.final_throttle_period,
+            "restricted_nodes": list(self.restricted_nodes),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ControlTrace":
+        return cls(
+            window=data["window"],
+            n_windows=data["n_windows"],
+            cycles=data["cycles"],
+            actions=tuple(ControlAction.from_json(a) for a in data["actions"]),
+            final_throttle_period=data["final_throttle_period"],
+            restricted_nodes=tuple(data["restricted_nodes"]),
+        )
+
+
+class Controller:
+    """Base class: consume one window snapshot, emit directives."""
+
+    name = "controller"
+
+    def observe(self, snap: WindowSnapshot) -> tuple[Directive, ...]:
+        """Return the actuator changes this window's close calls for."""
+        raise NotImplementedError
+
+
+class ThrottleController(Controller):
+    """Halve offered rate on saturation onset, release on recovery.
+
+    Wraps a streaming :class:`SaturationDetector`: when it fires, the
+    throttle level rises by one (gate period doubles) and the detector is
+    re-armed against its learned baseline. While at a raised level, a
+    streak of ``release_patience`` healthy windows (deliveries present
+    and windowed latency within ``release_factor`` of the baseline)
+    lowers the level by one.
+    """
+
+    name = "throttle"
+
+    def __init__(
+        self,
+        *,
+        latency_factor: float = 2.0,
+        patience: int = 2,
+        baseline_windows: int = 4,
+        release_factor: float = 1.25,
+        release_patience: int = 3,
+        max_level: int = 4,
+    ) -> None:
+        if release_factor < 1.0:
+            raise ValueError(
+                f"release factor must be >= 1, got {release_factor}"
+            )
+        if release_patience < 1:
+            raise ValueError(
+                f"release patience must be >= 1, got {release_patience}"
+            )
+        if max_level < 1:
+            raise ValueError(f"max level must be >= 1, got {max_level}")
+        self._detector = SaturationDetector(
+            latency_factor=latency_factor,
+            patience=patience,
+            baseline_windows=baseline_windows,
+        )
+        self.release_factor = release_factor
+        self.release_patience = release_patience
+        self.max_level = max_level
+        self.level = 0
+        self._healthy_streak = 0
+
+    def observe(self, snap: WindowSnapshot) -> tuple[Directive, ...]:
+        det = self._detector
+        det.update(snap.start, snap.delivered, snap.latency_sum, snap.occupied_vcs)
+        if det.onset_cycle is not None:
+            det.reset()
+            self._healthy_streak = 0
+            if self.level < self.max_level:
+                self.level += 1
+                return (Directive("throttle", self.level),)
+            return ()
+        baseline = det.baseline_latency
+        healthy = (
+            snap.delivered > 0
+            and not math.isnan(baseline)
+            and snap.mean_latency <= self.release_factor * baseline
+        )
+        self._healthy_streak = self._healthy_streak + 1 if healthy else 0
+        if self.level > 0 and self._healthy_streak >= self.release_patience:
+            self.level -= 1
+            self._healthy_streak = 0
+            return (Directive("throttle", self.level),)
+        return ()
+
+
+class VcBiasController(Controller):
+    """Restrict injection VCs at sustained-hotspot routers.
+
+    Tracks a streaming :class:`HotspotDetector`; whenever the sustained
+    set changes, newly hot routers get their local injection limited to
+    ``max(1, n_vcs // 2)`` VCs (new local packets compete for fewer
+    buffers, biasing capacity toward through-traffic) and routers that
+    cooled down are restored to the full ``n_vcs``.
+    """
+
+    name = "vc-bias"
+
+    def __init__(
+        self,
+        *,
+        n_vcs: int,
+        factor: float = 3.0,
+        min_fraction: float = 0.5,
+        limit: int | None = None,
+    ) -> None:
+        if n_vcs < 1:
+            raise ValueError(f"n_vcs must be >= 1, got {n_vcs}")
+        self.n_vcs = n_vcs
+        self.limit = max(1, n_vcs // 2) if limit is None else limit
+        if not 1 <= self.limit <= n_vcs:
+            raise ValueError(
+                f"vc limit must be 1..{n_vcs}, got {self.limit}"
+            )
+        self._detector = HotspotDetector(factor=factor, min_fraction=min_fraction)
+        self._restricted: set[int] = set()
+
+    def observe(self, snap: WindowSnapshot) -> tuple[Directive, ...]:
+        self._detector.update(snap.router_flits)
+        sustained = set(self._detector.sustained_hotspots())
+        directives: list[Directive] = []
+        newly_hot = tuple(sorted(sustained - self._restricted))
+        cooled = tuple(sorted(self._restricted - sustained))
+        if newly_hot:
+            directives.append(Directive("vc_limit", self.limit, newly_hot))
+        if cooled:
+            directives.append(Directive("vc_limit", self.n_vcs, cooled))
+        self._restricted = sustained
+        return tuple(directives)
+
+
+#: Registered controller factories: name -> factory(n_vcs=...) -> Controller.
+_CONTROLLERS: dict[str, Any] = {}
+
+
+def register_controller(name: str):
+    """Decorator: make a controller factory addressable by ``name``.
+
+    The factory signature is ``factory(*, n_vcs: int) -> Controller``.
+    """
+
+    def wrap(factory):
+        if name in _CONTROLLERS:
+            raise ValueError(f"controller {name!r} already registered")
+        _CONTROLLERS[name] = factory
+        return factory
+
+    return wrap
+
+
+def controller_names() -> list[str]:
+    """All registered controller names, sorted."""
+    return sorted(_CONTROLLERS)
+
+
+def make_controllers(names: Iterable[str], *, n_vcs: int) -> list[Controller]:
+    """Instantiate registered controllers (default knobs) by name."""
+    controllers = []
+    for name in names:
+        try:
+            factory = _CONTROLLERS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown controller {name!r}; one of {controller_names()}"
+            ) from None
+        controllers.append(factory(n_vcs=n_vcs))
+    return controllers
+
+
+@register_controller("throttle")
+def _make_throttle(*, n_vcs: int) -> ThrottleController:
+    del n_vcs
+    return ThrottleController()
+
+
+@register_controller("vc-bias")
+def _make_vc_bias(*, n_vcs: int) -> VcBiasController:
+    return VcBiasController(n_vcs=n_vcs)
+
+
+class ControlSession:
+    """Actuator state + action log the simulator reads at window closes.
+
+    Mirrors :class:`~repro.telemetry.sampler.TelemetrySession`: one per
+    run, hooked in as the telemetry sampler's window observer. After each
+    boundary flush the simulator re-reads :attr:`throttle_period` and
+    :attr:`vc_limits` — the only two channels through which controllers
+    influence the run.
+    """
+
+    def __init__(
+        self,
+        controllers: Sequence[Controller],
+        *,
+        window: int,
+        n_nodes: int,
+        n_vcs: int,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"control window must be >= 1 cycle, got {window}")
+        if not controllers:
+            raise ValueError("control session needs at least one controller")
+        self.controllers = list(controllers)
+        self.window = window
+        self.n_nodes = n_nodes
+        self.n_vcs = n_vcs
+        self.throttle_period = 1
+        self.vc_limits: list[int] | None = None
+        self._actions: list[ControlAction] = []
+        self._windows = 0
+
+    def observe(self, index: int, row: WindowRow) -> None:
+        """Window-observer hook (one closed telemetry window)."""
+        start, end, router_flits, _, occupied, in_flight, delivered, lat_sum = row
+        self._windows = index + 1
+        snap = WindowSnapshot(
+            index=index,
+            start=start,
+            end=end,
+            router_flits=router_flits,
+            delivered=delivered,
+            latency_sum=lat_sum,
+            occupied_vcs=int(occupied.sum()),
+            in_flight=in_flight,
+        )
+        for controller in self.controllers:
+            for directive in controller.observe(snap):
+                self._apply(directive, controller.name, index, end)
+
+    def _apply(
+        self, directive: Directive, controller: str, window: int, cycle: int
+    ) -> None:
+        if directive.kind == "throttle":
+            self.throttle_period = 1 << directive.value
+        else:  # vc_limit
+            if self.vc_limits is None:
+                self.vc_limits = [self.n_vcs] * self.n_nodes
+            for node in directive.nodes:
+                self.vc_limits[node] = directive.value
+        self._actions.append(
+            ControlAction(
+                window=window,
+                cycle=cycle,
+                controller=controller,
+                kind=directive.kind,
+                value=directive.value,
+                nodes=directive.nodes,
+            )
+        )
+
+    def finalize(self, cycles: int) -> ControlTrace:
+        """Assemble the immutable action record after the run loop."""
+        restricted = ()
+        if self.vc_limits is not None:
+            restricted = tuple(
+                node
+                for node, limit in enumerate(self.vc_limits)
+                if limit < self.n_vcs
+            )
+        return ControlTrace(
+            window=self.window,
+            n_windows=self._windows,
+            cycles=cycles,
+            actions=tuple(self._actions),
+            final_throttle_period=self.throttle_period,
+            restricted_nodes=restricted,
+        )
+
+
+def replay_control(
+    telemetry: TelemetryTrace,
+    controllers: Sequence[Controller],
+    *,
+    n_vcs: int | None = None,
+) -> ControlTrace:
+    """Re-derive the control actions from a stored telemetry trace.
+
+    Feeds the retained windows, oldest first, through *fresh* controller
+    instances exactly as the online session did. Because controller
+    decisions are pure functions of the observed window history, the
+    result is identical to the live run's :class:`ControlTrace` whenever
+    the trace retains every window (``max_windows=None``); ring-evicted
+    prefixes are not replayable.
+
+    ``n_vcs`` must match the online session's when a *custom* controller
+    emits ``vc_limit`` directives (it seeds the lazily-created limit rows
+    and the ``restricted_nodes`` cutoff); when omitted, it is recovered
+    from a :class:`VcBiasController` in ``controllers`` — sufficient for
+    the built-ins.
+    """
+    if n_vcs is None:
+        n_vcs = next(
+            (c.n_vcs for c in controllers if isinstance(c, VcBiasController)), 1
+        )
+    session = ControlSession(
+        controllers,
+        window=telemetry.window,
+        n_nodes=telemetry.n_nodes,
+        n_vcs=n_vcs,
+    )
+    for i in range(telemetry.n_windows):
+        row: WindowRow = (
+            int(telemetry.starts[i]),
+            int(telemetry.ends[i]),
+            telemetry.router_flits[i],
+            telemetry.link_flits[i],
+            telemetry.occupied_vcs[i],
+            int(telemetry.in_flight[i]),
+            int(telemetry.delivered[i]),
+            int(telemetry.latency_sum[i]),
+        )
+        session.observe(telemetry.dropped_windows + i, row)
+    return session.finalize(telemetry.cycles)

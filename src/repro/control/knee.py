@@ -1,0 +1,182 @@
+"""One-run saturation-knee location by detector-driven bisection.
+
+Open-loop saturation studies sweep a whole grid of injection rates and
+flag each point SATURATED after it burns its drain budget. The knee —
+the offered rate at which the network leaves the stable regime — is a
+*monotone boundary* in that grid, so bisection over the rate axis finds
+it to a tolerance ``tol`` in ``O(log((hi - lo) / tol))`` simulations
+instead of ``O((hi - lo) / tol)``, and the per-probe verdict comes from
+the streaming :class:`~repro.telemetry.detectors.SaturationDetector`
+(onset observed, or the run failed to drain) rather than from exhausting
+the budget.
+
+Probes are ordinary ``"knee-search"`` scenarios
+(:mod:`repro.experiments.registry`), evaluated through a shared
+:class:`~repro.experiments.runner.Runner` — every probe at a given rate
+is the *same* scenario whether it came from this bisection, a brute
+force sweep, or an earlier search, so the evaluation cache deduplicates
+across all three (the family seeds every rate identically for exactly
+this reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["KneeProbe", "KneeResult", "locate_knee", "probe_is_saturated", "sweep_knee"]
+
+
+@dataclass(frozen=True)
+class KneeProbe:
+    """One evaluated rate: its verdict and where it came from."""
+
+    rate: float
+    saturated: bool
+    onset_cycle: int | None
+    drained: bool
+    cached: bool
+    """True when the evaluation cache served this probe (not re-simulated)."""
+
+
+@dataclass(frozen=True)
+class KneeResult:
+    """Outcome of one bisection search.
+
+    The final bracket ``[lo, hi]`` has ``lo`` stable and ``hi``
+    saturated with ``hi - lo <= tolerance``; :attr:`knee_rate` is the
+    bracket midpoint. ``n_simulations`` counts probes actually simulated
+    (cache hits excluded), the figure to compare against a sweep's point
+    count.
+    """
+
+    lo: float
+    hi: float
+    tolerance: float
+    probes: tuple[KneeProbe, ...]
+
+    @property
+    def knee_rate(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def n_probes(self) -> int:
+        return len(self.probes)
+
+    @property
+    def n_simulations(self) -> int:
+        return sum(1 for p in self.probes if not p.cached)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "knee_rate": self.knee_rate,
+            "tolerance": self.tolerance,
+            "n_simulations": self.n_simulations,
+            "probes": [
+                {
+                    "rate": p.rate,
+                    "saturated": p.saturated,
+                    "onset_cycle": p.onset_cycle,
+                    "drained": p.drained,
+                    "cached": p.cached,
+                }
+                for p in self.probes
+            ],
+        }
+
+
+def probe_is_saturated(metrics: dict[str, Any]) -> bool:
+    """The shared probe verdict: onset detected, or failed to drain.
+
+    The detector usually fires well before the drain budget burns, which
+    is what makes a probe cheap; the drain flag backstops pathological
+    runs where latency blows up without a detectable onset.
+    """
+    return metrics.get("saturation_onset_cycle") is not None or not metrics["drained"]
+
+
+def _evaluate(rate: float, runner, family_knobs: dict[str, Any]) -> KneeProbe:
+    from repro.experiments import scenario_family
+
+    scenario = scenario_family("knee-search", rates=[rate], **family_knobs)[0]
+    result = runner.run([scenario])[0]
+    return KneeProbe(
+        rate=rate,
+        saturated=probe_is_saturated(result.metrics),
+        onset_cycle=result.metrics.get("saturation_onset_cycle"),
+        drained=result.metrics["drained"],
+        cached=result.cached,
+    )
+
+
+def locate_knee(
+    *,
+    lo: float,
+    hi: float,
+    tolerance: float = 0.02,
+    runner=None,
+    **family_knobs: Any,
+) -> KneeResult:
+    """Bisect the saturation knee of a ``"knee-search"`` configuration.
+
+    ``lo`` must evaluate stable and ``hi`` saturated (the bracket is
+    probed first and a :class:`ValueError` names the offending end
+    otherwise); remaining knobs (``model``, ``traffic``, ``width``,
+    ``cycles``, ``window``, ``seed``, model params, ...) forward to the
+    scenario family. Pass a shared :class:`~repro.experiments.Runner` to
+    reuse its evaluation cache across searches and sweeps.
+    """
+    from repro.experiments import Runner
+
+    if not 0 < lo < hi:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    if runner is None:
+        runner = Runner()
+    probes: list[KneeProbe] = []
+    lo_probe = _evaluate(lo, runner, family_knobs)
+    probes.append(lo_probe)
+    if lo_probe.saturated:
+        raise ValueError(
+            f"bracket low end r={lo:g} is already saturated; lower it"
+        )
+    hi_probe = _evaluate(hi, runner, family_knobs)
+    probes.append(hi_probe)
+    if not hi_probe.saturated:
+        raise ValueError(
+            f"bracket high end r={hi:g} did not saturate; raise it"
+        )
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        probe = _evaluate(mid, runner, family_knobs)
+        probes.append(probe)
+        if probe.saturated:
+            hi = mid
+        else:
+            lo = mid
+    return KneeResult(lo=lo, hi=hi, tolerance=tolerance, probes=tuple(probes))
+
+
+def sweep_knee(
+    rates,
+    *,
+    runner=None,
+    **family_knobs: Any,
+) -> tuple[float | None, list[KneeProbe]]:
+    """Brute-force comparator: probe every rate, return the first
+    saturated one (``None`` if the whole grid stays stable).
+
+    Uses the same scenarios and verdict as :func:`locate_knee`, so the
+    two agree up to grid resolution / bisection tolerance — the
+    integration test pins that, along with the simulation-count savings.
+    """
+    from repro.experiments import Runner
+
+    if runner is None:
+        runner = Runner()
+    probes = [_evaluate(float(r), runner, family_knobs) for r in rates]
+    knee = next((p.rate for p in probes if p.saturated), None)
+    return knee, probes

@@ -357,6 +357,138 @@ def telemetry_profile(
     ]
 
 
+@register_family("closed-loop-saturation")
+def closed_loop_saturation(
+    *,
+    rates: Sequence[float],
+    window: int = 4,
+    think_cycles: int = 0,
+    reply_flits: int = 1,
+    model: str = "bernoulli",
+    traffic: str = "uniform",
+    hops: int = 0,
+    base_technology: Technology = Technology.ELECTRONIC,
+    express_technology: Technology = Technology.HYPPI,
+    width: int = 16,
+    height: int = 16,
+    cycles: int = 1200,
+    packet_flits: int = 1,
+    drain_budget: int = 200_000,
+    telemetry_window: int = 0,
+    controllers: Sequence[str] = (),
+    seed: int = 0,
+    **model_params: object,
+) -> list[Scenario]:
+    """Closed-loop request/reply latency-vs-demand points.
+
+    The shape of ``"workload-saturation"`` with the generated traffic
+    reinterpreted as *demand*: each source keeps at most ``window``
+    requests outstanding, destinations serve replies after
+    ``think_cycles``, and offered load self-limits under congestion
+    (:mod:`repro.control.sources`). At a demand rate where the open-loop
+    equivalent is SATURATED, the windowed points plateau — they drain,
+    later, instead of jamming. ``controllers`` additionally attaches
+    online adaptive control (requires ``telemetry_window > 0``).
+    """
+    topo = (
+        TopologySpec.plain(base_technology, width=width, height=height)
+        if hops == 0
+        else TopologySpec.express(
+            base_technology, express_technology, hops, width=width, height=height
+        )
+    )
+    sim = SimSpec(
+        cycles=cycles,
+        packet_flits=packet_flits,
+        drain_budget=drain_budget,
+        telemetry_window=telemetry_window,
+        closed_loop_window=window,
+        think_cycles=think_cycles,
+        reply_flits=reply_flits,
+        controllers=tuple(controllers),
+    )
+    return [
+        Scenario(
+            kind="simulation",
+            topology=topo,
+            traffic=TrafficSpec.make(
+                "workload",
+                injection_rate=float(rate),
+                seed=derive_seed(seed, i),
+                model=model,
+                traffic=traffic,
+                **model_params,
+            ),
+            sim=sim,
+            name=f"closed-{model}-w{window}-r{float(rate):g}",
+        )
+        for i, rate in enumerate(rates)
+    ]
+
+
+@register_family("knee-search")
+def knee_search(
+    *,
+    rates: Sequence[float],
+    model: str = "bernoulli",
+    traffic: str = "uniform",
+    hops: int = 0,
+    base_technology: Technology = Technology.ELECTRONIC,
+    express_technology: Technology = Technology.HYPPI,
+    width: int = 8,
+    height: int = 8,
+    cycles: int = 2000,
+    window: int = 128,
+    packet_flits: int = 1,
+    drain_budget: int = 20_000,
+    seed: int = 0,
+    **model_params: object,
+) -> list[Scenario]:
+    """Telemetry-enabled saturation probes for knee location.
+
+    One scenario per rate, sampled every ``window`` cycles so the
+    streaming :class:`~repro.telemetry.detectors.SaturationDetector`
+    delivers the stable/saturated verdict
+    (:func:`repro.control.probe_is_saturated`). Unlike the sweep
+    families, every rate shares the *same* workload seed: a probe at
+    rate ``r`` is the identical scenario whether it came from
+    :func:`repro.control.locate_knee`'s bisection, a brute-force grid,
+    or an earlier search — which is what lets the evaluation cache
+    deduplicate across all of them. The default drain budget is modest
+    on purpose: the detector, not budget exhaustion, is the verdict.
+    """
+    topo = (
+        TopologySpec.plain(base_technology, width=width, height=height)
+        if hops == 0
+        else TopologySpec.express(
+            base_technology, express_technology, hops, width=width, height=height
+        )
+    )
+    sim = SimSpec(
+        cycles=cycles,
+        packet_flits=packet_flits,
+        drain_budget=drain_budget,
+        telemetry_window=window,
+    )
+    return [
+        Scenario(
+            kind="simulation",
+            topology=topo,
+            traffic=TrafficSpec.make(
+                "workload",
+                injection_rate=float(rate),
+                seed=seed,
+                model=model,
+                traffic=traffic,
+                **model_params,
+            ),
+            sim=sim,
+            name=f"knee-{model}-r{float(rate):g}",
+        )
+        for rate in rates
+    ]
+
+
 @register_family("npb-kernels")
 def npb_kernels(
     *,

@@ -78,6 +78,7 @@ def simulate_scenario(scenario: Scenario):
     engine caches metrics for.
     """
     from repro.simulation.simulator import Simulator
+    from repro.traffic.trace import Trace
 
     if scenario.kind != "simulation" or scenario.sim is None:
         raise ValueError(f"not a simulation scenario: {scenario.label}")
@@ -90,16 +91,46 @@ def simulate_scenario(scenario: Scenario):
         from repro.telemetry import TelemetryConfig
 
         telemetry_cfg = TelemetryConfig(window=sim_spec.telemetry_window)
+    closed = None
+    if sim_spec.closed_loop_window > 0:
+        # The generated trace becomes closed-loop *demand*; the simulator
+        # itself injects nothing open-loop.
+        from repro.control import ClosedLoopConfig, ClosedLoopSession
+
+        closed = ClosedLoopSession(
+            ClosedLoopConfig(
+                window=sim_spec.closed_loop_window,
+                think_cycles=sim_spec.think_cycles,
+                reply_flits=sim_spec.reply_flits,
+            ),
+            trace,
+        )
+        trace = Trace(topo.n_nodes, [], name=f"{trace.name}-closed")
+    control = None
+    if sim_spec.controllers:
+        from repro.control import ControlSession, make_controllers
+
+        control = ControlSession(
+            make_controllers(sim_spec.controllers, n_vcs=sim_spec.n_vcs),
+            window=sim_spec.telemetry_window,
+            n_nodes=topo.n_nodes,
+            n_vcs=sim_spec.n_vcs,
+        )
     stats = sim.run(
         trace,
         max_cycles=sim_spec.cycle_budget(scenario.traffic.trace_based),
         telemetry=telemetry_cfg,
+        closed_loop=closed,
+        control=control,
     )
     return topo, stats
 
 
 def _evaluate_simulation(scenario: Scenario) -> dict[str, Any]:
     import math
+
+    def _finite(x: float) -> float | None:
+        return None if math.isnan(x) else float(x)
 
     topo, stats = simulate_scenario(scenario)
     metrics = {
@@ -119,9 +150,6 @@ def _evaluate_simulation(scenario: Scenario) -> dict[str, Any]:
     if stats.telemetry is not None:
         from repro.telemetry import analyze, power_trace
 
-        def _finite(x: float) -> float | None:
-            return None if math.isnan(x) else float(x)
-
         findings = analyze(stats.telemetry)
         power = power_trace(topo, stats.telemetry)
         metrics.update(
@@ -135,6 +163,24 @@ def _evaluate_simulation(scenario: Scenario) -> dict[str, Any]:
             peak_dynamic_w=_finite(power.peak_dynamic_w),
             mean_dynamic_w=_finite(power.mean_dynamic_w),
             dynamic_energy_j=power.total.dynamic_j,
+        )
+    if stats.closed_loop is not None:
+        cl = stats.closed_loop
+        metrics.update(
+            closed_loop_window=cl.window,
+            requests_issued=cl.requests_issued,
+            replies_delivered=cl.replies_delivered,
+            outstanding_at_end=cl.outstanding_at_end,
+            peak_outstanding=cl.peak_outstanding,
+            stalled_demand=cl.stalled_demand,
+            mean_round_trip=_finite(cl.mean_round_trip),
+        )
+    if stats.control is not None:
+        ct = stats.control
+        metrics.update(
+            control_actions=ct.n_actions,
+            final_throttle_period=ct.final_throttle_period,
+            restricted_nodes=list(ct.restricted_nodes),
         )
     return metrics
 

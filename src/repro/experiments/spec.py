@@ -328,6 +328,20 @@ class SimSpec:
     """Windowed-telemetry sampling period in cycles (0 = disabled; see
     :mod:`repro.telemetry`). Enabled runs additionally report saturation
     onset, hotspots and windowed power in their metrics."""
+    closed_loop_window: int = 0
+    """Per-source outstanding-request window (0 = open loop; see
+    :mod:`repro.control.sources`). Closed-loop scenarios reinterpret the
+    generated traffic as *demand*: requests are released only while fewer
+    than this many are in flight, and each delivered request generates a
+    reply that returns the credit."""
+    think_cycles: int = 0
+    """Destination service time before a closed-loop reply is offered."""
+    reply_flits: int = 1
+    """Closed-loop reply packet size in flits."""
+    controllers: tuple[str, ...] = ()
+    """Online controllers acting at telemetry window boundaries (names
+    from :func:`repro.control.controller_names`; requires
+    ``telemetry_window > 0``)."""
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
@@ -338,6 +352,27 @@ class SimSpec:
             raise ValueError(
                 f"telemetry window must be >= 0, got {self.telemetry_window}"
             )
+        if self.closed_loop_window < 0 or self.think_cycles < 0:
+            raise ValueError(f"closed-loop knobs must be >= 0: {self}")
+        if self.reply_flits < 1:
+            raise ValueError(
+                f"reply size must be >= 1 flit, got {self.reply_flits}"
+            )
+        object.__setattr__(self, "controllers", tuple(self.controllers))
+        if self.controllers:
+            if self.telemetry_window < 1:
+                raise ValueError(
+                    "controllers act on telemetry windows; set "
+                    "telemetry_window > 0"
+                )
+            from repro.control.controllers import controller_names
+
+            unknown = [c for c in self.controllers if c not in controller_names()]
+            if unknown:
+                raise ValueError(
+                    f"unknown controller(s) {unknown}; one of "
+                    f"{controller_names()}"
+                )
 
     def sim_config(self) -> SimConfig:
         return SimConfig(
@@ -364,10 +399,16 @@ class SimSpec:
             "drain_budget": self.drain_budget,
             "max_cycles": self.max_cycles,
             "telemetry_window": self.telemetry_window,
+            "closed_loop_window": self.closed_loop_window,
+            "think_cycles": self.think_cycles,
+            "reply_flits": self.reply_flits,
+            "controllers": list(self.controllers),
         }
 
     @classmethod
     def from_json(cls, data: dict[str, Any]) -> "SimSpec":
+        data = dict(data)
+        data["controllers"] = tuple(data.get("controllers", ()))
         return cls(**data)
 
 

@@ -89,10 +89,17 @@ class InputPort:
         if not self.vcs:
             self.vcs = [VirtualChannel(self.vc_depth) for _ in range(self.n_vcs)]
 
-    def free_vc(self, start: int = 0) -> int | None:
-        """Index of an idle VC (round-robin from ``start``), or None."""
-        for i in range(self.n_vcs):
-            idx = (start + i) % self.n_vcs
+    def free_vc(self, start: int = 0, limit: int | None = None) -> int | None:
+        """Index of an idle VC (round-robin from ``start``), or None.
+
+        ``limit`` restricts the search to VCs ``0..limit-1`` — the
+        injection-VC actuator of :class:`repro.control.VcBiasController`
+        (safe at injection ports only: they are not part of any channel
+        dependency cycle, so restricting them cannot deadlock).
+        """
+        n = self.n_vcs if limit is None else min(limit, self.n_vcs)
+        for i in range(n):
+            idx = (start + i) % n
             if self.vcs[idx].is_idle:
                 return idx
         return None

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from bisect import insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -52,6 +53,8 @@ from repro.topology.routing import RoutingTable
 from repro.traffic.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (telemetry -> sim)
+    from repro.control.controllers import ControlSession, ControlTrace
+    from repro.control.sources import ClosedLoopSession, ClosedLoopStats
     from repro.telemetry.sampler import TelemetryConfig, TelemetryTrace
 
 __all__ = ["SimConfig", "SimStats", "Simulator"]
@@ -99,6 +102,10 @@ class SimStats:
     """True if every injected packet was delivered before the cycle limit."""
     telemetry: "TelemetryTrace | None" = None
     """Windowed activity samples (only when the run requested telemetry)."""
+    closed_loop: "ClosedLoopStats | None" = None
+    """Request/reply accounting (only for closed-loop runs)."""
+    control: "ControlTrace | None" = None
+    """Recorded controller actions (only when a control session ran)."""
 
     @property
     def avg_latency(self) -> float:
@@ -230,6 +237,8 @@ class Simulator:
         *,
         max_cycles: int = 2_000_000,
         telemetry: "TelemetryConfig | None" = None,
+        closed_loop: "ClosedLoopSession | None" = None,
+        control: "ControlSession | None" = None,
     ) -> SimStats:
         """Simulate a trace until drained or ``max_cycles`` is reached.
 
@@ -240,6 +249,24 @@ class Simulator:
         identical with or without it — and costs O(network size) per
         *window*, not per cycle; disabled, it reduces to one integer
         comparison per cycle against an unreachable sentinel.
+
+        ``closed_loop`` attaches a request/reply session
+        (:class:`repro.control.ClosedLoopSession`): its demand packets are
+        released subject to the per-source outstanding-request window, a
+        delivered request generates a reply at the destination, and a
+        delivered reply returns the source's credit. ``trace`` packets
+        still inject open-loop alongside (pass an empty trace for a pure
+        closed-loop run).
+
+        ``control`` attaches an online controller session
+        (:class:`repro.control.ControlSession`) observing the telemetry
+        windows as they close and actuating the injection throttle gate
+        and per-node injection-VC limits at window boundaries. Telemetry
+        is implied (a session with the controller's window is created
+        when ``telemetry`` is None; an explicit window must match).
+
+        With both disabled (the default), outputs are bit-identical to a
+        plain run — the golden tests pin that.
         """
         if trace.n_nodes != self.topology.n_nodes:
             raise ValueError(
@@ -248,11 +275,23 @@ class Simulator:
             )
         if max_cycles < 1:
             raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        if control is not None and telemetry is None:
+            from repro.telemetry.sampler import TelemetryConfig
+
+            telemetry = TelemetryConfig(window=control.window)
         if telemetry is not None:
             from repro.telemetry.sampler import TelemetrySession
 
+            if control is not None and control.window != telemetry.window:
+                raise ValueError(
+                    f"control window {control.window} != telemetry window "
+                    f"{telemetry.window}; controllers act on the sampled grid"
+                )
             session = TelemetrySession(
-                telemetry, self.topology.n_nodes, self.topology.n_links
+                telemetry,
+                self.topology.n_nodes,
+                self.topology.n_links,
+                observer=None if control is None else control.observe,
             )
             telem_next = session.next_boundary
         else:
@@ -315,12 +354,25 @@ class Simulator:
             )
             for i, rec in enumerate(trace.packets)
         ]
+        n_flits = trace.total_flits
+        if closed_loop is not None:
+            # The session releases each source's first window of requests
+            # up front; later releases arrive from the delivery hook.
+            initial = closed_loop.begin(len(packets), self.topology.n_nodes)
+            packets.extend(initial)
+            n_flits += sum(p.size_flits for p in initial)
         n_packets = len(packets)
         # Preallocated latency buffer, filled at ejection; -1 = in flight.
-        lat_buf = np.full(n_packets, -1, dtype=np.int64)
+        lat_buf = np.full(max(n_packets, 1), -1, dtype=np.int64)
         source_queues: list[list[Packet]] = [[] for _ in range(n_nodes)]
         for pkt in packets:
             source_queues[pkt.src].append(pkt)
+        if closed_loop is not None:
+            # Closed-loop releases interleave with any open-loop packets;
+            # per-source queues must stay time-sorted (stable, so the
+            # open-loop-only order is untouched).
+            for q in source_queues:
+                q.sort(key=lambda p: p.inject_time)
         src_pos = [0] * n_nodes
         pending_flit: list[Flit | None] = [None] * n_nodes
         pending_vc = [0] * n_nodes
@@ -332,10 +384,44 @@ class Simulator:
         heapq.heapify(wakeups)
         inj_active: set[int] = set()
 
+        def register_packet(pkt: Packet) -> None:
+            """Admit a session-released packet (request or reply) mid-run."""
+            nonlocal n_packets, n_flits, lat_buf
+            if pkt.packet_id != n_packets:  # pragma: no cover - invariant
+                raise RuntimeError("closed-loop packet ids must be sequential")
+            n_packets += 1
+            n_flits += pkt.size_flits
+            packets.append(pkt)
+            if pkt.packet_id >= lat_buf.shape[0]:
+                lat_buf = np.concatenate(
+                    [lat_buf, np.full(lat_buf.shape[0], -1, dtype=np.int64)]
+                )
+            node = pkt.src
+            # Keep the unconsumed queue suffix time-sorted: a release at
+            # cycle t may precede an already-queued future injection.
+            insort(
+                source_queues[node],
+                pkt,
+                lo=src_pos[node],
+                key=lambda p: p.inject_time,
+            )
+            if node not in inj_active:
+                heappush(wakeups, (pkt.inject_time, node))
+
+        # Control actuator state (constants when no control session runs):
+        # throttle_period gates *new-packet* starts to every Nth cycle,
+        # vc_limits restricts the injection VCs usable per node.
+        throttle_period = 1
+        vc_limits: list[int] | None = None
+        if control is not None:
+            throttle_period = control.throttle_period
+            vc_limits = control.vc_limits
+
         # Link pipeline: min-heap of (arrival, seq, flit, link_id, vc).
         flight: list[tuple[int, int, Flit, int, int]] = []
         seq = 0
         delivered = 0
+        lat_sum = 0
         active: set[int] = set()
         t = 0
 
@@ -353,14 +439,26 @@ class Simulator:
             while wakeups and wakeups[0][0] <= t:
                 inj_active.add(heappop(wakeups)[1])
             done_nodes: list[int] = []
+            # Throttle gate: new packets may only *start* on admitted
+            # cycles (period 1 == always, the untouched default); flits of
+            # packets already mid-injection always continue.
+            admit = throttle_period == 1 or t % throttle_period == 0
             for node in inj_active:
                 router = routers[node]
                 inj = router.in_ports[LOCAL_PORT]
                 flit = pending_flit[node]
                 queue = source_queues[node]
                 pos = src_pos[node]
-                if flit is None and pos < len(queue) and queue[pos].inject_time <= t:
-                    vc_idx = inj.free_vc(pending_vc[node])
+                if (
+                    admit
+                    and flit is None
+                    and pos < len(queue)
+                    and queue[pos].inject_time <= t
+                ):
+                    if vc_limits is None:
+                        vc_idx = inj.free_vc(pending_vc[node])
+                    else:
+                        vc_idx = inj.free_vc(pending_vc[node], vc_limits[node])
                     if vc_idx is not None:
                         pending_vc[node] = vc_idx
                         flit = Flit(queue[pos], 0)
@@ -491,8 +589,18 @@ class Simulator:
                         if is_tail:
                             pkt = flit.packet
                             pkt.eject_time = t + 1
-                            lat_buf[pkt.packet_id] = t + 1 - pkt.inject_time
+                            lat = t + 1 - pkt.inject_time
+                            lat_buf[pkt.packet_id] = lat
+                            lat_sum += lat
                             delivered += 1
+                            if closed_loop is not None:
+                                # A delivered request spawns its reply; a
+                                # delivered reply returns the source's
+                                # credit, releasing stalled demand.
+                                for new_pkt in closed_loop.on_delivered(
+                                    pkt, t + 1
+                                ):
+                                    register_packet(new_pkt)
                     else:
                         link_counts[out_key] += 1
                         if link_is_express[out_key]:
@@ -530,32 +638,31 @@ class Simulator:
             # ---- 5. telemetry flush (no-op sentinel when disabled) -----------
             if t >= telem_next:
                 telem_next = session.flush_to(
-                    t, router_counts, link_counts, occ_mask, len(flight)
+                    t, router_counts, link_counts, occ_mask, len(flight),
+                    delivered, lat_sum,
                 )
+                if control is not None:
+                    # Controllers acted inside the flush (via the window
+                    # observer); refresh the actuator locals they own.
+                    throttle_period = control.throttle_period
+                    vc_limits = control.vc_limits
 
-        delivered_mask = lat_buf >= 0
-        latencies = lat_buf[delivered_mask]
+        latencies = lat_buf[:n_packets][lat_buf[:n_packets] >= 0]
         telemetry_trace = None
         if session is not None:
-            inject_times = np.fromiter(
-                (p.inject_time for p in packets), np.int64, n_packets
-            )
             telemetry_trace = session.finalize(
-                t,
-                router_counts,
-                link_counts,
-                occ_mask,
-                len(flight),
-                inject_times[delivered_mask] + latencies,
-                latencies,
+                t, router_counts, link_counts, occ_mask, len(flight),
+                delivered, lat_sum,
             )
         return SimStats(
             n_packets=n_packets,
-            n_flits=trace.total_flits,
+            n_flits=n_flits,
             cycles=t,
             packet_latencies=latencies,
             link_flit_counts=np.asarray(link_counts, dtype=np.int64),
             router_flit_counts=np.asarray(router_counts, dtype=np.int64),
             drained=delivered == n_packets,
             telemetry=telemetry_trace,
+            closed_loop=None if closed_loop is None else closed_loop.finalize(t),
+            control=None if control is None else control.finalize(t),
         )

@@ -37,6 +37,7 @@ from repro.telemetry.report import (
     load_telemetry_npz,
     profile_scenario,
     read_telemetry_header,
+    render_link_heatmap,
     render_report,
     save_telemetry_npz,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "power_trace",
     "profile_scenario",
     "read_telemetry_header",
+    "render_link_heatmap",
     "render_report",
     "save_telemetry_npz",
 ]

@@ -85,6 +85,20 @@ class SaturationDetector:
             return math.nan
         return self._baseline_sum / self._baseline_n
 
+    def reset(self) -> None:
+        """Re-arm onset detection, keeping the learned baseline.
+
+        Offline analysis wants the *first* onset and never resets; an
+        adaptive controller (:mod:`repro.control.controllers`) acts on
+        each onset and re-arms the detector to watch for the next one
+        against the same stable-regime baseline.
+        """
+        self._streak = 0
+        self._streak_start = None
+        self._streak_window = None
+        self.onset_cycle = None
+        self.onset_window = None
+
     def update(
         self, start: int, delivered: int, latency_sum: int, occupied_vcs: int
     ) -> None:

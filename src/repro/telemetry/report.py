@@ -34,6 +34,7 @@ __all__ = [
     "load_telemetry_npz",
     "profile_scenario",
     "read_telemetry_header",
+    "render_link_heatmap",
     "render_report",
     "save_telemetry_npz",
 ]
@@ -206,6 +207,76 @@ def profile_scenario(scenario) -> tuple[Any, TelemetryTrace, PowerTrace, Telemet
     topo, stats = simulate_scenario(scenario)
     power = power_trace(topo, stats.telemetry)
     return stats, stats.telemetry, power, analyze(stats.telemetry)
+
+
+#: Heatmap shading ramp, lowest to highest utilization.
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+def render_link_heatmap(
+    telemetry: TelemetryTrace,
+    *,
+    csv: bool = False,
+    top: int | None = None,
+) -> str:
+    """Render per-link windowed utilization as deterministic text or CSV.
+
+    Utilization is flit traversals per cycle (all links carry 1
+    flit/cycle at capacity, so 1.0 == 100 %). Text mode draws one row
+    per link and one character per retained window on a 10-step shading
+    ramp; CSV mode emits exact values (``link`` id column, one column
+    per window keyed by its start cycle). ``top`` keeps only the N
+    busiest links by whole-trace traffic (ties broken toward lower link
+    ids; row order stays id-ascending), which is usually what a
+    congestion hunt wants.
+
+    Output is a pure function of the telemetry trace — same npz, same
+    bytes — so heatmaps are CI-diffable like every other artefact.
+    """
+    if top is not None and top < 1:
+        raise ValueError(f"top must be >= 1 link, got {top}")
+    lengths = np.maximum(telemetry.window_lengths(), 1)
+    util = telemetry.link_flits / lengths[:, None]  # (n_windows, n_links)
+    totals = telemetry.link_flits.sum(axis=0)
+    links = np.arange(telemetry.n_links)
+    if top is not None and top < telemetry.n_links:
+        # Busiest N by total traffic; lexsort's last key dominates, and
+        # negating totals keeps ties at lower ids. Rows render id-sorted.
+        order = np.lexsort((links, -totals))[:top]
+        links = np.sort(order)
+    n_windows = telemetry.n_windows
+    if csv:
+        lines = [
+            "link," + ",".join(f"w{int(s)}" for s in telemetry.starts)
+        ]
+        for link in links:
+            lines.append(
+                f"{int(link)},"
+                + ",".join(f"{u:.6g}" for u in util[:, link])
+            )
+        return "\n".join(lines)
+    width = len(str(max(int(links[-1]), 0))) if links.size else 1
+    scale = len(_HEAT_CHARS) - 1
+    lines = [
+        f"link utilization heatmap — {links.size}/{telemetry.n_links} links x "
+        f"{n_windows} windows of {telemetry.window} cycles "
+        f"(global windows {telemetry.dropped_windows}.."
+        f"{telemetry.dropped_windows + n_windows - 1})",
+        "scale: " + " ".join(
+            f"{c!r}<={(i + 1) / len(_HEAT_CHARS):.1f}"
+            for i, c in enumerate(_HEAT_CHARS)
+        ),
+    ]
+    for link in links:
+        cells = np.clip(util[:, link], 0.0, 1.0)
+        row = "".join(
+            _HEAT_CHARS[min(int(np.ceil(c * len(_HEAT_CHARS))) - 1, scale)]
+            if c > 0
+            else _HEAT_CHARS[0]
+            for c in cells
+        )
+        lines.append(f"link {int(link):>{width}} |{row}| {int(totals[link])} flits")
+    return "\n".join(lines)
 
 
 def _fmt(value: float, digits: int = 2) -> object:

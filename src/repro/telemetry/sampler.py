@@ -28,11 +28,20 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["TelemetryConfig", "TelemetryTrace"]
+__all__ = ["TelemetryConfig", "TelemetryTrace", "WindowRow", "WindowObserver"]
+
+#: One emitted window, as handed to a session observer: ``(start, end,
+#: router_flit_deltas, link_flit_deltas, occupied_vcs, n_in_flight,
+#: delivered, latency_sum)``.
+WindowRow = tuple[int, int, "np.ndarray", "np.ndarray", "np.ndarray", int, int, int]
+
+#: Callback receiving ``(global_window_index, row)`` as each window closes.
+WindowObserver = Callable[[int, WindowRow], None]
 
 
 @dataclass(frozen=True)
@@ -161,24 +170,45 @@ class TelemetrySession:
     next window boundary (including multi-window jumps from the idle
     fast-forward — intermediate windows are genuinely empty and record
     zero deltas) and :meth:`finalize` once after the run loop.
+
+    Deliveries and latency sums are windowed the same way as the flit
+    counters: the simulator maintains *running* totals (a packet ejected
+    during cycle ``c`` is counted before the boundary flush at ``c + 1``)
+    and each window stores the difference against the previous snapshot.
+    That makes the per-window series available **online** — the optional
+    ``observer`` callback receives every emitted window as it closes,
+    which is how :class:`repro.control.ControlSession` drives adaptive
+    controllers against a live run.
     """
 
-    def __init__(self, config: TelemetryConfig, n_nodes: int, n_links: int) -> None:
+    def __init__(
+        self,
+        config: TelemetryConfig,
+        n_nodes: int,
+        n_links: int,
+        observer: "WindowObserver | None" = None,
+    ) -> None:
         self.config = config
         self.n_nodes = n_nodes
         self.n_links = n_links
         self.window = config.window
         self.next_boundary = config.window
+        self.observer = observer
         self._prev_router = np.zeros(n_nodes, dtype=np.int64)
         self._prev_link = np.zeros(n_links, dtype=np.int64)
-        self._rows: deque[tuple[int, int, np.ndarray, np.ndarray, np.ndarray, int]]
+        self._prev_delivered = 0
+        self._prev_latency = 0
+        self._rows: deque[
+            tuple[int, int, np.ndarray, np.ndarray, np.ndarray, int, int, int]
+        ]
         self._rows = deque()
         self._window_start = 0
+        self._emitted = 0
         self.dropped_windows = 0
         self._carry_router = np.zeros(n_nodes, dtype=np.int64)
         self._carry_link = np.zeros(n_links, dtype=np.int64)
-        self._dropped_end = 0
-        """Exclusive end cycle of the newest evicted window."""
+        self._carry_delivered = 0
+        self._carry_latency = 0
 
     def _emit(
         self,
@@ -187,6 +217,8 @@ class TelemetrySession:
         link_counts: list[int],
         occ_mask: list[int],
         n_in_flight: int,
+        delivered: int,
+        latency_sum: int,
     ) -> None:
         cur_router = np.asarray(router_counts, dtype=np.int64)
         cur_link = np.asarray(link_counts, dtype=np.int64)
@@ -200,18 +232,27 @@ class TelemetrySession:
             cur_link - self._prev_link,
             occupied,
             n_in_flight,
+            delivered - self._prev_delivered,
+            latency_sum - self._prev_latency,
         )
         self._prev_router = cur_router
         self._prev_link = cur_link
+        self._prev_delivered = delivered
+        self._prev_latency = latency_sum
         self._window_start = end
         cap = self.config.max_windows
         if cap is not None and len(self._rows) == cap:
             old = self._rows.popleft()
             self._carry_router += old[2]
             self._carry_link += old[3]
-            self._dropped_end = old[1]
+            self._carry_delivered += old[6]
+            self._carry_latency += old[7]
             self.dropped_windows += 1
         self._rows.append(row)
+        index = self._emitted
+        self._emitted += 1
+        if self.observer is not None:
+            self.observer(index, row)
 
     def flush_to(
         self,
@@ -220,11 +261,19 @@ class TelemetrySession:
         link_counts: list[int],
         occ_mask: list[int],
         n_in_flight: int,
+        delivered: int,
+        latency_sum: int,
     ) -> int:
         """Emit every full window up to cycle ``t``; returns the next boundary."""
         while self.next_boundary <= t:
             self._emit(
-                self.next_boundary, router_counts, link_counts, occ_mask, n_in_flight
+                self.next_boundary,
+                router_counts,
+                link_counts,
+                occ_mask,
+                n_in_flight,
+                delivered,
+                latency_sum,
             )
             self.next_boundary += self.window
         return self.next_boundary
@@ -236,19 +285,35 @@ class TelemetrySession:
         link_counts: list[int],
         occ_mask: list[int],
         n_in_flight: int,
-        eject_times: np.ndarray,
-        latencies: np.ndarray,
+        delivered_total: int,
+        latency_sum_total: int,
     ) -> TelemetryTrace:
         """Flush the trailing (possibly partial) window and assemble the trace.
 
-        ``eject_times`` / ``latencies`` are per-*delivered*-packet columns;
-        a packet switched out of the network during cycle ``c`` carries
-        ``eject_time == c + 1`` and is attributed to the window containing
-        cycle ``c``.
+        ``delivered_total`` / ``latency_sum_total`` are the simulator's
+        whole-run counters; a packet switched out of the network during
+        cycle ``c`` was counted before the boundary flush at ``c + 1``,
+        so window diffs attribute it to the window containing ``c``.
         """
-        self.flush_to(t, router_counts, link_counts, occ_mask, n_in_flight)
+        self.flush_to(
+            t,
+            router_counts,
+            link_counts,
+            occ_mask,
+            n_in_flight,
+            delivered_total,
+            latency_sum_total,
+        )
         if t > self._window_start:
-            self._emit(t, router_counts, link_counts, occ_mask, n_in_flight)
+            self._emit(
+                t,
+                router_counts,
+                link_counts,
+                occ_mask,
+                n_in_flight,
+                delivered_total,
+                latency_sum_total,
+            )
 
         n = len(self._rows)
         starts = np.fromiter((r[0] for r in self._rows), np.int64, n)
@@ -269,29 +334,8 @@ class TelemetrySession:
             else np.zeros((0, self.n_nodes), np.int64)
         )
         in_flight = np.fromiter((r[5] for r in self._rows), np.int64, n)
-
-        # Ejection binning: windows are the fixed W-grid except a possibly
-        # shorter tail, so the grid index floor((eject - 1) / W) lands each
-        # packet in its window; packets in evicted windows fold into carry.
-        delivered = np.zeros(n, dtype=np.int64)
-        latency_sum = np.zeros(n, dtype=np.int64)
-        carry_delivered = 0
-        carry_latency = 0
-        if eject_times.shape[0]:
-            eject_cycle = eject_times - 1
-            in_carry = eject_cycle < self._dropped_end
-            carry_delivered = int(np.count_nonzero(in_carry))
-            carry_latency = int(latencies[in_carry].sum())
-            kept_cycle = eject_cycle[~in_carry]
-            kept_lat = latencies[~in_carry]
-            if n:
-                idx = np.minimum(
-                    kept_cycle // self.window - self.dropped_windows, n - 1
-                )
-                delivered = np.bincount(idx, minlength=n).astype(np.int64)
-                latency_sum = np.bincount(
-                    idx, weights=kept_lat, minlength=n
-                ).astype(np.int64)
+        delivered = np.fromiter((r[6] for r in self._rows), np.int64, n)
+        latency_sum = np.fromiter((r[7] for r in self._rows), np.int64, n)
 
         return TelemetryTrace(
             window=self.window,
@@ -309,6 +353,6 @@ class TelemetrySession:
             dropped_windows=self.dropped_windows,
             carry_router_flits=self._carry_router,
             carry_link_flits=self._carry_link,
-            carry_delivered=carry_delivered,
-            carry_latency_sum=carry_latency,
+            carry_delivered=self._carry_delivered,
+            carry_latency_sum=self._carry_latency,
         )

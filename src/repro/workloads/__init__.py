@@ -49,6 +49,7 @@ from repro.workloads.store import (
 from repro.workloads.temporal import (
     ENVELOPES,
     hotspot_overlay,
+    mix_trace,
     modulated_trace,
     onoff_trace,
     pareto_onoff_trace,
@@ -69,6 +70,7 @@ __all__ = [
     "iter_trace_packets",
     "load_trace_npz",
     "matrix_generator_names",
+    "mix_trace",
     "modulated_trace",
     "onoff_trace",
     "open_npz_archive",

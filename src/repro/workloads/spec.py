@@ -144,17 +144,27 @@ def build_traffic_matrix(
     return fn(topo, injection_rate=injection_rate, **kwargs)
 
 
+def _hashable(value: Any) -> Any:
+    """Recursively turn lists/tuples into tuples and mappings into sorted
+    ``(key, value)`` tuples (deep, so nested structures like the mix
+    model's ``components`` — whose per-component params may arrive as
+    dicts — stay hashable)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple((k, _hashable(v)) for k, v in sorted(value.items()))
+    return value
+
+
 def params_tuple(params: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
     """Sorted, hashable ``((key, value), ...)`` view of keyword params.
 
-    Sequence values are normalized to tuples so specs built from CLI
-    lists (e.g. ``hotspot_nodes=[0, 119]``) stay hashable. Shared with
-    :class:`repro.experiments.spec.TrafficSpec`.
+    Sequence values are normalized to tuples — recursively, so nested
+    CLI literals (e.g. ``hotspot_nodes=[0, 119]`` or the mix model's
+    ``components=[["onoff", 0.5], ["bernoulli", 0.5]]``) stay hashable.
+    Shared with :class:`repro.experiments.spec.TrafficSpec`.
     """
-    return tuple(
-        (k, tuple(v) if isinstance(v, (list, tuple)) else v)
-        for k, v in sorted(params.items())
-    )
+    return tuple((k, _hashable(v)) for k, v in sorted(params.items()))
 
 
 @dataclass(frozen=True)
@@ -300,6 +310,7 @@ def _bernoulli(traffic: TrafficMatrix, **kwargs: Any) -> Trace:
 register_temporal_model("onoff")(_temporal.onoff_trace)
 register_temporal_model("pareto")(_temporal.pareto_onoff_trace)
 register_temporal_model("modulated")(_temporal.modulated_trace)
+register_temporal_model("mix")(_temporal.mix_trace)
 register_skeleton("stencil")(_skeletons.stencil_trace)
 register_skeleton("allreduce")(_skeletons.allreduce_trace)
 register_skeleton("fft_transpose")(_skeletons.fft_transpose_trace)

@@ -41,6 +41,7 @@ from repro.util.rng import derive_seed
 __all__ = [
     "ENVELOPES",
     "hotspot_overlay",
+    "mix_trace",
     "modulated_trace",
     "onoff_trace",
     "pareto_onoff_trace",
@@ -337,6 +338,81 @@ def modulated_trace(
         traffic.n_nodes,
         records,
         name=name or f"{envelope}-r{injection_rate:g}-d{depth:g}",
+    )
+
+
+def mix_trace(
+    traffic: TrafficMatrix,
+    *,
+    injection_rate: float,
+    cycles: int,
+    components: Sequence[Sequence],
+    packet_flits: int = 1,
+    seed: int = 0,
+    name: str | None = None,
+) -> Trace:
+    """Superpose several registered temporal models on one network.
+
+    Real machines never run a single traffic class: a latency-sensitive
+    request stream shares the fabric with bursty bulk transfers. Each
+    ``components`` entry is ``(model, share)`` or ``(model, share,
+    params)`` — ``model`` names a registered temporal model (not a
+    skeleton, not ``"mix"`` itself), ``share`` is its positive weight of
+    the total ``injection_rate`` (shares are normalized, so they need
+    not sum to 1), and ``params`` is an optional mapping / ``(key,
+    value)`` pair sequence of model keywords. All components draw
+    destinations from the same ``traffic`` matrix and span the same
+    ``cycles``.
+
+    Component ``i`` seeds its own stream via ``derive_seed(seed, i)``,
+    so the mix is a pure function of ``(matrix, components, seed)`` —
+    adding a third component does not perturb the draws of the first
+    two, and every component hits its exact mean-rate share (the
+    superposition therefore hits ``injection_rate`` exactly in the
+    mean, like every other model here).
+    """
+    # Lazy: the registry lives in workloads.spec, which imports this
+    # module at load time.
+    from repro.workloads.spec import TEMPORAL_MODELS
+
+    _validate_common(injection_rate, cycles, packet_flits)
+    if len(components) < 2:
+        raise ValueError(
+            f"a mix needs >= 2 components, got {len(components)}"
+        )
+    parsed: list[tuple[str, float, dict]] = []
+    for entry in components:
+        if not 2 <= len(entry) <= 3:
+            raise ValueError(
+                f"mix component must be (model, share[, params]), got {entry!r}"
+            )
+        model, share = str(entry[0]), float(entry[1])
+        params = dict(entry[2]) if len(entry) == 3 else {}
+        if model == "mix" or model not in TEMPORAL_MODELS:
+            eligible = sorted(m for m in TEMPORAL_MODELS if m != "mix")
+            raise ValueError(
+                f"mix component model {model!r} must be one of {eligible}"
+            )
+        if share <= 0:
+            raise ValueError(f"component share must be > 0, got {share}")
+        parsed.append((model, share, params))
+    total_share = sum(share for _, share, _ in parsed)
+    records: list[PacketRecord] = []
+    for i, (model, share, params) in enumerate(parsed):
+        component = TEMPORAL_MODELS[model](
+            traffic,
+            injection_rate=injection_rate * share / total_share,
+            cycles=cycles,
+            packet_flits=packet_flits,
+            seed=derive_seed(seed, i),
+            **params,
+        )
+        records.extend(component.packets)
+    return Trace(
+        traffic.n_nodes,
+        records,
+        name=name
+        or "mix-" + "+".join(m for m, _, _ in parsed) + f"-r{injection_rate:g}",
     )
 
 

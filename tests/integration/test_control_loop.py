@@ -1,0 +1,258 @@
+"""Integration tests pinning the control-subsystem acceptance criteria.
+
+* ``repro control knee`` (via :func:`repro.control.locate_knee`) must
+  agree with a brute-force rate sweep's knee within one bisection
+  tolerance on an 8x8 mesh while simulating fewer points;
+* a windowed closed-loop source must sustain throughput at an offered
+  rate where the open-loop equivalent is SATURATED;
+* the control CLI must produce byte-deterministic npz dumps that round
+  trip through ``repro control stats``.
+
+(The third acceptance criterion — golden simulator outputs bit-identical
+with control and closed-loop disabled — is pinned by
+``tests/unit/test_simulator_golden.py`` against the unchanged golden
+file.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.control import locate_knee, sweep_knee
+from repro.experiments import Runner, scenario_family
+
+
+class TestKneeSearch:
+    TOL = 0.1
+    KNOBS = dict(
+        model="bernoulli",
+        traffic="uniform",
+        width=8,
+        height=8,
+        cycles=1500,
+        window=128,
+        drain_budget=20_000,
+        seed=0,
+    )
+
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return Runner()
+
+    @pytest.fixture(scope="class")
+    def knee(self, runner):
+        return locate_knee(lo=0.1, hi=0.9, tolerance=self.TOL, runner=runner, **self.KNOBS)
+
+    def test_bisection_brackets_knee(self, knee):
+        assert knee.hi - knee.lo <= self.TOL
+        assert knee.lo < knee.knee_rate < knee.hi
+        # The bracket ends carry the verdicts that define the knee.
+        assert not knee.probes[0].saturated  # lo
+        assert knee.probes[1].saturated  # hi
+
+    def test_agrees_with_brute_force_sweep_in_fewer_simulations(self, runner, knee):
+        rates = [round(r, 3) for r in np.arange(0.1, 0.91, self.TOL)]
+        sweep_rate, probes = sweep_knee(rates, runner=runner, **self.KNOBS)
+        assert sweep_rate is not None
+        # Agreement within one bisection tolerance...
+        assert abs(sweep_rate - knee.knee_rate) <= self.TOL
+        # ...while the bisection simulated strictly fewer points than the
+        # grid holds (cache hits from the shared scenarios don't count).
+        assert knee.n_simulations < len(probes)
+        # Sharing pays off: the sweep reused bisection probes verbatim.
+        assert any(p.cached for p in probes)
+
+
+class TestClosedLoopSustainsThroughput:
+    RATE = 0.9
+    KNOBS = dict(
+        rates=[RATE],
+        model="bernoulli",
+        traffic="uniform",
+        width=8,
+        height=8,
+        cycles=1000,
+        seed=0,
+    )
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        runner = Runner()
+        open_point = runner.run(
+            scenario_family(
+                "workload-saturation", drain_budget=600, **self.KNOBS
+            )
+        )[0].metrics
+        closed_capped = runner.run(
+            scenario_family(
+                "closed-loop-saturation",
+                window=8,
+                telemetry_window=128,
+                drain_budget=600,
+                **self.KNOBS,
+            )
+        )[0].metrics
+        closed_full = runner.run(
+            scenario_family(
+                "closed-loop-saturation",
+                window=8,
+                telemetry_window=128,
+                drain_budget=200_000,
+                **self.KNOBS,
+            )
+        )[0].metrics
+        return open_point, closed_capped, closed_full
+
+    def test_open_loop_point_is_saturated(self, results):
+        open_point, _, _ = results
+        assert not open_point["drained"]  # the sweep's SATURATED flag
+
+    def test_windowed_source_stays_in_stable_regime(self, results):
+        """Same offered rate, same budget: the closed loop self-limits —
+        bounded latency, no saturation onset, outstanding capped."""
+        open_point, closed, _ = results
+        assert closed["saturation_onset_cycle"] is None
+        assert closed["peak_outstanding"] <= 8
+        assert closed["avg_latency"] < 0.2 * open_point["avg_latency"]
+
+    def test_windowed_source_plateaus_instead_of_jamming(self, results):
+        """Given time, the closed loop serves *all* demand the open loop
+        jammed on — throughput plateaus at the window's operating point
+        instead of collapsing."""
+        open_point, _, closed = results
+        assert closed["drained"]
+        assert closed["requests_issued"] == open_point["n_packets"]
+        assert closed["replies_delivered"] == closed["requests_issued"]
+        assert closed["outstanding_at_end"] == 0
+        assert closed["mean_round_trip"] > 0
+
+
+class TestControlCli:
+    ARGS = [
+        "control",
+        "run",
+        "--model",
+        "bernoulli",
+        "--rate",
+        "0.3",
+        "--width",
+        "4",
+        "--height",
+        "4",
+        "--cycles",
+        "500",
+        "--outstanding",
+        "2",
+        "--window",
+        "64",
+        "--controllers",
+        "throttle,vc-bias",
+    ]
+
+    def test_run_out_is_byte_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        assert main([*self.ARGS, "--out", str(a)]) == 0
+        assert main([*self.ARGS, "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        out = capsys.readouterr().out
+        assert "requests issued / delivered" in out
+        assert "control actions" in out
+
+    def test_stats_round_trip(self, tmp_path, capsys):
+        out_file = tmp_path / "ctl.npz"
+        assert main([*self.ARGS, "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["control", "stats", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "closed loop" in out
+        assert "outstanding window" in out
+
+    def test_stats_rejects_plain_telemetry_dump(self, tmp_path, capsys):
+        tel_file = tmp_path / "tel.npz"
+        assert (
+            main(
+                [
+                    "telemetry",
+                    "export",
+                    "--model",
+                    "bernoulli",
+                    "--rate",
+                    "0.1",
+                    "--width",
+                    "4",
+                    "--height",
+                    "4",
+                    "--cycles",
+                    "300",
+                    "--window",
+                    "64",
+                    "--out",
+                    str(tel_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["control", "stats", str(tel_file)]) == 2
+        assert "no closed-loop/control record" in capsys.readouterr().err
+
+    def test_heatmap_renders_control_dump(self, tmp_path, capsys):
+        out_file = tmp_path / "ctl.npz"
+        assert main([*self.ARGS, "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "heatmap", str(out_file), "--top", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "link utilization heatmap" in out
+        capsys.readouterr()
+        assert main(["telemetry", "heatmap", str(out_file), "--csv"]) == 0
+        assert capsys.readouterr().out.startswith("link,w0")
+
+    def test_knee_cli(self, capsys):
+        rc = main(
+            [
+                "control",
+                "knee",
+                "--lo",
+                "0.1",
+                "--hi",
+                "0.9",
+                "--tol",
+                "0.2",
+                "--width",
+                "4",
+                "--height",
+                "4",
+                "--cycles",
+                "800",
+                "--window",
+                "64",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "knee at r =" in out
+        assert "simulations" in out
+
+    def test_out_without_window_is_usage_error(self, tmp_path, capsys):
+        rc = main(
+            [
+                "control",
+                "run",
+                "--rate",
+                "0.1",
+                "--width",
+                "4",
+                "--height",
+                "4",
+                "--cycles",
+                "200",
+                "--window",
+                "0",
+                "--out",
+                str(tmp_path / "x.npz"),
+            ]
+        )
+        assert rc == 2
+        assert "--window" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the control subsystem.
+
+Two contracts:
+
+* **closed-loop conservation** — for *any* demand trace, outstanding
+  window, think time and reply size: requests issued equals replies
+  delivered plus outstanding when the run stops, per-source outstanding
+  never exceeds the window (so the global peak is bounded by it), and a
+  drained run has retired every round trip and consumed all demand;
+* **controller determinism** — replaying the telemetry trace of a
+  controlled run through fresh controller instances reproduces the
+  recorded :class:`~repro.control.ControlTrace` exactly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.control import (
+    ClosedLoopConfig,
+    ClosedLoopSession,
+    ControlSession,
+    make_controllers,
+    replay_control,
+)
+from repro.simulation import Simulator
+from repro.topology import build_mesh
+from repro.traffic import PacketRecord, Trace
+
+MESH = build_mesh(4, 4)
+SIM = Simulator(MESH)
+
+
+@st.composite
+def demand_traces(draw):
+    """Small demand traces with clustered and far-future request times."""
+    n = draw(st.integers(min_value=0, max_value=50))
+    packets = []
+    for _ in range(n):
+        src = draw(st.integers(min_value=0, max_value=15))
+        dst = draw(st.integers(min_value=0, max_value=15).filter(lambda d: d != src))
+        time = draw(
+            st.one_of(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=150, max_value=400),
+            )
+        )
+        size = draw(st.sampled_from([1, 2, 8]))
+        packets.append(PacketRecord(time, src, dst, size))
+    return Trace(16, packets)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    demand=demand_traces(),
+    window=st.integers(min_value=1, max_value=9),
+    think=st.integers(min_value=0, max_value=12),
+    reply_flits=st.integers(min_value=1, max_value=4),
+    max_cycles=st.integers(min_value=30, max_value=3000),
+)
+def test_closed_loop_conservation(demand, window, think, reply_flits, max_cycles):
+    session = ClosedLoopSession(
+        ClosedLoopConfig(window=window, think_cycles=think, reply_flits=reply_flits),
+        demand,
+    )
+    stats = SIM.run(
+        Trace(MESH.n_nodes, []), max_cycles=max_cycles, closed_loop=session
+    )
+    cl = stats.closed_loop
+
+    # Conservation: every issued request is either acknowledged by a
+    # delivered reply or still outstanding when the clock stopped.
+    assert cl.requests_issued == cl.replies_delivered + cl.outstanding_at_end
+    # The credit window is a hard cap, whatever the schedule does.
+    assert 0 <= cl.peak_outstanding <= window
+    # Issue/delivery pipelines never run ahead of each other.
+    assert cl.requests_delivered <= cl.requests_issued
+    assert cl.replies_issued == cl.requests_delivered
+    assert cl.replies_delivered <= cl.replies_issued
+    # Released + still-pending demand is exactly the demand offered.
+    assert cl.requests_issued + cl.stalled_demand == cl.demand_total
+    # The simulator counted both directions of every completed exchange.
+    assert stats.n_packets == cl.requests_issued + cl.replies_issued
+    if stats.drained:
+        assert cl.outstanding_at_end == 0
+        assert cl.stalled_demand == 0
+        assert cl.replies_delivered == cl.demand_total
+        assert stats.packet_latencies.size == stats.n_packets
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    demand=demand_traces(),
+    window=st.integers(min_value=8, max_value=64),
+    max_cycles=st.integers(min_value=100, max_value=2000),
+    names=st.sampled_from(
+        [("throttle",), ("vc-bias",), ("throttle", "vc-bias")]
+    ),
+)
+def test_control_trace_replays_deterministically(demand, window, max_cycles, names):
+    control = ControlSession(
+        make_controllers(names, n_vcs=SIM.config.n_vcs),
+        window=window,
+        n_nodes=MESH.n_nodes,
+        n_vcs=SIM.config.n_vcs,
+    )
+    stats = SIM.run(demand, max_cycles=max_cycles, control=control)
+    assert stats.control is not None
+    assert stats.telemetry is not None  # control implies sampling
+
+    replayed = replay_control(
+        stats.telemetry, make_controllers(names, n_vcs=SIM.config.n_vcs)
+    )
+    assert replayed == stats.control

@@ -328,3 +328,60 @@ class TestSimStatsNan:
         )
         assert math.isnan(stats.avg_latency)
         assert math.isnan(stats.p99_latency)
+
+
+class TestControlSimSpec:
+    def test_controllers_require_telemetry_window(self):
+        with pytest.raises(ValueError, match="telemetry_window"):
+            SimSpec(controllers=("throttle",))
+
+    def test_unknown_controller_rejected(self):
+        with pytest.raises(ValueError, match="unknown controller"):
+            SimSpec(telemetry_window=64, controllers=("pid",))
+
+    def test_closed_loop_knob_validation(self):
+        with pytest.raises(ValueError, match="closed-loop"):
+            SimSpec(closed_loop_window=-1)
+        with pytest.raises(ValueError, match="reply size"):
+            SimSpec(reply_flits=0)
+
+    def test_empty_controller_list_normalizes_hashable(self):
+        spec = SimSpec(controllers=[])
+        assert spec.controllers == ()
+        assert hash(spec) is not None
+        assert spec == SimSpec()
+
+    def test_json_round_trip_and_legacy_dumps(self):
+        spec = SimSpec(
+            telemetry_window=64,
+            closed_loop_window=4,
+            think_cycles=2,
+            reply_flits=2,
+            controllers=("throttle", "vc-bias"),
+        )
+        again = SimSpec.from_json(spec.to_json())
+        assert again == spec
+        # PR-4-era dumps predate the control knobs: defaults apply.
+        legacy = {
+            k: v
+            for k, v in spec.to_json().items()
+            if k
+            not in ("closed_loop_window", "think_cycles", "reply_flits", "controllers")
+        }
+        old = SimSpec.from_json(legacy)
+        assert old.closed_loop_window == 0 and old.controllers == ()
+
+    def test_families_registered(self):
+        from repro.experiments import family_names
+
+        assert "closed-loop-saturation" in family_names()
+        assert "knee-search" in family_names()
+
+    def test_knee_search_rate_independent_seed(self):
+        """Probes at one rate are the identical scenario whatever batch
+        they came from — the cache-sharing contract of the knee search."""
+        from repro.experiments import scenario_family, scenario_hash
+
+        a = scenario_family("knee-search", rates=[0.2, 0.4])[1]
+        b = scenario_family("knee-search", rates=[0.4])[0]
+        assert scenario_hash(a) == scenario_hash(b)

@@ -440,3 +440,54 @@ class TestReportRendering:
         analytical = scenario_family("paper-grid")[0]
         with pytest.raises(ValueError, match="not a simulation"):
             profile_scenario(analytical)
+
+
+class TestLinkHeatmap:
+    def test_text_mode_deterministic_and_shaped(self, mesh, run):
+        from repro.telemetry import render_link_heatmap
+
+        _, sampled = run
+        a = render_link_heatmap(sampled.telemetry)
+        b = render_link_heatmap(sampled.telemetry)
+        assert a == b
+        lines = a.splitlines()
+        assert "link utilization heatmap" in lines[0]
+        assert lines[1].startswith("scale:")
+        # One row per link, one shading cell per window.
+        assert len(lines) == 2 + sampled.telemetry.n_links
+        body = lines[2].split("|")[1]
+        assert len(body) == sampled.telemetry.n_windows
+
+    def test_csv_mode_exact_values(self, run):
+        from repro.telemetry import render_link_heatmap
+
+        _, sampled = run
+        tel = sampled.telemetry
+        csv = render_link_heatmap(tel, csv=True).splitlines()
+        assert csv[0].startswith("link,w0,")
+        assert len(csv) == 1 + tel.n_links
+        first = csv[1].split(",")
+        assert int(first[0]) == 0
+        lengths = np.maximum(tel.window_lengths(), 1)
+        expected = tel.link_flits[0, 0] / lengths[0]
+        assert float(first[1]) == pytest.approx(float(expected))
+
+    def test_top_selects_busiest_in_id_order(self, run):
+        from repro.telemetry import render_link_heatmap
+
+        _, sampled = run
+        tel = sampled.telemetry
+        text = render_link_heatmap(tel, top=3)
+        rows = [l for l in text.splitlines() if l.startswith("link ") and "|" in l]
+        ids = [int(r.split("|")[0].split()[1]) for r in rows]
+        assert len(ids) == 3 and ids == sorted(ids)
+        totals = tel.link_flits.sum(axis=0)
+        cutoff = sorted(totals, reverse=True)[2]
+        assert all(totals[i] >= cutoff for i in ids)
+
+    def test_validation(self, run):
+        from repro.telemetry import render_link_heatmap
+
+        _, sampled = run
+        with pytest.raises(ValueError, match="top"):
+            render_link_heatmap(sampled.telemetry, top=0)

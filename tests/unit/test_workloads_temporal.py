@@ -171,3 +171,112 @@ class TestHotspotOverlay:
             hotspot_overlay(tm, hotspots=[99], fraction=0.5)
         with pytest.raises(ValueError):
             hotspot_overlay(tm, hotspots=[0], fraction=1.5)
+
+
+class TestMix:
+    def test_exact_mean_rate_and_name(self, mesh8):
+        from repro.workloads import mix_trace
+
+        tm1 = uniform_traffic(mesh8, injection_rate=1.0)
+        trace = mix_trace(
+            tm1,
+            injection_rate=0.2,
+            cycles=4000,
+            components=[("bernoulli", 0.5), ("onoff", 0.5, {"duty": 0.5})],
+            seed=3,
+        )
+        rate = trace.total_flits / (4000 * mesh8.n_nodes)
+        assert rate == pytest.approx(0.2, rel=0.05)
+        assert trace.name == "mix-bernoulli+onoff-r0.2"
+
+    def test_component_streams_independent(self, mesh8):
+        """Adding a component must not perturb earlier components' draws
+        (per-component derive_seed streams)."""
+        from repro.workloads import mix_trace
+
+        tm1 = uniform_traffic(mesh8, injection_rate=1.0)
+        base = mix_trace(
+            tm1,
+            injection_rate=0.2,
+            cycles=500,
+            components=[("bernoulli", 1.0), ("onoff", 1.0)],
+            seed=9,
+        )
+        widened = mix_trace(
+            tm1,
+            injection_rate=0.3,
+            cycles=500,
+            components=[("bernoulli", 1.0), ("onoff", 1.0), ("modulated", 1.0)],
+            seed=9,
+        )
+        # The bernoulli component at rate 0.1 appears identically in both.
+        solo = synthetic_trace(
+            tm1, injection_rate=0.1, cycles=500, seed=__import__(
+                "repro.util.rng", fromlist=["derive_seed"]
+            ).derive_seed(9, 0),
+        )
+        base_set = {(p.time, p.src, p.dst) for p in base.packets}
+        widened_set = {(p.time, p.src, p.dst) for p in widened.packets}
+        for p in solo.packets:
+            key = (p.time, p.src, p.dst)
+            assert key in base_set and key in widened_set
+
+    def test_shares_normalized(self, mesh8):
+        from repro.workloads import mix_trace
+
+        tm1 = uniform_traffic(mesh8, injection_rate=1.0)
+        a = mix_trace(
+            tm1, injection_rate=0.2, cycles=300,
+            components=[("bernoulli", 1), ("bernoulli", 3)], seed=1,
+        )
+        b = mix_trace(
+            tm1, injection_rate=0.2, cycles=300,
+            components=[("bernoulli", 0.25), ("bernoulli", 0.75)], seed=1,
+        )
+        assert a.packets == b.packets
+
+    def test_validation(self, mesh8):
+        from repro.workloads import mix_trace
+
+        tm1 = uniform_traffic(mesh8, injection_rate=1.0)
+        kw = dict(injection_rate=0.2, cycles=100, seed=0)
+        with pytest.raises(ValueError, match=">= 2 components"):
+            mix_trace(tm1, components=[("bernoulli", 1.0)], **kw)
+        with pytest.raises(ValueError, match="must be one of"):
+            mix_trace(
+                tm1, components=[("mix", 1.0), ("bernoulli", 1.0)], **kw
+            )
+        with pytest.raises(ValueError, match="must be one of"):
+            mix_trace(
+                tm1, components=[("stencil", 1.0), ("bernoulli", 1.0)], **kw
+            )
+        with pytest.raises(ValueError, match="share"):
+            mix_trace(
+                tm1, components=[("bernoulli", 0.0), ("onoff", 1.0)], **kw
+            )
+        with pytest.raises(ValueError, match="component must be"):
+            mix_trace(tm1, components=[("bernoulli",), ("onoff", 1.0)], **kw)
+
+    def test_spec_round_trip_hashable(self, mesh8):
+        from repro.workloads import WorkloadSpec
+
+        spec = WorkloadSpec.make(
+            "mix",
+            injection_rate=0.1,
+            cycles=200,
+            components=[["bernoulli", 0.5], ["onoff", 0.5, [["duty", 0.5]]]],
+        )
+        assert hash(spec) is not None
+        # Dict-shaped component params (the mix docstring's natural form)
+        # must normalize to the same hashable spec.
+        dict_spec = WorkloadSpec.make(
+            "mix",
+            injection_rate=0.1,
+            cycles=200,
+            components=[("bernoulli", 0.5), ("onoff", 0.5, {"duty": 0.5})],
+        )
+        assert hash(dict_spec) is not None
+        assert dict_spec == spec
+        again = WorkloadSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.build(mesh8).packets == spec.build(mesh8).packets
