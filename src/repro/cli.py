@@ -797,7 +797,11 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
             f"{d.ratio:.3f}",
             "REGRESSION"
             if d.ratio > cmp.threshold
-            else ("improved" if d.ratio < 1.0 / cmp.threshold else "ok"),
+            else (
+                f"improved {d.speedup:.2f}x"
+                if d.ratio < 1.0 / cmp.threshold
+                else "ok"
+            ),
         ]
         for d in cmp.deltas
     ]
@@ -808,12 +812,22 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
             title=f"bench compare (threshold {cmp.threshold:g}x)",
         )
     )
+    for d in cmp.improvements:
+        print(
+            f"IMPROVED: {d.name} {d.speedup:.2f}x faster "
+            f"({d.old_median_ns / 1e6:.2f} ms -> {d.new_median_ns / 1e6:.2f} ms)"
+        )
     for name in cmp.missing:
         print(f"MISSING: {name} (in old recording, absent from new)")
     for name in cmp.added:
         print(f"added: {name} (no baseline yet; not gated)")
     if cmp.ok:
-        print("gate: OK")
+        improved = (
+            f", {len(cmp.improvements)} improvement(s)"
+            if cmp.improvements
+            else ""
+        )
+        print(f"gate: OK ({len(cmp.deltas)} benchmark(s) compared{improved})")
         return 0
     print(
         f"gate: FAIL ({len(cmp.regressions)} regression(s), "

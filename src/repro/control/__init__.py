@@ -33,6 +33,7 @@ from repro.control.controllers import (
     ThrottleController,
     VcBiasController,
     WindowSnapshot,
+    controller_entry,
     controller_names,
     make_controllers,
     register_controller,
@@ -65,6 +66,7 @@ __all__ = [
     "ThrottleController",
     "VcBiasController",
     "WindowSnapshot",
+    "controller_entry",
     "controller_names",
     "locate_knee",
     "make_controllers",

@@ -54,6 +54,7 @@ __all__ = [
     "ThrottleController",
     "VcBiasController",
     "WindowSnapshot",
+    "controller_entry",
     "controller_names",
     "make_controllers",
     "register_controller",
@@ -342,29 +343,59 @@ def controller_names() -> list[str]:
     return sorted(_CONTROLLERS)
 
 
-def make_controllers(names: Iterable[str], *, n_vcs: int) -> list[Controller]:
-    """Instantiate registered controllers (default knobs) by name."""
+def controller_entry(entry: Any) -> tuple[str, dict[str, Any]]:
+    """Normalize a controller spec entry to ``(name, params)``.
+
+    Accepts a bare name, a ``(name, ((key, value), ...))`` pair (the
+    hashable form :class:`repro.experiments.spec.SimSpec` stores), or a
+    ``{"name": ..., "params": {...}}`` mapping.
+    """
+    if isinstance(entry, str):
+        return entry, {}
+    if isinstance(entry, dict):
+        name = entry.get("name")
+        if not isinstance(name, str):
+            raise ValueError(f"controller entry needs a 'name': {entry!r}")
+        params = dict(entry.get("params") or {})
+        return name, params
+    if isinstance(entry, (tuple, list)) and len(entry) == 2:
+        name, params = entry
+        if isinstance(name, str):
+            return name, dict(params)
+    raise ValueError(
+        f"bad controller entry {entry!r}; expected a name, a (name, "
+        "params) pair or a {'name': ..., 'params': {...}} mapping"
+    )
+
+
+def make_controllers(entries: Iterable[Any], *, n_vcs: int) -> list[Controller]:
+    """Instantiate registered controllers by name.
+
+    Each entry may carry factory keywords (see
+    :func:`controller_entry`); bare names get the default knobs.
+    """
     controllers = []
-    for name in names:
+    for entry in entries:
+        name, params = controller_entry(entry)
         try:
             factory = _CONTROLLERS[name]
         except KeyError:
             raise ValueError(
                 f"unknown controller {name!r}; one of {controller_names()}"
             ) from None
-        controllers.append(factory(n_vcs=n_vcs))
+        controllers.append(factory(n_vcs=n_vcs, **params))
     return controllers
 
 
 @register_controller("throttle")
-def _make_throttle(*, n_vcs: int) -> ThrottleController:
+def _make_throttle(*, n_vcs: int, **params: Any) -> ThrottleController:
     del n_vcs
-    return ThrottleController()
+    return ThrottleController(**params)
 
 
 @register_controller("vc-bias")
-def _make_vc_bias(*, n_vcs: int) -> VcBiasController:
-    return VcBiasController(n_vcs=n_vcs)
+def _make_vc_bias(*, n_vcs: int, **params: Any) -> VcBiasController:
+    return VcBiasController(n_vcs=n_vcs, **params)
 
 
 class ControlSession:

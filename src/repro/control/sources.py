@@ -33,6 +33,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from repro.simulation.flit import Packet
 from repro.traffic.trace import MAX_PACKET_FLITS, Trace
 
@@ -107,6 +109,11 @@ class ClosedLoopStats:
     round_trip_sum: int
     """Sum over completed request/reply pairs of (reply ejection cycle -
     request release cycle)."""
+    request_latencies: tuple[int, ...] = ()
+    """Per-delivered-request network latency (ejection - injection
+    cycle), in delivery order. Empty on records predating this field."""
+    reply_latencies: tuple[int, ...] = ()
+    """Per-delivered-reply network latency, in delivery order."""
 
     @property
     def completed(self) -> int:
@@ -119,6 +126,14 @@ class ClosedLoopStats:
         if self.replies_delivered == 0:
             return float("nan")
         return self.round_trip_sum / self.replies_delivered
+
+    def request_latency_percentile(self, q: float) -> float:
+        """``q``-th percentile request network latency (nan if none)."""
+        return _latency_percentile(self.request_latencies, q)
+
+    def reply_latency_percentile(self, q: float) -> float:
+        """``q``-th percentile reply network latency (nan if none)."""
+        return _latency_percentile(self.reply_latencies, q)
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -134,11 +149,23 @@ class ClosedLoopStats:
             "peak_outstanding": self.peak_outstanding,
             "stalled_demand": self.stalled_demand,
             "round_trip_sum": self.round_trip_sum,
+            "request_latencies": list(self.request_latencies),
+            "reply_latencies": list(self.reply_latencies),
         }
 
     @classmethod
     def from_json(cls, data: dict[str, Any]) -> "ClosedLoopStats":
+        data = dict(data)
+        data["request_latencies"] = tuple(data.get("request_latencies", ()))
+        data["reply_latencies"] = tuple(data.get("reply_latencies", ()))
         return cls(**data)
+
+
+def _latency_percentile(values: tuple[int, ...], q: float) -> float:
+    """Linear-interpolation percentile matching ``np.percentile``."""
+    if not values:
+        return float("nan")
+    return float(np.percentile(np.asarray(values, dtype=np.int64), q))
 
 
 class ClosedLoopSession:
@@ -171,6 +198,8 @@ class ClosedLoopSession:
         self.replies_issued = 0
         self.replies_delivered = 0
         self.round_trip_sum = 0
+        self._request_latencies: list[int] = []
+        self._reply_latencies: list[int] = []
 
     @property
     def outstanding(self) -> list[int]:
@@ -238,6 +267,7 @@ class ClosedLoopSession:
         kind, source, released_at = role
         if kind == _REQUEST:
             self.requests_delivered += 1
+            self._request_latencies.append(eject_cycle - packet.inject_time)
             pid = self._next_id
             self._next_id = pid + 1
             self._roles[pid] = (_REPLY, source, released_at)
@@ -252,6 +282,7 @@ class ClosedLoopSession:
                 )
             ]
         self.replies_delivered += 1
+        self._reply_latencies.append(eject_cycle - packet.inject_time)
         self.round_trip_sum += eject_cycle - released_at
         self._outstanding[source] -= 1
         queue = self._pending[source]
@@ -275,4 +306,6 @@ class ClosedLoopSession:
             peak_outstanding=self._peak,
             stalled_demand=sum(len(q) for q in self._pending),
             round_trip_sum=self.round_trip_sum,
+            request_latencies=tuple(self._request_latencies),
+            reply_latencies=tuple(self._reply_latencies),
         )

@@ -42,6 +42,38 @@ def _materialize(spec: TopologySpec) -> tuple[Topology, RoutingTable]:
     return topo, RoutingTable(topo)
 
 
+@lru_cache(maxsize=8)
+def _materialize_batched(spec: TopologySpec, cfg):
+    """One shared :class:`BatchSimulator` per (topology, SimConfig) family.
+
+    The batched engine's family tables (link layout, dense routing LUT,
+    dateline VC ranges) are built once here and amortized across every
+    scenario of the family — single runs and grouped sweeps alike.
+    """
+    from repro.simulation.batch import BatchSimulator
+
+    topo, routing = _materialize(spec)
+    return BatchSimulator(topo, routing, cfg)
+
+
+def _batched_eligible(scenario: Scenario) -> bool:
+    """True when the scenario can run on the batched engine.
+
+    Telemetry sampling, closed-loop sessions and online controllers are
+    interpreter-only (sequential per-packet hooks); such scenarios fall
+    back to the interpreter regardless of ``SimSpec.engine``.
+    """
+    sim = scenario.sim
+    return (
+        scenario.kind == "simulation"
+        and sim is not None
+        and sim.engine == "batched"
+        and sim.telemetry_window == 0
+        and sim.closed_loop_window == 0
+        and not sim.controllers
+    )
+
+
 def evaluate_scenario(scenario: Scenario) -> dict[str, Any]:
     """Evaluate one scenario into a flat, JSON-safe metrics dictionary."""
     if scenario.kind == "analytical":
@@ -85,6 +117,13 @@ def simulate_scenario(scenario: Scenario):
     sim_spec = scenario.sim
     topo, routing = _materialize(scenario.topology)
     trace = scenario.traffic.trace(topo, sim=sim_spec)
+    if _batched_eligible(scenario):
+        bsim = _materialize_batched(scenario.topology, sim_spec.sim_config())
+        stats = bsim.run(
+            trace,
+            max_cycles=sim_spec.cycle_budget(scenario.traffic.trace_based),
+        )
+        return topo, stats
     sim = Simulator(topo, routing, sim_spec.sim_config())
     telemetry_cfg = None
     if sim_spec.telemetry_window > 0:
@@ -127,12 +166,21 @@ def simulate_scenario(scenario: Scenario):
 
 
 def _evaluate_simulation(scenario: Scenario) -> dict[str, Any]:
+    topo, stats = simulate_scenario(scenario)
+    return _sim_metrics(scenario, topo, stats)
+
+
+def _sim_metrics(scenario: Scenario, topo: Topology, stats) -> dict[str, Any]:
+    """Flatten one simulation run's stats into the metrics dictionary.
+
+    Shared by the per-scenario path and the batched-group path, so both
+    engines report through the identical recipe.
+    """
     import math
 
     def _finite(x: float) -> float | None:
         return None if math.isnan(x) else float(x)
 
-    topo, stats = simulate_scenario(scenario)
     metrics = {
         "kind": "simulation",
         "topology_name": topo.name,
@@ -174,6 +222,10 @@ def _evaluate_simulation(scenario: Scenario) -> dict[str, Any]:
             peak_outstanding=cl.peak_outstanding,
             stalled_demand=cl.stalled_demand,
             mean_round_trip=_finite(cl.mean_round_trip),
+            request_p50_latency=_finite(cl.request_latency_percentile(50)),
+            request_p99_latency=_finite(cl.request_latency_percentile(99)),
+            reply_p50_latency=_finite(cl.reply_latency_percentile(50)),
+            reply_p99_latency=_finite(cl.reply_latency_percentile(99)),
         )
     if stats.control is not None:
         ct = stats.control
@@ -282,6 +334,7 @@ class Runner:
                     pool.shutdown(wait=False, cancel_futures=True)
                 return
 
+        fresh = self._run_batched_groups(batch)
         for s in batch:
             metrics = self.cache.get(s)
             if metrics is None:
@@ -289,7 +342,46 @@ class Runner:
                 self.cache.put(s, metrics)
                 yield ScenarioResult(s, metrics, cached=False)
             else:
-                yield ScenarioResult(s, metrics, cached=True)
+                h = scenario_hash(s)
+                if h in fresh:
+                    fresh.discard(h)
+                    yield ScenarioResult(s, metrics, cached=False)
+                else:
+                    yield ScenarioResult(s, metrics, cached=True)
+
+    def _run_batched_groups(self, batch: Sequence[Scenario]) -> set[str]:
+        """Evaluate batched-engine scenarios family-by-family up front.
+
+        Uncached scenarios requesting the batched engine are grouped by
+        (topology spec, simulator config) and each group is evaluated in
+        one :meth:`~repro.simulation.BatchSimulator.run_batch` call, so
+        family state is built once and the per-cycle work of all points
+        is amortized. Returns the hashes evaluated here, so the stream
+        can report their first occurrence as ``cached=False``.
+        """
+        groups: dict[tuple, list[tuple[str, Scenario]]] = {}
+        seen: set[str] = set()
+        for s in batch:
+            if not _batched_eligible(s) or s in self.cache:
+                continue
+            h = scenario_hash(s)
+            if h in seen:
+                continue
+            seen.add(h)
+            groups.setdefault((s.topology, s.sim.sim_config()), []).append((h, s))
+        fresh: set[str] = set()
+        for (topo_spec, cfg), items in groups.items():
+            topo, _ = _materialize(topo_spec)
+            bsim = _materialize_batched(topo_spec, cfg)
+            traces = [s.traffic.trace(topo, sim=s.sim) for _, s in items]
+            caps = [
+                s.sim.cycle_budget(s.traffic.trace_based) for _, s in items
+            ]
+            stats_list = bsim.run_batch(traces, max_cycles=caps)
+            for (h, s), stats in zip(items, stats_list):
+                self.cache.put(s, _sim_metrics(s, topo, stats))
+                fresh.add(h)
+        return fresh
 
     def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
         """Order-preserving map on this runner's executor.

@@ -338,14 +338,27 @@ class SimSpec:
     """Destination service time before a closed-loop reply is offered."""
     reply_flits: int = 1
     """Closed-loop reply packet size in flits."""
-    controllers: tuple[str, ...] = ()
-    """Online controllers acting at telemetry window boundaries (names
-    from :func:`repro.control.controller_names`; requires
-    ``telemetry_window > 0``)."""
+    controllers: tuple[Any, ...] = ()
+    """Online controllers acting at telemetry window boundaries.
+    Entries are controller names (from
+    :func:`repro.control.controller_names`) or ``{"name": ...,
+    "params": {...}}`` dicts carrying factory keywords; dict entries are
+    normalized to hashable ``(name, ((key, value), ...))`` pairs.
+    Requires ``telemetry_window > 0``."""
+    engine: str = "interpreter"
+    """Execution engine: ``"interpreter"`` (reference) or ``"batched"``
+    (the vectorized :class:`repro.simulation.BatchSimulator`; scenarios
+    using telemetry, closed-loop sessions or controllers fall back to
+    the interpreter — see :mod:`repro.simulation.batch`)."""
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
             raise ValueError(f"cycles must be >= 1, got {self.cycles}")
+        if self.engine not in ("interpreter", "batched"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                "one of ('interpreter', 'batched')"
+            )
         if self.drain_budget < 1 or self.max_cycles < 1:
             raise ValueError(f"cycle budgets must be >= 1: {self}")
         if self.telemetry_window < 0:
@@ -358,21 +371,29 @@ class SimSpec:
             raise ValueError(
                 f"reply size must be >= 1 flit, got {self.reply_flits}"
             )
-        object.__setattr__(self, "controllers", tuple(self.controllers))
         if self.controllers:
+            from repro.control.controllers import (
+                controller_entry,
+                controller_names,
+            )
+
             if self.telemetry_window < 1:
                 raise ValueError(
                     "controllers act on telemetry windows; set "
                     "telemetry_window > 0"
                 )
-            from repro.control.controllers import controller_names
-
-            unknown = [c for c in self.controllers if c not in controller_names()]
-            if unknown:
-                raise ValueError(
-                    f"unknown controller(s) {unknown}; one of "
-                    f"{controller_names()}"
-                )
+            norm: list[Any] = []
+            for raw in self.controllers:
+                name, params = controller_entry(raw)
+                if name not in controller_names():
+                    raise ValueError(
+                        f"unknown controller {name!r}; one of "
+                        f"{controller_names()}"
+                    )
+                norm.append(name if not params else (name, _params_tuple(params)))
+            object.__setattr__(self, "controllers", tuple(norm))
+        else:
+            object.__setattr__(self, "controllers", tuple(self.controllers))
 
     def sim_config(self) -> SimConfig:
         return SimConfig(
@@ -402,7 +423,13 @@ class SimSpec:
             "closed_loop_window": self.closed_loop_window,
             "think_cycles": self.think_cycles,
             "reply_flits": self.reply_flits,
-            "controllers": list(self.controllers),
+            "controllers": [
+                c
+                if isinstance(c, str)
+                else {"name": c[0], "params": dict(c[1])}
+                for c in self.controllers
+            ],
+            "engine": self.engine,
         }
 
     @classmethod

@@ -1,5 +1,6 @@
 """Cycle-accurate flit-level NoC simulator (trace mode, BookSim-class)."""
 
+from repro.simulation.batch import BatchSimulator
 from repro.simulation.energy import sim_dynamic_energy_j
 from repro.simulation.flit import Flit, Packet
 from repro.simulation.router import (
@@ -17,6 +18,7 @@ from repro.simulation.workload import (
 )
 
 __all__ = [
+    "BatchSimulator",
     "sim_dynamic_energy_j",
     "Flit",
     "Packet",

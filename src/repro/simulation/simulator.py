@@ -487,8 +487,14 @@ class Simulator:
                 inj_active.discard(node)
 
             # ---- 3. allocation & traversal ----------------------------------
+            # Routers are visited in ascending node order. This is the
+            # *defined* scan semantics shared with the batched engine
+            # (repro.simulation.batch): the only cross-router interaction
+            # inside one cycle is the instant credit return below, so the
+            # visit order is observable and must be pinned for the two
+            # engines to agree bit-for-bit.
             idle_routers: list[int] = []
-            for node in active:
+            for node in sorted(active):
                 # Occupied VCs this cycle (the only ones that can do work):
                 # walk the occupancy bits in ascending slot order, which is
                 # exactly the order the full scan used to visit VCs.

@@ -132,17 +132,23 @@ class Trace:
 
     def columns(self) -> dict[str, np.ndarray]:
         """Vectorized column view: ``time``/``src``/``dst``/``size_flits``
-        int64 arrays in packet order (the trace store and the statistics
-        both consume this)."""
-        n = len(self.packets)
-        return {
-            "time": np.fromiter((p.time for p in self.packets), np.int64, n),
-            "src": np.fromiter((p.src for p in self.packets), np.int64, n),
-            "dst": np.fromiter((p.dst for p in self.packets), np.int64, n),
-            "size_flits": np.fromiter(
-                (p.size_flits for p in self.packets), np.int64, n
-            ),
-        }
+        int64 arrays in packet order (the trace store, the statistics and
+        the batched engine all consume this). Built once and memoized —
+        traces are treated as immutable after construction, so callers
+        must not write to the returned arrays."""
+        cached = getattr(self, "_columns_cache", None)
+        if cached is None:
+            n = len(self.packets)
+            cached = {
+                "time": np.fromiter((p.time for p in self.packets), np.int64, n),
+                "src": np.fromiter((p.src for p in self.packets), np.int64, n),
+                "dst": np.fromiter((p.dst for p in self.packets), np.int64, n),
+                "size_flits": np.fromiter(
+                    (p.size_flits for p in self.packets), np.int64, n
+                ),
+            }
+            self._columns_cache = cached
+        return cached
 
     def flit_count_matrix(self) -> TrafficMatrix:
         """Per-pair flit counts (the paper's Table V input view)."""

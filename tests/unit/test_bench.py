@@ -191,6 +191,16 @@ class TestCompare:
         assert cmp.deltas[0].speedup == pytest.approx(2.0)
         assert main(["bench", "compare", old, new]) == 0
 
+    def test_improvement_is_reported_with_speedup(self, tmp_path, capsys):
+        """Improved benchmarks surface their speedup ratio in the output,
+        not just regressions."""
+        old, new = _record_pair(tmp_path, 1000, 250)
+        assert main(["bench", "compare", old, new, "--threshold", "1.25"]) == 0
+        out = capsys.readouterr().out
+        assert "IMPROVED: unit_cmp 4.00x faster" in out
+        assert "improved 4.00x" in out
+        assert "1 improvement(s)" in out
+
     def test_within_threshold_passes(self, tmp_path):
         old, new = _record_pair(tmp_path, 1000, 1200)
         assert compare(old, new, threshold=1.25).ok

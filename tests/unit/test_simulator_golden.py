@@ -78,9 +78,16 @@ def _scenarios() -> dict[str, tuple[Simulator, Trace, int]]:
     }
 
 
-def _stats_record(name: str) -> dict[str, object]:
+def _stats_record(name: str, *, engine: str = "interpreter") -> dict[str, object]:
     sim, trace, max_cycles = _scenarios()[name]
-    stats = sim.run(trace, max_cycles=max_cycles)
+    if engine == "batched":
+        from repro.simulation import BatchSimulator
+
+        stats = BatchSimulator(sim.topology, sim.routing, sim.config).run(
+            trace, max_cycles=max_cycles
+        )
+    else:
+        stats = sim.run(trace, max_cycles=max_cycles)
     return {
         "n_packets": stats.n_packets,
         "n_flits": stats.n_flits,
@@ -97,6 +104,15 @@ def test_stats_match_golden(name: str) -> None:
     golden = json.loads(GOLDEN_PATH.read_text())
     assert name in golden, f"golden file has no entry {name!r}; re-record it"
     assert _stats_record(name) == golden[name]
+
+
+@pytest.mark.parametrize("name", sorted(_scenarios()))
+def test_batched_engine_matches_golden(name: str) -> None:
+    """The batched engine reproduces every golden run bit-for-bit — the
+    two-engine equivalence contract of :mod:`repro.simulation.batch`."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert name in golden, f"golden file has no entry {name!r}; re-record it"
+    assert _stats_record(name, engine="batched") == golden[name]
 
 
 def test_golden_json_is_canonical() -> None:
