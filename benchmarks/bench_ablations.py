@@ -58,7 +58,7 @@ def sweep_router_pipeline():
 def compare_circuit_latency_models():
     """Paper's 50% rule vs a first-principles setup+transfer estimate."""
     from repro.analysis import average_latency_cycles
-    from repro.topology.routing import RoutingTable
+    from repro.topology import RoutingTable
     from repro.traffic import soteriou_traffic
 
     mesh = build_mesh()

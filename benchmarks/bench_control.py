@@ -22,7 +22,7 @@ knee search lands inside its final bracket.
 from repro.bench import benchmark_spec, load_sibling
 from repro.control import ClosedLoopConfig, ClosedLoopSession, locate_knee
 from repro.simulation import Simulator
-from repro.simulation.workload import synthetic_trace
+from repro.simulation import synthetic_trace
 from repro.topology import build_mesh
 from repro.traffic import Trace, uniform_traffic
 

@@ -18,14 +18,20 @@ Subpackages:
   projections.
 * :mod:`repro.experiments` — declarative scenarios, the serial /
   process-pool runner and the evaluation cache behind every sweep.
+* :mod:`repro.service` — the engine as a long-running HTTP/JSON job
+  service with checkpointed resume and versioned npz releases.
+* :mod:`repro.api` — the stable, flat public facade over all of the
+  above; external callers should import from here.
 """
 
 from repro import (
     analysis,
+    api,
     core,
     dsent,
     experiments,
     optical,
+    service,
     simulation,
     tech,
     topology,
@@ -37,10 +43,12 @@ __version__ = "1.1.0"
 
 __all__ = [
     "analysis",
+    "api",
     "core",
     "dsent",
     "experiments",
     "optical",
+    "service",
     "simulation",
     "tech",
     "topology",

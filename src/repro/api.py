@@ -1,0 +1,109 @@
+"""Stable public facade for driving the repro experiment engine.
+
+Everything an external caller (scripts, notebooks, the benchmark suite,
+the experiment service) needs lives here under one flat namespace, so
+downstream code never reaches into submodule paths that are free to move
+between releases:
+
+* **describe** a design point — :class:`Scenario`, :class:`SimSpec`,
+  :class:`TopologySpec`, :class:`TrafficSpec`, the named families
+  (:func:`scenario_family`, :func:`paper_point`), and the stable
+  content hash / JSON codec (:func:`scenario_hash`,
+  :func:`scenario_to_json`, :func:`scenario_from_json`);
+* **run** it — :class:`Runner` (serial / process pool, submit/poll via
+  :class:`SweepHandle`), :func:`evaluate_scenario`,
+  :func:`simulate_scenario`, the :func:`run_batch` convenience, and
+  :class:`EvaluationCache` for cross-run reuse;
+* **persist** results — the byte-deterministic npz archive primitives
+  (:func:`write_npz_archive`, :func:`open_npz_archive`) plus the trace
+  and telemetry stores built on them;
+* **serve** it — :func:`serve` / :func:`make_server` boot the HTTP/JSON
+  experiment service and :class:`ServiceClient` talks to one.
+
+The deep modules stay importable (nothing here is a wrapper — every name
+is a re-export), but this module is the compatibility surface: names
+listed in ``__all__`` below are the ones the project promises to keep.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.experiments import (
+    EvaluationCache,
+    Runner,
+    Scenario,
+    ScenarioResult,
+    SimSpec,
+    SweepHandle,
+    TopologySpec,
+    TrafficSpec,
+    evaluate_scenario,
+    family_names,
+    paper_point,
+    register_family,
+    scenario_family,
+    scenario_from_json,
+    scenario_hash,
+    scenario_to_json,
+    simulate_scenario,
+)
+from repro.service import ServiceClient, make_server, serve
+from repro.telemetry import (
+    load_telemetry_npz,
+    profile_scenario,
+    save_telemetry_npz,
+)
+from repro.workloads import (
+    load_trace_npz,
+    open_npz_archive,
+    save_trace_npz,
+    write_npz_archive,
+)
+
+__all__ = [
+    "EvaluationCache",
+    "Runner",
+    "Scenario",
+    "ScenarioResult",
+    "ServiceClient",
+    "SimSpec",
+    "SweepHandle",
+    "TopologySpec",
+    "TrafficSpec",
+    "evaluate_scenario",
+    "family_names",
+    "load_telemetry_npz",
+    "load_trace_npz",
+    "make_server",
+    "open_npz_archive",
+    "paper_point",
+    "profile_scenario",
+    "register_family",
+    "run_batch",
+    "save_telemetry_npz",
+    "save_trace_npz",
+    "scenario_family",
+    "scenario_from_json",
+    "scenario_hash",
+    "scenario_to_json",
+    "serve",
+    "simulate_scenario",
+    "write_npz_archive",
+]
+
+
+def run_batch(
+    scenarios: Iterable[Scenario],
+    *,
+    jobs: int = 1,
+    cache: EvaluationCache | None = None,
+) -> list[ScenarioResult]:
+    """Evaluate ``scenarios`` and return ordered results.
+
+    The one-call entry point: builds a :class:`Runner` (serial for
+    ``jobs=1``, a process pool otherwise — results are bit-identical
+    either way) and runs the batch through it. Pass a shared
+    :class:`EvaluationCache` to reuse evaluations across calls.
+    """
+    return Runner(jobs=jobs, cache=cache).run(list(scenarios))

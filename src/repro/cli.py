@@ -24,19 +24,28 @@ Usage::
     python -m repro control stats run.npz
     python -m repro bench run --quick   # benchmark harness (BENCH_*.json)
     python -m repro bench compare a b   # perf gate: exit 1 on regression
+    python -m repro serve --port 8032   # experiment service (HTTP/JSON)
+    python -m repro submit --family saturation-sweep --param 'rates=[0.1]'
+    python -m repro status job-000001 --wait
+    python -m repro fetch job-000001 --out results.npz
+    python -m repro jobs                # audit: job history + cache stats
 
 Each command prints the rendered ASCII table/figure to stdout; heavier
 commands expose their main knobs as flags. Sweep-shaped commands route
-through the experiment engine (:mod:`repro.experiments`): ``--jobs N``
-evaluates design points on a process pool (results are bit-identical to
-serial runs), repeated points are served from the evaluation cache, and
-saturated simulation points are flagged instead of crashing.
+through the experiment engine (:mod:`repro.experiments`) and share one
+option surface: ``--jobs N`` evaluates design points on a process pool
+(results are bit-identical to serial runs), ``--engine batched`` routes
+eligible points through the vectorized engine, repeated points are
+served from the evaluation cache, and saturated simulation points are
+flagged instead of crashing. The service commands (serve/submit/status/
+fetch/jobs) speak the :mod:`repro.service` HTTP API.
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+import pathlib
 import sys
 from collections.abc import Sequence
 
@@ -57,7 +66,7 @@ def _fmt_latency(value: float) -> object:
 
 def _cmd_table3(args: argparse.Namespace) -> None:
     from repro.experiments import Runner
-    from repro.experiments.registry import paper_point
+    from repro.experiments import paper_point
     from repro.tech import Technology
     from repro.util import format_table
 
@@ -84,7 +93,7 @@ def _cmd_table3(args: argparse.Namespace) -> None:
 
 def _cmd_table4(args: argparse.Namespace) -> None:
     from repro.experiments import Runner
-    from repro.experiments.registry import paper_point
+    from repro.experiments import paper_point
     from repro.tech import Technology
     from repro.util import format_table
 
@@ -180,6 +189,7 @@ def _cmd_fig6(args: argparse.Namespace) -> None:
         kernels=[args.kernel],
         hops_options=hops_options,
         workloads={args.kernel: (args.volume_scale, None)},
+        engine=args.engine,
     )
     results = Runner(jobs=args.jobs).run(scenarios)
     rows = [
@@ -272,6 +282,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         cycles=args.cycles,
         drain_budget=args.drain_budget,
         seed=args.seed,
+        engine=args.engine,
     )
     results = Runner(jobs=args.jobs).run(scenarios)
     rows = [
@@ -575,7 +586,7 @@ def _control_actions_table(trace, title: str = "control actions") -> str:
 
 
 def _cmd_control_run(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import simulate_scenario
+    from repro.experiments import simulate_scenario
     from repro.util import format_table
 
     scenario = _control_scenario(args)
@@ -657,7 +668,7 @@ def _cmd_control_knee(args: argparse.Namespace) -> int:
         lo=args.lo,
         hi=args.hi,
         tolerance=args.tol,
-        runner=Runner(),
+        runner=Runner(jobs=args.jobs),
         model=args.model,
         traffic=args.traffic,
         width=args.width,
@@ -667,6 +678,7 @@ def _cmd_control_knee(args: argparse.Namespace) -> int:
         packet_flits=args.packet_flits,
         drain_budget=args.drain_budget,
         seed=args.seed,
+        engine=args.engine,
         **_parse_params(args.param),
     )
     rows = [
@@ -710,6 +722,7 @@ def _cmd_workload_sweep(args: argparse.Namespace) -> int:
         packet_flits=args.packet_flits,
         drain_budget=args.drain_budget,
         seed=args.seed,
+        engine=args.engine,
         **_parse_params(args.param),
     )
     results = Runner(jobs=args.jobs).run(scenarios)
@@ -836,7 +849,201 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 1
 
 
-def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+_DEFAULT_SERVICE_URL = "http://127.0.0.1:8032"
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        args.host,
+        args.port,
+        args.state_dir,
+        jobs=args.jobs,
+        verbose=args.verbose,
+    )
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.url, timeout=args.timeout)
+
+
+def _print_job(job: dict, *, as_json: bool) -> None:
+    import json
+
+    if as_json:
+        print(json.dumps(job, sort_keys=True))
+        return
+    extra = ""
+    if job.get("duration_s") is not None:
+        extra = f" in {job['duration_s']:g}s"
+    if job.get("error"):
+        extra += f" — {job['error']}"
+    print(
+        f"{job['job_id']}: {job['state']} "
+        f"({job['points_done']}/{job['n_points']} points, "
+        f"{job['cache_hits']} cache hits{extra})"
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import REQUEST_VERSION, ServiceError
+
+    if args.spec:
+        request = json.loads(pathlib.Path(args.spec).read_text())
+    else:
+        if not args.family:
+            print("error: pass --family NAME or --spec FILE", file=sys.stderr)
+            return 2
+        params = _parse_params(args.param)
+        params.setdefault("engine", args.engine)
+        request = {
+            "version": REQUEST_VERSION,
+            "family": args.family,
+            "params": params,
+        }
+    if args.jobs != 1:
+        request["jobs"] = args.jobs
+    client = _service_client(args)
+    try:
+        job = client.submit(request)
+        if args.wait:
+            job = client.wait(job["job_id"], timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"error ({exc.code}): {exc}", file=sys.stderr)
+        return 2
+    _print_job(job, as_json=args.json)
+    return 0 if job["state"] != "failed" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.wait:
+            job = client.wait(args.job_id, timeout=args.timeout)
+        else:
+            job = client.status(args.job_id)
+    except ServiceError as exc:
+        print(f"error ({exc.code}): {exc}", file=sys.stderr)
+        return 2
+    _print_job(job, as_json=args.json)
+    return 0 if job["state"] != "failed" else 1
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.out:
+            payload = client.result_npz(args.job_id, out=args.out)
+            print(f"wrote {len(payload)} bytes to {args.out}")
+            return 0
+        doc = client.result(args.job_id)
+    except ServiceError as exc:
+        print(f"error ({exc.code}): {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(doc, sort_keys=True))
+        return 0
+    from repro.util import format_table
+
+    metric_keys = sorted({k for m in doc["metrics"] for k in m})
+    rows = [
+        [i] + [_fmt_latency(m.get(k, "-")) for k in metric_keys]
+        for i, m in enumerate(doc["metrics"])
+    ]
+    release = doc["release"]
+    print(
+        format_table(
+            ["point"] + metric_keys,
+            rows,
+            title=f"{doc['job_id']} — release {release['release']}",
+        )
+    )
+    print(
+        f"{doc['n_points']} points, {doc['cache_hits']} cache hits; "
+        f"npz export: repro fetch {doc['job_id']} --out results.npz"
+    )
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceError
+    from repro.util import format_table
+
+    client = _service_client(args)
+    try:
+        doc = client.jobs()
+    except ServiceError as exc:
+        print(f"error ({exc.code}): {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(doc, sort_keys=True))
+        return 0
+    rows = [
+        [
+            j["job_id"],
+            j["state"],
+            f"{j['points_done']}/{j['n_points']}",
+            j["cache_hits"],
+            "-" if j.get("duration_s") is None else f"{j['duration_s']:g}",
+            j.get("resumed", 0) or "-",
+        ]
+        for j in doc["jobs"]
+    ]
+    cache = doc["cache"]
+    print(
+        format_table(
+            ["job", "state", "points", "cache hits", "duration (s)", "resumed"],
+            rows,
+            title="experiment service jobs",
+        )
+    )
+    print(
+        f"shared cache: {cache['size']} entries "
+        f"({cache['hits']} hits / {cache['misses']} misses this run)"
+    )
+    return 0
+
+
+def _add_service_client_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--url",
+        default=_DEFAULT_SERVICE_URL,
+        help=f"service base URL (default {_DEFAULT_SERVICE_URL})",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="request/wait timeout in seconds",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+
+
+def _add_engine_flags(
+    parser: argparse.ArgumentParser, *, engine: bool = False
+) -> None:
+    """The one shared engine-selection surface for sweep-shaped commands.
+
+    Every command that routes through the experiment engine takes the
+    same ``--jobs`` flag here; simulation sweeps additionally take
+    ``--engine`` (``engine=True``). Keeping the definitions in one
+    helper keeps help text, defaults and choices identical everywhere.
+    """
     parser.add_argument(
         "--jobs",
         type=int,
@@ -844,6 +1051,15 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the experiment engine (1 = serial; "
         "results are identical either way)",
     )
+    if engine:
+        parser.add_argument(
+            "--engine",
+            choices=("interpreter", "batched"),
+            default="interpreter",
+            help="execution engine: the reference interpreter or the "
+            "vectorized batched engine (bit-identical; telemetry/"
+            "closed-loop/controller points fall back to the interpreter)",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -855,10 +1071,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p3 = sub.add_parser("table3", help="Table III: capability and R")
-    _add_jobs_flag(p3)
+    _add_engine_flags(p3)
     p3.set_defaults(func=_cmd_table3)
     p4 = sub.add_parser("table4", help="Table IV: static power")
-    _add_jobs_flag(p4)
+    _add_engine_flags(p4)
     p4.set_defaults(func=_cmd_table4)
     sub.add_parser("fig3", help="Fig. 3: link CLEAR sweep").set_defaults(
         func=_cmd_fig3
@@ -872,15 +1088,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="express hop counts to sweep (default: 3 5 15)",
     )
-    _add_jobs_flag(p5)
+    _add_engine_flags(p5)
     p5.set_defaults(func=_cmd_fig5)
     p6 = sub.add_parser("fig6", help="Fig. 6: NPB trace simulation")
     p6.add_argument("--kernel", choices=["FT", "CG", "MG", "LU"], default="CG")
     p6.add_argument("--volume-scale", type=float, default=3e-4)
-    _add_jobs_flag(p6)
+    _add_engine_flags(p6, engine=True)
     p6.set_defaults(func=_cmd_fig6)
     p6t = sub.add_parser("table6", help="Table VI: optical routers")
-    _add_jobs_flag(p6t)
+    _add_engine_flags(p6t)
     p6t.set_defaults(func=_cmd_table6)
     p8 = sub.add_parser("fig8", help="Fig. 8: all-optical projections")
     p8.add_argument("--amortization-rate", type=float, default=0.001)
@@ -897,7 +1113,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=200_000,
         help="post-injection cycles before a point is declared saturated",
     )
-    _add_jobs_flag(ps)
+    _add_engine_flags(ps, engine=True)
     ps.set_defaults(func=_cmd_sweep)
 
     pw = sub.add_parser(
@@ -967,7 +1183,7 @@ def build_parser() -> argparse.ArgumentParser:
     pww.add_argument("--max-rate", type=float, default=0.3)
     pww.add_argument("--points", type=int, default=5)
     pww.add_argument("--drain-budget", type=int, default=200_000)
-    _add_jobs_flag(pww)
+    _add_engine_flags(pww, engine=True)
     pww.set_defaults(func=_cmd_workload_sweep)
 
     pt = sub.add_parser(
@@ -1114,6 +1330,7 @@ def build_parser() -> argparse.ArgumentParser:
     pck.add_argument(
         "--window", type=int, default=128, help="telemetry window (cycles)"
     )
+    _add_engine_flags(pck, engine=True)
     # Knee probes lean on the streaming detector, not budget exhaustion;
     # a modest drain budget keeps saturated probes cheap.
     pck.set_defaults(func=_cmd_control_knee, drain_budget=20_000)
@@ -1160,6 +1377,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed slowdown factor before the gate fails (default 1.25)",
     )
     pbc.set_defaults(func=_cmd_bench_compare)
+
+    psv = sub.add_parser(
+        "serve", help="run the HTTP/JSON experiment service (repro.service)"
+    )
+    psv.add_argument("--host", default="127.0.0.1", help="bind address")
+    psv.add_argument(
+        "--port", type=int, default=8032, help="TCP port (0 picks a free one)"
+    )
+    psv.add_argument(
+        "--state-dir",
+        default=".repro-service",
+        help="job records, shared cache and npz releases live here; "
+        "a restarted service resumes unfinished jobs from it",
+    )
+    psv.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    _add_engine_flags(psv)
+    psv.set_defaults(func=_cmd_serve)
+
+    psub = sub.add_parser(
+        "submit", help="submit a scenario family (or spec file) to the service"
+    )
+    psub.add_argument("--family", help="registered scenario family name")
+    psub.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="family parameter (repeatable; values are literal-eval'd)",
+    )
+    psub.add_argument(
+        "--spec", help="JSON file holding a full request document instead"
+    )
+    psub.add_argument(
+        "--wait", action="store_true", help="block until the job finishes"
+    )
+    _add_service_client_flags(psub)
+    _add_engine_flags(psub, engine=True)
+    psub.set_defaults(func=_cmd_submit)
+
+    pst = sub.add_parser("status", help="one job's state and progress")
+    pst.add_argument("job_id", help="job id returned by submit")
+    pst.add_argument(
+        "--wait", action="store_true", help="poll until done/failed"
+    )
+    _add_service_client_flags(pst)
+    pst.set_defaults(func=_cmd_status)
+
+    pf = sub.add_parser(
+        "fetch", help="fetch a finished job's metrics (or npz release)"
+    )
+    pf.add_argument("job_id", help="job id returned by submit")
+    pf.add_argument(
+        "--out", help="write the byte-deterministic npz release here"
+    )
+    _add_service_client_flags(pf)
+    pf.set_defaults(func=_cmd_fetch)
+
+    pj = sub.add_parser(
+        "jobs", help="audit listing: job history plus cache counters"
+    )
+    _add_service_client_flags(pj)
+    pj.set_defaults(func=_cmd_jobs)
     return parser
 
 

@@ -22,12 +22,14 @@ suite all route their evaluation loops through this engine.
 from repro.experiments.cache import EvaluationCache
 from repro.experiments.registry import (
     family_names,
+    paper_point,
     register_family,
     scenario_family,
 )
 from repro.experiments.runner import (
     Runner,
     ScenarioResult,
+    SweepHandle,
     evaluate_scenario,
     simulate_scenario,
 )
@@ -44,10 +46,12 @@ from repro.experiments.spec import (
 __all__ = [
     "EvaluationCache",
     "family_names",
+    "paper_point",
     "register_family",
     "scenario_family",
     "Runner",
     "ScenarioResult",
+    "SweepHandle",
     "evaluate_scenario",
     "simulate_scenario",
     "Scenario",

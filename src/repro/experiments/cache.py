@@ -8,12 +8,24 @@ recur across every express option, a re-run of a benchmark, a CLI
 invocation over a previously-explored grid — cost one dictionary lookup.
 Entries can be persisted as JSON for the analysis/report layer and
 reloaded in a later process (the content hash is process-stable).
+
+Persistence is safe under concurrent writers: :meth:`EvaluationCache.save`
+publishes atomically (temp file + rename, so readers never observe a
+half-written file) and :meth:`EvaluationCache.flush` additionally
+serializes read-merge-write cycles through a sidecar lock file, so two
+runners or service workers checkpointing into the same path union their
+entries instead of silently dropping whichever flush lost the race.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 import pathlib
+import tempfile
+import time
+from collections.abc import Iterator
 from typing import Any
 
 from repro.experiments.spec import Scenario, scenario_hash, scenario_to_json
@@ -21,6 +33,65 @@ from repro.experiments.spec import Scenario, scenario_hash, scenario_to_json
 __all__ = ["EvaluationCache"]
 
 _FORMAT_VERSION = 1
+
+#: A lock file older than this is assumed to be a dead writer's leftovers.
+_STALE_LOCK_S = 30.0
+
+
+@contextlib.contextmanager
+def _file_lock(path: pathlib.Path, timeout: float) -> Iterator[None]:
+    """Advisory inter-process lock via exclusive sidecar-file creation.
+
+    ``O_CREAT | O_EXCL`` is atomic on every platform/filesystem the repo
+    targets; holders that die leave the lock behind, so acquisition
+    breaks locks older than ``timeout`` seconds rather than deadlocking
+    on a stale file.
+    """
+    lock = path.with_name(path.name + ".lock")
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            if time.monotonic() >= deadline:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:  # raced with the holder's release; retry
+                    continue
+                # Stale-breaking uses its own (long) threshold so a short
+                # acquisition timeout never steals a *live* writer's lock.
+                if age >= max(timeout, _STALE_LOCK_S):
+                    with contextlib.suppress(OSError):
+                        lock.unlink()
+                    continue
+                raise TimeoutError(
+                    f"could not lock {path} within {timeout:g}s "
+                    f"(held by another process via {lock})"
+                ) from None
+            time.sleep(0.005)
+    try:
+        os.write(fd, f"{os.getpid()}\n".encode())
+        yield
+    finally:
+        os.close(fd)
+        with contextlib.suppress(OSError):
+            lock.unlink()
+
+
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` via temp-file-in-dir + atomic rename."""
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
 
 
 class EvaluationCache:
@@ -67,22 +138,62 @@ class EvaluationCache:
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | pathlib.Path) -> None:
-        """Write all entries to ``path`` as indented, diffable JSON."""
+        """Write all entries to ``path`` as indented, diffable JSON.
+
+        The write is atomic (temp file + rename): a concurrent
+        :meth:`load` sees either the previous complete file or the new
+        one, never a truncated JSON document.
+        """
         payload = {"version": _FORMAT_VERSION, "entries": self._store}
-        pathlib.Path(path).write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        _atomic_write_text(
+            pathlib.Path(path), json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
+
+    def flush(self, path: str | pathlib.Path, *, timeout: float = 10.0) -> int:
+        """Merge this cache into the file at ``path`` under a lock.
+
+        The concurrent-writer checkpoint primitive: read the current
+        on-disk entries (if any), union them with this cache's (memory
+        wins on hash collisions — entries are content-addressed, so a
+        collision is the same metrics anyway), and atomically publish
+        the merged set, all while holding ``path``'s sidecar lock file.
+        The in-memory store absorbs the merged view, so concurrent
+        flushers converge on the union instead of overwriting each
+        other. Returns the merged entry count.
+        """
+        p = pathlib.Path(path)
+        with _file_lock(p, timeout):
+            merged: dict[str, dict[str, Any]] = {}
+            if p.exists():
+                merged.update(self._parse(p)["entries"])
+            merged.update(self._store)
+            payload = {"version": _FORMAT_VERSION, "entries": merged}
+            _atomic_write_text(
+                p, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+        self._store = merged
+        return len(merged)
+
+    @staticmethod
+    def _parse(path: pathlib.Path) -> dict[str, Any]:
+        payload = json.loads(path.read_text())
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported cache format version {version!r}")
+        return payload
 
     @classmethod
     def load(cls, path: str | pathlib.Path) -> "EvaluationCache":
         """Rebuild a cache from :meth:`save` output."""
-        payload = json.loads(pathlib.Path(path).read_text())
-        version = payload.get("version")
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported cache format version {version!r}")
         cache = cls()
-        cache._store = dict(payload["entries"])
+        cache._store = dict(cls._parse(pathlib.Path(path))["entries"])
         return cache
+
+    @classmethod
+    def load_or_create(cls, path: str | pathlib.Path) -> "EvaluationCache":
+        """Load ``path`` if it exists, else an empty cache (new deployments)."""
+        p = pathlib.Path(path)
+        return cls.load(p) if p.exists() else cls()
 
     def merge(self, other: "EvaluationCache") -> None:
         """Absorb ``other``'s entries (other wins on key collisions)."""

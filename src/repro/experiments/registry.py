@@ -204,6 +204,7 @@ def saturation_sweep(
     packet_flits: int = 1,
     drain_budget: int = 200_000,
     seed: int = 0,
+    engine: str = "interpreter",
 ) -> list[Scenario]:
     """Open-loop latency-vs-offered-load points, one scenario per rate.
 
@@ -219,7 +220,10 @@ def saturation_sweep(
         )
     )
     sim = SimSpec(
-        cycles=cycles, packet_flits=packet_flits, drain_budget=drain_budget
+        cycles=cycles,
+        packet_flits=packet_flits,
+        drain_budget=drain_budget,
+        engine=engine,
     )
     scenarios = []
     for i, rate in enumerate(rates):
@@ -254,6 +258,7 @@ def workload_saturation(
     packet_flits: int = 1,
     drain_budget: int = 200_000,
     seed: int = 0,
+    engine: str = "interpreter",
     **model_params: object,
 ) -> list[Scenario]:
     """Latency-vs-load points for *any* registered workload model.
@@ -276,7 +281,10 @@ def workload_saturation(
         )
     )
     sim = SimSpec(
-        cycles=cycles, packet_flits=packet_flits, drain_budget=drain_budget
+        cycles=cycles,
+        packet_flits=packet_flits,
+        drain_budget=drain_budget,
+        engine=engine,
     )
     return [
         Scenario(
@@ -313,6 +321,7 @@ def telemetry_profile(
     packet_flits: int = 1,
     drain_budget: int = 200_000,
     seed: int = 0,
+    engine: str = "interpreter",
     **model_params: object,
 ) -> list[Scenario]:
     """Time-resolved profiling points: simulation with telemetry sampling.
@@ -337,6 +346,7 @@ def telemetry_profile(
         packet_flits=packet_flits,
         drain_budget=drain_budget,
         telemetry_window=window,
+        engine=engine,
     )
     return [
         Scenario(
@@ -377,6 +387,7 @@ def closed_loop_saturation(
     telemetry_window: int = 0,
     controllers: Sequence[str] = (),
     seed: int = 0,
+    engine: str = "interpreter",
     **model_params: object,
 ) -> list[Scenario]:
     """Closed-loop request/reply latency-vs-demand points.
@@ -406,6 +417,7 @@ def closed_loop_saturation(
         think_cycles=think_cycles,
         reply_flits=reply_flits,
         controllers=tuple(controllers),
+        engine=engine,
     )
     return [
         Scenario(
@@ -442,6 +454,7 @@ def knee_search(
     packet_flits: int = 1,
     drain_budget: int = 20_000,
     seed: int = 0,
+    engine: str = "interpreter",
     **model_params: object,
 ) -> list[Scenario]:
     """Telemetry-enabled saturation probes for knee location.
@@ -469,6 +482,7 @@ def knee_search(
         packet_flits=packet_flits,
         drain_budget=drain_budget,
         telemetry_window=window,
+        engine=engine,
     )
     return [
         Scenario(
@@ -498,6 +512,7 @@ def npb_kernels(
     express_technology: Technology = Technology.HYPPI,
     workloads: dict[str, tuple[float, int | None]] | None = None,
     max_cycles: int = 2_000_000,
+    engine: str = "interpreter",
 ) -> list[Scenario]:
     """Fig. 6 NPB cycle simulations: kernel outer, topology inner.
 
@@ -507,7 +522,7 @@ def npb_kernels(
     kernel builder's own default.
     """
     loads = DEFAULT_NPB_WORKLOADS if workloads is None else workloads
-    sim = SimSpec(max_cycles=max_cycles)
+    sim = SimSpec(max_cycles=max_cycles, engine=engine)
     scenarios = []
     for combo in grid({"kernel": list(kernels), "hops": list(hops_options)}):
         kernel = str(combo["kernel"]).upper()

@@ -11,6 +11,7 @@ next week yields identical metrics. That purity is what lets the
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -22,7 +23,13 @@ from repro.experiments.spec import Scenario, TopologySpec, scenario_hash
 from repro.topology.graph import Topology
 from repro.topology.routing import RoutingTable
 
-__all__ = ["Runner", "ScenarioResult", "evaluate_scenario", "simulate_scenario"]
+__all__ = [
+    "Runner",
+    "ScenarioResult",
+    "SweepHandle",
+    "evaluate_scenario",
+    "simulate_scenario",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -275,6 +282,88 @@ class ScenarioResult:
     earlier duplicate within the same batch)."""
 
 
+class SweepHandle:
+    """An in-flight batch submitted via :meth:`Runner.submit`.
+
+    A background thread drives the runner's ordered result stream;
+    :meth:`poll` drains whatever completed since the previous poll
+    without blocking, which is the seam long-running consumers (the
+    experiment service's dispatcher, progress UIs) build job progress
+    on. :meth:`results` blocks until the batch finishes and re-raises
+    any evaluation error. Results always arrive in input order.
+    """
+
+    def __init__(self, runner: "Runner", scenarios: Sequence[Scenario]) -> None:
+        self.n_points = len(scenarios)
+        self._results: list[ScenarioResult] = []
+        self._cursor = 0
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+        self._cancel = threading.Event()
+        self._error: BaseException | None = None
+
+        def drive() -> None:
+            try:
+                for res in runner.run_iter(scenarios):
+                    with self._lock:
+                        self._results.append(res)
+                    if self._cancel.is_set():
+                        break
+            except BaseException as exc:  # surfaced via results()/poll()
+                self._error = exc
+            finally:
+                self._finished.set()
+
+        self._thread = threading.Thread(
+            target=drive, name="repro-sweep", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def done(self) -> bool:
+        """True once every point completed, failed, or was cancelled."""
+        return self._finished.is_set()
+
+    @property
+    def completed(self) -> int:
+        """Points evaluated so far (monotonic, ``<= n_points``)."""
+        with self._lock:
+            return len(self._results)
+
+    def poll(self) -> list[ScenarioResult]:
+        """Results completed since the last :meth:`poll` (non-blocking).
+
+        Raises the evaluation error, if any, once all prior results
+        have been drained.
+        """
+        with self._lock:
+            fresh = self._results[self._cursor:]
+            self._cursor = len(self._results)
+        if not fresh and self._finished.is_set() and self._error is not None:
+            raise self._error
+        return fresh
+
+    def cancel(self) -> None:
+        """Stop after the point currently evaluating (best effort)."""
+        self._cancel.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the batch finishes; True if it did within ``timeout``."""
+        return self._finished.wait(timeout)
+
+    def results(self, timeout: float | None = None) -> list[ScenarioResult]:
+        """All results in input order, blocking until the batch completes."""
+        if not self._finished.wait(timeout):
+            raise TimeoutError(
+                f"batch still running after {timeout:g}s "
+                f"({self.completed}/{self.n_points} points)"
+            )
+        if self._error is not None:
+            raise self._error
+        with self._lock:
+            return list(self._results)
+
+
 class Runner:
     """Run batches of scenarios serially or on a process pool.
 
@@ -295,6 +384,17 @@ class Runner:
     def run(self, scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
         """Evaluate all scenarios, preserving input order."""
         return list(self.run_iter(scenarios))
+
+    def submit(self, scenarios: Iterable[Scenario]) -> SweepHandle:
+        """Start evaluating a batch asynchronously; returns its handle.
+
+        The non-blocking face of :meth:`run`: evaluation proceeds on a
+        background thread (sharing this runner's cache and executor
+        settings) while the caller polls progress via
+        :meth:`SweepHandle.poll`. ``handle.results()`` is equivalent to
+        ``runner.run(scenarios)`` — same order, same cache flow.
+        """
+        return SweepHandle(self, list(scenarios))
 
     def run_iter(self, scenarios: Iterable[Scenario]) -> Iterator[ScenarioResult]:
         """Stream results in input order as they become available.

@@ -1,0 +1,143 @@
+"""Stdlib HTTP client for the experiment service.
+
+A thin, dependency-free wrapper over :mod:`urllib.request` speaking the
+service's JSON API. Structured error bodies (including schema 400s)
+surface as :class:`ServiceError` with the server's machine code and
+message attached, so CLI commands and tests branch on ``exc.code``
+rather than scraping prose.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Iterator
+from typing import Any
+
+from repro.service.server import API_PREFIX
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service (or an unreachable server)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 0,
+        code: str = "unreachable",
+        path: list[Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.path = path or []
+
+
+def _raise_for(status: int, body: bytes) -> None:
+    try:
+        doc = json.loads(body.decode("utf-8"))
+        err = doc.get("error", {})
+        raise ServiceError(
+            err.get("message", f"HTTP {status}"),
+            status=status,
+            code=err.get("code", "error"),
+            path=err.get("path"),
+        )
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise ServiceError(
+            f"HTTP {status}: {body[:200]!r}", status=status, code="error"
+        ) from None
+
+
+class ServiceClient:
+    """Talk to one service instance at ``base_url``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _open(self, method: str, path: str, payload: Any | None = None):
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            f"{self.base_url}{API_PREFIX}{path}",
+            data=body,
+            method=method,
+            headers=headers,
+        )
+        try:
+            return urllib.request.urlopen(req, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            _raise_for(exc.code, exc.read())
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from exc
+
+    def _json(self, method: str, path: str, payload: Any | None = None) -> Any:
+        with self._open(method, path, payload) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    # -- API surface ---------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._json("GET", "/health")
+
+    def submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        """POST a submit document; returns the job-status document."""
+        return self._json("POST", "/jobs", request)["job"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> dict[str, Any]:
+        """Audit listing: every job plus server cache counters."""
+        return self._json("GET", "/jobs")
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """Finished job's metrics document (409 -> ServiceError)."""
+        return self._json("GET", f"/jobs/{job_id}/result")
+
+    def result_npz(
+        self, job_id: str, out: str | pathlib.Path | None = None
+    ) -> bytes:
+        """The job's npz release bytes; also written to ``out`` if given."""
+        with self._open("GET", f"/jobs/{job_id}/result.npz") as resp:
+            payload = resp.read()
+        if out is not None:
+            pathlib.Path(out).write_bytes(payload)
+        return payload
+
+    def trace(self, job_id: str, point: int = 0) -> Iterator[dict[str, Any]]:
+        """Stream per-window NDJSON rows of one finished point."""
+        with self._open("GET", f"/jobs/{job_id}/trace?point={point}") as resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def wait(
+        self, job_id: str, *, timeout: float = 600.0, poll: float = 0.2
+    ) -> dict[str, Any]:
+        """Poll until the job reaches ``done``/``failed``; returns status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"{job_id} still {status['state']} after {timeout:g}s "
+                    f"({status['points_done']}/{status['n_points']} points)",
+                    code="timeout",
+                )
+            time.sleep(poll)

@@ -1,0 +1,188 @@
+"""Versioned, byte-deterministic result releases for finished jobs.
+
+Each completed submission is published as one npz release through the
+same archive primitives as the trace and telemetry stores
+(:func:`repro.workloads.write_npz_archive` — pinned ZIP metadata,
+canonical JSON header, so identical results always serialize to the
+identical file). Releases are keyed by the submission's
+:func:`~repro.service.jobs.sweep_hash` and numbered ``v1, v2, ...``:
+
+* re-publishing byte-identical results (the normal case — evaluation is
+  deterministic) *reuses* the existing release instead of minting a new
+  version;
+* results that genuinely changed (a new engine semantics, a metrics
+  schema addition) get the next version, and every prior release stays
+  fetchable — clients pin ``(sweep_hash, version)`` for reproducibility.
+
+The header carries the full scenario specs and metric dictionaries;
+numeric metrics shared by every point are additionally materialized as
+float64 column arrays for vectorized consumers.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from typing import Any
+
+import numpy as np
+
+from repro.experiments import Scenario, scenario_to_json
+from repro.workloads import open_npz_archive, write_npz_archive
+
+__all__ = ["RESULTS_FORMAT", "RESULTS_VERSION", "Release", "ResultStore"]
+
+RESULTS_FORMAT = "repro-results-npz"
+RESULTS_VERSION = 1
+
+_RELEASE_RE = re.compile(r"^(?P<sweep>[0-9a-f]{64})\.v(?P<version>[1-9]\d*)\.npz$")
+
+
+class Release:
+    """One immutable published result set ``(sweep_hash, version)``."""
+
+    def __init__(self, sweep_hash: str, version: int, path: pathlib.Path) -> None:
+        self.sweep_hash = sweep_hash
+        self.version = version
+        self.path = path
+
+    @property
+    def release_id(self) -> str:
+        return f"{self.sweep_hash}.v{self.version}"
+
+    def read_bytes(self) -> bytes:
+        return self.path.read_bytes()
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "release": self.release_id,
+            "sweep_hash": self.sweep_hash,
+            "version": self.version,
+        }
+
+
+def _numeric_columns(metrics: list[dict[str, Any]]) -> list[tuple[str, np.ndarray]]:
+    """Float64 columns for metric keys numeric in every point.
+
+    ``None`` (an undefined latency, say) becomes NaN so the column stays
+    rectangular; booleans count as numeric (0/1). Key order is sorted,
+    keeping the archive canonical.
+    """
+    if not metrics:
+        return []
+    shared: set[str] | None = None
+    for m in metrics:
+        keys = {
+            k
+            for k, v in m.items()
+            if isinstance(v, (int, float, bool)) or v is None
+        }
+        shared = keys if shared is None else shared & keys
+    columns = []
+    for key in sorted(shared or ()):
+        values = [
+            np.nan if m[key] is None else float(m[key]) for m in metrics
+        ]
+        if all(m[key] is None for m in metrics):
+            continue  # an all-None key carries no numeric information
+        columns.append((f"metric_{key}.npy", np.asarray(values, dtype=np.float64)))
+    return columns
+
+
+class ResultStore:
+    """Directory of versioned result releases (``<sweep>.v<N>.npz``)."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- publish -------------------------------------------------------------
+
+    def put(
+        self,
+        *,
+        sweep_hash: str,
+        scenarios: list[Scenario],
+        metrics: list[dict[str, Any]],
+        spec_hashes: list[str],
+    ) -> tuple[Release, bool]:
+        """Publish one result set; returns ``(release, reused)``.
+
+        ``reused`` is True when the bytes match the latest existing
+        release for this sweep (no new version is minted).
+        """
+        if not (len(scenarios) == len(metrics) == len(spec_hashes)):
+            raise ValueError(
+                f"ragged result set: {len(scenarios)} scenarios, "
+                f"{len(metrics)} metrics, {len(spec_hashes)} hashes"
+            )
+        header = {
+            "format": RESULTS_FORMAT,
+            "version": RESULTS_VERSION,
+            "sweep_hash": sweep_hash,
+            "n_points": len(scenarios),
+            "spec_hashes": list(spec_hashes),
+            "scenarios": [scenario_to_json(s) for s in scenarios],
+            "metrics": metrics,
+        }
+        columns = _numeric_columns(metrics)
+        header["columns"] = [name for name, _ in columns]
+        latest = self.latest(sweep_hash)
+        next_version = 1 if latest is None else latest.version + 1
+        tmp = self.root / f".{sweep_hash}.v{next_version}.pending"
+        write_npz_archive(tmp, header, columns)
+        try:
+            payload = tmp.read_bytes()
+            if latest is not None and latest.read_bytes() == payload:
+                return latest, True
+            release = Release(
+                sweep_hash, next_version, self.root / f"{sweep_hash}.v{next_version}.npz"
+            )
+            tmp.replace(release.path)
+            return release, False
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # -- lookup --------------------------------------------------------------
+
+    def versions(self, sweep_hash: str) -> list[Release]:
+        """All releases of one sweep, oldest version first."""
+        releases = []
+        for path in self.root.glob(f"{sweep_hash}.v*.npz"):
+            m = _RELEASE_RE.match(path.name)
+            if m and m.group("sweep") == sweep_hash:
+                releases.append(Release(sweep_hash, int(m.group("version")), path))
+        return sorted(releases, key=lambda r: r.version)
+
+    def latest(self, sweep_hash: str) -> Release | None:
+        versions = self.versions(sweep_hash)
+        return versions[-1] if versions else None
+
+    def get(self, sweep_hash: str, version: int | None = None) -> Release | None:
+        if version is None:
+            return self.latest(sweep_hash)
+        path = self.root / f"{sweep_hash}.v{version}.npz"
+        return Release(sweep_hash, version, path) if path.exists() else None
+
+    def read(
+        self, sweep_hash: str, version: int | None = None
+    ) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        """Load ``(header, columns)`` of a release; validates the format."""
+        release = self.get(sweep_hash, version)
+        if release is None:
+            raise KeyError(f"no release for sweep {sweep_hash}")
+        zf, header = open_npz_archive(
+            release.path,
+            expected_format=RESULTS_FORMAT,
+            max_version=RESULTS_VERSION,
+            kind="results",
+        )
+        import io
+
+        with zf:
+            columns = {
+                name: np.load(io.BytesIO(zf.read(name)), allow_pickle=False)
+                for name in header.get("columns", ())
+            }
+        return header, columns

@@ -1,0 +1,333 @@
+"""Single-dispatcher job scheduler wrapping the experiment engine.
+
+The service's execution core is deliberately *not* thread-per-request:
+one dispatcher thread drains a FIFO of submitted jobs and feeds each one
+to the existing :class:`repro.experiments.Runner` through its
+``submit``/``poll`` seam (the event-driven, single-writer shape — HTTP
+threads only enqueue and read). That gives three properties for free:
+
+* **no duplicate work** — jobs run one at a time against one shared
+  :class:`~repro.experiments.EvaluationCache`, so concurrent submissions
+  of the same (or overlapping) specs simulate each point exactly once;
+  parallelism *within* a job still comes from the runner's process pool
+  and the batched engine's grouping, both untouched;
+* **checkpointed progress** — every completed point is flushed into the
+  on-disk cache checkpoint (atomic, lock-guarded), so a killed service
+  resumes a half-done job as cache hits instead of recomputing;
+* **simple consistency** — job records mutate on one thread; readers
+  take a snapshot under the registry lock.
+
+Finished jobs publish their metrics as a versioned release in the
+byte-deterministic :class:`~repro.service.results.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from repro.experiments import EvaluationCache, Runner, Scenario
+from repro.service.jobs import JobRecord, JobStore
+from repro.service.results import Release, ResultStore
+from repro.service.schema import SchemaError, parse_request
+
+__all__ = ["ExperimentScheduler", "JobNotFound", "JobNotDone"]
+
+
+class JobNotFound(KeyError):
+    """No job with the requested id exists."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(job_id)
+        self.job_id = job_id
+
+
+class JobNotDone(RuntimeError):
+    """The job exists but has not published results yet (or failed)."""
+
+    def __init__(self, record: JobRecord) -> None:
+        super().__init__(
+            f"{record.job_id} is {record.state} "
+            f"({record.points_done}/{record.n_points} points)"
+        )
+        self.record = record
+
+
+class ExperimentScheduler:
+    """Background job execution over a persistent state directory.
+
+    ``state_dir`` owns everything the service must survive a restart
+    with: the evaluation-cache checkpoint (``cache.json``), job records
+    (``jobs/``) and result releases (``releases/``). ``jobs`` is the
+    per-job worker ceiling handed to the runner (a request's own
+    ``"jobs"`` hint is clamped to it). ``auto_start=False`` leaves the
+    dispatcher stopped — used by tests that stage a "killed mid-run"
+    state and by :meth:`resume`-style inspection tooling.
+    """
+
+    def __init__(
+        self,
+        state_dir: str | pathlib.Path,
+        *,
+        jobs: int = 1,
+        auto_start: bool = True,
+        poll_interval: float = 0.02,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.state_dir = pathlib.Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs = jobs
+        self.cache_path = self.state_dir / "cache.json"
+        self.cache = EvaluationCache.load_or_create(self.cache_path)
+        self.job_store = JobStore(self.state_dir / "jobs")
+        self.result_store = ResultStore(self.state_dir / "releases")
+        self._poll_interval = poll_interval
+        self._lock = threading.RLock()
+        self._records: dict[str, JobRecord] = {}
+        self._scenarios: dict[str, list[Scenario]] = {}
+        self._metrics: dict[str, list[dict[str, Any]]] = {}
+        self._trace_rows: dict[tuple[str, int], list[dict[str, Any]]] = {}
+        self._queue: deque[str] = deque()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+        for record in self.job_store.all():
+            self._records[record.job_id] = record
+            if record.state in ("queued", "running"):
+                # A restart re-dispatches interrupted work from the top;
+                # the points it already checkpointed return as cache hits.
+                record.state = "queued"
+                record.points_done = 0
+                record.cache_hits = 0
+                record.resumed += 1
+                self.job_store.save(record)
+                self._queue.append(record.job_id)
+        if auto_start:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the dispatcher thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop dispatching; an in-flight job parks as resumable state."""
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    # -- submission & queries ------------------------------------------------
+
+    def submit(self, doc: Any) -> JobRecord:
+        """Validate a submit document and enqueue it; returns the record.
+
+        Raises :class:`~repro.service.schema.SchemaError` on invalid
+        payloads — nothing is enqueued or persisted in that case.
+        """
+        parsed = parse_request(doc)
+        with self._lock:
+            record = self.job_store.create(
+                spec_hashes=parsed.spec_hashes, request=parsed.payload
+            )
+            self._records[record.job_id] = record
+            self._scenarios[record.job_id] = parsed.scenarios
+            self._queue.append(record.job_id)
+        self._wake.set()
+        return self._snapshot(record)
+
+    def job(self, job_id: str) -> JobRecord:
+        """Current state of one job (a snapshot; raises JobNotFound)."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise JobNotFound(job_id)
+            return self._snapshot(record)
+
+    def audit(self) -> list[JobRecord]:
+        """Every job ever submitted, oldest first (snapshots)."""
+        with self._lock:
+            return [
+                self._snapshot(r)
+                for r in sorted(self._records.values(), key=lambda r: r.job_id)
+            ]
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> JobRecord:
+        """Block until ``job_id`` reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.state in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} still {record.state} after {timeout:g}s"
+                )
+            time.sleep(self._poll_interval)
+
+    def result_metrics(self, job_id: str) -> list[dict[str, Any]]:
+        """Ordered per-point metrics of a finished job.
+
+        Served from scheduler memory when hot; after a restart, read
+        back from the job's published release.
+        """
+        record = self.job(job_id)
+        if record.state != "done":
+            raise JobNotDone(record)
+        with self._lock:
+            metrics = self._metrics.get(job_id)
+        if metrics is not None:
+            return list(metrics)
+        header, _ = self.result_store.read(record.sweep_hash)
+        return list(header["metrics"])
+
+    def release(self, job_id: str) -> Release:
+        """The published release backing a finished job's npz export."""
+        record = self.job(job_id)
+        if record.state != "done" or record.release is None:
+            raise JobNotDone(record)
+        sweep, _, version = record.release.partition(".v")
+        found = self.result_store.get(sweep, int(version))
+        if found is None:
+            raise JobNotFound(job_id)
+        return found
+
+    def scenarios(self, job_id: str) -> list[Scenario]:
+        """The job's design points (re-parsed from its request if cold)."""
+        with self._lock:
+            cached = self._scenarios.get(job_id)
+            if cached is not None:
+                return list(cached)
+            record = self._records.get(job_id)
+            if record is None:
+                raise JobNotFound(job_id)
+        scenarios = parse_request(record.request).scenarios
+        with self._lock:
+            self._scenarios[job_id] = scenarios
+        return list(scenarios)
+
+    def trace_rows(self, job_id: str, point: int) -> list[dict[str, Any]]:
+        """Per-window telemetry/control rows for one finished point.
+
+        Interpreter-engine points with ``telemetry_window > 0`` only.
+        Rows are derived once per (job, point) by deterministically
+        replaying the scenario (evaluation purity makes the replay
+        byte-equivalent to the run that produced the cached metrics) and
+        memoized for subsequent requests.
+        """
+        record = self.job(job_id)
+        if record.state != "done":
+            raise JobNotDone(record)
+        scenarios = self.scenarios(job_id)
+        if not 0 <= point < len(scenarios):
+            raise ValueError(
+                f"point must be in [0, {len(scenarios)}), got {point}"
+            )
+        key = (job_id, point)
+        with self._lock:
+            rows = self._trace_rows.get(key)
+        if rows is None:
+            from repro.service.stream import window_rows
+
+            rows = window_rows(scenarios[point])
+            with self._lock:
+                self._trace_rows[key] = rows
+        return list(rows)
+
+    def cache_stats(self) -> dict[str, int]:
+        return dict(self.cache.stats)
+
+    # -- dispatcher ----------------------------------------------------------
+
+    def _snapshot(self, record: JobRecord) -> JobRecord:
+        return JobRecord.from_json(record.to_json())
+
+    def _execute(self, job_id: str) -> None:
+        with self._lock:
+            record = self._records[job_id]
+            record.state = "running"
+            self.job_store.save(record)
+        try:
+            scenarios = self.scenarios(job_id)
+        except SchemaError as exc:
+            # A persisted request this server build can no longer parse
+            # (e.g. a family removed between versions) fails the job
+            # instead of wedging the dispatcher.
+            with self._lock:
+                record.state = "failed"
+                record.error = str(exc)
+                self.job_store.save(record)
+            return
+        hint = record.request.get("jobs")
+        runner_jobs = min(hint, self.jobs) if isinstance(hint, int) else self.jobs
+        runner = Runner(jobs=max(1, runner_jobs), cache=self.cache)
+        started = time.perf_counter()
+        metrics = self._metrics.setdefault(job_id, [])
+        metrics.clear()
+        handle = runner.submit(scenarios)
+        try:
+            while True:
+                fresh = handle.poll()
+                if fresh:
+                    with self._lock:
+                        for res in fresh:
+                            metrics.append(res.metrics)
+                            record.points_done += 1
+                            record.cache_hits += bool(res.cached)
+                    # Checkpoint: completed points survive a kill -9.
+                    self.cache.flush(self.cache_path)
+                    with self._lock:
+                        self.job_store.save(record)
+                    continue
+                if handle.done:
+                    break
+                if self._stop.is_set():
+                    handle.cancel()
+                handle.wait(self._poll_interval)
+        except Exception as exc:
+            with self._lock:
+                record.state = "failed"
+                record.error = f"{type(exc).__name__}: {exc}"
+                record.duration_s = round(time.perf_counter() - started, 6)
+                self.job_store.save(record)
+            return
+        if len(metrics) < record.n_points:
+            # Interrupted by stop(): leave the record 'running' on disk so
+            # the next boot requeues it from the checkpointed cache.
+            with self._lock:
+                self.job_store.save(record)
+            return
+        release, _reused = self.result_store.put(
+            sweep_hash=record.sweep_hash,
+            scenarios=scenarios,
+            metrics=metrics,
+            spec_hashes=record.spec_hashes,
+        )
+        with self._lock:
+            record.state = "done"
+            record.release = release.release_id
+            record.duration_s = round(time.perf_counter() - started, 6)
+            self.job_store.save(record)
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                job_id = self._queue.popleft() if self._queue else None
+            if job_id is None:
+                self._wake.wait(self._poll_interval)
+                self._wake.clear()
+                continue
+            self._execute(job_id)

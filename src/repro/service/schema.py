@@ -1,0 +1,212 @@
+"""Canonical JSON request schema for the experiment service.
+
+One versioned submit document (``REQUEST_VERSION``) covers both client
+shapes:
+
+* explicit scenarios — ``{"version": 1, "scenarios": [<scenario>, ...]}``
+  where each ``<scenario>`` is :func:`repro.experiments.scenario_to_json`
+  output;
+* family expansion — ``{"version": 1, "family": "saturation-sweep",
+  "params": {...}}``, expanded server-side through
+  :func:`repro.experiments.scenario_family` so CLI clients never have to
+  materialize scenario JSON themselves.
+
+An optional top-level ``"jobs"`` hints the per-job worker count (the
+scheduler clamps it to its own ceiling).
+
+Every validation failure raises :class:`SchemaError` carrying a machine
+``code``, a human message and a ``path`` into the offending document
+node; the HTTP layer serializes it verbatim as a structured 400 body, so
+clients can point at the exact field instead of parsing prose.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.experiments import Scenario, scenario_from_json, scenario_hash
+
+__all__ = ["REQUEST_VERSION", "ParsedRequest", "SchemaError", "parse_request"]
+
+REQUEST_VERSION = 1
+
+_MAX_POINTS = 100_000
+
+
+class SchemaError(ValueError):
+    """A submit document that violates the request schema.
+
+    ``code`` is a stable machine-readable identifier, ``path`` the JSON
+    path (keys and list indices) of the violating node.
+    """
+
+    def __init__(
+        self, message: str, *, code: str = "invalid", path: tuple[Any, ...] = ()
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.path = tuple(path)
+
+    def to_json(self) -> dict[str, Any]:
+        """The structured error body HTTP 400 responses carry."""
+        return {
+            "error": {
+                "code": self.code,
+                "message": str(self),
+                "path": list(self.path),
+            }
+        }
+
+
+class ParsedRequest:
+    """A validated submit request: its scenarios plus provenance."""
+
+    def __init__(
+        self, scenarios: list[Scenario], *, jobs: int | None, payload: dict[str, Any]
+    ) -> None:
+        self.scenarios = scenarios
+        self.jobs = jobs
+        self.payload = payload
+        self.spec_hashes = [scenario_hash(s) for s in scenarios]
+
+    @property
+    def n_points(self) -> int:
+        return len(self.scenarios)
+
+
+def _require_mapping(doc: Any) -> dict[str, Any]:
+    if not isinstance(doc, dict):
+        raise SchemaError(
+            f"request body must be a JSON object, got {type(doc).__name__}",
+            code="not_an_object",
+        )
+    return doc
+
+
+def _check_version(doc: dict[str, Any]) -> None:
+    version = doc.get("version")
+    if version is None:
+        raise SchemaError(
+            "request is missing the 'version' key",
+            code="missing_version",
+            path=("version",),
+        )
+    if version != REQUEST_VERSION:
+        raise SchemaError(
+            f"unsupported request version {version!r} "
+            f"(this server speaks version {REQUEST_VERSION})",
+            code="unsupported_version",
+            path=("version",),
+        )
+
+
+def _parse_jobs(doc: dict[str, Any]) -> int | None:
+    jobs = doc.get("jobs")
+    if jobs is None:
+        return None
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        raise SchemaError(
+            f"'jobs' must be a positive integer, got {jobs!r}",
+            code="invalid_jobs",
+            path=("jobs",),
+        )
+    return jobs
+
+
+def _parse_scenarios(raw: Any) -> list[Scenario]:
+    if not isinstance(raw, list):
+        raise SchemaError(
+            f"'scenarios' must be a list, got {type(raw).__name__}",
+            code="invalid_scenarios",
+            path=("scenarios",),
+        )
+    if not raw:
+        raise SchemaError(
+            "'scenarios' must name at least one design point",
+            code="empty_scenarios",
+            path=("scenarios",),
+        )
+    if len(raw) > _MAX_POINTS:
+        raise SchemaError(
+            f"'scenarios' holds {len(raw)} points; the limit is {_MAX_POINTS}",
+            code="too_many_points",
+            path=("scenarios",),
+        )
+    scenarios: list[Scenario] = []
+    for i, item in enumerate(raw):
+        if not isinstance(item, dict):
+            raise SchemaError(
+                f"scenario #{i} must be a JSON object, got {type(item).__name__}",
+                code="invalid_scenario",
+                path=("scenarios", i),
+            )
+        try:
+            scenarios.append(scenario_from_json(item))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"scenario #{i} is invalid: {exc}",
+                code="invalid_scenario",
+                path=("scenarios", i),
+            ) from exc
+    return scenarios
+
+
+def _expand_family(doc: dict[str, Any]) -> list[Scenario]:
+    from repro.experiments import scenario_family
+
+    family = doc["family"]
+    if not isinstance(family, str) or not family:
+        raise SchemaError(
+            f"'family' must be a non-empty string, got {family!r}",
+            code="invalid_family",
+            path=("family",),
+        )
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise SchemaError(
+            f"'params' must be a JSON object, got {type(params).__name__}",
+            code="invalid_params",
+            path=("params",),
+        )
+    # JSON has no tuples; scenario specs require hashable (tuple) sequence
+    # params, so lists arriving over the wire normalize to tuples.
+    norm = {
+        k: tuple(v) if isinstance(v, list) else v for k, v in params.items()
+    }
+    try:
+        scenarios = scenario_family(family, **norm)
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(
+            f"family expansion failed: {exc}",
+            code="invalid_family",
+            path=("family",),
+        ) from exc
+    if not scenarios:
+        raise SchemaError(
+            f"family {family!r} expanded to zero scenarios",
+            code="empty_scenarios",
+            path=("family",),
+        )
+    return scenarios
+
+
+def parse_request(doc: Any) -> ParsedRequest:
+    """Validate a submit document into a :class:`ParsedRequest`.
+
+    Raises :class:`SchemaError` (with code/path) on any violation.
+    """
+    doc = _require_mapping(doc)
+    _check_version(doc)
+    jobs = _parse_jobs(doc)
+    has_scenarios = "scenarios" in doc
+    has_family = "family" in doc
+    if has_scenarios == has_family:
+        raise SchemaError(
+            "request must carry exactly one of 'scenarios' or 'family'",
+            code="ambiguous_spec" if has_scenarios else "missing_spec",
+        )
+    if has_scenarios:
+        scenarios = _parse_scenarios(doc["scenarios"])
+    else:
+        scenarios = _expand_family(doc)
+    return ParsedRequest(scenarios, jobs=jobs, payload=doc)

@@ -1,0 +1,318 @@
+"""Stdlib HTTP/JSON front end for the experiment scheduler.
+
+A :class:`ThreadingHTTPServer` (one thread per connection, no runtime
+dependencies) whose handler delegates every route to
+:class:`ExperimentApi` — a transport-free request router that unit tests
+drive directly, without a socket. Endpoints, all under ``/api/v1``:
+
+=======  ==============================  =======================================
+POST     ``/jobs``                       submit a request document -> job id
+GET      ``/jobs``                       audit: job history + cache counters
+GET      ``/jobs/<id>``                  status/progress (points, cache hits)
+GET      ``/jobs/<id>/result``           JSON metrics + release provenance
+GET      ``/jobs/<id>/result.npz``       byte-deterministic npz release export
+GET      ``/jobs/<id>/trace?point=N``    NDJSON per-window telemetry/control
+GET      ``/health``                     liveness + API version
+=======  ==============================  =======================================
+
+Error bodies are structured (``{"error": {"code", "message", "path"}}``)
+at every layer: schema violations are 400s, unknown jobs 404s, fetching
+an unfinished job 409s. The trace endpoint streams newline-delimited
+JSON rows as they serialize instead of buffering the document.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from collections.abc import Iterator
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.scheduler import (
+    ExperimentScheduler,
+    JobNotDone,
+    JobNotFound,
+)
+from repro.service.schema import REQUEST_VERSION, SchemaError
+
+__all__ = ["ExperimentApi", "ApiResponse", "make_server", "serve"]
+
+API_PREFIX = "/api/v1"
+_MAX_BODY = 64 * 1024 * 1024
+
+
+class ApiResponse:
+    """One routed response: status, content type, body or row stream."""
+
+    def __init__(
+        self,
+        status: int,
+        *,
+        body: bytes = b"",
+        content_type: str = "application/json",
+        stream: Iterator[bytes] | None = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.stream = stream
+
+    @classmethod
+    def json(cls, status: int, payload: Any) -> "ApiResponse":
+        text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        return cls(status, body=text.encode("utf-8"))
+
+    @classmethod
+    def error(
+        cls, status: int, code: str, message: str, path: list[Any] | None = None
+    ) -> "ApiResponse":
+        return cls.json(
+            status,
+            {"error": {"code": code, "message": message, "path": path or []}},
+        )
+
+
+class ExperimentApi:
+    """Transport-free router mapping (method, path) onto the scheduler."""
+
+    def __init__(self, scheduler: ExperimentScheduler) -> None:
+        self.scheduler = scheduler
+
+    # -- dispatch ------------------------------------------------------------
+
+    def handle(self, method: str, target: str, body: bytes = b"") -> ApiResponse:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        if not path.startswith(API_PREFIX):
+            return ApiResponse.error(
+                404, "not_found", f"unknown path {path!r} (try {API_PREFIX}/health)"
+            )
+        route = path[len(API_PREFIX):] or "/"
+        try:
+            return self._route(method, route, query, body)
+        except SchemaError as exc:
+            return ApiResponse.json(400, exc.to_json())
+        except JobNotFound as exc:
+            return ApiResponse.error(
+                404, "not_found", f"no such job {exc.job_id!r}"
+            )
+        except JobNotDone as exc:
+            return ApiResponse.error(
+                409,
+                "job_failed" if exc.record.state == "failed" else "job_not_done",
+                str(exc),
+            )
+        except ValueError as exc:
+            return ApiResponse.error(400, "invalid", str(exc))
+
+    def _route(
+        self, method: str, route: str, query: dict[str, list[str]], body: bytes
+    ) -> ApiResponse:
+        if route == "/health":
+            return ApiResponse.json(
+                200, {"ok": True, "api_version": REQUEST_VERSION}
+            )
+        if route == "/jobs":
+            if method == "POST":
+                return self._submit(body)
+            if method == "GET":
+                return self._audit()
+            return ApiResponse.error(405, "method_not_allowed", f"{method} /jobs")
+        if route.startswith("/jobs/"):
+            parts = route[len("/jobs/"):].split("/")
+            if method != "GET":
+                return ApiResponse.error(
+                    405, "method_not_allowed", f"{method} {route}"
+                )
+            job_id = parts[0]
+            rest = parts[1:]
+            if not rest:
+                return ApiResponse.json(
+                    200, self.scheduler.job(job_id).status_json()
+                )
+            if rest == ["result"]:
+                return self._result(job_id)
+            if rest == ["result.npz"]:
+                release = self.scheduler.release(job_id)
+                return ApiResponse(
+                    200,
+                    body=release.read_bytes(),
+                    content_type="application/octet-stream",
+                )
+            if rest == ["trace"]:
+                return self._trace(job_id, query)
+        return ApiResponse.error(404, "not_found", f"unknown route {route!r}")
+
+    # -- endpoint bodies -----------------------------------------------------
+
+    def _submit(self, body: bytes) -> ApiResponse:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return ApiResponse.error(
+                400, "invalid_json", f"request body is not valid JSON: {exc}"
+            )
+        record = self.scheduler.submit(doc)
+        return ApiResponse.json(202, {"job": record.status_json()})
+
+    def _audit(self) -> ApiResponse:
+        return ApiResponse.json(
+            200,
+            {
+                "jobs": [r.status_json() for r in self.scheduler.audit()],
+                "cache": self.scheduler.cache_stats(),
+            },
+        )
+
+    def _result(self, job_id: str) -> ApiResponse:
+        record = self.scheduler.job(job_id)
+        metrics = self.scheduler.result_metrics(job_id)
+        release = self.scheduler.release(job_id)
+        return ApiResponse.json(
+            200,
+            {
+                "job_id": record.job_id,
+                "n_points": record.n_points,
+                "cache_hits": record.cache_hits,
+                "duration_s": record.duration_s,
+                "release": release.to_json(),
+                "spec_hashes": record.spec_hashes,
+                "metrics": metrics,
+            },
+        )
+
+    def _trace(self, job_id: str, query: dict[str, list[str]]) -> ApiResponse:
+        raw = query.get("point", ["0"])[-1]
+        try:
+            point = int(raw)
+        except ValueError:
+            return ApiResponse.error(
+                400, "invalid", f"point must be an integer, got {raw!r}"
+            )
+        rows = self.scheduler.trace_rows(job_id, point)
+
+        def ndjson() -> Iterator[bytes]:
+            for row in rows:
+                yield (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
+
+        return ApiResponse(
+            200, content_type="application/x-ndjson", stream=ndjson()
+        )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin transport shim: read body, route, write the response."""
+
+    server: "ExperimentServer"
+    server_version = "repro-service/1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _respond(self, response: ApiResponse) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        if response.stream is None:
+            self.send_header("Content-Length", str(len(response.body)))
+            self.end_headers()
+            self.wfile.write(response.body)
+        else:
+            # Row-at-a-time write; HTTP/1.0 close-delimited framing.
+            self.send_header("Connection", "close")
+            self.end_headers()
+            for chunk in response.stream:
+                self.wfile.write(chunk)
+                self.wfile.flush()
+
+    def _dispatch(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            self._respond(
+                ApiResponse.error(
+                    413, "too_large", f"request body exceeds {_MAX_BODY} bytes"
+                )
+            )
+            return
+        body = self.rfile.read(length) if length else b""
+        try:
+            response = self.server.api.handle(method, self.path, body)
+        except Exception as exc:  # never let a handler thread die silently
+            response = ApiResponse.error(
+                500, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        self._respond(response)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+
+class ExperimentServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer owning an API router + scheduler."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        scheduler: ExperimentScheduler,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.scheduler = scheduler
+        self.api = ExperimentApi(scheduler)
+        self.verbose = verbose
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self.scheduler.stop()
+
+
+def make_server(
+    host: str,
+    port: int,
+    state_dir: str | pathlib.Path,
+    *,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> ExperimentServer:
+    """Build a ready-to-serve server (port 0 picks a free port)."""
+    scheduler = ExperimentScheduler(state_dir, jobs=jobs)
+    return ExperimentServer((host, port), scheduler, verbose=verbose)
+
+
+def serve(
+    host: str,
+    port: int,
+    state_dir: str | pathlib.Path,
+    *,
+    jobs: int = 1,
+    verbose: bool = False,
+    ready: threading.Event | None = None,
+) -> int:
+    """Run the service until interrupted; returns a process exit code."""
+    server = make_server(host, port, state_dir, jobs=jobs, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro service listening on http://{bound_host}:{bound_port}{API_PREFIX} "
+        f"(state: {pathlib.Path(state_dir)}, jobs: {jobs})",
+        flush=True,
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("shutting down (checkpointed jobs resume on restart)")
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0

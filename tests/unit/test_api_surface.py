@@ -1,0 +1,127 @@
+"""The public API surface: facade completeness and __all__ hygiene.
+
+``repro.api`` is the compatibility promise — external callers import
+from it (or from subpackage roots) instead of deep module paths. These
+tests pin the promised names so an accidental rename or a dropped
+re-export fails loudly here rather than in downstream scripts.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+import repro.api as api
+
+
+#: Names the facade promises to keep exporting.
+PROMISED = [
+    # describe
+    "Scenario",
+    "SimSpec",
+    "TopologySpec",
+    "TrafficSpec",
+    "scenario_family",
+    "paper_point",
+    "register_family",
+    "family_names",
+    "scenario_hash",
+    "scenario_to_json",
+    "scenario_from_json",
+    # run
+    "Runner",
+    "ScenarioResult",
+    "SweepHandle",
+    "EvaluationCache",
+    "evaluate_scenario",
+    "simulate_scenario",
+    "run_batch",
+    # persist
+    "write_npz_archive",
+    "open_npz_archive",
+    "save_trace_npz",
+    "load_trace_npz",
+    "save_telemetry_npz",
+    "load_telemetry_npz",
+    "profile_scenario",
+    # serve
+    "serve",
+    "make_server",
+    "ServiceClient",
+]
+
+
+class TestFacade:
+    @pytest.mark.parametrize("name", PROMISED)
+    def test_promised_name_is_exported(self, name):
+        assert name in api.__all__
+        assert getattr(api, name) is not None
+
+    def test_all_entries_resolve(self):
+        missing = [n for n in api.__all__ if not hasattr(api, n)]
+        assert missing == []
+
+    def test_facade_is_reexports_not_wrappers(self):
+        # Identity with the owning modules: the facade never forks behavior.
+        from repro.experiments import Runner, Scenario
+        from repro.service import ServiceClient
+
+        assert api.Runner is Runner
+        assert api.Scenario is Scenario
+        assert api.ServiceClient is ServiceClient
+
+    def test_run_batch_matches_runner(self):
+        scenarios = api.scenario_family(
+            "saturation-sweep", rates=[0.05], cycles=300
+        )
+        via_facade = api.run_batch(scenarios)
+        direct = api.Runner().run(scenarios)
+        assert [r.metrics for r in via_facade] == [r.metrics for r in direct]
+
+    def test_run_batch_shares_a_cache(self):
+        scenarios = api.scenario_family(
+            "saturation-sweep", rates=[0.05], cycles=300
+        )
+        cache = api.EvaluationCache()
+        api.run_batch(scenarios, cache=cache)
+        again = api.run_batch(scenarios, cache=cache)
+        assert all(r.cached for r in again)
+
+
+class TestPackageSurface:
+    def test_top_level_exposes_api_and_service(self):
+        assert "api" in repro.__all__
+        assert "service" in repro.__all__
+        assert repro.api is api
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.experiments",
+            "repro.simulation",
+            "repro.telemetry",
+            "repro.control",
+            "repro.workloads",
+            "repro.service",
+        ],
+    )
+    def test_subpackage_all_is_complete_and_sorted_ci(self, module):
+        mod = importlib.import_module(module)
+        names = mod.__all__
+        assert names, f"{module} must declare __all__"
+        missing = [n for n in names if not hasattr(mod, n)]
+        assert missing == [], f"{module}.__all__ names missing: {missing}"
+
+    def test_no_deep_imports_in_benchmarks_or_cli(self):
+        # The migration satellite: these consumers go through package
+        # roots (repro.<pkg>) or the facade, never submodule paths.
+        import pathlib
+        import re
+
+        deep = re.compile(r"^\s*from repro\.\w+\.\w+ import ", re.MULTILINE)
+        root = pathlib.Path(repro.__file__).resolve().parents[2]
+        offenders = []
+        for path in [root / "src/repro/cli.py", *sorted((root / "benchmarks").glob("*.py"))]:
+            if deep.search(path.read_text()):
+                offenders.append(path.name)
+        assert offenders == []

@@ -1,0 +1,438 @@
+"""Unit tests for the experiment service: schema, jobs, results, scheduler."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EvaluationCache,
+    Runner,
+    scenario_family,
+    scenario_to_json,
+)
+from repro.service import (
+    ExperimentApi,
+    ExperimentScheduler,
+    JobNotDone,
+    JobNotFound,
+    JobRecord,
+    JobStore,
+    ResultStore,
+    SchemaError,
+    parse_request,
+    sweep_hash,
+)
+from repro.service.stream import window_rows
+
+QUICK = {"rates": [0.05, 0.1], "cycles": 300}
+
+
+def quick_request(**extra):
+    return {
+        "version": 1,
+        "family": "saturation-sweep",
+        "params": dict(QUICK),
+        **extra,
+    }
+
+
+# -- schema ------------------------------------------------------------------
+
+
+class TestSchema:
+    def test_family_request_expands(self):
+        parsed = parse_request(quick_request())
+        assert parsed.n_points == 2
+        assert len(parsed.spec_hashes) == 2
+        assert parsed.jobs is None
+
+    def test_explicit_scenarios_round_trip(self):
+        scenarios = scenario_family("saturation-sweep", **QUICK)
+        doc = {
+            "version": 1,
+            "scenarios": [scenario_to_json(s) for s in scenarios],
+        }
+        parsed = parse_request(doc)
+        assert parsed.scenarios == scenarios
+
+    def test_family_and_explicit_agree_on_hashes(self):
+        scenarios = scenario_family("saturation-sweep", **QUICK)
+        explicit = parse_request(
+            {"version": 1, "scenarios": [scenario_to_json(s) for s in scenarios]}
+        )
+        family = parse_request(quick_request())
+        assert explicit.spec_hashes == family.spec_hashes
+
+    @pytest.mark.parametrize(
+        ("doc", "code", "path"),
+        [
+            ([1, 2], "not_an_object", ()),
+            ({"family": "saturation-sweep"}, "missing_version", ("version",)),
+            ({"version": 99, "family": "x"}, "unsupported_version", ("version",)),
+            ({"version": 1}, "missing_spec", ()),
+            (
+                {"version": 1, "family": "x", "scenarios": []},
+                "ambiguous_spec",
+                (),
+            ),
+            ({"version": 1, "scenarios": "nope"}, "invalid_scenarios", ("scenarios",)),
+            ({"version": 1, "scenarios": []}, "empty_scenarios", ("scenarios",)),
+            (
+                {"version": 1, "scenarios": [{"bogus": True}]},
+                "invalid_scenario",
+                ("scenarios", 0),
+            ),
+            ({"version": 1, "family": ""}, "invalid_family", ("family",)),
+            (
+                {"version": 1, "family": "no-such-family"},
+                "invalid_family",
+                ("family",),
+            ),
+            (
+                {"version": 1, "family": "x", "params": []},
+                "invalid_params",
+                ("params",),
+            ),
+            (
+                {"version": 1, "family": "saturation-sweep", "jobs": 0},
+                "invalid_jobs",
+                ("jobs",),
+            ),
+            (
+                {"version": 1, "family": "saturation-sweep", "jobs": True},
+                "invalid_jobs",
+                ("jobs",),
+            ),
+        ],
+    )
+    def test_violations_carry_code_and_path(self, doc, code, path):
+        with pytest.raises(SchemaError) as err:
+            parse_request(doc)
+        assert err.value.code == code
+        assert err.value.path == path
+
+    def test_error_body_shape(self):
+        with pytest.raises(SchemaError) as err:
+            parse_request({"version": 1, "scenarios": [42]})
+        body = err.value.to_json()["error"]
+        assert set(body) == {"code", "message", "path"}
+        assert body["path"] == ["scenarios", 0]
+
+    def test_jobs_hint_parsed(self):
+        assert parse_request(quick_request(jobs=4)).jobs == 4
+
+    def test_list_params_normalize_to_tuples(self):
+        # JSON can only carry lists; families require hashable tuples.
+        parsed = parse_request(quick_request())
+        assert parsed.scenarios[0].label
+
+
+# -- job store ---------------------------------------------------------------
+
+
+class TestJobStore:
+    def test_ids_are_monotonic_and_survive_restart(self, tmp_path):
+        store = JobStore(tmp_path)
+        a = store.create(spec_hashes=["0" * 64], request={})
+        b = store.create(spec_hashes=["0" * 64], request={})
+        assert (a.job_id, b.job_id) == ("job-000001", "job-000002")
+        reopened = JobStore(tmp_path)
+        c = reopened.create(spec_hashes=["0" * 64], request={})
+        assert c.job_id == "job-000003"
+
+    def test_round_trip_and_unfinished(self, tmp_path):
+        store = JobStore(tmp_path)
+        rec = store.create(spec_hashes=["a" * 64, "b" * 64], request={"version": 1})
+        assert store.get(rec.job_id).n_points == 2
+        assert [r.job_id for r in store.unfinished()] == [rec.job_id]
+        rec.state = "done"
+        store.save(rec)
+        assert store.unfinished() == []
+
+    def test_bad_state_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        rec = store.create(spec_hashes=["a" * 64], request={})
+        rec.state = "exploded"
+        with pytest.raises(ValueError, match="unknown job state"):
+            store.save(rec)
+
+    def test_traversal_ids_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        assert store.get("../../etc/passwd") is None
+        assert store.get("job-1/../x") is None
+
+    def test_status_json_drops_request(self):
+        rec = JobRecord(
+            job_id="job-000001",
+            state="done",
+            n_points=4,
+            spec_hashes=[],
+            sweep_hash="s",
+            request={"secret": True},
+            points_done=4,
+            cache_hits=1,
+        )
+        doc = rec.status_json()
+        assert "request" not in doc
+        assert doc["cache_hit_ratio"] == 0.25
+
+    def test_sweep_hash_is_order_sensitive(self):
+        assert sweep_hash(["a", "b"]) != sweep_hash(["b", "a"])
+        assert sweep_hash(["a", "b"]) == sweep_hash(["a", "b"])
+
+
+# -- result store ------------------------------------------------------------
+
+
+class TestResultStore:
+    def _publish(self, store, metrics=None):
+        scenarios = scenario_family("saturation-sweep", **QUICK)
+        if metrics is None:
+            metrics = [{"avg_latency": 4.5, "drained": True} for _ in scenarios]
+        hashes = [f"{i:064x}" for i in range(len(scenarios))]
+        return store.put(
+            sweep_hash=sweep_hash(hashes),
+            scenarios=scenarios,
+            metrics=metrics,
+            spec_hashes=hashes,
+        )
+
+    def test_identical_bytes_reuse_release(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first, reused_a = self._publish(store)
+        again, reused_b = self._publish(store)
+        assert not reused_a and reused_b
+        assert again.release_id == first.release_id
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+
+    def test_changed_bytes_mint_next_version(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first, _ = self._publish(store)
+        scenarios = scenario_family("saturation-sweep", **QUICK)
+        changed = [{"avg_latency": 9.9, "drained": False} for _ in scenarios]
+        second, reused = self._publish(store, metrics=changed)
+        assert not reused
+        assert second.version == first.version + 1
+        # Both versions stay fetchable.
+        assert [r.version for r in store.versions(first.sweep_hash)] == [1, 2]
+
+    def test_read_back_header_and_columns(self, tmp_path):
+        store = ResultStore(tmp_path)
+        release, _ = self._publish(store)
+        header, columns = store.read(release.sweep_hash)
+        assert header["n_points"] == 2
+        assert header["metrics"][0]["avg_latency"] == 4.5
+        np.testing.assert_allclose(
+            columns["metric_avg_latency.npy"], [4.5, 4.5]
+        )
+
+    def test_none_metrics_become_nan_columns(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenarios = scenario_family("saturation-sweep", **QUICK)
+        metrics = [
+            {"avg_latency": None, "drained": False},
+            {"avg_latency": 3.0, "drained": True},
+        ]
+        hashes = [f"{i:064x}" for i in range(len(scenarios))]
+        store.put(
+            sweep_hash=sweep_hash(hashes),
+            scenarios=scenarios,
+            metrics=metrics,
+            spec_hashes=hashes,
+        )
+        _, columns = store.read(sweep_hash(hashes))
+        col = columns["metric_avg_latency.npy"]
+        assert np.isnan(col[0]) and col[1] == 3.0
+
+    def test_ragged_publish_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="ragged"):
+            store.put(
+                sweep_hash="0" * 64,
+                scenarios=scenario_family("saturation-sweep", **QUICK),
+                metrics=[{}],
+                spec_hashes=["a"],
+            )
+
+    def test_publish_is_byte_deterministic(self, tmp_path):
+        a, _ = self._publish(ResultStore(tmp_path / "a"))
+        b, _ = self._publish(ResultStore(tmp_path / "b"))
+        assert a.read_bytes() == b.read_bytes()
+
+
+# -- scheduler ---------------------------------------------------------------
+
+
+class TestScheduler:
+    def test_submit_runs_and_matches_direct_runner(self, tmp_path):
+        sched = ExperimentScheduler(tmp_path, poll_interval=0.005)
+        try:
+            record = sched.submit(quick_request())
+            done = sched.wait(record.job_id, timeout=120)
+            assert done.state == "done"
+            assert done.points_done == done.n_points == 2
+            direct = Runner().run(scenario_family("saturation-sweep", **QUICK))
+            assert sched.result_metrics(record.job_id) == [
+                r.metrics for r in direct
+            ]
+        finally:
+            sched.stop()
+
+    def test_duplicate_submission_is_all_cache_hits(self, tmp_path):
+        sched = ExperimentScheduler(tmp_path, poll_interval=0.005)
+        try:
+            first = sched.submit(quick_request())
+            second = sched.submit(quick_request())
+            done_first = sched.wait(first.job_id, timeout=120)
+            done_second = sched.wait(second.job_id, timeout=120)
+            assert done_first.cache_hits == 0
+            assert done_second.cache_hits == done_second.n_points
+            # Byte-identical results reuse the same release.
+            assert done_second.release == done_first.release
+        finally:
+            sched.stop()
+
+    def test_unknown_job_raises(self, tmp_path):
+        sched = ExperimentScheduler(tmp_path, auto_start=False)
+        with pytest.raises(JobNotFound):
+            sched.job("job-999999")
+
+    def test_result_before_done_raises(self, tmp_path):
+        sched = ExperimentScheduler(tmp_path, auto_start=False)
+        record = sched.submit(quick_request())
+        with pytest.raises(JobNotDone):
+            sched.result_metrics(record.job_id)
+
+    def test_invalid_submit_persists_nothing(self, tmp_path):
+        sched = ExperimentScheduler(tmp_path, auto_start=False)
+        with pytest.raises(SchemaError):
+            sched.submit({"version": 1})
+        assert sched.audit() == []
+        assert list((tmp_path / "jobs").glob("*.json")) == []
+
+    def test_restart_resumes_checkpointed_job(self, tmp_path):
+        # Stage a "killed mid-run" service: the cache checkpoint holds the
+        # first point, the job record is still 'running' on disk.
+        cold = ExperimentScheduler(tmp_path, auto_start=False)
+        record = cold.submit(quick_request())
+        scenarios = scenario_family("saturation-sweep", **QUICK)
+        warm_cache = EvaluationCache()
+        Runner(cache=warm_cache).run(scenarios[:1])
+        warm_cache.flush(cold.cache_path)
+        stored = cold.job_store.get(record.job_id)
+        stored.state = "running"
+        stored.points_done = 1
+        cold.job_store.save(stored)
+
+        reborn = ExperimentScheduler(tmp_path, poll_interval=0.005)
+        try:
+            done = reborn.wait(record.job_id, timeout=120)
+            assert done.state == "done"
+            assert done.resumed == 1
+            # The checkpointed point came back as a cache hit.
+            assert done.cache_hits >= 1
+            direct = Runner().run(scenarios)
+            assert reborn.result_metrics(record.job_id) == [
+                r.metrics for r in direct
+            ]
+        finally:
+            reborn.stop()
+
+    def test_cold_result_metrics_read_from_release(self, tmp_path):
+        sched = ExperimentScheduler(tmp_path, poll_interval=0.005)
+        try:
+            record = sched.submit(quick_request())
+            sched.wait(record.job_id, timeout=120)
+            hot = sched.result_metrics(record.job_id)
+        finally:
+            sched.stop()
+        reopened = ExperimentScheduler(tmp_path, auto_start=False)
+        assert reopened.result_metrics(record.job_id) == hot
+
+
+# -- streaming ---------------------------------------------------------------
+
+
+class TestWindowRows:
+    def test_rows_for_telemetry_scenario(self):
+        [scenario] = scenario_family(
+            "telemetry-profile", rates=[0.1], cycles=512, window=128
+        )
+        rows = window_rows(scenario)
+        assert rows[0]["type"] == "prologue"
+        assert rows[0]["window_cycles"] == 128
+        body = rows[1:]
+        assert len(body) == rows[0]["n_windows"]
+        assert all(r["type"] == "window" for r in body)
+        assert all(r["delivered"] >= 0 for r in body)
+
+    def test_rejects_scenarios_without_telemetry(self):
+        [scenario] = scenario_family(
+            "saturation-sweep", rates=[0.05], cycles=300
+        )
+        with pytest.raises(ValueError, match="telemetry"):
+            window_rows(scenario)
+
+
+# -- API routing (transport-free) --------------------------------------------
+
+
+class TestApiRouting:
+    @pytest.fixture
+    def api(self, tmp_path):
+        sched = ExperimentScheduler(tmp_path, poll_interval=0.005)
+        yield ExperimentApi(sched)
+        sched.stop()
+
+    @staticmethod
+    def _doc(response):
+        return json.loads(response.body.decode("utf-8"))
+
+    def test_health(self, api):
+        resp = api.handle("GET", "/api/v1/health")
+        assert resp.status == 200
+        assert self._doc(resp)["ok"] is True
+
+    def test_submit_poll_result(self, api):
+        body = json.dumps(quick_request()).encode()
+        resp = api.handle("POST", "/api/v1/jobs", body)
+        assert resp.status == 202
+        job_id = self._doc(resp)["job"]["job_id"]
+        api.scheduler.wait(job_id, timeout=120)
+        result = self._doc(api.handle("GET", f"/api/v1/jobs/{job_id}/result"))
+        assert len(result["metrics"]) == 2
+        npz = api.handle("GET", f"/api/v1/jobs/{job_id}/result.npz")
+        assert npz.content_type == "application/octet-stream"
+        assert npz.body[:2] == b"PK"  # a zip archive
+
+    def test_schema_violation_is_structured_400(self, api):
+        resp = api.handle("POST", "/api/v1/jobs", b'{"version": 99}')
+        assert resp.status == 400
+        assert self._doc(resp)["error"]["code"] == "unsupported_version"
+
+    def test_invalid_json_is_400(self, api):
+        resp = api.handle("POST", "/api/v1/jobs", b"{nope")
+        assert resp.status == 400
+        assert self._doc(resp)["error"]["code"] == "invalid_json"
+
+    def test_unknown_job_is_404(self, api):
+        resp = api.handle("GET", "/api/v1/jobs/job-424242")
+        assert resp.status == 404
+        assert self._doc(resp)["error"]["code"] == "not_found"
+
+    def test_unfinished_result_is_409(self, api):
+        api.scheduler.stop()
+        resp = api.handle(
+            "POST", "/api/v1/jobs", json.dumps(quick_request()).encode()
+        )
+        job_id = self._doc(resp)["job"]["job_id"]
+        resp = api.handle("GET", f"/api/v1/jobs/{job_id}/result")
+        assert resp.status == 409
+        assert self._doc(resp)["error"]["code"] == "job_not_done"
+
+    def test_wrong_method_is_405(self, api):
+        assert api.handle("PUT", "/api/v1/jobs").status == 405
+
+    def test_unknown_prefix_is_404(self, api):
+        assert api.handle("GET", "/nope").status == 404
