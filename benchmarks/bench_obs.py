@@ -1,0 +1,110 @@
+"""Extension bench — observability overhead and hot-path throughput.
+
+Guards :mod:`repro.obs`'s performance contracts the same way
+``bench_telemetry`` guards the sampler's:
+
+* ``obs_disabled_run`` — the *same* workload as ``simulator_run`` driven
+  through ``Simulator.run(profile=None)``: the CI bench-smoke job
+  asserts its median stays within 5 % of ``simulator_run`` (the phase
+  hooks must be free when profiling is off);
+* ``obs_span_throughput`` — recording + draining a burst of nested
+  spans (the tracer's enabled-path cost: two clock reads and one
+  append per span);
+* ``obs_metrics_snapshot`` — a deterministic registry snapshot over a
+  populated registry (the ``/api/v1/metrics`` hot path).
+
+All three are ``smoke``-tagged so the perf CI gate watches them.
+Correctness rides along: the disabled run must produce a profile-free
+``SimStats`` identical in shape to ``simulator_run``'s, the span burst
+must drain exactly what it recorded with parents intact, and the
+snapshot must round-trip its counter values.
+"""
+
+from repro.bench import benchmark_spec, load_sibling
+from repro.obs import (
+    MetricsRegistry,
+    enable_tracing,
+    span,
+    take_spans,
+    tracing_enabled,
+)
+
+# The CI disabled-overhead gate divides obs_disabled_run's median by
+# simulator_run's; sharing the fixture makes "identical workload" a
+# structural fact rather than a copy-paste invariant.
+_sim_perf = load_sibling(__file__, "bench_simulator_perf")
+N_PACKETS = _sim_perf.N_PACKETS
+
+N_SPANS = 5000
+N_METRICS = 100
+
+
+@benchmark_spec(
+    "obs_disabled_run",
+    setup=_sim_perf._simulator_fixture,
+    points=N_PACKETS,
+    tags=("perf", "obs", "smoke"),
+)
+def run_disabled(fixture):
+    """simulator_run's workload through the profile=None path (must be free)."""
+    sim, trace = fixture
+    return sim.run(trace, profile=None)
+
+
+@benchmark_spec(
+    "obs_span_throughput",
+    points=N_SPANS,
+    tags=("perf", "obs", "smoke"),
+)
+def run_span_burst():
+    """Record and drain N_SPANS nested spans on the process tracer."""
+    was_enabled = tracing_enabled()
+    enable_tracing(True)
+    try:
+        for i in range(N_SPANS // 2):
+            with span("bench.outer", i=i):
+                with span("bench.inner"):
+                    pass
+        return take_spans()
+    finally:
+        enable_tracing(was_enabled)
+
+
+def _registry_fixture():
+    reg = MetricsRegistry()
+    for i in range(N_METRICS):
+        reg.counter(f"bench.counter.{i:03d}").inc(i)
+        reg.gauge(f"bench.gauge.{i:03d}").set(float(i))
+        reg.histogram(f"bench.hist.{i:03d}").observe(float(i))
+    return reg
+
+
+@benchmark_spec(
+    "obs_metrics_snapshot",
+    setup=_registry_fixture,
+    points=3 * N_METRICS,
+    tags=("perf", "obs", "smoke"),
+)
+def run_snapshot(reg):
+    """Deterministic full-registry snapshot (the /metrics hot path)."""
+    return reg.snapshot()
+
+
+def test_perf_disabled_run(run_bench):
+    stats = run_bench("obs_disabled_run")
+    assert stats.drained
+
+
+def test_perf_span_throughput(run_bench):
+    spans = run_bench("obs_span_throughput")
+    assert len(spans) == N_SPANS
+    inner = [s for s in spans if s.name == "bench.inner"]
+    assert len(inner) == N_SPANS // 2
+    assert all(s.parent_id is not None for s in inner)
+
+
+def test_perf_metrics_snapshot(run_bench):
+    snap = run_bench("obs_metrics_snapshot")
+    assert len(snap["counters"]) == N_METRICS
+    assert snap["counters"]["bench.counter.042"] == 42
+    assert snap["histograms"]["bench.hist.007"]["count"] == 1

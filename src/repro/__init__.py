@@ -18,6 +18,10 @@ Subpackages:
   projections.
 * :mod:`repro.experiments` — declarative scenarios, the serial /
   process-pool runner and the evaluation cache behind every sweep.
+* :mod:`repro.obs` — observability for the *stack itself*: structured
+  logging, process metrics, span tracing and engine phase profiling
+  (distinct from :mod:`repro.telemetry`, which observes the simulated
+  network).
 * :mod:`repro.service` — the engine as a long-running HTTP/JSON job
   service with checkpointed resume and versioned npz releases.
 * :mod:`repro.api` — the stable, flat public facade over all of the
@@ -30,6 +34,7 @@ from repro import (
     core,
     dsent,
     experiments,
+    obs,
     optical,
     service,
     simulation,
@@ -47,6 +52,7 @@ __all__ = [
     "core",
     "dsent",
     "experiments",
+    "obs",
     "optical",
     "service",
     "simulation",

@@ -18,7 +18,15 @@ between releases:
   (:func:`write_npz_archive`, :func:`open_npz_archive`) plus the trace
   and telemetry stores built on them;
 * **serve** it — :func:`serve` / :func:`make_server` boot the HTTP/JSON
-  experiment service and :class:`ServiceClient` talks to one.
+  experiment service and :class:`ServiceClient` talks to one;
+* **observe** the stack — :func:`span` tracing with
+  :func:`enable_tracing` / :func:`export_trace`, the process-metrics
+  snapshot (:func:`metrics_snapshot`), structured logging
+  (:func:`setup_logging`), and per-phase engine profiling
+  (:func:`profile_simulation` / :func:`render_profiles` /
+  :class:`PhaseProfile`). Not to be confused with
+  :func:`profile_scenario`, which samples the *simulated network's*
+  telemetry rather than the stack's own performance.
 
 The deep modules stay importable (nothing here is a wrapper — every name
 is a re-export), but this module is the compatibility surface: names
@@ -48,6 +56,16 @@ from repro.experiments import (
     scenario_to_json,
     simulate_scenario,
 )
+from repro.obs import (
+    PhaseProfile,
+    enable_tracing,
+    export_trace,
+    metrics_snapshot,
+    profile_simulation,
+    render_profiles,
+    setup_logging,
+    span,
+)
 from repro.service import ServiceClient, make_server, serve
 from repro.telemetry import (
     load_telemetry_npz,
@@ -63,6 +81,7 @@ from repro.workloads import (
 
 __all__ = [
     "EvaluationCache",
+    "PhaseProfile",
     "Runner",
     "Scenario",
     "ScenarioResult",
@@ -71,15 +90,20 @@ __all__ = [
     "SweepHandle",
     "TopologySpec",
     "TrafficSpec",
+    "enable_tracing",
     "evaluate_scenario",
+    "export_trace",
     "family_names",
     "load_telemetry_npz",
     "load_trace_npz",
     "make_server",
+    "metrics_snapshot",
     "open_npz_archive",
     "paper_point",
     "profile_scenario",
+    "profile_simulation",
     "register_family",
+    "render_profiles",
     "run_batch",
     "save_telemetry_npz",
     "save_trace_npz",
@@ -88,7 +112,9 @@ __all__ = [
     "scenario_hash",
     "scenario_to_json",
     "serve",
+    "setup_logging",
     "simulate_scenario",
+    "span",
     "write_npz_archive",
 ]
 

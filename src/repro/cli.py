@@ -860,7 +860,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.port,
         args.state_dir,
         jobs=args.jobs,
-        verbose=args.verbose,
+        log_level=args.log_level,
+        log_json=args.log_json,
     )
 
 
@@ -1014,6 +1015,123 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
         f"shared cache: {cache['size']} entries "
         f"({cache['hits']} hits / {cache['misses']} misses this run)"
     )
+    return 0
+
+
+def _cmd_obs_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceError
+    from repro.util import format_table
+
+    client = _service_client(args)
+    try:
+        doc = client.metrics()
+    except ServiceError as exc:
+        print(f"error ({exc.code}): {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(doc, sort_keys=True))
+        return 0
+    metrics = doc["metrics"]
+    rows = [
+        ["counter", name, value]
+        for name, value in sorted(metrics["counters"].items())
+    ]
+    rows += [
+        ["gauge", name, value] for name, value in sorted(metrics["gauges"].items())
+    ]
+    rows += [
+        ["histogram", name, f"n={h['count']} sum={h['sum']:.3f}"]
+        for name, h in sorted(metrics["histograms"].items())
+    ]
+    print(format_table(["kind", "metric", "value"], rows, title="service metrics"))
+    cache = doc["cache"]
+    print(
+        f"shared cache: {cache['size']} entries "
+        f"({cache['hits']} hits / {cache['misses']} misses this run)"
+    )
+    return 0
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        doc = client.spans(args.job_id, deterministic=args.deterministic)
+    except ServiceError as exc:
+        print(f"error ({exc.code}): {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(doc, sort_keys=True))
+        return 0
+    spans = doc["spans"]
+    if not spans:
+        print(f"{doc['job_id']}: no spans recorded")
+        return 0
+    known = {s["span_id"] for s in spans}
+    children: dict[str | None, list[dict]] = {}
+    for s in spans:
+        parent = s["parent_id"] if s["parent_id"] in known else None
+        children.setdefault(parent, []).append(s)
+
+    def _walk(parent: str | None, depth: int) -> None:
+        for s in children.get(parent, []):
+            dur = s.get("duration_ns")
+            timing = "" if dur is None else f" [{dur / 1e6:.3f} ms]"
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(s.get("attrs", {}).items())
+            )
+            line = f"{'  ' * depth}{s['name']}{timing}"
+            print(f"{line} {attrs}" if attrs else line)
+            _walk(s["span_id"], depth + 1)
+
+    print(f"{doc['job_id']}: {doc['n_spans']} span(s)")
+    _walk(None, 0)
+    return 0
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments import scenario_family
+    from repro.obs import profile_simulation, render_profiles
+
+    scenario = scenario_family(
+        "saturation-sweep",
+        rates=[args.rate],
+        hops=args.hops,
+        width=args.width,
+        height=args.height,
+        cycles=args.cycles,
+        drain_budget=args.drain_budget,
+        seed=args.seed,
+    )[0]
+    profiles = profile_simulation(scenario)
+    if args.engine != "both":
+        profiles = {k: v for k, v in profiles.items() if k == args.engine}
+        if not profiles:
+            print(
+                f"error: the {args.engine} engine cannot run this scenario",
+                file=sys.stderr,
+            )
+            return 2
+    if args.json:
+        print(
+            json.dumps(
+                {k: v.to_json() for k, v in profiles.items()}, sort_keys=True
+            )
+        )
+        return 0
+    print(f"per-phase engine profile: {scenario.label}")
+    print(render_profiles(profiles))
+    for engine in sorted(profiles):
+        counts = profiles[engine].counts
+        rendered = " ".join(f"{k}={counts[k]}" for k in sorted(counts))
+        print(f"{engine} counts: {rendered}")
     return 0
 
 
@@ -1392,7 +1510,16 @@ def build_parser() -> argparse.ArgumentParser:
         "a restarted service resumes unfinished jobs from it",
     )
     psv.add_argument(
-        "--verbose", action="store_true", help="log every HTTP request"
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="structured-log threshold for the repro.* loggers "
+        "(access log lines are info; per-request detail is debug)",
+    )
+    psv.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines instead of key=value text",
     )
     _add_engine_flags(psv)
     psv.set_defaults(func=_cmd_serve)
@@ -1441,6 +1568,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_client_flags(pj)
     pj.set_defaults(func=_cmd_jobs)
+
+    pobs = sub.add_parser(
+        "obs", help="observability: process metrics, span traces, profiling"
+    )
+    obs_sub = pobs.add_subparsers(dest="obs_command", required=True)
+    pom = obs_sub.add_parser(
+        "metrics", help="running service's process-metrics snapshot"
+    )
+    _add_service_client_flags(pom)
+    pom.set_defaults(func=_cmd_obs_metrics)
+    pot = obs_sub.add_parser(
+        "trace", help="span trace captured while a job executed"
+    )
+    pot.add_argument("job_id", help="job id returned by submit")
+    pot.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="strip timing/pid fields (byte-stable across identical runs)",
+    )
+    _add_service_client_flags(pot)
+    pot.set_defaults(func=_cmd_obs_trace)
+    pop = obs_sub.add_parser(
+        "profile",
+        help="run one simulation point under both engines with per-phase "
+        "timers and print the phase breakdown",
+    )
+    pop.add_argument(
+        "--rate", type=float, default=0.30, help="injection rate (flits/node/cycle)"
+    )
+    pop.add_argument("--width", type=int, default=8, help="mesh width")
+    pop.add_argument("--height", type=int, default=8, help="mesh height")
+    pop.add_argument(
+        "--hops", type=int, default=0, help="express-link hop span (0 = plain mesh)"
+    )
+    pop.add_argument(
+        "--cycles", type=int, default=1200, help="warm measurement window"
+    )
+    pop.add_argument(
+        "--drain-budget", type=int, default=20_000, help="drain cycle cap"
+    )
+    pop.add_argument(
+        "--engine",
+        choices=("interpreter", "batched", "both"),
+        default="both",
+        help="which engine(s) to profile (default both)",
+    )
+    pop.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    pop.set_defaults(func=_cmd_obs_profile)
     return parser
 
 

@@ -29,10 +29,25 @@ from collections.abc import Iterator
 from typing import Any
 
 from repro.experiments.spec import Scenario, scenario_hash, scenario_to_json
+from repro.obs.logs import fields, get_logger
+from repro.obs.metrics import counter, gauge, histogram
 
 __all__ = ["EvaluationCache"]
 
 _FORMAT_VERSION = 1
+
+_log = get_logger("experiments.cache")
+
+# Process-wide mirrors of the per-instance hit/miss counters: the service
+# runs one cache per process, so ``/api/v1/metrics`` reports exactly
+# ``EvaluationCache.stats`` (pinned by the service-smoke CI assertion).
+_HITS = counter("cache.hits")
+_MISSES = counter("cache.misses")
+_ENTRIES = gauge("cache.entries")
+_FLUSHES = counter("cache.flushes")
+_FLUSH_MS = histogram("cache.flush_ms")
+_LOCK_CONTENDED = counter("cache.lock_contention")
+_LOCK_BROKEN = counter("cache.stale_locks_broken")
 
 #: A lock file older than this is assumed to be a dead writer's leftovers.
 _STALE_LOCK_S = 30.0
@@ -49,11 +64,19 @@ def _file_lock(path: pathlib.Path, timeout: float) -> Iterator[None]:
     """
     lock = path.with_name(path.name + ".lock")
     deadline = time.monotonic() + timeout
+    contended = False
     while True:
         try:
             fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             break
         except FileExistsError:
+            if not contended:
+                contended = True
+                _LOCK_CONTENDED.inc()
+                _log.debug(
+                    "cache lock contended",
+                    extra=fields(path=str(path), timeout_s=timeout),
+                )
             if time.monotonic() >= deadline:
                 try:
                     age = time.time() - lock.stat().st_mtime
@@ -62,6 +85,11 @@ def _file_lock(path: pathlib.Path, timeout: float) -> Iterator[None]:
                 # Stale-breaking uses its own (long) threshold so a short
                 # acquisition timeout never steals a *live* writer's lock.
                 if age >= max(timeout, _STALE_LOCK_S):
+                    _LOCK_BROKEN.inc()
+                    _log.warning(
+                        "breaking stale cache lock",
+                        extra=fields(lock=str(lock), age_s=round(age, 3)),
+                    )
                     with contextlib.suppress(OSError):
                         lock.unlink()
                     continue
@@ -113,8 +141,10 @@ class EvaluationCache:
         entry = self._store.get(scenario_hash(scenario))
         if entry is None:
             self.misses += 1
+            _MISSES.inc()
             return None
         self.hits += 1
+        _HITS.inc()
         return entry["metrics"]
 
     def put(self, scenario: Scenario, metrics: dict[str, Any]) -> None:
@@ -123,6 +153,7 @@ class EvaluationCache:
             "scenario": scenario_to_json(scenario),
             "metrics": dict(metrics),
         }
+        _ENTRIES.set(len(self._store))
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
@@ -161,6 +192,7 @@ class EvaluationCache:
         flushers converge on the union instead of overwriting each
         other. Returns the merged entry count.
         """
+        start = time.perf_counter()
         p = pathlib.Path(path)
         with _file_lock(p, timeout):
             merged: dict[str, dict[str, Any]] = {}
@@ -172,6 +204,14 @@ class EvaluationCache:
                 p, json.dumps(payload, indent=2, sort_keys=True) + "\n"
             )
         self._store = merged
+        _ENTRIES.set(len(merged))
+        _FLUSHES.inc()
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        _FLUSH_MS.observe(elapsed_ms)
+        _log.debug(
+            "cache flushed",
+            extra=fields(path=str(p), entries=len(merged), ms=round(elapsed_ms, 3)),
+        )
         return len(merged)
 
     @staticmethod
@@ -187,6 +227,7 @@ class EvaluationCache:
         """Rebuild a cache from :meth:`save` output."""
         cache = cls()
         cache._store = dict(cls._parse(pathlib.Path(path))["entries"])
+        _ENTRIES.set(len(cache._store))
         return cache
 
     @classmethod

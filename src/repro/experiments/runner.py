@@ -20,6 +20,16 @@ from typing import Any, TypeVar
 
 from repro.experiments.cache import EvaluationCache
 from repro.experiments.spec import Scenario, TopologySpec, scenario_hash
+from repro.obs.metrics import counter
+from repro.obs.trace import (
+    adopt_parent,
+    clear_spans,
+    current_span_id,
+    merge_exported,
+    span,
+    take_spans,
+    tracing_enabled,
+)
 from repro.topology.graph import Topology
 from repro.topology.routing import RoutingTable
 
@@ -33,6 +43,19 @@ __all__ = [
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+_POINTS_EVALUATED = counter("runner.points.evaluated")
+_POINTS_CACHED = counter("runner.points.cached")
+
+
+def _count_point(scenario: Scenario) -> None:
+    """Count one fresh evaluation, keyed by the engine that actually ran it."""
+    _POINTS_EVALUATED.inc()
+    if scenario.kind == "simulation":
+        engine = "batched" if _batched_eligible(scenario) else "interpreter"
+    else:
+        engine = scenario.kind
+    counter(f"runner.points.engine.{engine}").inc()
 
 
 @lru_cache(maxsize=8)
@@ -88,6 +111,25 @@ def evaluate_scenario(scenario: Scenario) -> dict[str, Any]:
     if scenario.kind == "simulation":
         return _evaluate_simulation(scenario)
     return _evaluate_all_optical(scenario)
+
+
+def _traced_evaluate(scenario: Scenario) -> tuple[dict[str, Any], list[dict]]:
+    """Pool-worker seam: evaluate one scenario and ship its spans home.
+
+    Workers inherit the parent's tracing flag (and, under fork, a copy
+    of its span buffer — dropped here so only this point's spans ship).
+    Returns ``(metrics, span_payloads)``; the submitting process merges
+    the payloads into its trace via
+    :func:`repro.obs.trace.merge_exported`, re-parented under the span
+    that submitted the point. With tracing disabled the wrapper is a
+    tuple allocation around :func:`evaluate_scenario`.
+    """
+    if not tracing_enabled():
+        return evaluate_scenario(scenario), []
+    clear_spans()
+    with span("runner.point", point=scenario.label, pool_worker=True):
+        metrics = evaluate_scenario(scenario)
+    return metrics, [rec.to_json() for rec in take_spans()]
 
 
 def _evaluate_analytical(scenario: Scenario) -> dict[str, Any]:
@@ -301,14 +343,21 @@ class SweepHandle:
         self._finished = threading.Event()
         self._cancel = threading.Event()
         self._error: BaseException | None = None
+        # Threads start with a fresh contextvar context: capture the
+        # submitter's span so the drive thread's spans nest under it.
+        parent_span = current_span_id()
 
         def drive() -> None:
             try:
-                for res in runner.run_iter(scenarios):
-                    with self._lock:
-                        self._results.append(res)
-                    if self._cancel.is_set():
-                        break
+                adopt_parent(parent_span)
+                with span(
+                    "runner.sweep", points=self.n_points, jobs=runner.jobs
+                ):
+                    for res in runner.run_iter(scenarios):
+                        with self._lock:
+                            self._results.append(res)
+                        if self._cancel.is_set():
+                            break
             except BaseException as exc:  # surfaced via results()/poll()
                 self._error = exc
             finally:
@@ -383,7 +432,9 @@ class Runner:
 
     def run(self, scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
         """Evaluate all scenarios, preserving input order."""
-        return list(self.run_iter(scenarios))
+        scenarios = list(scenarios)
+        with span("runner.sweep", points=len(scenarios), jobs=self.jobs):
+            return list(self.run_iter(scenarios))
 
     def submit(self, scenarios: Iterable[Scenario]) -> SweepHandle:
         """Start evaluating a batch asynchronously; returns its handle.
@@ -417,16 +468,22 @@ class Runner:
                 )
                 try:
                     futures = {
-                        h: pool.submit(evaluate_scenario, s)
+                        h: pool.submit(_traced_evaluate, s)
                         for h, s in pending.items()
                     }
                     for s, h in zip(batch, hashes):
                         metrics = self.cache.get(s)
                         if metrics is None:
-                            metrics = futures[h].result()
+                            metrics, worker_spans = futures[h].result()
+                            if worker_spans:
+                                merge_exported(
+                                    worker_spans, parent_id=current_span_id()
+                                )
                             self.cache.put(s, metrics)
+                            _count_point(s)
                             yield ScenarioResult(s, metrics, cached=False)
                         else:
+                            _POINTS_CACHED.inc()
                             yield ScenarioResult(s, metrics, cached=True)
                 finally:
                     # An abandoned stream must not join the whole batch:
@@ -438,8 +495,10 @@ class Runner:
         for s in batch:
             metrics = self.cache.get(s)
             if metrics is None:
-                metrics = evaluate_scenario(s)
+                with span("runner.point", point=s.label):
+                    metrics = evaluate_scenario(s)
                 self.cache.put(s, metrics)
+                _count_point(s)
                 yield ScenarioResult(s, metrics, cached=False)
             else:
                 h = scenario_hash(s)
@@ -447,6 +506,7 @@ class Runner:
                     fresh.discard(h)
                     yield ScenarioResult(s, metrics, cached=False)
                 else:
+                    _POINTS_CACHED.inc()
                     yield ScenarioResult(s, metrics, cached=True)
 
     def _run_batched_groups(self, batch: Sequence[Scenario]) -> set[str]:
@@ -477,9 +537,11 @@ class Runner:
             caps = [
                 s.sim.cycle_budget(s.traffic.trace_based) for _, s in items
             ]
-            stats_list = bsim.run_batch(traces, max_cycles=caps)
+            with span("runner.batch_group", points=len(items)):
+                stats_list = bsim.run_batch(traces, max_cycles=caps)
             for (h, s), stats in zip(items, stats_list):
                 self.cache.put(s, _sim_metrics(s, topo, stats))
+                _count_point(s)
                 fresh.add(h)
         return fresh
 

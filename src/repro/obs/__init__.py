@@ -1,0 +1,83 @@
+"""Stack observability: tracing, metrics, logging, and engine profiling.
+
+Where :mod:`repro.telemetry` observes the *simulated network* (per-window
+latency, occupancy, power inside a run), :mod:`repro.obs` observes the
+*stack that runs the simulations*: spans around runner points and service
+jobs (:mod:`~repro.obs.trace`), process-wide operational counters behind
+``/api/v1/metrics`` (:mod:`~repro.obs.metrics`), structured logging for
+the service (:mod:`~repro.obs.logs`), and opt-in per-phase cycle-loop
+profiling of both engines (:mod:`~repro.obs.profile`).
+
+Everything is off by default and designed so the disabled path costs a
+single sentinel check — golden SimStats remain bit-identical and the
+engines stay inside the CI overhead gate with observability compiled in
+but switched off.
+"""
+
+from repro.obs.logs import fields, get_logger, setup_logging
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.obs.metrics import (
+    reset as reset_metrics,
+)
+from repro.obs.metrics import (
+    snapshot as metrics_snapshot,
+)
+from repro.obs.profile import PhaseProfile, profile_simulation, render_profiles
+from repro.obs.trace import (
+    SpanRecord,
+    adopt_parent,
+    clear_spans,
+    current_span_id,
+    enable_tracing,
+    export_trace,
+    get_spans,
+    merge_exported,
+    record_spans,
+    span,
+    take_spans,
+    tracing_enabled,
+)
+
+__all__ = [
+    # trace
+    "span",
+    "SpanRecord",
+    "enable_tracing",
+    "tracing_enabled",
+    "current_span_id",
+    "adopt_parent",
+    "get_spans",
+    "take_spans",
+    "clear_spans",
+    "record_spans",
+    "merge_exported",
+    "export_trace",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "metrics_snapshot",
+    "reset_metrics",
+    # logs
+    "setup_logging",
+    "get_logger",
+    "fields",
+    # profile
+    "PhaseProfile",
+    "profile_simulation",
+    "render_profiles",
+]

@@ -1,0 +1,117 @@
+"""Structured logging setup for the repro stack.
+
+One configuration point (:func:`setup_logging`) owns the ``"repro"``
+logger subtree; every module logs through ``logging.getLogger("repro.
+<layer>")`` and attaches machine-readable fields via the ``extra``
+convention::
+
+    log.info("job state change", extra=fields(job="job-000001", state="done"))
+
+Two render modes, selected by ``repro serve --log-json``:
+
+* **key=value** (default) — ``2026-08-08T12:00:00.123Z INFO
+  repro.service.scheduler job state change job=job-000001 state=done``,
+  grep-friendly for humans;
+* **JSON lines** — one object per line (``ts``, ``level``, ``logger``,
+  ``msg`` plus the fields), for log shippers.
+
+Nothing configures logging at import time: a library must stay silent
+until an application (``repro serve``, a test) opts in. Unconfigured,
+records propagate to the root logger and vanish under the stdlib's
+default ``WARNING`` threshold, so instrumented hot paths cost one
+disabled-logger check.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+__all__ = ["setup_logging", "get_logger", "fields", "LOG_LEVELS"]
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_FIELDS_ATTR = "repro_fields"
+
+
+def fields(**kv: Any) -> dict[str, dict[str, Any]]:
+    """Build the ``extra`` mapping carrying structured fields."""
+    return {_FIELDS_ATTR: kv}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` subtree (``get_logger("service.http")``)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def _record_fields(record: logging.LogRecord) -> dict[str, Any]:
+    return getattr(record, _FIELDS_ATTR, None) or {}
+
+
+def _iso_utc(created: float) -> str:
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(created))
+    return f"{base}.{int(created * 1000) % 1000:03d}Z"
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``<ts> <LEVEL> <logger> <message> k=v ...`` single-line records."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            _iso_utc(record.created),
+            record.levelname,
+            record.name,
+            record.getMessage(),
+        ]
+        for key, value in _record_fields(record).items():
+            parts.append(f"{key}={value}")
+        line = " ".join(str(p) for p in parts)
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; structured fields merge into the object."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict[str, Any] = {
+            "ts": _iso_utc(record.created),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        doc.update(_record_fields(record))
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+def setup_logging(
+    level: str = "info",
+    *,
+    json_mode: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger subtree (idempotent).
+
+    Replaces any handler a previous call installed, so tests and
+    re-invocations reconfigure instead of stacking duplicate handlers.
+    Returns the subtree root logger.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(f"log level must be one of {LOG_LEVELS}, got {level!r}")
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, level.upper()))
+    root.propagate = False
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else KeyValueFormatter())
+    root.addHandler(handler)
+    return root

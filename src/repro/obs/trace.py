@@ -1,0 +1,282 @@
+"""Lightweight span tracing for the serving stack.
+
+A *span* is one named, timed region of stack execution — ``evaluating a
+design point``, ``flushing the cache checkpoint``, ``executing a service
+job`` — with nesting tracked through :mod:`contextvars` so spans opened
+inside a span become its children, including across ``async``-shaped
+seams on the same thread. Timing uses ``perf_counter_ns`` (monotonic);
+wall-clock is recorded separately and only for display, so exports can
+strip it for byte-determinism.
+
+Identity is **process- and thread-safe by construction**: a span id is
+``"<pid:x>-<seq:x>"`` with ``seq`` from a per-process atomic counter, so
+spans recorded in :class:`~concurrent.futures.ProcessPoolExecutor`
+workers can be shipped back (as :meth:`SpanRecord.to_json` payloads) and
+merged into the parent's trace with :func:`merge_exported` — ids never
+collide and parent links survive verbatim. That is how ``Runner(jobs=N)``
+worker spans end up under the one ``runner.sweep`` span.
+
+Cost model mirrors the telemetry sampler's: **disabled** (the default),
+:func:`span` checks one module-level boolean and yields — no allocation,
+no clock read, no record; the golden-SimStats tests stay bit-identical.
+**Enabled**, each span costs two clock reads and one appended record;
+tracing sits on job/point granularity, never inside the simulator's
+cycle loop (that is :mod:`repro.obs.profile`'s job).
+
+Exports (:func:`export_trace`) renumber span ids to dense ordinals in
+``(pid, seq)`` order. With ``deterministic=True`` every wall-clock,
+duration, pid and thread field is stripped, leaving only names, nesting
+and attributes — two runs of the same code path export byte-identical
+JSON (pinned by test).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import os
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "TRACE_FORMAT",
+    "SpanRecord",
+    "span",
+    "enable_tracing",
+    "tracing_enabled",
+    "current_span_id",
+    "adopt_parent",
+    "get_spans",
+    "take_spans",
+    "clear_spans",
+    "record_spans",
+    "merge_exported",
+    "export_trace",
+]
+
+TRACE_FORMAT = "repro.obs.trace/1"
+
+#: Innermost open span id in the current context (None at top level).
+_current: ContextVar[str | None] = ContextVar("repro_obs_current_span", default=None)
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (full-fidelity; see :func:`export_trace`)."""
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    seq: int
+    """Start order within the recording process (sort key for exports)."""
+    start_ns: int
+    """``perf_counter_ns`` at entry — monotonic, process-local."""
+    duration_ns: int
+    wall_ns: int
+    """Wall-clock epoch ns at entry (display only; stripped when
+    exporting deterministically)."""
+    pid: int
+    thread_id: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "seq": self.seq,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "wall_ns": self.wall_ns,
+            "pid": self.pid,
+            "thread_id": self.thread_id,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "SpanRecord":
+        return cls(**data)
+
+
+class _Tracer:
+    """Process-global span buffer + enable flag."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._spans: list[SpanRecord] = []
+        self._seq = itertools.count()
+
+    def next_id(self) -> tuple[int, str]:
+        seq = next(self._seq)
+        return seq, f"{os.getpid():x}-{seq:x}"
+
+    def record(self, rec: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(rec)
+
+    def record_many(self, recs: list[SpanRecord]) -> None:
+        with self._lock:
+            self._spans.extend(recs)
+
+    def snapshot(self) -> list[SpanRecord]:
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> list[SpanRecord]:
+        with self._lock:
+            out = self._spans
+            self._spans = []
+            return out
+
+
+_TRACER = _Tracer()
+
+
+def enable_tracing(on: bool = True) -> None:
+    """Turn span recording on/off for this process."""
+    _TRACER.enabled = bool(on)
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def current_span_id() -> str | None:
+    """Id of the innermost open span in this context (None at top level)."""
+    return _current.get()
+
+
+def adopt_parent(parent_id: str | None) -> None:
+    """Make ``parent_id`` the ambient parent for spans in this context.
+
+    Threads start with a fresh context (``threading.Thread`` does not
+    inherit contextvars), so a worker thread that should nest its spans
+    under the spawner's span calls this first with the id the spawner
+    captured via :func:`current_span_id`.
+    """
+    _current.set(parent_id)
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs: Any) -> Iterator[SpanRecord | None]:
+    """Record a named, timed span around the ``with`` body.
+
+    Disabled tracing reduces to one boolean check (yields ``None``).
+    Attributes must be JSON-safe scalars (str/int/float/bool/None) —
+    they travel through worker pickles and HTTP exports verbatim.
+    """
+    tracer = _TRACER
+    if not tracer.enabled:
+        yield None
+        return
+    seq, span_id = tracer.next_id()
+    parent = _current.get()
+    token = _current.set(span_id)
+    rec = SpanRecord(
+        name=name,
+        span_id=span_id,
+        parent_id=parent,
+        seq=seq,
+        start_ns=time.perf_counter_ns(),
+        duration_ns=0,
+        wall_ns=time.time_ns(),
+        pid=os.getpid(),
+        thread_id=threading.get_ident(),
+        attrs=attrs,
+    )
+    try:
+        yield rec
+    finally:
+        rec.duration_ns = time.perf_counter_ns() - rec.start_ns
+        _current.reset(token)
+        tracer.record(rec)
+
+
+def get_spans() -> list[SpanRecord]:
+    """Snapshot of every span recorded in this process (completion order)."""
+    return _TRACER.snapshot()
+
+
+def take_spans() -> list[SpanRecord]:
+    """Drain and return the recorded spans (bounds tracer memory)."""
+    return _TRACER.drain()
+
+
+def clear_spans() -> None:
+    """Drop all recorded spans."""
+    _TRACER.drain()
+
+
+def record_spans(spans: list[SpanRecord]) -> None:
+    """Append already-built records (merge seam for shipped worker spans)."""
+    _TRACER.record_many(spans)
+
+
+def merge_exported(
+    payload: list[dict[str, Any]],
+    *,
+    parent_id: str | None = None,
+) -> list[SpanRecord]:
+    """Merge worker-shipped span payloads into this process's trace.
+
+    ``payload`` is a list of :meth:`SpanRecord.to_json` dicts (what a
+    pool worker returns). Root spans (``parent_id is None``) are
+    re-parented under ``parent_id`` so the merged trace nests the
+    worker's work where it logically happened; ids are pid-scoped and
+    therefore already collision-free. Returns the merged records.
+    """
+    recs = [SpanRecord.from_json(d) for d in payload]
+    if parent_id is not None:
+        for rec in recs:
+            if rec.parent_id is None:
+                rec.parent_id = parent_id
+    _TRACER.record_many(recs)
+    return recs
+
+
+def export_trace(
+    spans: list[SpanRecord] | None = None,
+    *,
+    deterministic: bool = False,
+) -> dict[str, Any]:
+    """Export spans as a JSON-safe trace document.
+
+    Spans sort by ``(pid, seq)`` and ids renumber to dense ordinals (so
+    the document never leaks process ids through identifiers). With
+    ``deterministic=True`` all timing, pid and thread fields are
+    stripped — only names, nesting, ordinals and attributes remain, and
+    two runs of the same code path export byte-identical documents
+    (``json.dumps(..., sort_keys=True)``). Multi-process traces are
+    deterministic up to how work was assigned to workers.
+    """
+    if spans is None:
+        spans = get_spans()
+    ordered = sorted(spans, key=lambda s: (s.pid, s.seq))
+    id_map = {s.span_id: str(i) for i, s in enumerate(ordered)}
+    out = []
+    for i, s in enumerate(ordered):
+        doc: dict[str, Any] = {
+            "name": s.name,
+            "span_id": id_map[s.span_id],
+            "parent_id": id_map.get(s.parent_id) if s.parent_id else None,
+            "attrs": dict(s.attrs),
+        }
+        if not deterministic:
+            doc.update(
+                start_ns=s.start_ns,
+                duration_ns=s.duration_ns,
+                wall_ns=s.wall_ns,
+                pid=s.pid,
+                thread_id=s.thread_id,
+            )
+        out.append(doc)
+    return {
+        "format": TRACE_FORMAT,
+        "deterministic": deterministic,
+        "n_spans": len(out),
+        "spans": out,
+    }

@@ -92,6 +92,15 @@ class ServiceClient:
     def health(self) -> dict[str, Any]:
         return self._json("GET", "/health")
 
+    def metrics(self) -> dict[str, Any]:
+        """Process metrics registry snapshot + cache counters."""
+        return self._json("GET", "/metrics")
+
+    def spans(self, job_id: str, *, deterministic: bool = False) -> dict[str, Any]:
+        """Span-trace document captured while ``job_id`` executed."""
+        suffix = "?deterministic=1" if deterministic else ""
+        return self._json("GET", f"/jobs/{job_id}/spans{suffix}")
+
     def submit(self, request: dict[str, Any]) -> dict[str, Any]:
         """POST a submit document; returns the job-status document."""
         return self._json("POST", "/jobs", request)["job"]

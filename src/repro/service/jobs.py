@@ -23,8 +23,13 @@ from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from repro.experiments.cache import _atomic_write_text
+from repro.obs.logs import fields, get_logger
+from repro.obs.metrics import counter
 
 __all__ = ["JOB_STATES", "JobRecord", "JobStore", "sweep_hash"]
+
+_log = get_logger("service.jobs")
+_SAVES = counter("jobstore.saves")
 
 JOB_STATES = ("queued", "running", "done", "failed")
 
@@ -144,6 +149,11 @@ class JobStore:
         _atomic_write_text(
             self._path(record.job_id),
             json.dumps(record.to_json(), indent=2, sort_keys=True) + "\n",
+        )
+        _SAVES.inc()
+        _log.debug(
+            "job record saved",
+            extra=fields(job=record.job_id, state=record.state),
         )
 
     def get(self, job_id: str) -> JobRecord | None:

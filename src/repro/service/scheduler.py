@@ -30,11 +30,24 @@ from collections import deque
 from typing import Any
 
 from repro.experiments import EvaluationCache, Runner, Scenario
+from repro.obs.logs import fields, get_logger
+from repro.obs.metrics import counter, gauge, histogram
+from repro.obs.trace import SpanRecord, enable_tracing, span, take_spans
 from repro.service.jobs import JobRecord, JobStore
 from repro.service.results import Release, ResultStore
 from repro.service.schema import SchemaError, parse_request
 
 __all__ = ["ExperimentScheduler", "JobNotFound", "JobNotDone"]
+
+_log = get_logger("service.scheduler")
+
+_SUBMITTED = counter("scheduler.jobs.submitted")
+_DONE = counter("scheduler.jobs.done")
+_FAILED = counter("scheduler.jobs.failed")
+_REQUEUED = counter("scheduler.jobs.requeued")
+_POINTS = counter("scheduler.points_completed")
+_QUEUE_DEPTH = gauge("scheduler.queue_depth")
+_DISPATCH_MS = histogram("scheduler.dispatch_latency_ms")
 
 
 class JobNotFound(KeyError):
@@ -95,18 +108,35 @@ class ExperimentScheduler:
         self._wake = threading.Event()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._started_at = time.monotonic()
+        self._enqueued_at: dict[str, float] = {}
+        self._job_spans: dict[str, list[SpanRecord]] = {}
+        # The scheduler is the span producer for the whole service; one
+        # trace per job is drained into _job_spans when the job finishes.
+        enable_tracing()
 
         for record in self.job_store.all():
             self._records[record.job_id] = record
             if record.state in ("queued", "running"):
                 # A restart re-dispatches interrupted work from the top;
                 # the points it already checkpointed return as cache hits.
+                _log.info(
+                    "boot-requeue of interrupted job",
+                    extra=fields(
+                        job=record.job_id,
+                        prev_state=record.state,
+                        resumed=record.resumed + 1,
+                    ),
+                )
                 record.state = "queued"
                 record.points_done = 0
                 record.cache_hits = 0
                 record.resumed += 1
                 self.job_store.save(record)
                 self._queue.append(record.job_id)
+                self._enqueued_at[record.job_id] = time.monotonic()
+                _REQUEUED.inc()
+        _QUEUE_DEPTH.set(len(self._queue))
         if auto_start:
             self.start()
 
@@ -146,6 +176,17 @@ class ExperimentScheduler:
             self._records[record.job_id] = record
             self._scenarios[record.job_id] = parsed.scenarios
             self._queue.append(record.job_id)
+            self._enqueued_at[record.job_id] = time.monotonic()
+            _QUEUE_DEPTH.set(len(self._queue))
+        _SUBMITTED.inc()
+        _log.info(
+            "job submitted",
+            extra=fields(
+                job=record.job_id,
+                points=record.n_points,
+                sweep=record.sweep_hash[:12],
+            ),
+        )
         self._wake.set()
         return self._snapshot(record)
 
@@ -250,16 +291,66 @@ class ExperimentScheduler:
     def cache_stats(self) -> dict[str, int]:
         return dict(self.cache.stats)
 
+    # -- observability -------------------------------------------------------
+
+    def uptime_s(self) -> float:
+        """Seconds since this scheduler instance was constructed."""
+        return time.monotonic() - self._started_at
+
+    def queue_depth(self) -> int:
+        """Jobs waiting for the dispatcher (excludes the one running)."""
+        with self._lock:
+            return len(self._queue)
+
+    def jobs_by_state(self) -> dict[str, int]:
+        """``{state: count}`` over every known job (zero counts omitted)."""
+        out: dict[str, int] = {}
+        with self._lock:
+            for record in self._records.values():
+                out[record.state] = out.get(record.state, 0) + 1
+        return dict(sorted(out.items()))
+
+    def job_spans(self, job_id: str) -> list[SpanRecord]:
+        """Spans captured while ``job_id`` executed (empty if none).
+
+        One trace per job: the single-dispatcher design means every span
+        recorded between a job's start and finish belongs to that job
+        (runner sweep/point spans, pool-worker merges included), so the
+        dispatcher drains the tracer into this per-job list when the job
+        leaves the running state. Jobs finished before the last restart
+        have no spans — traces are process-local, not persisted.
+        """
+        with self._lock:
+            if job_id not in self._records:
+                raise JobNotFound(job_id)
+            return list(self._job_spans.get(job_id, []))
+
     # -- dispatcher ----------------------------------------------------------
 
     def _snapshot(self, record: JobRecord) -> JobRecord:
         return JobRecord.from_json(record.to_json())
 
     def _execute(self, job_id: str) -> None:
+        """Run one job inside a ``service.job`` span; capture its trace."""
+        with self._lock:
+            enqueued = self._enqueued_at.pop(job_id, None)
+        if enqueued is not None:
+            _DISPATCH_MS.observe((time.monotonic() - enqueued) * 1e3)
+        take_spans()  # drop stray spans so the job's trace starts clean
+        with span("service.job", job=job_id):
+            self._execute_inner(job_id)
+        with self._lock:
+            self._job_spans[job_id] = take_spans()
+
+    def _execute_inner(self, job_id: str) -> None:
         with self._lock:
             record = self._records[job_id]
             record.state = "running"
             self.job_store.save(record)
+        _log.info(
+            "job state change",
+            extra=fields(job=job_id, state="running", points=record.n_points),
+        )
         try:
             scenarios = self.scenarios(job_id)
         except SchemaError as exc:
@@ -270,6 +361,11 @@ class ExperimentScheduler:
                 record.state = "failed"
                 record.error = str(exc)
                 self.job_store.save(record)
+            _FAILED.inc()
+            _log.warning(
+                "job failed to parse",
+                extra=fields(job=job_id, state="failed", error=str(exc)),
+            )
             return
         hint = record.request.get("jobs")
         runner_jobs = min(hint, self.jobs) if isinstance(hint, int) else self.jobs
@@ -287,6 +383,7 @@ class ExperimentScheduler:
                             metrics.append(res.metrics)
                             record.points_done += 1
                             record.cache_hits += bool(res.cached)
+                    _POINTS.inc(len(fresh))
                     # Checkpoint: completed points survive a kill -9.
                     self.cache.flush(self.cache_path)
                     with self._lock:
@@ -303,12 +400,24 @@ class ExperimentScheduler:
                 record.error = f"{type(exc).__name__}: {exc}"
                 record.duration_s = round(time.perf_counter() - started, 6)
                 self.job_store.save(record)
+            _FAILED.inc()
+            _log.error(
+                "job failed",
+                extra=fields(job=job_id, state="failed", error=record.error),
+            )
             return
         if len(metrics) < record.n_points:
             # Interrupted by stop(): leave the record 'running' on disk so
             # the next boot requeues it from the checkpointed cache.
             with self._lock:
                 self.job_store.save(record)
+            _log.info(
+                "job interrupted; parked for resume",
+                extra=fields(
+                    job=job_id, points_done=record.points_done,
+                    points=record.n_points,
+                ),
+            )
             return
         release, _reused = self.result_store.put(
             sweep_hash=record.sweep_hash,
@@ -321,11 +430,23 @@ class ExperimentScheduler:
             record.release = release.release_id
             record.duration_s = round(time.perf_counter() - started, 6)
             self.job_store.save(record)
+        _DONE.inc()
+        _log.info(
+            "job state change",
+            extra=fields(
+                job=job_id,
+                state="done",
+                duration_s=record.duration_s,
+                cache_hits=record.cache_hits,
+                release=record.release,
+            ),
+        )
 
     def _dispatch_loop(self) -> None:
         while not self._stop.is_set():
             with self._lock:
                 job_id = self._queue.popleft() if self._queue else None
+                _QUEUE_DEPTH.set(len(self._queue))
             if job_id is None:
                 self._wake.wait(self._poll_interval)
                 self._wake.clear()

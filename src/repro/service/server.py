@@ -12,13 +12,21 @@ GET      ``/jobs/<id>``                  status/progress (points, cache hits)
 GET      ``/jobs/<id>/result``           JSON metrics + release provenance
 GET      ``/jobs/<id>/result.npz``       byte-deterministic npz release export
 GET      ``/jobs/<id>/trace?point=N``    NDJSON per-window telemetry/control
-GET      ``/health``                     liveness + API version
+GET      ``/jobs/<id>/spans``            span trace captured while the job ran
+GET      ``/metrics``                    process metrics registry snapshot
+GET      ``/health``                     liveness + uptime/queue/cache gauges
 =======  ==============================  =======================================
 
 Error bodies are structured (``{"error": {"code", "message", "path"}}``)
 at every layer: schema violations are 400s, unknown jobs 404s, fetching
 an unfinished job 409s. The trace endpoint streams newline-delimited
 JSON rows as they serialize instead of buffering the document.
+
+Every request is counted into the :mod:`repro.obs.metrics` registry
+(total, by normalized route, by status class) and logged as a structured
+access line (method, route, status, duration ms) through the
+``repro.service.http`` logger — configure with ``repro serve
+--log-level/--log-json``.
 """
 
 from __future__ import annotations
@@ -26,11 +34,16 @@ from __future__ import annotations
 import json
 import pathlib
 import threading
+import time
 from collections.abc import Iterator
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.logs import fields, get_logger, setup_logging
+from repro.obs.metrics import counter, histogram
+from repro.obs.metrics import snapshot as metrics_snapshot
+from repro.obs.trace import export_trace
 from repro.service.scheduler import (
     ExperimentScheduler,
     JobNotDone,
@@ -42,6 +55,25 @@ __all__ = ["ExperimentApi", "ApiResponse", "make_server", "serve"]
 
 API_PREFIX = "/api/v1"
 _MAX_BODY = 64 * 1024 * 1024
+
+_http_log = get_logger("service.http")
+_REQUESTS = counter("http.requests")
+_REQUEST_MS = histogram("http.request_ms")
+
+
+def _route_label(method: str, path: str) -> str:
+    """Normalize a request path to a low-cardinality route label.
+
+    Job ids collapse to ``<id>`` so per-route counters stay bounded no
+    matter how many jobs a long-lived service accumulates.
+    """
+    if not path.startswith(API_PREFIX):
+        return f"{method} (outside-api)"
+    route = path[len(API_PREFIX):] or "/"
+    parts = [p for p in route.split("/") if p]
+    if parts and parts[0] == "jobs" and len(parts) > 1:
+        parts[1] = "<id>"
+    return f"{method} /" + "/".join(parts)
 
 
 class ApiResponse:
@@ -84,6 +116,18 @@ class ExperimentApi:
     # -- dispatch ------------------------------------------------------------
 
     def handle(self, method: str, target: str, body: bytes = b"") -> ApiResponse:
+        """Route one request, timing and counting it into the registry."""
+        start = time.perf_counter()
+        response = self._handle(method, target, body)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        label = _route_label(method, urlsplit(target).path.rstrip("/") or "/")
+        _REQUESTS.inc()
+        counter(f"http.requests.route.{label}").inc()
+        counter(f"http.requests.status.{response.status}").inc()
+        _REQUEST_MS.observe(elapsed_ms)
+        return response
+
+    def _handle(self, method: str, target: str, body: bytes) -> ApiResponse:
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         query = parse_qs(split.query)
@@ -113,8 +157,25 @@ class ExperimentApi:
         self, method: str, route: str, query: dict[str, list[str]], body: bytes
     ) -> ApiResponse:
         if route == "/health":
+            sched = self.scheduler
             return ApiResponse.json(
-                200, {"ok": True, "api_version": REQUEST_VERSION}
+                200,
+                {
+                    "ok": True,
+                    "api_version": REQUEST_VERSION,
+                    "uptime_s": round(sched.uptime_s(), 3),
+                    "queue_depth": sched.queue_depth(),
+                    "jobs_by_state": sched.jobs_by_state(),
+                    "cache_entries": len(sched.cache),
+                },
+            )
+        if route == "/metrics":
+            return ApiResponse.json(
+                200,
+                {
+                    "metrics": metrics_snapshot(),
+                    "cache": self.scheduler.cache_stats(),
+                },
             )
         if route == "/jobs":
             if method == "POST":
@@ -145,6 +206,8 @@ class ExperimentApi:
                 )
             if rest == ["trace"]:
                 return self._trace(job_id, query)
+            if rest == ["spans"]:
+                return self._spans(job_id, query)
         return ApiResponse.error(404, "not_found", f"unknown route {route!r}")
 
     # -- endpoint bodies -----------------------------------------------------
@@ -185,6 +248,18 @@ class ExperimentApi:
             },
         )
 
+    def _spans(self, job_id: str, query: dict[str, list[str]]) -> ApiResponse:
+        """The span trace captured while ``job_id`` executed.
+
+        ``?deterministic=1`` strips timing/pid fields, leaving only
+        names, nesting and attributes (byte-stable for identical runs).
+        """
+        deterministic = query.get("deterministic", ["0"])[-1] not in ("0", "")
+        spans = self.scheduler.job_spans(job_id)
+        doc = export_trace(spans, deterministic=deterministic)
+        doc["job_id"] = job_id
+        return ApiResponse.json(200, doc)
+
     def _trace(self, job_id: str, query: dict[str, list[str]]) -> ApiResponse:
         raw = query.get("point", ["0"])[-1]
         try:
@@ -211,8 +286,10 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-service/1"
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if self.server.verbose:
-            super().log_message(format, *args)
+        # BaseHTTPRequestHandler's default per-line stderr chatter is
+        # replaced by the structured access line in _dispatch; anything
+        # arriving here (protocol errors) routes through the logger too.
+        _http_log.debug(format % args if args else format)
 
     def _respond(self, response: ApiResponse) -> None:
         self.send_response(response.status)
@@ -230,6 +307,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self.wfile.flush()
 
     def _dispatch(self, method: str) -> None:
+        start = time.perf_counter()
         length = int(self.headers.get("Content-Length") or 0)
         if length > _MAX_BODY:
             self._respond(
@@ -246,6 +324,16 @@ class _Handler(BaseHTTPRequestHandler):
                 500, "internal", f"{type(exc).__name__}: {exc}"
             )
         self._respond(response)
+        _http_log.info(
+            "request",
+            extra=fields(
+                method=method,
+                route=_route_label(method, urlsplit(self.path).path),
+                path=self.path,
+                status=response.status,
+                duration_ms=round((time.perf_counter() - start) * 1e3, 3),
+            ),
+        )
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -263,13 +351,10 @@ class ExperimentServer(ThreadingHTTPServer):
         self,
         address: tuple[str, int],
         scheduler: ExperimentScheduler,
-        *,
-        verbose: bool = False,
     ) -> None:
         super().__init__(address, _Handler)
         self.scheduler = scheduler
         self.api = ExperimentApi(scheduler)
-        self.verbose = verbose
 
     def shutdown(self) -> None:
         super().shutdown()
@@ -282,11 +367,10 @@ def make_server(
     state_dir: str | pathlib.Path,
     *,
     jobs: int = 1,
-    verbose: bool = False,
 ) -> ExperimentServer:
     """Build a ready-to-serve server (port 0 picks a free port)."""
     scheduler = ExperimentScheduler(state_dir, jobs=jobs)
-    return ExperimentServer((host, port), scheduler, verbose=verbose)
+    return ExperimentServer((host, port), scheduler)
 
 
 def serve(
@@ -295,11 +379,13 @@ def serve(
     state_dir: str | pathlib.Path,
     *,
     jobs: int = 1,
-    verbose: bool = False,
+    log_level: str = "info",
+    log_json: bool = False,
     ready: threading.Event | None = None,
 ) -> int:
     """Run the service until interrupted; returns a process exit code."""
-    server = make_server(host, port, state_dir, jobs=jobs, verbose=verbose)
+    setup_logging(log_level, json_mode=log_json)
+    server = make_server(host, port, state_dir, jobs=jobs)
     bound_host, bound_port = server.server_address[:2]
     print(
         f"repro service listening on http://{bound_host}:{bound_port}{API_PREFIX} "

@@ -55,7 +55,9 @@ the interpreter regardless of the requested engine.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -63,6 +65,9 @@ from repro.simulation.simulator import SimConfig, SimStats, Simulator
 from repro.topology.graph import Topology
 from repro.topology.routing import RoutingTable
 from repro.traffic.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from repro.obs.profile import PhaseProfile
 
 __all__ = ["BatchSimulator"]
 
@@ -307,6 +312,8 @@ class _BatchState:
         self.next_arr = np.full(b, _INF, dtype=np.int64)
         # Switch-allocation scratch: (run, input port) -> used this cycle.
         self.used_scratch = np.zeros(b * fam.n_ports, dtype=bool)
+        # Opt-in phase profiler (set by run_batch; None = disabled).
+        self.profile = None
 
     def push(self, b, s, pkt, fidx, ready) -> None:
         """Vectorized buffer push (targets are unique per cycle)."""
@@ -354,15 +361,22 @@ class BatchSimulator:
 
     # -- public API ----------------------------------------------------
 
-    def run(self, trace: Trace, *, max_cycles: int = 2_000_000) -> SimStats:
+    def run(
+        self,
+        trace: Trace,
+        *,
+        max_cycles: int = 2_000_000,
+        profile: "PhaseProfile | None" = None,
+    ) -> SimStats:
         """Simulate one trace (batch of one)."""
-        return self.run_batch([trace], max_cycles=max_cycles)[0]
+        return self.run_batch([trace], max_cycles=max_cycles, profile=profile)[0]
 
     def run_batch(
         self,
         traces: Sequence[Trace],
         *,
         max_cycles: int | Sequence[int] = 2_000_000,
+        profile: "PhaseProfile | None" = None,
     ) -> list[SimStats]:
         """Simulate every trace; returns one ``SimStats`` per trace.
 
@@ -370,6 +384,15 @@ class BatchSimulator:
         advanced in lockstep but terminate (and fast-forward idle
         stretches) independently, so mixing drained and capped runs in
         one batch is fine.
+
+        ``profile`` attaches an opt-in per-phase timer
+        (:class:`repro.obs.profile.PhaseProfile`); the lockstep phases
+        are timed per iteration and the exactness-guard scalar replay
+        is charged to its own ``scalar_replay`` phase, so the profile
+        shows what fraction of the batched run fell back to sequential
+        execution. Profiling never touches simulation state (outputs
+        stay bit-identical); disabled it costs one ``is not None``
+        check per phase boundary.
         """
         traces = list(traces)
         if not traces:
@@ -389,14 +412,46 @@ class BatchSimulator:
         if (caps < 1).any():
             raise ValueError(f"max_cycles must be >= 1, got {caps.min()}")
 
+        prof = profile
+        if prof is not None:
+            prof.engine = "batched"
+            _pns = time.perf_counter_ns
+            _run_start = _pns()
+            _ph_arr = _ph_inj = _ph_alloc = _ph_clock = 0
+            _iters = 0
+            _run_cycles = 0
+
         fam = self.family
         st = _BatchState(fam, traces, caps)
+        st.profile = prof
+        if prof is not None:
+            _setup_done = _pns()
         while st.alive.any():
+            if prof is not None:
+                _t = _pns()
+                _iters += 1
+                _run_cycles += int(st.alive.sum())
             self._phase_arrivals(st)
+            if prof is not None:
+                _t2 = _pns()
+                _ph_arr += _t2 - _t
+                _t = _t2
             self._phase_injection(st)
+            if prof is not None:
+                _t2 = _pns()
+                _ph_inj += _t2 - _t
+                _t = _t2
             self._phase_alloc_traversal(st)
+            if prof is not None:
+                _t2 = _pns()
+                _ph_alloc += _t2 - _t
+                _t = _t2
             self._advance_clock(st)
+            if prof is not None:
+                _ph_clock += _pns() - _t
 
+        if prof is not None:
+            _final_start = _pns()
         out: list[SimStats] = []
         for r, trace in enumerate(traces):
             lo, hi = int(st.pkt_lo[r]), int(st.pkt_lo[r + 1])
@@ -412,6 +467,21 @@ class BatchSimulator:
                     drained=bool(st.delivered[r] == st.n_pkts[r]),
                 )
             )
+        if prof is not None:
+            _end = _pns()
+            # The scalar-replay fallback timed itself inside the alloc
+            # phase window; subtract so the two phases partition it.
+            _scalar = prof.phases.get("scalar_replay", 0)
+            prof.add("setup", _setup_done - _run_start)
+            prof.add("arrivals", _ph_arr)
+            prof.add("injection", _ph_inj)
+            prof.add("alloc_traversal", _ph_alloc - _scalar)
+            prof.add("scalar_replay", 0)  # ensure the phase always reports
+            prof.add("clock", _ph_clock)
+            prof.add("finalize", _end - _final_start)
+            prof.total_ns += _end - _run_start
+            prof.bump("lockstep_iterations", _iters)
+            prof.bump("run_cycles", _run_cycles)
         return out
 
     def dynamic_energy_j(self, stats: SimStats):
@@ -666,8 +736,14 @@ class BatchSimulator:
             st, fam, rb[g][gm], rs[g][gm], req_op[g][gm], req_vc[g][gm],
             hp[g][gm],
         )
-        for b in np.nonzero(flagged)[0]:
+        replays = np.nonzero(flagged)[0]
+        if st.profile is not None:
+            _rt = time.perf_counter_ns()
+        for b in replays:
             self._phase3_scalar(st, int(b))
+        if st.profile is not None:
+            st.profile.add("scalar_replay", time.perf_counter_ns() - _rt)
+            st.profile.bump("scalar_replay_cycles", int(replays.size))
 
     def _switch_alloc(self, st, fam, qb, qs, qop, tmp_sa) -> np.ndarray:
         """Exact switch allocation over the request set.

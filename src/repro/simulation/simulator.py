@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from bisect import insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -55,6 +56,7 @@ from repro.traffic.trace import Trace
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (telemetry -> sim)
     from repro.control.controllers import ControlSession, ControlTrace
     from repro.control.sources import ClosedLoopSession, ClosedLoopStats
+    from repro.obs.profile import PhaseProfile
     from repro.telemetry.sampler import TelemetryConfig, TelemetryTrace
 
 __all__ = ["SimConfig", "SimStats", "Simulator"]
@@ -239,6 +241,7 @@ class Simulator:
         telemetry: "TelemetryConfig | None" = None,
         closed_loop: "ClosedLoopSession | None" = None,
         control: "ControlSession | None" = None,
+        profile: "PhaseProfile | None" = None,
     ) -> SimStats:
         """Simulate a trace until drained or ``max_cycles`` is reached.
 
@@ -265,8 +268,17 @@ class Simulator:
         is implied (a session with the controller's window is created
         when ``telemetry`` is None; an explicit window must match).
 
-        With both disabled (the default), outputs are bit-identical to a
-        plain run — the golden tests pin that.
+        ``profile`` attaches an opt-in per-phase timer
+        (:class:`repro.obs.profile.PhaseProfile`): chained
+        ``perf_counter_ns`` timestamps charge each stretch of the cycle
+        loop to its phase (arrivals / injection / vc_alloc /
+        switch_alloc / drain), so the phase sum tracks the run's wall
+        time. Profiling never touches simulation state — outputs stay
+        bit-identical — and disabled it costs one ``is not None`` check
+        per phase boundary.
+
+        With everything disabled (the default), outputs are bit-identical
+        to a plain run — the golden tests pin that.
         """
         if trace.n_nodes != self.topology.n_nodes:
             raise ValueError(
@@ -275,6 +287,13 @@ class Simulator:
             )
         if max_cycles < 1:
             raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        prof = profile
+        if prof is not None:
+            prof.engine = "interpreter"
+            _pns = time.perf_counter_ns
+            _run_start = _pns()
+            _ph_arr = _ph_inj = _ph_vc = _ph_sw = _ph_drain = 0
+            _iters = 0
         if control is not None and telemetry is None:
             from repro.telemetry.sampler import TelemetryConfig
 
@@ -425,7 +444,13 @@ class Simulator:
         active: set[int] = set()
         t = 0
 
+        if prof is not None:
+            _setup_done = _pns()
+
         while t < max_cycles:
+            if prof is not None:
+                _t = _pns()
+                _iters += 1
             # ---- 1. link arrivals -------------------------------------------
             while flight and flight[0][0] <= t:
                 _, _, flit, link_id, vc_idx = heappop(flight)
@@ -434,6 +459,10 @@ class Simulator:
                 in_vcs[dst_node][link_id][vc_idx].push(flit)
                 occ_mask[dst_node] |= 1 << (port_base[dst_node][link_id] + vc_idx)
                 active.add(dst_node)
+            if prof is not None:
+                _t2 = _pns()
+                _ph_arr += _t2 - _t
+                _t = _t2
 
             # ---- 2. injection -------------------------------------------------
             while wakeups and wakeups[0][0] <= t:
@@ -485,6 +514,10 @@ class Simulator:
                         done_nodes.append(node)
             for node in done_nodes:
                 inj_active.discard(node)
+            if prof is not None:
+                _t2 = _pns()
+                _ph_inj += _t2 - _t
+                _t = _t2
 
             # ---- 3. allocation & traversal ----------------------------------
             # Routers are visited in ascending node order. This is the
@@ -564,6 +597,10 @@ class Simulator:
                             requests[out_key] = [entry]
                         else:
                             cands.append(entry)
+                if prof is not None:
+                    _t2 = _pns()
+                    _ph_vc += _t2 - _t
+                    _t = _t2
 
                 # Switch allocation: one flit per output, one per input.
                 input_used: set[int] = set()
@@ -621,12 +658,18 @@ class Simulator:
                             flight,
                             (t + link_tech_cycles[out_key], seq, flit, out_key, out_vc),
                         )
+                if prof is not None:
+                    _t2 = _pns()
+                    _ph_sw += _t2 - _t
+                    _t = _t2
             for node in idle_routers:
                 active.discard(node)
 
             # ---- 4. termination ------------------------------------------------
             t += 1
             if delivered == n_packets and not inj_active and not wakeups:
+                if prof is not None:
+                    _ph_drain += _pns() - _t
                 break
             if not active and not inj_active:
                 # Nothing buffered and no source mid-packet: every cycle
@@ -652,7 +695,11 @@ class Simulator:
                     # observer); refresh the actuator locals they own.
                     throttle_period = control.throttle_period
                     vc_limits = control.vc_limits
+            if prof is not None:
+                _ph_drain += _pns() - _t
 
+        if prof is not None:
+            _final_start = _pns()
         latencies = lat_buf[:n_packets][lat_buf[:n_packets] >= 0]
         telemetry_trace = None
         if session is not None:
@@ -660,7 +707,7 @@ class Simulator:
                 t, router_counts, link_counts, occ_mask, len(flight),
                 delivered, lat_sum,
             )
-        return SimStats(
+        stats = SimStats(
             n_packets=n_packets,
             n_flits=n_flits,
             cycles=t,
@@ -672,3 +719,16 @@ class Simulator:
             closed_loop=None if closed_loop is None else closed_loop.finalize(t),
             control=None if control is None else control.finalize(t),
         )
+        if prof is not None:
+            _end = _pns()
+            prof.add("setup", _setup_done - _run_start)
+            prof.add("arrivals", _ph_arr)
+            prof.add("injection", _ph_inj)
+            prof.add("vc_alloc", _ph_vc)
+            prof.add("switch_alloc", _ph_sw)
+            prof.add("drain", _ph_drain)
+            prof.add("finalize", _end - _final_start)
+            prof.total_ns += _end - _run_start
+            prof.bump("loop_iterations", _iters)
+            prof.bump("sim_cycles", t)
+        return stats

@@ -48,6 +48,15 @@ PROMISED = [
     "serve",
     "make_server",
     "ServiceClient",
+    # observe
+    "span",
+    "enable_tracing",
+    "export_trace",
+    "metrics_snapshot",
+    "setup_logging",
+    "PhaseProfile",
+    "profile_simulation",
+    "render_profiles",
 ]
 
 
@@ -103,6 +112,7 @@ class TestPackageSurface:
             "repro.control",
             "repro.workloads",
             "repro.service",
+            "repro.obs",
         ],
     )
     def test_subpackage_all_is_complete_and_sorted_ci(self, module):

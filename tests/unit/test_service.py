@@ -339,6 +339,80 @@ class TestScheduler:
         finally:
             reborn.stop()
 
+    def test_metrics_match_job_store_after_kill_resume(self, tmp_path):
+        # The registry's counters must tell the same story as the job
+        # store's ground truth across a staged kill + resume.
+        from repro.obs import metrics_snapshot, reset_metrics
+
+        reset_metrics()
+        cold = ExperimentScheduler(tmp_path, auto_start=False)
+        record = cold.submit(quick_request())
+        scenarios = scenario_family("saturation-sweep", **QUICK)
+        warm_cache = EvaluationCache()
+        Runner(cache=warm_cache).run(scenarios[:1])
+        warm_cache.flush(cold.cache_path)
+        stored = cold.job_store.get(record.job_id)
+        stored.state = "running"
+        stored.points_done = 1
+        cold.job_store.save(stored)
+
+        reborn = ExperimentScheduler(tmp_path, poll_interval=0.005)
+        try:
+            done = reborn.wait(record.job_id, timeout=120)
+        finally:
+            reborn.stop()
+        counters = metrics_snapshot()["counters"]
+        records = reborn.job_store.all()
+        assert counters["scheduler.jobs.submitted"] == 1
+        assert counters["scheduler.jobs.requeued"] == 1
+        assert (
+            counters["scheduler.jobs.done"]
+            == sum(r.state == "done" for r in records)
+            == 1
+        )
+        assert (
+            counters["scheduler.points_completed"]
+            == done.points_done
+            == sum(r.points_done for r in records)
+        )
+        assert reborn.jobs_by_state() == {"done": 1}
+        assert reborn.queue_depth() == 0
+
+    def test_job_spans_capture_the_runner_trace(self, tmp_path):
+        from repro.obs import export_trace
+
+        sched = ExperimentScheduler(tmp_path, poll_interval=0.005)
+        try:
+            record = sched.submit(quick_request())
+            sched.wait(record.job_id, timeout=120)
+            spans = sched.job_spans(record.job_id)
+        finally:
+            sched.stop()
+        by_name = {}
+        for s in spans:
+            by_name.setdefault(s.name, []).append(s)
+        [job_span] = by_name["service.job"]
+        assert job_span.attrs == {"job": record.job_id}
+        assert job_span.parent_id is None
+        [sweep] = by_name["runner.sweep"]
+        assert sweep.parent_id == job_span.span_id
+        points = by_name["runner.point"]
+        assert len(points) == record.n_points
+        assert all(p.parent_id == sweep.span_id for p in points)
+        # The deterministic export of the captured trace is JSON-safe.
+        doc = export_trace(spans, deterministic=True)
+        assert doc["n_spans"] == len(spans)
+        with pytest.raises(JobNotFound):
+            sched.job_spans("job-999999")
+
+    def test_uptime_and_queue_depth(self, tmp_path):
+        sched = ExperimentScheduler(tmp_path, auto_start=False)
+        assert sched.uptime_s() >= 0
+        assert sched.queue_depth() == 0
+        sched.submit(quick_request())
+        assert sched.queue_depth() == 1
+        assert sched.jobs_by_state() == {"queued": 1}
+
     def test_cold_result_metrics_read_from_release(self, tmp_path):
         sched = ExperimentScheduler(tmp_path, poll_interval=0.005)
         try:
@@ -392,7 +466,43 @@ class TestApiRouting:
     def test_health(self, api):
         resp = api.handle("GET", "/api/v1/health")
         assert resp.status == 200
-        assert self._doc(resp)["ok"] is True
+        doc = self._doc(resp)
+        assert doc["ok"] is True
+        assert doc["uptime_s"] >= 0
+        assert doc["queue_depth"] == 0
+        assert doc["jobs_by_state"] == {}
+        assert doc["cache_entries"] == 0
+
+    def test_metrics_endpoint_snapshots_registry(self, api):
+        from repro.obs import counter
+
+        counter("test_service.api.probe").inc(3)
+        resp = api.handle("GET", "/api/v1/metrics")
+        assert resp.status == 200
+        doc = self._doc(resp)
+        assert doc["metrics"]["counters"]["test_service.api.probe"] >= 3
+        assert set(doc["cache"]) == {"hits", "misses", "size"}
+
+    def test_spans_endpoint_exports_job_trace(self, api):
+        body = json.dumps(quick_request()).encode()
+        job_id = self._doc(api.handle("POST", "/api/v1/jobs", body))["job"][
+            "job_id"
+        ]
+        api.scheduler.wait(job_id, timeout=120)
+        resp = api.handle("GET", f"/api/v1/jobs/{job_id}/spans")
+        assert resp.status == 200
+        doc = self._doc(resp)
+        assert doc["job_id"] == job_id
+        assert doc["deterministic"] is False
+        names = [s["name"] for s in doc["spans"]]
+        assert "service.job" in names and "runner.sweep" in names
+        assert any(s["duration_ns"] >= 0 for s in doc["spans"])
+        det = self._doc(
+            api.handle("GET", f"/api/v1/jobs/{job_id}/spans?deterministic=1")
+        )
+        assert det["deterministic"] is True
+        assert all("duration_ns" not in s for s in det["spans"])
+        assert api.handle("GET", "/api/v1/jobs/job-424242/spans").status == 404
 
     def test_submit_poll_result(self, api):
         body = json.dumps(quick_request()).encode()
