@@ -11,9 +11,15 @@ Guards :mod:`repro.obs`'s performance contracts the same way
   spans (the tracer's enabled-path cost: two clock reads and one
   append per span);
 * ``obs_metrics_snapshot`` — a deterministic registry snapshot over a
-  populated registry (the ``/api/v1/metrics`` hot path).
+  populated registry (the ``/api/v1/metrics`` hot path);
+* ``obs_sampler_tick`` — one telemetry-pipeline sampling tick
+  (snapshot -> frame -> ring append) over a populated registry: the
+  recurring background cost a serving process pays every
+  ``--sample-interval`` seconds;
+* ``obs_prom_render`` — Prometheus text exposition over that snapshot
+  (the root ``/metrics`` scrape body).
 
-All three are ``smoke``-tagged so the perf CI gate watches them.
+All are ``smoke``-tagged so the perf CI gate watches them.
 Correctness rides along: the disabled run must produce a profile-free
 ``SimStats`` identical in shape to ``simulator_run``'s, the span burst
 must drain exactly what it recorded with parents intact, and the
@@ -23,7 +29,10 @@ snapshot must round-trip its counter values.
 from repro.bench import benchmark_spec, load_sibling
 from repro.obs import (
     MetricsRegistry,
+    MetricsSampler,
+    SeriesStore,
     enable_tracing,
+    render_prometheus,
     span,
     take_spans,
     tracing_enabled,
@@ -90,6 +99,40 @@ def run_snapshot(reg):
     return reg.snapshot()
 
 
+def _sampler_fixture():
+    # Bounded ring: repeated ticks overwrite instead of growing, so the
+    # bench measures steady-state sampling, not list growth.
+    store = SeriesStore(capacity=64)
+    return MetricsSampler(store, registry=_registry_fixture())
+
+
+@benchmark_spec(
+    "obs_sampler_tick",
+    setup=_sampler_fixture,
+    points=3 * N_METRICS,
+    tags=("perf", "obs", "smoke"),
+)
+def run_sampler_tick(sampler):
+    """One pipeline sampling tick over a populated registry."""
+    sampler.tick()
+    return sampler.store
+
+
+def _snapshot_fixture():
+    return _registry_fixture().snapshot()
+
+
+@benchmark_spec(
+    "obs_prom_render",
+    setup=_snapshot_fixture,
+    points=3 * N_METRICS,
+    tags=("perf", "obs", "smoke"),
+)
+def run_prom_render(snapshot):
+    """Prometheus text exposition of the full registry snapshot."""
+    return render_prometheus(snapshot)
+
+
 def test_perf_disabled_run(run_bench):
     stats = run_bench("obs_disabled_run")
     assert stats.drained
@@ -108,3 +151,15 @@ def test_perf_metrics_snapshot(run_bench):
     assert len(snap["counters"]) == N_METRICS
     assert snap["counters"]["bench.counter.042"] == 42
     assert snap["histograms"]["bench.hist.007"]["count"] == 1
+
+
+def test_perf_sampler_tick(run_bench):
+    store = run_bench("obs_sampler_tick")
+    assert len(store) >= 1
+    assert store.latest().counters["bench.counter.042"] == 42
+
+
+def test_perf_prom_render(run_bench):
+    text = run_bench("obs_prom_render")
+    assert text.count("# TYPE ") == 3 * N_METRICS
+    assert "repro_bench_counter_042_total 42" in text

@@ -26,7 +26,13 @@ between releases:
   (:func:`profile_simulation` / :func:`render_profiles` /
   :class:`PhaseProfile`). Not to be confused with
   :func:`profile_scenario`, which samples the *simulated network's*
-  telemetry rather than the stack's own performance.
+  telemetry rather than the stack's own performance;
+* **operate** it — the telemetry pipeline: :class:`MetricsSampler`
+  feeding a :class:`SeriesStore` (persisted via
+  :func:`save_history_npz` / :func:`load_history_npz`), Prometheus
+  text exposition (:func:`render_prometheus`), and declarative SLO
+  alerting (:class:`SloRule`, :class:`SloEngine`,
+  :func:`load_slo_rules`).
 
 The deep modules stay importable (nothing here is a wrapper — every name
 is a re-export), but this module is the compatibility surface: names
@@ -57,12 +63,20 @@ from repro.experiments import (
     simulate_scenario,
 )
 from repro.obs import (
+    MetricsSampler,
     PhaseProfile,
+    SeriesStore,
+    SloEngine,
+    SloRule,
     enable_tracing,
     export_trace,
+    load_history_npz,
+    load_slo_rules,
     metrics_snapshot,
     profile_simulation,
     render_profiles,
+    render_prometheus,
+    save_history_npz,
     setup_logging,
     span,
 )
@@ -81,12 +95,16 @@ from repro.workloads import (
 
 __all__ = [
     "EvaluationCache",
+    "MetricsSampler",
     "PhaseProfile",
     "Runner",
     "Scenario",
     "ScenarioResult",
+    "SeriesStore",
     "ServiceClient",
     "SimSpec",
+    "SloEngine",
+    "SloRule",
     "SweepHandle",
     "TopologySpec",
     "TrafficSpec",
@@ -94,6 +112,8 @@ __all__ = [
     "evaluate_scenario",
     "export_trace",
     "family_names",
+    "load_history_npz",
+    "load_slo_rules",
     "load_telemetry_npz",
     "load_trace_npz",
     "make_server",
@@ -104,7 +124,9 @@ __all__ = [
     "profile_simulation",
     "register_family",
     "render_profiles",
+    "render_prometheus",
     "run_batch",
+    "save_history_npz",
     "save_telemetry_npz",
     "save_trace_npz",
     "scenario_family",

@@ -29,6 +29,8 @@ Usage::
     python -m repro status job-000001 --wait
     python -m repro fetch job-000001 --out results.npz
     python -m repro jobs                # audit: job history + cache stats
+    python -m repro obs metrics --prom  # Prometheus-format metrics dump
+    python -m repro obs slo             # SLO rule states + alert history
 
 Each command prints the rendered ASCII table/figure to stdout; heavier
 commands expose their main knobs as flags. Sweep-shaped commands route
@@ -855,6 +857,11 @@ _DEFAULT_SERVICE_URL = "http://127.0.0.1:8032"
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
+    slo_rules = ()
+    if args.slo_rules:
+        from repro.obs import load_slo_rules
+
+        slo_rules = load_slo_rules(args.slo_rules)
     return serve(
         args.host,
         args.port,
@@ -862,6 +869,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         log_level=args.log_level,
         log_json=args.log_json,
+        sample_interval=args.sample_interval,
+        slo_rules=slo_rules,
     )
 
 
@@ -1020,38 +1029,138 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
 
 def _cmd_obs_metrics(args: argparse.Namespace) -> int:
     import json
+    import time as _time
+
+    from repro.service import ServiceError
+    from repro.util import format_table
+
+    if args.json and (args.prom or args.watch is not None):
+        print(
+            "error: --json cannot combine with --prom/--watch",
+            file=sys.stderr,
+        )
+        return 2
+
+    client = _service_client(args)
+
+    def _hist_row(name: str, h: dict) -> list:
+        from repro.obs import percentile_from_snapshot
+
+        if h["count"] == 0:
+            return ["histogram", name, "n=0"]
+        p50 = percentile_from_snapshot(h, 0.50)
+        p99 = percentile_from_snapshot(h, 0.99)
+        return [
+            "histogram",
+            name,
+            f"n={h['count']} sum={h['sum']:.3f} p50={p50:.3g} p99={p99:.3g}",
+        ]
+
+    def _render(clear: bool) -> int:
+        try:
+            doc = client.metrics()
+        except ServiceError as exc:
+            print(f"error ({exc.code}): {exc}", file=sys.stderr)
+            return 2
+        if clear:
+            print("\x1b[2J\x1b[H", end="")
+        if args.prom:
+            # The same formatter the server's root /metrics uses, run
+            # client-side over the fetched JSON snapshot.
+            from repro.obs import render_prometheus
+
+            print(render_prometheus(doc["metrics"]), end="")
+            return 0
+        if args.json:
+            print(json.dumps(doc, sort_keys=True))
+            return 0
+        metrics = doc["metrics"]
+        rows = [
+            ["counter", name, value]
+            for name, value in sorted(metrics["counters"].items())
+        ]
+        rows += [
+            ["gauge", name, value]
+            for name, value in sorted(metrics["gauges"].items())
+        ]
+        rows += [
+            _hist_row(name, h)
+            for name, h in sorted(metrics["histograms"].items())
+        ]
+        print(
+            format_table(["kind", "metric", "value"], rows, title="service metrics")
+        )
+        cache = doc["cache"]
+        print(
+            f"shared cache: {cache['size']} entries "
+            f"({cache['hits']} hits / {cache['misses']} misses this run)"
+        )
+        return 0
+
+    if args.watch is None:
+        return _render(clear=False)
+    if args.watch <= 0:
+        print("error: --watch interval must be > 0 seconds", file=sys.stderr)
+        return 2
+    shown = 0
+    while True:
+        rc = _render(clear=shown > 0)
+        if rc:
+            return rc
+        shown += 1
+        if args.watch_count and shown >= args.watch_count:
+            return 0
+        try:
+            _time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    import json
 
     from repro.service import ServiceError
     from repro.util import format_table
 
     client = _service_client(args)
     try:
-        doc = client.metrics()
+        doc = client.alerts()
     except ServiceError as exc:
         print(f"error ({exc.code}): {exc}", file=sys.stderr)
         return 2
     if args.json:
         print(json.dumps(doc, sort_keys=True))
+        return 1 if doc["firing"] else 0
+    if not doc["rules"]:
+        print("no SLO rules configured (start the service with --slo-rules FILE)")
         return 0
-    metrics = doc["metrics"]
     rows = [
-        ["counter", name, value]
-        for name, value in sorted(metrics["counters"].items())
+        [
+            r["name"],
+            r["state"],
+            r["metric"],
+            r["signal"],
+            f"{r['op']} {r['threshold']:g}",
+            "-" if r["value"] is None else f"{r['value']:g}",
+        ]
+        for r in doc["rules"]
     ]
-    rows += [
-        ["gauge", name, value] for name, value in sorted(metrics["gauges"].items())
-    ]
-    rows += [
-        ["histogram", name, f"n={h['count']} sum={h['sum']:.3f}"]
-        for name, h in sorted(metrics["histograms"].items())
-    ]
-    print(format_table(["kind", "metric", "value"], rows, title="service metrics"))
-    cache = doc["cache"]
     print(
-        f"shared cache: {cache['size']} entries "
-        f"({cache['hits']} hits / {cache['misses']} misses this run)"
+        format_table(
+            ["rule", "state", "metric", "signal", "threshold", "value"],
+            rows,
+            title="SLO rules",
+        )
     )
-    return 0
+    for e in doc["events"][-5:]:
+        val = "-" if e["value"] is None else f"{e['value']:g}"
+        print(
+            f"  {e['state']:<8} {e['rule']} "
+            f"value={val} threshold={e['threshold']:g}"
+        )
+    firing = doc["firing"]
+    print(f"firing: {', '.join(firing) if firing else 'none'}")
+    return 1 if firing else 0
 
 
 def _cmd_obs_trace(args: argparse.Namespace) -> int:
@@ -1521,6 +1630,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit logs as JSON lines instead of key=value text",
     )
+    psv.add_argument(
+        "--slo-rules",
+        metavar="FILE",
+        help="JSON file of SLO alert rules evaluated every sampling tick "
+        "(see EXPERIMENTS.md §10 for the rule schema)",
+    )
+    psv.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        help="metrics time-series sampling period in seconds (default 1.0)",
+    )
     _add_engine_flags(psv)
     psv.set_defaults(func=_cmd_serve)
 
@@ -1570,14 +1691,42 @@ def build_parser() -> argparse.ArgumentParser:
     pj.set_defaults(func=_cmd_jobs)
 
     pobs = sub.add_parser(
-        "obs", help="observability: process metrics, span traces, profiling"
+        "obs",
+        help="observability: process metrics, SLO alerts, span traces, "
+        "profiling",
     )
     obs_sub = pobs.add_subparsers(dest="obs_command", required=True)
     pom = obs_sub.add_parser(
         "metrics", help="running service's process-metrics snapshot"
     )
+    pom.add_argument(
+        "--prom",
+        action="store_true",
+        help="print in Prometheus text exposition format (same formatter "
+        "as the server's root /metrics)",
+    )
+    pom.add_argument(
+        "--watch",
+        type=float,
+        metavar="SECONDS",
+        help="redraw the snapshot every SECONDS until interrupted",
+    )
+    pom.add_argument(
+        "--watch-count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --watch, stop after N renders (0 = forever)",
+    )
     _add_service_client_flags(pom)
     pom.set_defaults(func=_cmd_obs_metrics)
+    posl = obs_sub.add_parser(
+        "slo",
+        help="SLO rule states and firing/resolved alert history "
+        "(exit 1 while any rule is firing)",
+    )
+    _add_service_client_flags(posl)
+    posl.set_defaults(func=_cmd_obs_slo)
     pot = obs_sub.add_parser(
         "trace", help="span trace captured while a job executed"
     )

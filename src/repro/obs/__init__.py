@@ -8,6 +8,14 @@ jobs (:mod:`~repro.obs.trace`), process-wide operational counters behind
 the service (:mod:`~repro.obs.logs`), and opt-in per-phase cycle-loop
 profiling of both engines (:mod:`~repro.obs.profile`).
 
+On top of the point-in-time instruments sits the telemetry *pipeline*
+(:mod:`~repro.obs.pipeline`): a background sampler snapshots the
+registry into a bounded time-series ring with windowed rate/percentile
+derivation and byte-deterministic npz persistence, rendered for
+standard scrapers in Prometheus text format (:mod:`~repro.obs.promexp`)
+and judged by declarative SLO rules with firing/resolved alert
+transitions (:mod:`~repro.obs.slo`).
+
 Everything is off by default and designed so the disabled path costs a
 single sentinel check — golden SimStats remain bit-identical and the
 engines stay inside the CI overhead gate with observability compiled in
@@ -24,6 +32,7 @@ from repro.obs.metrics import (
     counter,
     gauge,
     histogram,
+    percentile_from_snapshot,
 )
 from repro.obs.metrics import (
     reset as reset_metrics,
@@ -31,7 +40,16 @@ from repro.obs.metrics import (
 from repro.obs.metrics import (
     snapshot as metrics_snapshot,
 )
+from repro.obs.pipeline import (
+    MetricsFrame,
+    MetricsSampler,
+    SeriesStore,
+    load_history_npz,
+    save_history_npz,
+)
 from repro.obs.profile import PhaseProfile, profile_simulation, render_profiles
+from repro.obs.promexp import render_prometheus, sanitize_metric_name
+from repro.obs.slo import AlertEvent, SloEngine, SloRule, load_slo_rules
 from repro.obs.trace import (
     SpanRecord,
     adopt_parent,
@@ -39,8 +57,10 @@ from repro.obs.trace import (
     current_span_id,
     enable_tracing,
     export_trace,
+    format_traceparent,
     get_spans,
     merge_exported,
+    parse_traceparent,
     record_spans,
     span,
     take_spans,
@@ -61,6 +81,8 @@ __all__ = [
     "record_spans",
     "merge_exported",
     "export_trace",
+    "format_traceparent",
+    "parse_traceparent",
     # metrics
     "Counter",
     "Gauge",
@@ -72,6 +94,21 @@ __all__ = [
     "histogram",
     "metrics_snapshot",
     "reset_metrics",
+    "percentile_from_snapshot",
+    # pipeline
+    "MetricsFrame",
+    "MetricsSampler",
+    "SeriesStore",
+    "save_history_npz",
+    "load_history_npz",
+    # promexp
+    "render_prometheus",
+    "sanitize_metric_name",
+    # slo
+    "AlertEvent",
+    "SloEngine",
+    "SloRule",
+    "load_slo_rules",
     # logs
     "setup_logging",
     "get_logger",

@@ -39,6 +39,7 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "percentile_from_snapshot",
     "snapshot",
     "reset",
 ]
@@ -102,6 +103,65 @@ class Gauge:
             self._value = 0.0
 
 
+def _bucket_percentile(
+    bounds: tuple[float, ...],
+    counts: list[int],
+    count: int,
+    mn: float,
+    mx: float,
+    q: float,
+) -> float:
+    """Monotone linear interpolation over cumulative bucket counts.
+
+    The shared core behind :meth:`Histogram.percentile` and
+    :func:`percentile_from_snapshot`. ``q`` is a quantile in ``[0, 1]``;
+    the estimate interpolates within the bucket the target rank lands in
+    (the first bucket's lower edge is the observed minimum, which the
+    histogram tracks exactly). The ``+inf`` tail bucket cannot be
+    interpolated, so ranks landing there return the observed maximum.
+    Results are clamped into ``[min, max]`` and are monotone in ``q``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count == 0:
+        return math.nan
+    target = q * count
+    cum = 0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        prev = cum
+        cum += c
+        if cum >= target:
+            if i == len(bounds):
+                return mx  # +inf tail: max is the best upper estimate
+            hi = bounds[i]
+            lo = mn if i == 0 else bounds[i - 1]
+            lo = min(lo, hi)
+            frac = max(0.0, min(1.0, (target - prev) / c))
+            return max(mn, min(mx, lo + (hi - lo) * frac))
+    return mx
+
+
+def percentile_from_snapshot(doc: dict[str, Any], q: float) -> float:
+    """:meth:`Histogram.percentile` over a histogram's ``to_json`` form.
+
+    Lets consumers of a metrics snapshot (the CLI rendering a service's
+    ``/api/v1/metrics`` document, the SLO engine reading a sampled
+    frame) derive percentiles without holding the live object. NaN for
+    empty histograms, exactly like the live method.
+    """
+    buckets: dict[str, int] = doc["buckets"]
+    finite = sorted(
+        (float(k) for k in buckets if k != "+inf"),
+    )
+    counts = [buckets[f"{b:g}"] for b in finite] + [buckets.get("+inf", 0)]
+    count = doc["count"]
+    mn = doc["min"] if doc["min"] is not None else math.inf
+    mx = doc["max"] if doc["max"] is not None else -math.inf
+    return _bucket_percentile(tuple(finite), counts, count, mn, mx, q)
+
+
 class Histogram:
     """Fixed-bucket distribution with count/sum/min/max.
 
@@ -150,6 +210,20 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self._sum / self._count if self._count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in ``[0, 1]``) of observations.
+
+        Monotone linear interpolation over the cumulative bucket counts;
+        ranks landing in the implicit ``+inf`` tail return the observed
+        maximum (the only honest answer an unbounded bucket has). NaN
+        when nothing has been observed.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            count = self._count
+            mn, mx = self._min, self._max
+        return _bucket_percentile(self.bounds, counts, count, mn, mx, q)
 
     def to_json(self) -> dict[str, Any]:
         with self._lock:

@@ -1,0 +1,466 @@
+"""Metrics time-series pipeline: sampled frames, windowed derivation, npz.
+
+:mod:`repro.obs.metrics` answers "what are the counters *now*"; this
+module gives those readings a time axis. A :class:`MetricsSampler`
+(a background thread, or explicit :meth:`~MetricsSampler.tick` calls in
+tests) snapshots the registry every N seconds into a bounded ring of
+timestamped :class:`MetricsFrame` objects held by a :class:`SeriesStore`,
+which is then queryable as per-metric series:
+
+* :meth:`SeriesStore.series` — ``(t, value)`` pairs for a counter/gauge;
+* :meth:`SeriesStore.delta` / :meth:`SeriesStore.rate` — windowed
+  increase and per-second rate for counters, summing *positive*
+  increments so a registry reset mid-window reads as a restart rather
+  than a negative rate (the Prometheus ``increase()`` convention);
+* :meth:`SeriesStore.percentile` — a histogram quantile at the latest
+  frame, via the shared bucket-interpolation core.
+
+The store round-trips through the byte-deterministic npz archive
+primitives shared with the trace/telemetry/result stores
+(:func:`save_history_npz` / :func:`load_history_npz`), which is how a
+restarted service keeps its ``/api/v1/metrics/history`` continuous, and
+it feeds the SLO engine (:mod:`repro.obs.slo`) one evaluation per
+sampling tick.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.obs.logs import fields, get_logger
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    counter,
+    percentile_from_snapshot,
+)
+
+__all__ = [
+    "HISTORY_FORMAT",
+    "HISTORY_VERSION",
+    "MetricsFrame",
+    "MetricsSampler",
+    "SeriesStore",
+    "load_history_npz",
+    "save_history_npz",
+]
+
+HISTORY_FORMAT = "repro-metrics-history"
+HISTORY_VERSION = 1
+
+#: Default ring capacity: at the service's 1 s tick this is ~17 minutes
+#: of history, bounded regardless of process lifetime.
+DEFAULT_CAPACITY = 1024
+
+_log = get_logger("obs.pipeline")
+_TICKS = counter("obs.sampler.ticks")
+
+
+@dataclass(frozen=True)
+class MetricsFrame:
+    """One timestamped registry snapshot (JSON-safe, immutable)."""
+
+    t: float
+    """Wall-clock epoch seconds at sampling time (wall, not monotonic,
+    so frames loaded from a previous process still order correctly)."""
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "t": self.t,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+
+class SeriesStore:
+    """Bounded ring of :class:`MetricsFrame` with per-metric queries.
+
+    Thread-safe: the sampler thread appends while HTTP handler threads
+    read. Eviction is silent — the ring keeps the most recent
+    ``capacity`` frames and windowed queries only ever look backwards
+    from the latest frame.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._frames: deque[MetricsFrame] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._frames)
+
+    def append(self, frame: MetricsFrame) -> None:
+        with self._lock:
+            if self._frames and frame.t < self._frames[-1].t:
+                raise ValueError(
+                    f"frame timestamps must be non-decreasing: "
+                    f"{frame.t} < {self._frames[-1].t}"
+                )
+            self._frames.append(frame)
+
+    def frames(self) -> list[MetricsFrame]:
+        """Snapshot of the ring, oldest first."""
+        with self._lock:
+            return list(self._frames)
+
+    def latest(self) -> MetricsFrame | None:
+        with self._lock:
+            return self._frames[-1] if self._frames else None
+
+    def metric_names(self) -> dict[str, list[str]]:
+        """Union of metric names seen across the ring (sorted)."""
+        counters: set[str] = set()
+        gauges: set[str] = set()
+        histograms: set[str] = set()
+        for f in self.frames():
+            counters.update(f.counters)
+            gauges.update(f.gauges)
+            histograms.update(f.histograms)
+        return {
+            "counters": sorted(counters),
+            "gauges": sorted(gauges),
+            "histograms": sorted(histograms),
+        }
+
+    def kind(self, metric: str) -> str | None:
+        """``"counter"`` / ``"gauge"`` / ``"histogram"`` or None."""
+        for f in reversed(self.frames()):
+            if metric in f.counters:
+                return "counter"
+            if metric in f.gauges:
+                return "gauge"
+            if metric in f.histograms:
+                return "histogram"
+        return None
+
+    # -- scalar series -------------------------------------------------------
+
+    def series(self, metric: str) -> list[tuple[float, float]]:
+        """``(t, value)`` pairs for a counter or gauge, oldest first.
+
+        Frames recorded before the metric existed are skipped (the
+        registry creates metrics lazily), so the series starts at the
+        metric's first appearance.
+        """
+        out: list[tuple[float, float]] = []
+        for f in self.frames():
+            if metric in f.counters:
+                out.append((f.t, float(f.counters[metric])))
+            elif metric in f.gauges:
+                out.append((f.t, float(f.gauges[metric])))
+        return out
+
+    def _window(
+        self, metric: str, window_s: float | None
+    ) -> list[tuple[float, float]]:
+        pts = self.series(metric)
+        if not pts or window_s is None:
+            return pts
+        cutoff = pts[-1][0] - window_s
+        return [p for p in pts if p[0] >= cutoff]
+
+    def delta(self, metric: str, window_s: float | None = None) -> float:
+        """Increase of a counter over the trailing window.
+
+        Sums positive increments only, so a counter reset inside the
+        window contributes the post-reset growth instead of a negative
+        jump. NaN with fewer than two in-window samples.
+        """
+        pts = self._window(metric, window_s)
+        if len(pts) < 2:
+            return math.nan
+        return float(
+            sum(
+                max(0.0, b - a)
+                for (_, a), (_, b) in zip(pts, pts[1:])
+            )
+        )
+
+    def rate(self, metric: str, window_s: float | None = None) -> float:
+        """Per-second rate of increase over the trailing window (NaN if
+        under-sampled or the window spans zero time)."""
+        pts = self._window(metric, window_s)
+        if len(pts) < 2:
+            return math.nan
+        span = pts[-1][0] - pts[0][0]
+        if span <= 0:
+            return math.nan
+        return self.delta(metric, window_s) / span
+
+    # -- histogram series ----------------------------------------------------
+
+    def hist_series(self, metric: str) -> list[tuple[float, dict[str, Any]]]:
+        """``(t, histogram-json)`` pairs, oldest first."""
+        return [
+            (f.t, f.histograms[metric])
+            for f in self.frames()
+            if metric in f.histograms
+        ]
+
+    def percentile(self, metric: str, q: float) -> float:
+        """Histogram quantile at the latest frame (NaN if absent/empty)."""
+        series = self.hist_series(metric)
+        if not series:
+            return math.nan
+        return percentile_from_snapshot(series[-1][1], q)
+
+
+class MetricsSampler:
+    """Background sampler feeding a :class:`SeriesStore` (plus SLO rules).
+
+    One :meth:`tick` snapshots the registry into a frame, appends it to
+    the store and — when an SLO engine is attached — evaluates every
+    rule against the updated series. :meth:`start` runs ticks on a
+    daemon thread every ``interval_s``; tests call :meth:`tick` directly
+    for deterministic staging.
+    """
+
+    def __init__(
+        self,
+        store: SeriesStore,
+        *,
+        registry: MetricsRegistry = REGISTRY,
+        interval_s: float = 1.0,
+        slo: Any | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.store = store
+        self.registry = registry
+        self.interval_s = interval_s
+        self.slo = slo
+        self.clock = clock
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def tick(self, now: float | None = None) -> MetricsFrame:
+        """Sample one frame (and evaluate SLO rules) at ``now``."""
+        t = self.clock() if now is None else now
+        snap = self.registry.snapshot()
+        frame = MetricsFrame(
+            t=t,
+            counters=snap["counters"],
+            gauges=snap["gauges"],
+            histograms=snap["histograms"],
+        )
+        self.store.append(frame)
+        _TICKS.inc()
+        if self.slo is not None:
+            self.slo.evaluate(self.store, now=t)
+        return frame
+
+    def start(self) -> None:
+        """Start the sampling thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-metrics-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.tick()
+            except Exception:  # sampling must never kill the service
+                _log.exception("metrics sampling tick failed")
+
+
+# -- persistence ---------------------------------------------------------------
+
+
+def _hist_bounds(doc: dict[str, Any]) -> list[float]:
+    return sorted(float(k) for k in doc["buckets"] if k != "+inf")
+
+
+def save_history_npz(store: SeriesStore, path: Any) -> None:
+    """Write the store's frames as a byte-deterministic npz archive.
+
+    Shares :func:`repro.workloads.store.write_npz_archive`, so identical
+    store contents always produce identical bytes. Per-metric columns
+    span every frame; frames recorded before a metric existed hold its
+    natural zero (counters/histograms) or NaN (gauges) — exactly how the
+    registry itself would have read at that time.
+    """
+    from repro.workloads.store import write_npz_archive
+
+    frames = store.frames()
+    names = store.metric_names()
+    hist_bounds: dict[str, list[float]] = {}
+    for name in names["histograms"]:
+        for _, doc in ((f.t, f.histograms[name]) for f in frames if name in f.histograms):
+            bounds = _hist_bounds(doc)
+            if name in hist_bounds and hist_bounds[name] != bounds:
+                raise ValueError(
+                    f"histogram {name!r} changed bucket bounds mid-history"
+                )
+            hist_bounds[name] = bounds
+    header = {
+        "format": HISTORY_FORMAT,
+        "version": HISTORY_VERSION,
+        "n_frames": len(frames),
+        "capacity": store.capacity,
+        "counters": names["counters"],
+        "gauges": names["gauges"],
+        "histograms": {k: {"bounds": v} for k, v in hist_bounds.items()},
+    }
+    arrays: list[tuple[str, np.ndarray]] = [
+        ("time.npy", np.array([f.t for f in frames], dtype=np.float64))
+    ]
+    for name in names["counters"]:
+        arrays.append(
+            (
+                f"counter/{name}.npy",
+                np.array(
+                    [f.counters.get(name, 0) for f in frames], dtype=np.int64
+                ),
+            )
+        )
+    for name in names["gauges"]:
+        arrays.append(
+            (
+                f"gauge/{name}.npy",
+                np.array(
+                    [f.gauges.get(name, math.nan) for f in frames],
+                    dtype=np.float64,
+                ),
+            )
+        )
+    empty = {"count": 0, "sum": 0.0, "min": None, "max": None}
+    for name in names["histograms"]:
+        docs = [f.histograms.get(name, empty) for f in frames]
+        n_bins = len(hist_bounds[name]) + 1
+        buckets = np.zeros((len(frames), n_bins), dtype=np.int64)
+        for i, doc in enumerate(docs):
+            if doc.get("buckets"):
+                ordered = [
+                    doc["buckets"][f"{b:g}"] for b in hist_bounds[name]
+                ] + [doc["buckets"].get("+inf", 0)]
+                buckets[i] = ordered
+        arrays.append((f"hist/{name}/buckets.npy", buckets))
+        arrays.append(
+            (
+                f"hist/{name}/count.npy",
+                np.array([d["count"] for d in docs], dtype=np.int64),
+            )
+        )
+        arrays.append(
+            (
+                f"hist/{name}/sum.npy",
+                np.array([d["sum"] for d in docs], dtype=np.float64),
+            )
+        )
+        arrays.append(
+            (
+                f"hist/{name}/min.npy",
+                np.array(
+                    [math.nan if d["min"] is None else d["min"] for d in docs],
+                    dtype=np.float64,
+                ),
+            )
+        )
+        arrays.append(
+            (
+                f"hist/{name}/max.npy",
+                np.array(
+                    [math.nan if d["max"] is None else d["max"] for d in docs],
+                    dtype=np.float64,
+                ),
+            )
+        )
+    write_npz_archive(path, header, arrays)
+
+
+def load_history_npz(path: Any, *, capacity: int | None = None) -> SeriesStore:
+    """Load a history archive back into a :class:`SeriesStore`.
+
+    ``capacity`` defaults to the archive's recorded capacity (never
+    smaller than the frame count, so nothing loaded is evicted on the
+    way in). Unknown formats and newer versions fail loudly via the
+    shared archive validator.
+    """
+    from repro.workloads.store import open_npz_archive
+
+    zf, header = open_npz_archive(
+        path,
+        expected_format=HISTORY_FORMAT,
+        max_version=HISTORY_VERSION,
+        required_entries=("time.npy",),
+        kind="metrics-history",
+    )
+    with zf:
+        def col(entry: str) -> np.ndarray:
+            import io
+
+            return np.load(io.BytesIO(zf.read(entry)))
+
+        times = col("time.npy")
+        n = len(times)
+        counters = {
+            name: col(f"counter/{name}.npy") for name in header["counters"]
+        }
+        gauges = {name: col(f"gauge/{name}.npy") for name in header["gauges"]}
+        hists = {}
+        for name, meta in header["histograms"].items():
+            hists[name] = {
+                "bounds": [float(b) for b in meta["bounds"]],
+                "buckets": col(f"hist/{name}/buckets.npy"),
+                "count": col(f"hist/{name}/count.npy"),
+                "sum": col(f"hist/{name}/sum.npy"),
+                "min": col(f"hist/{name}/min.npy"),
+                "max": col(f"hist/{name}/max.npy"),
+            }
+        cap = capacity
+        if cap is None:
+            cap = max(int(header.get("capacity", DEFAULT_CAPACITY)), n, 1)
+        store = SeriesStore(capacity=cap)
+        for i in range(n):
+            frame_hists: dict[str, dict[str, Any]] = {}
+            for name, h in hists.items():
+                count = int(h["count"][i])
+                bounds = h["bounds"]
+                buckets = {
+                    f"{b:g}": int(h["buckets"][i][j])
+                    for j, b in enumerate(bounds)
+                }
+                buckets["+inf"] = int(h["buckets"][i][len(bounds)])
+                frame_hists[name] = {
+                    "count": count,
+                    "sum": float(h["sum"][i]),
+                    "min": None if count == 0 else float(h["min"][i]),
+                    "max": None if count == 0 else float(h["max"][i]),
+                    "buckets": buckets,
+                }
+            store.append(
+                MetricsFrame(
+                    t=float(times[i]),
+                    counters={
+                        k: int(v[i]) for k, v in counters.items()
+                    },
+                    gauges={k: float(v[i]) for k, v in gauges.items()},
+                    histograms=frame_hists,
+                )
+            )
+        return store

@@ -1,0 +1,142 @@
+"""Prometheus text exposition for the process metrics registry.
+
+Renders a :func:`repro.obs.metrics.snapshot` document in the Prometheus
+text format (version 0.0.4) so the service's ``/metrics`` endpoint is
+scrapeable by standard tooling, and ``repro obs metrics --prom`` can
+print the same families to stdout — one formatter, two consumers.
+
+Mapping rules:
+
+* **names sanitize** to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar — every
+  other character becomes ``_`` and a leading digit gains a ``_``
+  prefix. Raw names that collide after sanitization stay distinct via a
+  ``raw="<original>"`` label instead of silently merging;
+* **counters** gain the conventional ``_total`` suffix;
+* **histograms** expand into cumulative ``_bucket{le="..."}`` lines
+  (including the ``+Inf`` bucket) plus ``_sum`` and ``_count``, exactly
+  the shape ``histogram_quantile()`` expects;
+* **ordering is deterministic** — families sort by sanitized name
+  (counters, then gauges, then histograms), so two renders of identical
+  state are byte-identical.
+
+The renderer works from the JSON snapshot form rather than live metric
+objects, so it can run server-side (over ``metrics_snapshot()``) or
+client-side (over a fetched ``/api/v1/metrics`` body) unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = ["CONTENT_TYPE", "render_prometheus", "sanitize_metric_name"]
+
+#: The content type Prometheus scrapers negotiate for the text format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_VALID_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, *, prefix: str = "repro") -> str:
+    """Map a dotted registry name onto the Prometheus name grammar.
+
+    ``scheduler.queue_depth`` becomes ``repro_scheduler_queue_depth``;
+    characters outside ``[a-zA-Z0-9_:]`` collapse to ``_`` and a leading
+    digit gains a ``_`` prefix so the result always matches
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+    """
+    out = _INVALID_CHARS.sub("_", f"{prefix}_{name}" if prefix else name)
+    if not out or not _VALID_NAME.match(out):
+        out = f"_{out}"
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _families(
+    raw: dict[str, Any], *, prefix: str, suffix: str = ""
+) -> list[tuple[str, list[tuple[str, Any]]]]:
+    """Group raw metric names by sanitized family name (sorted).
+
+    Returns ``[(family, [(raw_name, value), ...]), ...]``; a family with
+    more than one raw member renders each sample with a ``raw`` label.
+    """
+    grouped: dict[str, list[tuple[str, Any]]] = {}
+    for name in sorted(raw):
+        family = sanitize_metric_name(name) + suffix
+        grouped.setdefault(family, []).append((name, raw[name]))
+    return sorted(grouped.items())
+
+
+def _sample(family: str, labels: str, value: str) -> str:
+    return f"{family}{labels} {value}"
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render a metrics snapshot as Prometheus text exposition.
+
+    ``snapshot`` is the JSON document :func:`repro.obs.metrics.snapshot`
+    produces (``{"counters": ..., "gauges": ..., "histograms": ...}``).
+    Deterministic: identical snapshots render to identical bytes.
+    """
+    lines: list[str] = []
+
+    for family, members in _families(snapshot.get("counters", {}), prefix="repro", suffix="_total"):
+        lines.append(f"# TYPE {family} counter")
+        for raw_name, value in members:
+            labels = (
+                "" if len(members) == 1 else f'{{raw="{_escape_label(raw_name)}"}}'
+            )
+            lines.append(_sample(family, labels, _format_value(value)))
+
+    for family, members in _families(snapshot.get("gauges", {}), prefix="repro"):
+        lines.append(f"# TYPE {family} gauge")
+        for raw_name, value in members:
+            labels = (
+                "" if len(members) == 1 else f'{{raw="{_escape_label(raw_name)}"}}'
+            )
+            lines.append(_sample(family, labels, _format_value(value)))
+
+    for family, members in _families(snapshot.get("histograms", {}), prefix="repro"):
+        lines.append(f"# TYPE {family} histogram")
+        for raw_name, doc in members:
+            raw_label = (
+                "" if len(members) == 1 else f',raw="{_escape_label(raw_name)}"'
+            )
+            buckets: dict[str, int] = doc["buckets"]
+            finite = sorted(float(k) for k in buckets if k != "+inf")
+            cum = 0
+            for bound in finite:
+                cum += buckets[f"{bound:g}"]
+                le = _format_value(bound)
+                lines.append(
+                    _sample(
+                        f"{family}_bucket",
+                        f'{{le="{le}"{raw_label}}}',
+                        str(cum),
+                    )
+                )
+            cum += buckets.get("+inf", 0)
+            lines.append(
+                _sample(f"{family}_bucket", f'{{le="+Inf"{raw_label}}}', str(cum))
+            )
+            tail = f'{{raw="{_escape_label(raw_name)}"}}' if raw_label else ""
+            lines.append(_sample(f"{family}_sum", tail, _format_value(doc["sum"])))
+            lines.append(_sample(f"{family}_count", tail, str(doc["count"])))
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,342 @@
+"""Declarative SLO rules evaluated against the metrics time-series.
+
+Turns the sampled history (:mod:`repro.obs.pipeline`) into automated
+health judgments: each :class:`SloRule` names a metric, a *signal* to
+derive from its series, a comparison and a threshold; the
+:class:`SloEngine` evaluates every rule once per sampling tick and
+drives a firing/resolved state machine per rule. Transitions emit
+structured :class:`AlertEvent` records into a bounded history *and* into
+the log stream (``repro.obs.slo``), and the whole state renders as the
+service's ``/api/v1/alerts`` document.
+
+Signals:
+
+=========  ==================================================================
+``value``  latest sampled value of a counter or gauge
+``rate``   per-second counter increase over ``window_s``
+``delta``  counter increase over ``window_s``
+``pNN``    histogram percentile at the latest frame (``p50``, ``p99``,
+           ``p99.9`` ... — the number is the percentile, 0-100)
+``ratio``  windowed counter-increase ratio ``delta(metric) /
+           delta(denominator)``; the denominator may sum counters with
+           ``+`` (``"cache.hits+cache.misses"`` for a hit *ratio*)
+=========  ==================================================================
+
+A rule *breaches* when its signal compares true against the threshold;
+after ``for_ticks`` consecutive breaching ticks it transitions to
+``firing``, and the first non-breaching tick resolves it. NaN signals
+(metric absent, window under-sampled, zero denominator) never breach —
+an SLO over data that does not exist yet stays ``ok`` rather than
+flapping.
+
+Rules are plain JSON documents (:func:`load_slo_rules` reads the file
+``repro serve --slo-rules`` points at); every violation is rejected
+loudly with the offending rule named.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import re
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.logs import fields, get_logger
+from repro.obs.metrics import counter
+from repro.obs.pipeline import SeriesStore
+
+__all__ = [
+    "AlertEvent",
+    "SloEngine",
+    "SloRule",
+    "load_slo_rules",
+]
+
+_log = get_logger("obs.slo")
+_TRANSITIONS = counter("slo.transitions")
+
+_OPS = {
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+}
+_PERCENTILE = re.compile(r"p(\d{1,2}(?:\.\d+)?|100)$")
+_SCALAR_SIGNALS = ("value", "rate", "delta", "ratio")
+
+#: Events kept in the engine's bounded history.
+EVENT_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative threshold rule (JSON-round-trippable)."""
+
+    name: str
+    metric: str
+    threshold: float
+    signal: str = "value"
+    op: str = ">"
+    window_s: float = 60.0
+    for_ticks: int = 1
+    denominator: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SLO rule needs a non-empty name")
+        if not self.metric:
+            raise ValueError(f"rule {self.name!r}: metric must be non-empty")
+        if self.op not in _OPS:
+            raise ValueError(
+                f"rule {self.name!r}: op must be one of {sorted(_OPS)}, "
+                f"got {self.op!r}"
+            )
+        if self.signal not in _SCALAR_SIGNALS and not _PERCENTILE.match(
+            self.signal
+        ):
+            raise ValueError(
+                f"rule {self.name!r}: signal must be one of "
+                f"{_SCALAR_SIGNALS} or pNN, got {self.signal!r}"
+            )
+        if self.signal == "ratio" and not self.denominator:
+            raise ValueError(
+                f"rule {self.name!r}: ratio signals need a denominator"
+            )
+        if self.signal != "ratio" and self.denominator:
+            raise ValueError(
+                f"rule {self.name!r}: denominator only applies to ratio "
+                f"signals"
+            )
+        if self.window_s <= 0:
+            raise ValueError(
+                f"rule {self.name!r}: window_s must be > 0, got {self.window_s}"
+            )
+        if self.for_ticks < 1:
+            raise ValueError(
+                f"rule {self.name!r}: for_ticks must be >= 1, got "
+                f"{self.for_ticks}"
+            )
+
+    def to_json(self) -> dict[str, Any]:
+        doc = {
+            "name": self.name,
+            "metric": self.metric,
+            "signal": self.signal,
+            "op": self.op,
+            "threshold": self.threshold,
+            "window_s": self.window_s,
+            "for_ticks": self.for_ticks,
+        }
+        if self.denominator:
+            doc["denominator"] = self.denominator
+        return doc
+
+    def evaluate(self, store: SeriesStore) -> float:
+        """Derive this rule's signal from the series store (NaN if absent)."""
+        m = _PERCENTILE.match(self.signal)
+        if m:
+            return store.percentile(self.metric, float(m.group(1)) / 100.0)
+        if self.signal == "rate":
+            return store.rate(self.metric, self.window_s)
+        if self.signal == "delta":
+            return store.delta(self.metric, self.window_s)
+        if self.signal == "ratio":
+            num = store.delta(self.metric, self.window_s)
+            den = sum(
+                store.delta(part.strip(), self.window_s)
+                for part in self.denominator.split("+")  # type: ignore[union-attr]
+            )
+            if math.isnan(num) or math.isnan(den) or den == 0:
+                return math.nan
+            return num / den
+        pts = store.series(self.metric)
+        return pts[-1][1] if pts else math.nan
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One firing/resolved transition (what the log line also carries)."""
+
+    t: float
+    rule: str
+    state: str  # "firing" | "resolved"
+    value: float
+    threshold: float
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "t": round(self.t, 6),
+            "rule": self.rule,
+            "state": self.state,
+            "value": None if math.isnan(self.value) else round(self.value, 6),
+            "threshold": self.threshold,
+        }
+
+
+@dataclass
+class _RuleState:
+    state: str = "ok"
+    breach_streak: int = 0
+    since: float | None = None
+    last_value: float = math.nan
+
+
+class SloEngine:
+    """Evaluates rules each tick; owns alert state and event history."""
+
+    def __init__(self, rules: list[SloRule] | tuple[SloRule, ...] = ()) -> None:
+        names = [r.name for r in rules]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValueError(f"duplicate SLO rule names: {sorted(dupes)}")
+        self.rules = tuple(rules)
+        self._states = {r.name: _RuleState() for r in self.rules}
+        self._events: deque[AlertEvent] = deque(maxlen=EVENT_CAPACITY)
+
+    def evaluate(
+        self, store: SeriesStore, now: float | None = None
+    ) -> list[AlertEvent]:
+        """Run every rule against the store; returns new transitions."""
+        t = time.time() if now is None else now
+        transitions: list[AlertEvent] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            value = rule.evaluate(store)
+            state.last_value = value
+            breach = not math.isnan(value) and _OPS[rule.op](
+                value, rule.threshold
+            )
+            if breach:
+                state.breach_streak += 1
+                if (
+                    state.state == "ok"
+                    and state.breach_streak >= rule.for_ticks
+                ):
+                    state.state = "firing"
+                    state.since = t
+                    transitions.append(
+                        AlertEvent(t, rule.name, "firing", value, rule.threshold)
+                    )
+            else:
+                state.breach_streak = 0
+                if state.state == "firing":
+                    state.state = "ok"
+                    state.since = t
+                    transitions.append(
+                        AlertEvent(
+                            t, rule.name, "resolved", value, rule.threshold
+                        )
+                    )
+        for event in transitions:
+            self._events.append(event)
+            _TRANSITIONS.inc()
+            log = _log.warning if event.state == "firing" else _log.info
+            log(
+                "slo transition",
+                extra=fields(
+                    rule=event.rule,
+                    state=event.state,
+                    value=event.to_json()["value"],
+                    threshold=event.threshold,
+                ),
+            )
+        return transitions
+
+    def firing(self) -> list[str]:
+        """Names of currently-firing rules (sorted)."""
+        return sorted(
+            name for name, s in self._states.items() if s.state == "firing"
+        )
+
+    def events(self) -> list[AlertEvent]:
+        """Transition history, oldest first (bounded)."""
+        return list(self._events)
+
+    def to_json(self) -> dict[str, Any]:
+        """The ``/api/v1/alerts`` document: rule states + transitions."""
+        rules = []
+        for rule in sorted(self.rules, key=lambda r: r.name):
+            state = self._states[rule.name]
+            doc = rule.to_json()
+            doc.update(
+                state=state.state,
+                value=(
+                    None
+                    if math.isnan(state.last_value)
+                    else round(state.last_value, 6)
+                ),
+                since=(
+                    None if state.since is None else round(state.since, 6)
+                ),
+            )
+            rules.append(doc)
+        return {
+            "rules": rules,
+            "firing": self.firing(),
+            "events": [e.to_json() for e in self._events],
+        }
+
+
+def load_slo_rules(path: str | pathlib.Path) -> list[SloRule]:
+    """Read SLO rules from a JSON file (a list, or ``{"rules": [...]}``).
+
+    Unknown keys, bad types and invalid rule fields all fail loudly with
+    the offending rule named — a service must not boot with a silently
+    half-parsed alert config.
+    """
+    p = pathlib.Path(path)
+    try:
+        doc = json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read SLO rules from {p}: {exc}") from exc
+    items = doc.get("rules") if isinstance(doc, dict) else doc
+    if not isinstance(items, list):
+        raise ValueError(
+            f"{p}: expected a JSON list of rules or {{'rules': [...]}}"
+        )
+    allowed = {
+        "name",
+        "metric",
+        "threshold",
+        "signal",
+        "op",
+        "window_s",
+        "for_ticks",
+        "denominator",
+    }
+    rules: list[SloRule] = []
+    for i, item in enumerate(items):
+        if not isinstance(item, dict):
+            raise ValueError(f"{p}: rule [{i}] is not an object")
+        unknown = set(item) - allowed
+        if unknown:
+            raise ValueError(
+                f"{p}: rule [{i}] has unknown keys {sorted(unknown)}"
+            )
+        missing = {"name", "metric", "threshold"} - set(item)
+        if missing:
+            raise ValueError(
+                f"{p}: rule [{i}] is missing keys {sorted(missing)}"
+            )
+        try:
+            rules.append(
+                SloRule(
+                    name=str(item["name"]),
+                    metric=str(item["metric"]),
+                    threshold=float(item["threshold"]),
+                    signal=str(item.get("signal", "value")),
+                    op=str(item.get("op", ">")),
+                    window_s=float(item.get("window_s", 60.0)),
+                    for_ticks=int(item.get("for_ticks", 1)),
+                    denominator=item.get("denominator"),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{p}: rule [{i}]: {exc}") from exc
+    if len({r.name for r in rules}) != len(rules):
+        raise ValueError(f"{p}: rule names must be unique")
+    return rules

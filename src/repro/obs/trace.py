@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import contextlib
 import itertools
+import json
 import os
 import threading
 import time
@@ -43,12 +44,15 @@ from typing import Any, Iterator
 
 __all__ = [
     "TRACE_FORMAT",
+    "TRACEPARENT_HEADER",
     "SpanRecord",
     "span",
     "enable_tracing",
     "tracing_enabled",
     "current_span_id",
     "adopt_parent",
+    "format_traceparent",
+    "parse_traceparent",
     "get_spans",
     "take_spans",
     "clear_spans",
@@ -58,6 +62,10 @@ __all__ = [
 ]
 
 TRACE_FORMAT = "repro.obs.trace/1"
+
+#: HTTP header carrying the caller's span id across process boundaries
+#: (W3C ``traceparent``-style: ``00-<span id>-01``).
+TRACEPARENT_HEADER = "traceparent"
 
 #: Innermost open span id in the current context (None at top level).
 _current: ContextVar[str | None] = ContextVar("repro_obs_current_span", default=None)
@@ -156,9 +164,33 @@ def adopt_parent(parent_id: str | None) -> None:
     Threads start with a fresh context (``threading.Thread`` does not
     inherit contextvars), so a worker thread that should nest its spans
     under the spawner's span calls this first with the id the spawner
-    captured via :func:`current_span_id`.
+    captured via :func:`current_span_id`. The same seam joins trees
+    *across processes*: a server adopting the span id a client shipped
+    in a :data:`TRACEPARENT_HEADER` makes its spans children of the
+    client's — the ids are pid-prefixed, so they never collide when the
+    two buffers later merge.
     """
     _current.set(parent_id)
+
+
+def format_traceparent(span_id: str) -> str:
+    """Encode a span id as a ``traceparent``-style header value."""
+    return f"00-{span_id}-01"
+
+
+def parse_traceparent(value: str | None) -> str | None:
+    """Extract the span id from a :func:`format_traceparent` value.
+
+    Returns None for missing or malformed values — propagation is a
+    best-effort enrichment, never a request error.
+    """
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) < 3 or parts[0] != "00" or parts[-1] != "01":
+        return None
+    span_id = "-".join(parts[1:-1])
+    return span_id or None
 
 
 @contextlib.contextmanager
@@ -245,17 +277,46 @@ def export_trace(
 ) -> dict[str, Any]:
     """Export spans as a JSON-safe trace document.
 
-    Spans sort by ``(pid, seq)`` and ids renumber to dense ordinals (so
-    the document never leaks process ids through identifiers). With
-    ``deterministic=True`` all timing, pid and thread fields are
+    Spans order by a depth-first walk of the parent/child tree (spans
+    whose parent is outside the set — including spans adopted from a
+    remote caller's ``traceparent`` — count as roots) with siblings
+    sorted by ``(name, attrs)``, and ids renumber to dense ordinals in
+    that order, so the document never leaks process ids through
+    identifiers. Because the walk is *structural*, it does not depend on
+    which pid the OS handed each process: a joined client+server tree
+    exports identically run after run. Siblings sharing a name and
+    attributes fall back to ``(pid, seq)`` — deterministic within one
+    process, and across processes up to how work was assigned.
+
+    With ``deterministic=True`` all timing, pid and thread fields are
     stripped — only names, nesting, ordinals and attributes remain, and
     two runs of the same code path export byte-identical documents
-    (``json.dumps(..., sort_keys=True)``). Multi-process traces are
-    deterministic up to how work was assigned to workers.
+    (``json.dumps(..., sort_keys=True)``).
     """
     if spans is None:
         spans = get_spans()
-    ordered = sorted(spans, key=lambda s: (s.pid, s.seq))
+    known = {s.span_id for s in spans}
+    children: dict[str | None, list[SpanRecord]] = {}
+    for s in spans:
+        parent = s.parent_id if s.parent_id in known else None
+        children.setdefault(parent, []).append(s)
+
+    def sibling_key(s: SpanRecord) -> tuple:
+        return (
+            s.name,
+            json.dumps(s.attrs, sort_keys=True, default=str),
+            s.pid,
+            s.seq,
+        )
+
+    ordered: list[SpanRecord] = []
+
+    def walk(parent: str | None) -> None:
+        for s in sorted(children.get(parent, []), key=sibling_key):
+            ordered.append(s)
+            walk(s.span_id)
+
+    walk(None)
     id_map = {s.span_id: str(i) for i, s in enumerate(ordered)}
     out = []
     for i, s in enumerate(ordered):

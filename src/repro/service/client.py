@@ -5,6 +5,13 @@ service's JSON API. Structured error bodies (including schema 400s)
 surface as :class:`ServiceError` with the server's machine code and
 message attached, so CLI commands and tests branch on ``exc.code``
 rather than scraping prose.
+
+When tracing is enabled in the calling process, every request carries a
+``traceparent`` header with the innermost open span id, and
+:meth:`ServiceClient.submit` opens a ``client.submit`` span around the
+POST — so the server-side ``service.job`` span (and everything under
+it) joins the client's trace once :meth:`ServiceClient.merge_job_spans`
+pulls the raw records back.
 """
 
 from __future__ import annotations
@@ -13,10 +20,19 @@ import json
 import pathlib
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from collections.abc import Iterator
 from typing import Any
 
+from repro.obs.trace import (
+    TRACEPARENT_HEADER,
+    current_span_id,
+    format_traceparent,
+    merge_exported,
+    span,
+    tracing_enabled,
+)
 from repro.service.server import API_PREFIX
 
 __all__ = ["ServiceClient", "ServiceError"]
@@ -68,6 +84,10 @@ class ServiceClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if tracing_enabled():
+            parent = current_span_id()
+            if parent:
+                headers[TRACEPARENT_HEADER] = format_traceparent(parent)
         req = urllib.request.Request(
             f"{self.base_url}{API_PREFIX}{path}",
             data=body,
@@ -96,14 +116,65 @@ class ServiceClient:
         """Process metrics registry snapshot + cache counters."""
         return self._json("GET", "/metrics")
 
+    def prometheus(self) -> str:
+        """The server's root ``/metrics`` in Prometheus text format."""
+        req = urllib.request.Request(
+            f"{self.base_url}/metrics", headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            _raise_for(exc.code, exc.read())
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from exc
+
+    def history(
+        self, metric: str | None = None, *, window_s: float | None = None
+    ) -> dict[str, Any]:
+        """Sampled metrics history (summary, or one metric's series)."""
+        params = []
+        if metric:
+            params.append(f"metric={urllib.parse.quote(metric, safe='')}")
+        if window_s is not None:
+            params.append(f"window={window_s:g}")
+        suffix = "?" + "&".join(params) if params else ""
+        return self._json("GET", f"/metrics/history{suffix}")
+
+    def alerts(self) -> dict[str, Any]:
+        """SLO rule states plus the firing/resolved event history."""
+        return self._json("GET", "/alerts")
+
     def spans(self, job_id: str, *, deterministic: bool = False) -> dict[str, Any]:
         """Span-trace document captured while ``job_id`` executed."""
         suffix = "?deterministic=1" if deterministic else ""
         return self._json("GET", f"/jobs/{job_id}/spans{suffix}")
 
+    def span_records(self, job_id: str) -> dict[str, Any]:
+        """Raw span records for ``job_id`` (ids + parent links intact)."""
+        return self._json("GET", f"/jobs/{job_id}/spans?format=records")
+
+    def merge_job_spans(self, job_id: str) -> list[Any]:
+        """Merge the job's raw spans into this process's trace.
+
+        The server's ``service.job`` span keeps its original parent link
+        — the client span id it adopted from the ``traceparent`` header
+        — so after merging, :func:`repro.obs.trace.export_trace` renders
+        one joined tree with the client's submit span as ancestor.
+        """
+        doc = self.span_records(job_id)
+        return merge_exported(doc["spans"])
+
     def submit(self, request: dict[str, Any]) -> dict[str, Any]:
-        """POST a submit document; returns the job-status document."""
-        return self._json("POST", "/jobs", request)["job"]
+        """POST a submit document; returns the job-status document.
+
+        Runs inside a ``client.submit`` span when tracing is enabled, so
+        the request's ``traceparent`` header carries that span's id.
+        """
+        with span("client.submit"):
+            return self._json("POST", "/jobs", request)["job"]
 
     def status(self, job_id: str) -> dict[str, Any]:
         return self._json("GET", f"/jobs/{job_id}")

@@ -19,10 +19,19 @@ threads only enqueue and read). That gives three properties for free:
 
 Finished jobs publish their metrics as a versioned release in the
 byte-deterministic :class:`~repro.service.results.ResultStore`.
+
+The scheduler also hosts the telemetry pipeline: a
+:class:`~repro.obs.pipeline.MetricsSampler` snapshots the metrics
+registry every ``sample_interval`` seconds into a bounded
+:class:`~repro.obs.pipeline.SeriesStore` (persisted to
+``metrics-history.npz`` across restarts) and runs the attached
+:class:`~repro.obs.slo.SloEngine` rules once per tick — what
+``/api/v1/metrics/history`` and ``/api/v1/alerts`` serve.
 """
 
 from __future__ import annotations
 
+import math
 import pathlib
 import threading
 import time
@@ -32,7 +41,21 @@ from typing import Any
 from repro.experiments import EvaluationCache, Runner, Scenario
 from repro.obs.logs import fields, get_logger
 from repro.obs.metrics import counter, gauge, histogram
-from repro.obs.trace import SpanRecord, enable_tracing, span, take_spans
+from repro.obs.pipeline import (
+    DEFAULT_CAPACITY,
+    MetricsSampler,
+    SeriesStore,
+    load_history_npz,
+    save_history_npz,
+)
+from repro.obs.slo import SloEngine, SloRule
+from repro.obs.trace import (
+    SpanRecord,
+    adopt_parent,
+    enable_tracing,
+    span,
+    take_spans,
+)
 from repro.service.jobs import JobRecord, JobStore
 from repro.service.results import Release, ResultStore
 from repro.service.schema import SchemaError, parse_request
@@ -88,6 +111,9 @@ class ExperimentScheduler:
         jobs: int = 1,
         auto_start: bool = True,
         poll_interval: float = 0.02,
+        sample_interval: float = 1.0,
+        slo_rules: list[SloRule] | tuple[SloRule, ...] = (),
+        history_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -111,9 +137,19 @@ class ExperimentScheduler:
         self._started_at = time.monotonic()
         self._enqueued_at: dict[str, float] = {}
         self._job_spans: dict[str, list[SpanRecord]] = {}
+        self._trace_parents: dict[str, str | None] = {}
         # The scheduler is the span producer for the whole service; one
         # trace per job is drained into _job_spans when the job finishes.
         enable_tracing()
+
+        # Telemetry pipeline: time-series history (warm-loaded across
+        # restarts) + SLO evaluation once per sampling tick.
+        self.history_path = self.state_dir / "metrics-history.npz"
+        self.series = self._load_history(history_capacity)
+        self.slo = SloEngine(slo_rules)
+        self.sampler = MetricsSampler(
+            self.series, interval_s=sample_interval, slo=self.slo
+        )
 
         for record in self.job_store.all():
             self._records[record.job_id] = record
@@ -142,8 +178,27 @@ class ExperimentScheduler:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def _load_history(self, capacity: int) -> SeriesStore:
+        """Warm-load the persisted metrics history (fresh store on any
+        problem — history is an enrichment, never a boot blocker)."""
+        if self.history_path.exists():
+            try:
+                store = load_history_npz(self.history_path, capacity=capacity)
+                _log.info(
+                    "metrics history loaded",
+                    extra=fields(frames=len(store), path=str(self.history_path)),
+                )
+                return store
+            except Exception as exc:
+                _log.warning(
+                    "metrics history unreadable; starting fresh",
+                    extra=fields(path=str(self.history_path), error=str(exc)),
+                )
+        return SeriesStore(capacity=capacity)
+
     def start(self) -> None:
-        """Start the dispatcher thread (idempotent)."""
+        """Start the dispatcher + sampler threads (idempotent)."""
+        self.sampler.start()
         if self._thread is not None and self._thread.is_alive():
             return
         self._stop.clear()
@@ -159,14 +214,25 @@ class ExperimentScheduler:
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None
+        self.sampler.stop()
+        try:
+            save_history_npz(self.series, self.history_path)
+        except Exception as exc:  # history persistence is best-effort
+            _log.warning(
+                "metrics history save failed",
+                extra=fields(path=str(self.history_path), error=str(exc)),
+            )
 
     # -- submission & queries ------------------------------------------------
 
-    def submit(self, doc: Any) -> JobRecord:
+    def submit(self, doc: Any, *, trace_parent: str | None = None) -> JobRecord:
         """Validate a submit document and enqueue it; returns the record.
 
         Raises :class:`~repro.service.schema.SchemaError` on invalid
         payloads — nothing is enqueued or persisted in that case.
+        ``trace_parent`` is a remote caller's span id (parsed from its
+        ``traceparent`` header); the job's ``service.job`` span adopts
+        it as parent so a merged client+server trace nests correctly.
         """
         parsed = parse_request(doc)
         with self._lock:
@@ -177,6 +243,7 @@ class ExperimentScheduler:
             self._scenarios[record.job_id] = parsed.scenarios
             self._queue.append(record.job_id)
             self._enqueued_at[record.job_id] = time.monotonic()
+            self._trace_parents[record.job_id] = trace_parent
             _QUEUE_DEPTH.set(len(self._queue))
         _SUBMITTED.inc()
         _log.info(
@@ -325,6 +392,55 @@ class ExperimentScheduler:
                 raise JobNotFound(job_id)
             return list(self._job_spans.get(job_id, []))
 
+    def alerts_json(self) -> dict[str, Any]:
+        """The ``/api/v1/alerts`` document (rule states + transitions)."""
+        return self.slo.to_json()
+
+    def history_json(
+        self, metric: str | None = None, window_s: float | None = None
+    ) -> dict[str, Any]:
+        """The ``/api/v1/metrics/history`` document.
+
+        Without ``metric``: a summary (frame count, time range, sampled
+        metric names). With one: the full per-metric series, plus
+        windowed delta/rate for counters and p50/p99 for histograms.
+        Raises ValueError for metrics the sampler has never seen.
+        """
+        store = self.series
+
+        def _num(x: float) -> float | None:
+            return None if math.isnan(x) else round(x, 6)
+
+        if metric is None:
+            frames = store.frames()
+            return {
+                "n_frames": len(frames),
+                "capacity": store.capacity,
+                "interval_s": self.sampler.interval_s,
+                "start_t": round(frames[0].t, 6) if frames else None,
+                "end_t": round(frames[-1].t, 6) if frames else None,
+                "metrics": store.metric_names(),
+            }
+        kind = store.kind(metric)
+        if kind is None:
+            raise ValueError(f"no sampled metric named {metric!r}")
+        doc: dict[str, Any] = {"metric": metric, "kind": kind}
+        if kind == "histogram":
+            pts = store.hist_series(metric)
+        else:
+            pts = store.series(metric)
+        if window_s is not None and pts:
+            cutoff = pts[-1][0] - window_s
+            pts = [p for p in pts if p[0] >= cutoff]
+        doc["points"] = [[round(t, 6), v] for t, v in pts]
+        if kind == "counter":
+            doc["delta"] = _num(store.delta(metric, window_s))
+            doc["rate"] = _num(store.rate(metric, window_s))
+        elif kind == "histogram":
+            doc["p50"] = _num(store.percentile(metric, 0.5))
+            doc["p99"] = _num(store.percentile(metric, 0.99))
+        return doc
+
     # -- dispatcher ----------------------------------------------------------
 
     def _snapshot(self, record: JobRecord) -> JobRecord:
@@ -334,11 +450,18 @@ class ExperimentScheduler:
         """Run one job inside a ``service.job`` span; capture its trace."""
         with self._lock:
             enqueued = self._enqueued_at.pop(job_id, None)
+            trace_parent = self._trace_parents.pop(job_id, None)
         if enqueued is not None:
             _DISPATCH_MS.observe((time.monotonic() - enqueued) * 1e3)
         take_spans()  # drop stray spans so the job's trace starts clean
-        with span("service.job", job=job_id):
-            self._execute_inner(job_id)
+        # Adopt the submitting caller's span id (if it shipped one) so the
+        # job's trace joins the caller's tree when merged client-side.
+        adopt_parent(trace_parent)
+        try:
+            with span("service.job", job=job_id):
+                self._execute_inner(job_id)
+        finally:
+            adopt_parent(None)
         with self._lock:
             self._job_spans[job_id] = take_spans()
 

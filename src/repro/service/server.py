@@ -14,8 +14,19 @@ GET      ``/jobs/<id>/result.npz``       byte-deterministic npz release export
 GET      ``/jobs/<id>/trace?point=N``    NDJSON per-window telemetry/control
 GET      ``/jobs/<id>/spans``            span trace captured while the job ran
 GET      ``/metrics``                    process metrics registry snapshot
+GET      ``/metrics/history``            sampled time-series (``?metric=&window=``)
+GET      ``/alerts``                     SLO rule states + firing/resolved events
 GET      ``/health``                     liveness + uptime/queue/cache gauges
 =======  ==============================  =======================================
+
+One route lives *outside* the prefix: ``GET /metrics`` at the server
+root serves the registry in Prometheus text exposition format (0.0.4)
+for standard scrapers — the JSON form stays at ``/api/v1/metrics``.
+
+A submit request may carry a ``traceparent`` header (W3C-style,
+``00-<span id>-01``); the job's ``service.job`` span adopts that id as
+its parent, so a tracing client can later merge the job's span records
+(``/jobs/<id>/spans?format=records``) into its own trace as one tree.
 
 Error bodies are structured (``{"error": {"code", "message", "path"}}``)
 at every layer: schema violations are 400s, unknown jobs 404s, fetching
@@ -33,6 +44,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import signal
 import threading
 import time
 from collections.abc import Iterator
@@ -43,7 +55,10 @@ from urllib.parse import parse_qs, urlsplit
 from repro.obs.logs import fields, get_logger, setup_logging
 from repro.obs.metrics import counter, histogram
 from repro.obs.metrics import snapshot as metrics_snapshot
-from repro.obs.trace import export_trace
+from repro.obs.promexp import CONTENT_TYPE as PROM_CONTENT_TYPE
+from repro.obs.promexp import render_prometheus
+from repro.obs.slo import SloRule
+from repro.obs.trace import TRACEPARENT_HEADER, export_trace, parse_traceparent
 from repro.service.scheduler import (
     ExperimentScheduler,
     JobNotDone,
@@ -115,10 +130,21 @@ class ExperimentApi:
 
     # -- dispatch ------------------------------------------------------------
 
-    def handle(self, method: str, target: str, body: bytes = b"") -> ApiResponse:
-        """Route one request, timing and counting it into the registry."""
+    def handle(
+        self,
+        method: str,
+        target: str,
+        body: bytes = b"",
+        headers: Any | None = None,
+    ) -> ApiResponse:
+        """Route one request, timing and counting it into the registry.
+
+        ``headers`` is any case-insensitive mapping with ``.get`` (the
+        stdlib handler passes its message object; transport-free tests
+        pass a plain dict with lowercase keys or nothing).
+        """
         start = time.perf_counter()
-        response = self._handle(method, target, body)
+        response = self._handle(method, target, body, headers)
         elapsed_ms = (time.perf_counter() - start) * 1e3
         label = _route_label(method, urlsplit(target).path.rstrip("/") or "/")
         _REQUESTS.inc()
@@ -127,17 +153,27 @@ class ExperimentApi:
         _REQUEST_MS.observe(elapsed_ms)
         return response
 
-    def _handle(self, method: str, target: str, body: bytes) -> ApiResponse:
+    def _handle(
+        self, method: str, target: str, body: bytes, headers: Any | None = None
+    ) -> ApiResponse:
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         query = parse_qs(split.query)
+        if path == "/metrics" and method == "GET":
+            # Prometheus text exposition lives at the server root, where
+            # scrapers expect it; the JSON snapshot stays under the API.
+            return ApiResponse(
+                200,
+                body=render_prometheus(metrics_snapshot()).encode("utf-8"),
+                content_type=PROM_CONTENT_TYPE,
+            )
         if not path.startswith(API_PREFIX):
             return ApiResponse.error(
                 404, "not_found", f"unknown path {path!r} (try {API_PREFIX}/health)"
             )
         route = path[len(API_PREFIX):] or "/"
         try:
-            return self._route(method, route, query, body)
+            return self._route(method, route, query, body, headers)
         except SchemaError as exc:
             return ApiResponse.json(400, exc.to_json())
         except JobNotFound as exc:
@@ -154,7 +190,12 @@ class ExperimentApi:
             return ApiResponse.error(400, "invalid", str(exc))
 
     def _route(
-        self, method: str, route: str, query: dict[str, list[str]], body: bytes
+        self,
+        method: str,
+        route: str,
+        query: dict[str, list[str]],
+        body: bytes,
+        headers: Any | None = None,
     ) -> ApiResponse:
         if route == "/health":
             sched = self.scheduler
@@ -177,9 +218,18 @@ class ExperimentApi:
                     "cache": self.scheduler.cache_stats(),
                 },
             )
+        if route == "/metrics/history":
+            metric = query.get("metric", [None])[-1]
+            window = query.get("window", [""])[-1]
+            window_s = float(window) if window else None
+            return ApiResponse.json(
+                200, self.scheduler.history_json(metric, window_s)
+            )
+        if route == "/alerts":
+            return ApiResponse.json(200, self.scheduler.alerts_json())
         if route == "/jobs":
             if method == "POST":
-                return self._submit(body)
+                return self._submit(body, headers)
             if method == "GET":
                 return self._audit()
             return ApiResponse.error(405, "method_not_allowed", f"{method} /jobs")
@@ -212,14 +262,17 @@ class ExperimentApi:
 
     # -- endpoint bodies -----------------------------------------------------
 
-    def _submit(self, body: bytes) -> ApiResponse:
+    def _submit(self, body: bytes, headers: Any | None = None) -> ApiResponse:
         try:
             doc = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             return ApiResponse.error(
                 400, "invalid_json", f"request body is not valid JSON: {exc}"
             )
-        record = self.scheduler.submit(doc)
+        trace_parent = None
+        if headers is not None:
+            trace_parent = parse_traceparent(headers.get(TRACEPARENT_HEADER))
+        record = self.scheduler.submit(doc, trace_parent=trace_parent)
         return ApiResponse.json(202, {"job": record.status_json()})
 
     def _audit(self) -> ApiResponse:
@@ -253,9 +306,22 @@ class ExperimentApi:
 
         ``?deterministic=1`` strips timing/pid fields, leaving only
         names, nesting and attributes (byte-stable for identical runs).
+        ``?format=records`` returns the raw span records instead — ids
+        and parent links intact, so a tracing client can merge them into
+        its own trace (the export form renumbers ids, which would sever
+        the join to the client's submit span).
         """
-        deterministic = query.get("deterministic", ["0"])[-1] not in ("0", "")
         spans = self.scheduler.job_spans(job_id)
+        if query.get("format", [""])[-1] == "records":
+            return ApiResponse.json(
+                200,
+                {
+                    "job_id": job_id,
+                    "n_spans": len(spans),
+                    "spans": [s.to_json() for s in spans],
+                },
+            )
+        deterministic = query.get("deterministic", ["0"])[-1] not in ("0", "")
         doc = export_trace(spans, deterministic=deterministic)
         doc["job_id"] = job_id
         return ApiResponse.json(200, doc)
@@ -318,7 +384,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         body = self.rfile.read(length) if length else b""
         try:
-            response = self.server.api.handle(method, self.path, body)
+            response = self.server.api.handle(
+                method, self.path, body, headers=self.headers
+            )
         except Exception as exc:  # never let a handler thread die silently
             response = ApiResponse.error(
                 500, "internal", f"{type(exc).__name__}: {exc}"
@@ -367,9 +435,16 @@ def make_server(
     state_dir: str | pathlib.Path,
     *,
     jobs: int = 1,
+    sample_interval: float = 1.0,
+    slo_rules: list[SloRule] | tuple[SloRule, ...] = (),
 ) -> ExperimentServer:
     """Build a ready-to-serve server (port 0 picks a free port)."""
-    scheduler = ExperimentScheduler(state_dir, jobs=jobs)
+    scheduler = ExperimentScheduler(
+        state_dir,
+        jobs=jobs,
+        sample_interval=sample_interval,
+        slo_rules=slo_rules,
+    )
     return ExperimentServer((host, port), scheduler)
 
 
@@ -381,11 +456,32 @@ def serve(
     jobs: int = 1,
     log_level: str = "info",
     log_json: bool = False,
+    sample_interval: float = 1.0,
+    slo_rules: list[SloRule] | tuple[SloRule, ...] = (),
     ready: threading.Event | None = None,
 ) -> int:
     """Run the service until interrupted; returns a process exit code."""
     setup_logging(log_level, json_mode=log_json)
-    server = make_server(host, port, state_dir, jobs=jobs)
+    server = make_server(
+        host,
+        port,
+        state_dir,
+        jobs=jobs,
+        sample_interval=sample_interval,
+        slo_rules=slo_rules,
+    )
+    def _raise_interrupt(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        # Supervisors stop services with SIGTERM: fold it into the
+        # KeyboardInterrupt path so the scheduler still saves the
+        # metrics history and job records on the way down. Only the
+        # main thread may install handlers; embedded callers (tests
+        # running serve() in a thread) keep their own signal setup.
+        signal.signal(signal.SIGTERM, _raise_interrupt)
+    except ValueError:
+        pass
     bound_host, bound_port = server.server_address[:2]
     print(
         f"repro service listening on http://{bound_host}:{bound_port}{API_PREFIX} "

@@ -11,25 +11,43 @@ Pins the observability acceptance criteria:
 * ``repro obs profile`` renders those breakdowns from the CLI;
 * the live service exposes ``/api/v1/metrics`` and per-job span traces
   over a real socket, and ``repro obs metrics`` / ``repro obs trace``
-  read them.
+  read them;
+* the telemetry pipeline operates over that socket — the root
+  ``/metrics`` scrape parses as Prometheus text, ``/api/v1/metrics/
+  history`` serves sampled series, an SLO rule transitions
+  firing -> resolved into both the structured log stream and
+  ``/api/v1/alerts``, and a CLI submit against a subprocess server
+  exports ONE deterministic joined trace with the client's span as
+  ancestor of ``service.job``.
 """
 
+import io
 import json
+import logging
 import os
+import pathlib
+import re
+import subprocess
+import sys
 import threading
+import time
 
 import pytest
 
 from repro.experiments import Runner, scenario_family
 from repro.obs import (
+    SloRule,
     clear_spans,
     enable_tracing,
+    export_trace,
     profile_simulation,
+    setup_logging,
     span,
     take_spans,
     tracing_enabled,
 )
-from repro.service import ServiceClient, make_server
+from repro.obs.metrics import gauge
+from repro.service import ServiceClient, ServiceError, make_server
 
 QUICK = {"rates": [0.04, 0.08], "cycles": 300}
 
@@ -211,3 +229,256 @@ class TestHttpObservability:
         assert "service.job" in out and "runner.sweep" in out
         assert main(["obs", "trace", *url, "job-000099"]) == 2
         assert "not_found" in capsys.readouterr().err
+
+
+# -- telemetry pipeline over a live socket -----------------------------------
+
+# Minimal Prometheus text-format (0.0.4) line grammar; the exhaustive
+# validator lives in tests/unit/test_obs_pipeline.py.
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_LINE = re.compile(
+    rf"^(# TYPE {_PROM_NAME} (counter|gauge|histogram)"
+    rf'|{_PROM_NAME}(\{{[^{{}}]*\}})? (NaN|[+-]Inf|[+-]?[0-9][^ ]*))$'
+)
+
+
+def _wait_until(predicate, *, timeout=20.0, poll=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+@pytest.fixture
+def live_slo(tmp_path):
+    """Fast-sampling server with one SLO rule on a test-owned gauge."""
+    depth = gauge("test.slo.depth")
+    depth.set(0.0)
+    rules = [
+        SloRule(
+            name="depth-high", metric="test.slo.depth", threshold=5.0, op=">"
+        )
+    ]
+    server = make_server(
+        "127.0.0.1",
+        0,
+        tmp_path / "state",
+        sample_interval=0.05,
+        slo_rules=rules,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(f"http://{host}:{port}"), depth
+    finally:
+        depth.set(0.0)
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+class TestTelemetryPipelineHttp:
+    def test_prometheus_scrape_is_valid_text(self, live):
+        client, _ = live
+        client.health()  # ensure http counters exist
+        text = client.prometheus()
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").split("\n"):
+            assert _PROM_LINE.match(line), line
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "repro_scheduler_queue_depth" in text
+
+    def test_history_summary_series_and_errors(self, live_slo):
+        client, _ = live_slo
+        assert _wait_until(lambda: client.history()["n_frames"] >= 3)
+
+        summary = client.history()
+        assert summary["interval_s"] == 0.05
+        assert summary["end_t"] >= summary["start_t"]
+        assert "scheduler.queue_depth" in summary["metrics"]["gauges"]
+        assert "obs.sampler.ticks" in summary["metrics"]["counters"]
+
+        series = client.history("obs.sampler.ticks", window_s=60.0)
+        assert series["kind"] == "counter"
+        assert len(series["points"]) >= 3
+        ts = [t for t, _ in series["points"]]
+        assert ts == sorted(ts)
+        assert series["delta"] >= 2  # the sampler kept ticking
+        assert series["rate"] > 0
+
+        with pytest.raises(ServiceError) as err:
+            client.history("no.such.metric")
+        assert err.value.status == 400
+
+    def test_slo_fires_and_resolves_into_log_and_api(self, live_slo):
+        client, depth = live_slo
+        stream = io.StringIO()
+        setup_logging("info", json_mode=True, stream=stream)
+        try:
+            assert client.alerts()["firing"] == []
+
+            depth.set(9.0)
+            assert _wait_until(
+                lambda: client.alerts()["firing"] == ["depth-high"]
+            )
+            [rule] = client.alerts()["rules"]
+            assert rule["state"] == "firing"
+            assert rule["value"] == 9.0
+
+            depth.set(0.0)
+            assert _wait_until(lambda: client.alerts()["firing"] == [])
+        finally:
+            logging.getLogger("repro").handlers.clear()
+
+        states = [
+            e["state"]
+            for e in client.alerts()["events"]
+            if e["rule"] == "depth-high"
+        ]
+        assert states[:2] == ["firing", "resolved"]
+
+        logged = [
+            json.loads(line)
+            for line in stream.getvalue().splitlines()
+            if '"repro.obs.slo"' in line
+        ]
+        assert [d["state"] for d in logged][:2] == ["firing", "resolved"]
+        assert logged[0]["level"] == "warning"
+        assert logged[0]["rule"] == "depth-high"
+        assert logged[1]["level"] == "info"
+
+    def test_cli_pipeline_commands(self, live_slo, capsys):
+        from repro.cli import main
+
+        client, depth = live_slo
+        url = ["--url", client.base_url]
+
+        # --prom shares the exposition formatter with the root scrape.
+        assert main(["obs", "metrics", *url, "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_http_requests_total counter" in out
+        for line in out.rstrip("\n").split("\n"):
+            assert _PROM_LINE.match(line), line
+
+        # --watch renders the requested number of refreshes, then exits.
+        assert (
+            main(
+                ["obs", "metrics", *url, "--watch", "0.01", "--watch-count", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # Two renders; the screen clears between refreshes, not before
+        # the first one.
+        assert out.count("\x1b[2J") == 1
+        assert out.count("scheduler.queue_depth") == 2
+
+        # Flag combinations that cannot be honoured exit loudly.
+        assert main(["obs", "metrics", *url, "--json", "--prom"]) == 2
+        capsys.readouterr()
+        assert main(["obs", "metrics", *url, "--watch", "0"]) == 2
+        capsys.readouterr()
+
+        # `obs slo` exit code distinguishes quiet (0) from firing (1).
+        assert main(["obs", "slo", *url]) == 0
+        out = capsys.readouterr().out
+        assert "depth-high" in out and "ok" in out
+
+        depth.set(9.0)
+        assert _wait_until(
+            lambda: client.alerts()["firing"] == ["depth-high"]
+        )
+        assert main(["obs", "slo", *url]) == 1
+        assert "firing" in capsys.readouterr().out
+        assert main(["obs", "slo", *url, "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["firing"] == ["depth-high"]
+
+
+# -- cross-process trace propagation (subprocess server) ---------------------
+
+_BOOT_LINE = re.compile(r"listening on http://([^:/]+):(\d+)")
+
+
+class TestCrossProcessTrace:
+    def _run_against_fresh_server(self, state_dir):
+        """Boot `repro serve` in a subprocess, submit traced, export."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(pathlib.Path(__file__).parents[2] / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+                "--state-dir",
+                str(state_dir),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            boot = proc.stdout.readline()
+            m = _BOOT_LINE.search(boot)
+            assert m, f"no boot line, got: {boot!r}"
+            client = ServiceClient(f"http://{m.group(1)}:{m.group(2)}")
+
+            clear_spans()
+            job = client.submit(
+                {
+                    "version": 1,
+                    "family": "saturation-sweep",
+                    "params": dict(QUICK),
+                }
+            )
+            client.wait(job["job_id"], timeout=120)
+            client.merge_job_spans(job["job_id"])
+            doc = export_trace(take_spans(), deterministic=True)
+            return job["job_id"], doc
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_joined_trace_is_one_deterministic_tree(self, tracing, tmp_path):
+        job_a, doc_a = self._run_against_fresh_server(tmp_path / "a")
+        job_b, doc_b = self._run_against_fresh_server(tmp_path / "b")
+
+        # Both runs hit a fresh server: same job id, same point work.
+        assert job_a == job_b == "job-000001"
+
+        spans = {s["span_id"]: s for s in doc_a["spans"]}
+        by_name = {}
+        for s in doc_a["spans"]:
+            by_name.setdefault(s["name"], []).append(s)
+
+        # ONE tree: the client's submit span is the only root...
+        roots = [s for s in doc_a["spans"] if s["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["client.submit"]
+
+        # ...and it is a transitive ancestor of the server-side spans.
+        def ancestors(s):
+            names = []
+            while s["parent_id"] is not None:
+                s = spans[s["parent_id"]]
+                names.append(s["name"])
+            return names
+
+        [job_span] = by_name["service.job"]
+        assert ancestors(job_span) == ["client.submit"]
+        [sweep] = by_name["runner.sweep"]
+        assert "client.submit" in ancestors(sweep)
+        assert len(by_name["runner.point"]) == len(QUICK["rates"])
+
+        # Byte-deterministic across fully fresh client+server runs.
+        assert json.dumps(doc_a, sort_keys=True) == json.dumps(
+            doc_b, sort_keys=True
+        )

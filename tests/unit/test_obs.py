@@ -15,6 +15,7 @@ The subsystem's three contracts are pinned here:
 import io
 import json
 import logging
+import pathlib
 
 import numpy as np
 import pytest
@@ -270,6 +271,32 @@ class TestLogging:
     def test_get_logger_prefixes_once(self):
         assert get_logger("x").name == "repro.x"
         assert get_logger("repro.x").name == "repro.x"
+
+    def test_json_escapes_newlines_and_quotes(self):
+        stream = self._capture(json_mode=True)
+        get_logger("test").info(
+            'line one\nline "two"', extra=fields(note='a\n"b"')
+        )
+        raw = stream.getvalue()
+        assert raw.count("\n") == 1  # one record -> one physical line
+        doc = json.loads(raw)
+        assert doc["msg"] == 'line one\nline "two"'
+        assert doc["note"] == 'a\n"b"'
+
+    def test_json_stringifies_non_serializable_fields(self):
+        stream = self._capture(json_mode=True)
+        get_logger("test").info("obj", extra=fields(p=pathlib.Path("/tmp/x")))
+        doc = json.loads(stream.getvalue())
+        assert doc["p"] == "/tmp/x"
+
+    def test_swapping_formats_keeps_one_handler(self):
+        kv, js = io.StringIO(), io.StringIO()
+        setup_logging("info", json_mode=False, stream=kv)
+        setup_logging("info", json_mode=True, stream=js)
+        assert len(logging.getLogger("repro").handlers) == 1
+        get_logger("test").info("after swap")
+        assert kv.getvalue() == ""
+        assert json.loads(js.getvalue())["msg"] == "after swap"
 
 
 # -- profiling ---------------------------------------------------------------
