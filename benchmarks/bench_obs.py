@@ -17,7 +17,12 @@ Guards :mod:`repro.obs`'s performance contracts the same way
   recurring background cost a serving process pays every
   ``--sample-interval`` seconds;
 * ``obs_prom_render`` — Prometheus text exposition over that snapshot
-  (the root ``/metrics`` scrape body).
+  (the root ``/metrics`` scrape body);
+* ``obs_ledger_append`` — a burst of run-ledger lifecycle appends
+  (line-atomic NDJSON writes: the per-point cost every sweep pays with
+  the ledger on);
+* ``obs_progress_render`` — the full ``repro obs top`` screen render
+  over a fleet of progress documents (the watch-loop redraw cost).
 
 All are ``smoke``-tagged so the perf CI gate watches them.
 Correctness rides along: the disabled run must produce a profile-free
@@ -30,9 +35,12 @@ from repro.bench import benchmark_spec, load_sibling
 from repro.obs import (
     MetricsRegistry,
     MetricsSampler,
+    RunLedger,
     SeriesStore,
     enable_tracing,
+    load_ledger,
     render_prometheus,
+    render_top,
     span,
     take_spans,
     tracing_enabled,
@@ -133,6 +141,58 @@ def run_prom_render(snapshot):
     return render_prometheus(snapshot)
 
 
+N_LEDGER_EVENTS = 1000
+N_TOP_JOBS = 50
+
+
+def _ledger_fixture():
+    import pathlib
+    import tempfile
+
+    path = pathlib.Path(tempfile.mkdtemp()) / "bench.ndjson"
+    return RunLedger(path, job_id="job-bench")
+
+
+@benchmark_spec(
+    "obs_ledger_append",
+    setup=_ledger_fixture,
+    points=N_LEDGER_EVENTS,
+    tags=("perf", "obs", "smoke"),
+)
+def run_ledger_append(ledger):
+    """A burst of per-point lifecycle appends (write+flush per line)."""
+    for i in range(N_LEDGER_EVENTS // 2):
+        ledger.append("point.dispatched", point=i, engine="interpreter")
+        ledger.append("point.completed", point=i, cached=False)
+    return ledger
+
+
+def _progress_docs_fixture():
+    return [
+        {
+            "job_id": f"job-{i:06d}",
+            "state": "running" if i % 3 else "done",
+            "n_points": 200,
+            "points_done": (i * 7) % 201,
+            "in_flight": i % 5,
+            "throughput_pps": 0.5 + i / 100.0,
+            "eta_s": float(i),
+        }
+        for i in range(N_TOP_JOBS)
+    ]
+
+
+@benchmark_spec(
+    "obs_progress_render",
+    setup=_progress_docs_fixture,
+    points=N_TOP_JOBS,
+    tags=("perf", "obs", "smoke"),
+)
+def run_progress_render(docs):
+    """One full ``repro obs top`` screen over N_TOP_JOBS progress docs."""
+    return render_top(docs, sparkline=[float(i % 9) for i in range(32)])
+
+
 def test_perf_disabled_run(run_bench):
     stats = run_bench("obs_disabled_run")
     assert stats.drained
@@ -163,3 +223,22 @@ def test_perf_prom_render(run_bench):
     text = run_bench("obs_prom_render")
     assert text.count("# TYPE ") == 3 * N_METRICS
     assert "repro_bench_counter_042_total 42" in text
+
+
+def test_perf_ledger_append(run_bench):
+    ledger = run_bench("obs_ledger_append")
+    ledger.close()
+    events = load_ledger(ledger.path)
+    # At least one timed call's worth of appends, seq strictly dense.
+    assert len(events) >= N_LEDGER_EVENTS
+    assert [e["seq"] for e in events] == list(range(len(events)))
+    assert events[0]["event"] == "point.dispatched"
+
+
+def test_perf_progress_render(run_bench):
+    screen = run_bench("obs_progress_render")
+    assert screen.count("job-") == N_TOP_JOBS
+    assert "points/s" in screen
+    # Running jobs sort above terminal ones.
+    first_row = next(l for l in screen.splitlines() if "job-" in l)
+    assert "running" in first_row

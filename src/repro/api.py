@@ -26,7 +26,13 @@ between releases:
   (:func:`profile_simulation` / :func:`render_profiles` /
   :class:`PhaseProfile`). Not to be confused with
   :func:`profile_scenario`, which samples the *simulated network's*
-  telemetry rather than the stack's own performance;
+  telemetry rather than the stack's own performance. Sweep
+  introspection rides on the same layer: the durable run ledger
+  (:class:`RunLedger`, :func:`load_ledger`, :func:`replay_ledger`,
+  :func:`export_ledger`), live progress/ETA tracking
+  (:class:`ProgressTracker`, :func:`render_top`), and sweep-level
+  profile aggregation (:func:`merge_profiles`, :class:`SweepProfile`,
+  :func:`render_sweep_profile`);
 * **operate** it — the telemetry pipeline: :class:`MetricsSampler`
   feeding a :class:`SeriesStore` (persisted via
   :func:`save_history_npz` / :func:`load_history_npz`), Prometheus
@@ -65,17 +71,26 @@ from repro.experiments import (
 from repro.obs import (
     MetricsSampler,
     PhaseProfile,
+    ProgressTracker,
+    RunLedger,
     SeriesStore,
     SloEngine,
     SloRule,
+    SweepProfile,
     enable_tracing,
+    export_ledger,
     export_trace,
     load_history_npz,
+    load_ledger,
     load_slo_rules,
+    merge_profiles,
     metrics_snapshot,
     profile_simulation,
     render_profiles,
     render_prometheus,
+    render_sweep_profile,
+    render_top,
+    replay_ledger,
     save_history_npz,
     setup_logging,
     span,
@@ -97,6 +112,8 @@ __all__ = [
     "EvaluationCache",
     "MetricsSampler",
     "PhaseProfile",
+    "ProgressTracker",
+    "RunLedger",
     "Runner",
     "Scenario",
     "ScenarioResult",
@@ -106,17 +123,21 @@ __all__ = [
     "SloEngine",
     "SloRule",
     "SweepHandle",
+    "SweepProfile",
     "TopologySpec",
     "TrafficSpec",
     "enable_tracing",
     "evaluate_scenario",
+    "export_ledger",
     "export_trace",
     "family_names",
     "load_history_npz",
+    "load_ledger",
     "load_slo_rules",
     "load_telemetry_npz",
     "load_trace_npz",
     "make_server",
+    "merge_profiles",
     "metrics_snapshot",
     "open_npz_archive",
     "paper_point",
@@ -125,6 +146,9 @@ __all__ = [
     "register_family",
     "render_profiles",
     "render_prometheus",
+    "render_sweep_profile",
+    "render_top",
+    "replay_ledger",
     "run_batch",
     "save_history_npz",
     "save_telemetry_npz",

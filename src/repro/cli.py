@@ -918,11 +918,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         }
     if args.jobs != 1:
         request["jobs"] = args.jobs
+    if args.profile:
+        request["profile"] = True
     client = _service_client(args)
     try:
         job = client.submit(request)
         if args.wait:
-            job = client.wait(job["job_id"], timeout=args.timeout)
+            job = client.wait(
+                job["job_id"], timeout=args.timeout, poll=args.poll_interval
+            )
     except ServiceError as exc:
         print(f"error ({exc.code}): {exc}", file=sys.stderr)
         return 2
@@ -931,12 +935,39 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+
     from repro.service import ServiceError
 
+    if args.poll_interval <= 0:
+        print("error: --poll-interval must be > 0 seconds", file=sys.stderr)
+        return 2
     client = _service_client(args)
     try:
+        if args.watch:
+            from repro.obs import render_progress_line
+
+            shown = 0
+            while True:
+                doc = client.progress(args.job_id)
+                if args.json:
+                    print(json.dumps(doc, sort_keys=True))
+                else:
+                    print(render_progress_line(doc))
+                shown += 1
+                if doc["state"] in ("done", "failed"):
+                    return 0 if doc["state"] != "failed" else 1
+                if args.watch_count and shown >= args.watch_count:
+                    return 0
+                try:
+                    _time.sleep(args.poll_interval)
+                except KeyboardInterrupt:
+                    return 0
         if args.wait:
-            job = client.wait(args.job_id, timeout=args.timeout)
+            job = client.wait(
+                args.job_id, timeout=args.timeout, poll=args.poll_interval
+            )
         else:
             job = client.status(args.job_id)
     except ServiceError as exc:
@@ -989,35 +1020,59 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
 def _cmd_jobs(args: argparse.Namespace) -> int:
     import json
 
+    from repro.obs import format_eta
     from repro.service import ServiceError
     from repro.util import format_table
 
     client = _service_client(args)
     try:
-        doc = client.jobs()
+        doc = client.jobs(state=args.state)
     except ServiceError as exc:
         print(f"error ({exc.code}): {exc}", file=sys.stderr)
         return 2
     if args.json:
         print(json.dumps(doc, sort_keys=True))
         return 0
-    rows = [
-        [
-            j["job_id"],
-            j["state"],
-            f"{j['points_done']}/{j['n_points']}",
-            j["cache_hits"],
-            "-" if j.get("duration_s") is None else f"{j['duration_s']:g}",
-            j.get("resumed", 0) or "-",
-        ]
-        for j in doc["jobs"]
-    ]
+    rows = []
+    for j in doc["jobs"]:
+        n = j["n_points"]
+        done = j["points_done"]
+        pct = 100.0 * done / n if n else 0.0
+        progress = j.get("progress") or {}
+        if j["state"] == "running":
+            eta = format_eta(progress.get("eta_s"))
+        elif j["state"] == "done":
+            eta = "0s"
+        else:
+            eta = "-"
+        rows.append(
+            [
+                j["job_id"],
+                j["state"],
+                f"{done}/{n} ({pct:.0f}%)",
+                eta,
+                j["cache_hits"],
+                "-" if j.get("duration_s") is None else f"{j['duration_s']:g}",
+                j.get("resumed", 0) or "-",
+            ]
+        )
     cache = doc["cache"]
+    title = "experiment service jobs"
+    if args.state:
+        title += f" ({args.state})"
     print(
         format_table(
-            ["job", "state", "points", "cache hits", "duration (s)", "resumed"],
+            [
+                "job",
+                "state",
+                "progress",
+                "eta",
+                "cache hits",
+                "duration (s)",
+                "resumed",
+            ],
             rows,
-            title="experiment service jobs",
+            title=title,
         )
     )
     print(
@@ -1116,6 +1171,61 @@ def _cmd_obs_metrics(args: argparse.Namespace) -> int:
             return 0
 
 
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+
+    from repro.obs import render_top
+    from repro.service import ServiceError
+
+    if args.interval <= 0:
+        print("error: --interval must be > 0 seconds", file=sys.stderr)
+        return 2
+    client = _service_client(args)
+
+    def _completion_deltas() -> list[float]:
+        # Per-sample increments of the cumulative completed-points
+        # counter — the footer sparkline. Absent history (sampler off,
+        # metric not yet sampled) degrades to no sparkline.
+        try:
+            hist = client.history("scheduler.points_completed")
+        except ServiceError:
+            return []
+        pts = hist.get("points") or []
+        return [
+            max(0.0, float(pts[i][1]) - float(pts[i - 1][1]))
+            for i in range(1, len(pts))
+        ]
+
+    shown = 0
+    while True:
+        try:
+            doc = client.jobs()
+        except ServiceError as exc:
+            print(f"error ({exc.code}): {exc}", file=sys.stderr)
+            return 2
+        # Flatten each job's live `progress` sub-document into the row
+        # shape render_top consumes (the /progress endpoint shape).
+        flat = []
+        for j in doc["jobs"]:
+            merged = dict(j)
+            merged.update(j.get("progress") or {})
+            flat.append(merged)
+        if args.json:
+            print(json.dumps({"jobs": flat}, sort_keys=True))
+        else:
+            if shown:
+                print("\x1b[2J\x1b[H", end="")
+            print(render_top(flat, sparkline=_completion_deltas()))
+        shown += 1
+        if args.count and shown >= args.count:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def _cmd_obs_slo(args: argparse.Namespace) -> int:
     import json
 
@@ -1208,6 +1318,29 @@ def _cmd_obs_profile(args: argparse.Namespace) -> int:
 
     from repro.experiments import scenario_family
     from repro.obs import profile_simulation, render_profiles
+
+    if args.job:
+        from repro.obs import SweepProfile, render_sweep_profile
+        from repro.service import ServiceError
+
+        client = _service_client(args)
+        try:
+            doc = client.profile(args.job, deterministic=args.deterministic)
+        except ServiceError as exc:
+            print(f"error ({exc.code}): {exc}", file=sys.stderr)
+            return 2
+        if args.json or args.deterministic:
+            # The deterministic form drops every timing field, so JSON
+            # is its only rendering.
+            print(json.dumps(doc, sort_keys=True))
+            return 0
+        print(
+            f"sweep profile: {doc['job_id']} "
+            f"({doc['state']}, {doc['n_points']} points, "
+            f"{doc['n_profiles']} profiled)"
+        )
+        print(render_sweep_profile(SweepProfile.from_json(doc)))
+        return 0
 
     scenario = scenario_family(
         "saturation-sweep",
@@ -1662,6 +1795,20 @@ def build_parser() -> argparse.ArgumentParser:
     psub.add_argument(
         "--wait", action="store_true", help="block until the job finishes"
     )
+    psub.add_argument(
+        "--profile",
+        action="store_true",
+        help="capture per-point phase profiles server-side (aggregate "
+        "with: repro obs profile --job ID)",
+    )
+    psub.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="base polling interval for --wait (decorrelated jittered "
+        "backoff grows it, capped at 5 s)",
+    )
     _add_service_client_flags(psub)
     _add_engine_flags(psub, engine=True)
     psub.set_defaults(func=_cmd_submit)
@@ -1670,6 +1817,27 @@ def build_parser() -> argparse.ArgumentParser:
     pst.add_argument("job_id", help="job id returned by submit")
     pst.add_argument(
         "--wait", action="store_true", help="poll until done/failed"
+    )
+    pst.add_argument(
+        "--watch",
+        action="store_true",
+        help="redraw a live progress line (bar, throughput, ETA) until "
+        "the job reaches done/failed",
+    )
+    pst.add_argument(
+        "--watch-count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --watch, stop after N renders (0 = until terminal)",
+    )
+    pst.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="polling interval for --wait/--watch (--wait applies "
+        "decorrelated jittered backoff, capped at 5 s)",
     )
     _add_service_client_flags(pst)
     pst.set_defaults(func=_cmd_status)
@@ -1687,13 +1855,18 @@ def build_parser() -> argparse.ArgumentParser:
     pj = sub.add_parser(
         "jobs", help="audit listing: job history plus cache counters"
     )
+    pj.add_argument(
+        "--state",
+        choices=("queued", "running", "done", "failed"),
+        help="only jobs in one lifecycle state (server-side filter)",
+    )
     _add_service_client_flags(pj)
     pj.set_defaults(func=_cmd_jobs)
 
     pobs = sub.add_parser(
         "obs",
-        help="observability: process metrics, SLO alerts, span traces, "
-        "profiling",
+        help="observability: process metrics, live sweep top, SLO alerts, "
+        "span traces, profiling",
     )
     obs_sub = pobs.add_subparsers(dest="obs_command", required=True)
     pom = obs_sub.add_parser(
@@ -1720,6 +1893,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_client_flags(pom)
     pom.set_defaults(func=_cmd_obs_metrics)
+    ptop = obs_sub.add_parser(
+        "top",
+        help="live per-job progress screen: bars, in-flight points, "
+        "throughput, ETA",
+    )
+    ptop.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="redraw period (default 2.0)",
+    )
+    ptop.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N renders (0 = until interrupted)",
+    )
+    _add_service_client_flags(ptop)
+    ptop.set_defaults(func=_cmd_obs_top)
     posl = obs_sub.add_parser(
         "slo",
         help="SLO rule states and firing/resolved alert history "
@@ -1740,8 +1934,31 @@ def build_parser() -> argparse.ArgumentParser:
     pot.set_defaults(func=_cmd_obs_trace)
     pop = obs_sub.add_parser(
         "profile",
-        help="run one simulation point under both engines with per-phase "
-        "timers and print the phase breakdown",
+        help="per-phase engine profile: one local point under both "
+        "engines, or a service job's aggregated sweep (--job)",
+    )
+    pop.add_argument(
+        "--job",
+        metavar="JOB_ID",
+        help="aggregate a service job's captured per-point profiles "
+        "(requires the job was submitted with --profile)",
+    )
+    pop.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="with --job: structural JSON only, no timing fields "
+        "(byte-stable across runs)",
+    )
+    pop.add_argument(
+        "--url",
+        default=_DEFAULT_SERVICE_URL,
+        help=f"service base URL for --job (default {_DEFAULT_SERVICE_URL})",
+    )
+    pop.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="request timeout in seconds for --job",
     )
     pop.add_argument(
         "--rate", type=float, default=0.30, help="injection rate (flits/node/cycle)"

@@ -11,7 +11,9 @@ next week yields identical metrics. That purity is what lets the
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -20,7 +22,9 @@ from typing import Any, TypeVar
 
 from repro.experiments.cache import EvaluationCache
 from repro.experiments.spec import Scenario, TopologySpec, scenario_hash
+from repro.obs.logs import get_logger
 from repro.obs.metrics import counter
+from repro.obs.profile import PhaseProfile
 from repro.obs.trace import (
     adopt_parent,
     clear_spans,
@@ -47,15 +51,20 @@ _R = TypeVar("_R")
 _POINTS_EVALUATED = counter("runner.points.evaluated")
 _POINTS_CACHED = counter("runner.points.cached")
 
+_log = get_logger("experiments.runner")
+
+
+def _engine_label(scenario: Scenario) -> str:
+    """The engine that will actually evaluate this scenario."""
+    if scenario.kind == "simulation":
+        return "batched" if _batched_eligible(scenario) else "interpreter"
+    return scenario.kind
+
 
 def _count_point(scenario: Scenario) -> None:
     """Count one fresh evaluation, keyed by the engine that actually ran it."""
     _POINTS_EVALUATED.inc()
-    if scenario.kind == "simulation":
-        engine = "batched" if _batched_eligible(scenario) else "interpreter"
-    else:
-        engine = scenario.kind
-    counter(f"runner.points.engine.{engine}").inc()
+    counter(f"runner.points.engine.{_engine_label(scenario)}").inc()
 
 
 @lru_cache(maxsize=8)
@@ -104,32 +113,58 @@ def _batched_eligible(scenario: Scenario) -> bool:
     )
 
 
-def evaluate_scenario(scenario: Scenario) -> dict[str, Any]:
-    """Evaluate one scenario into a flat, JSON-safe metrics dictionary."""
+def evaluate_scenario(
+    scenario: Scenario, *, profile: PhaseProfile | None = None
+) -> dict[str, Any]:
+    """Evaluate one scenario into a flat, JSON-safe metrics dictionary.
+
+    ``profile`` attaches an opt-in per-phase timer to simulation
+    scenarios (ignored for analytical/all-optical kinds); the engine it
+    ran on is recorded in ``profile.engine``.
+    """
     if scenario.kind == "analytical":
         return _evaluate_analytical(scenario)
     if scenario.kind == "simulation":
-        return _evaluate_simulation(scenario)
+        return _evaluate_simulation(scenario, profile=profile)
     return _evaluate_all_optical(scenario)
 
 
-def _traced_evaluate(scenario: Scenario) -> tuple[dict[str, Any], list[dict]]:
+def _traced_evaluate(
+    scenario: Scenario, want_profile: bool = False
+) -> tuple[dict[str, Any], list[dict], dict[str, Any]]:
     """Pool-worker seam: evaluate one scenario and ship its spans home.
 
     Workers inherit the parent's tracing flag (and, under fork, a copy
     of its span buffer — dropped here so only this point's spans ship).
-    Returns ``(metrics, span_payloads)``; the submitting process merges
-    the payloads into its trace via
+    Returns ``(metrics, span_payloads, info)``; the submitting process
+    merges the payloads into its trace via
     :func:`repro.obs.trace.merge_exported`, re-parented under the span
-    that submitted the point. With tracing disabled the wrapper is a
-    tuple allocation around :func:`evaluate_scenario`.
+    that submitted the point. ``info`` carries the worker's identity for
+    the run ledger (pid, start wall time) and — when ``want_profile`` —
+    the point's serialized :class:`PhaseProfile`. With tracing and
+    profiling disabled the wrapper is a tuple allocation around
+    :func:`evaluate_scenario`.
     """
+    info: dict[str, Any] = {
+        "pid": os.getpid(),
+        "worker_t": round(time.time(), 6),
+    }
+    prof = (
+        PhaseProfile()
+        if want_profile and scenario.kind == "simulation"
+        else None
+    )
+    payloads: list[dict] = []
     if not tracing_enabled():
-        return evaluate_scenario(scenario), []
-    clear_spans()
-    with span("runner.point", point=scenario.label, pool_worker=True):
-        metrics = evaluate_scenario(scenario)
-    return metrics, [rec.to_json() for rec in take_spans()]
+        metrics = evaluate_scenario(scenario, profile=prof)
+    else:
+        clear_spans()
+        with span("runner.point", point=scenario.label, pool_worker=True):
+            metrics = evaluate_scenario(scenario, profile=prof)
+        payloads = [rec.to_json() for rec in take_spans()]
+    if prof is not None:
+        info["profile"] = prof.to_json()
+    return metrics, payloads, info
 
 
 def _evaluate_analytical(scenario: Scenario) -> dict[str, Any]:
@@ -147,7 +182,7 @@ def _evaluate_analytical(scenario: Scenario) -> dict[str, Any]:
     return {"kind": "analytical", **ev.to_metrics()}
 
 
-def simulate_scenario(scenario: Scenario):
+def simulate_scenario(scenario: Scenario, *, profile: PhaseProfile | None = None):
     """Run a simulation scenario's cycle simulation; ``(topology, stats)``.
 
     The engine's single evaluation recipe — shared per-process topology
@@ -167,12 +202,17 @@ def simulate_scenario(scenario: Scenario):
     topo, routing = _materialize(scenario.topology)
     trace = scenario.traffic.trace(topo, sim=sim_spec)
     if _batched_eligible(scenario):
+        if profile is not None:
+            profile.engine = "batched"
         bsim = _materialize_batched(scenario.topology, sim_spec.sim_config())
         stats = bsim.run(
             trace,
             max_cycles=sim_spec.cycle_budget(scenario.traffic.trace_based),
+            profile=profile,
         )
         return topo, stats
+    if profile is not None:
+        profile.engine = "interpreter"
     sim = Simulator(topo, routing, sim_spec.sim_config())
     telemetry_cfg = None
     if sim_spec.telemetry_window > 0:
@@ -210,12 +250,15 @@ def simulate_scenario(scenario: Scenario):
         telemetry=telemetry_cfg,
         closed_loop=closed,
         control=control,
+        profile=profile,
     )
     return topo, stats
 
 
-def _evaluate_simulation(scenario: Scenario) -> dict[str, Any]:
-    topo, stats = simulate_scenario(scenario)
+def _evaluate_simulation(
+    scenario: Scenario, *, profile: PhaseProfile | None = None
+) -> dict[str, Any]:
+    topo, stats = simulate_scenario(scenario, profile=profile)
     return _sim_metrics(scenario, topo, stats)
 
 
@@ -322,6 +365,9 @@ class ScenarioResult:
     cached: bool
     """True if the metrics were served from the cache (including an
     earlier duplicate within the same batch)."""
+    profile: PhaseProfile | None = None
+    """Per-phase engine profile when the runner captured one
+    (``Runner(profile=True)`` and a freshly simulated point)."""
 
 
 class SweepHandle:
@@ -424,11 +470,34 @@ class Runner:
     ``jobs=N`` produce bit-identical metrics.
     """
 
-    def __init__(self, *, jobs: int = 1, cache: EvaluationCache | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: EvaluationCache | None = None,
+        observer: Callable[[dict[str, Any]], None] | None = None,
+        profile: bool = False,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache if cache is not None else EvaluationCache()
+        self.observer = observer
+        self.profile = profile
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        """Report one lifecycle event to the observer (if any).
+
+        Observer failures must never take the sweep down with them —
+        they are logged and swallowed (the ledger is an enrichment, the
+        results are the product).
+        """
+        if self.observer is None:
+            return
+        try:
+            self.observer({"event": event, **fields})
+        except Exception:
+            _log.exception("progress observer failed on %s", event)
 
     def run(self, scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
         """Evaluate all scenarios, preserving input order."""
@@ -459,31 +528,70 @@ class Runner:
         if self.jobs > 1:
             hashes = [scenario_hash(s) for s in batch]
             pending: dict[str, Scenario] = {}
-            for s, h in zip(batch, hashes):
+            first_index: dict[str, int] = {}
+            for i, (s, h) in enumerate(zip(batch, hashes)):
                 if h not in pending and s not in self.cache:
                     pending[h] = s
+                    first_index[h] = i
             if len(pending) > 1:
                 pool = ProcessPoolExecutor(
                     max_workers=min(self.jobs, len(pending))
                 )
                 try:
-                    futures = {
-                        h: pool.submit(_traced_evaluate, s)
-                        for h, s in pending.items()
-                    }
-                    for s, h in zip(batch, hashes):
+                    futures = {}
+                    for h, s in pending.items():
+                        futures[h] = pool.submit(
+                            _traced_evaluate, s, self.profile
+                        )
+                        self._emit(
+                            "point.dispatched",
+                            point=first_index[h],
+                            engine=_engine_label(s),
+                        )
+                    for i, (s, h) in enumerate(zip(batch, hashes)):
                         metrics = self.cache.get(s)
                         if metrics is None:
-                            metrics, worker_spans = futures[h].result()
+                            engine = _engine_label(s)
+                            try:
+                                metrics, worker_spans, info = futures[h].result()
+                            except Exception as exc:
+                                self._emit(
+                                    "point.failed",
+                                    point=i,
+                                    error=f"{type(exc).__name__}: {exc}",
+                                )
+                                raise
+                            self._emit(
+                                "point.simulating",
+                                point=i,
+                                worker=info.get("pid"),
+                                worker_t=info.get("worker_t"),
+                                engine=engine,
+                            )
                             if worker_spans:
                                 merge_exported(
                                     worker_spans, parent_id=current_span_id()
                                 )
                             self.cache.put(s, metrics)
                             _count_point(s)
-                            yield ScenarioResult(s, metrics, cached=False)
+                            self._emit(
+                                "point.completed",
+                                point=i,
+                                worker=info.get("pid"),
+                                engine=engine,
+                                cached=False,
+                            )
+                            prof = (
+                                PhaseProfile.from_json(info["profile"])
+                                if info.get("profile")
+                                else None
+                            )
+                            yield ScenarioResult(
+                                s, metrics, cached=False, profile=prof
+                            )
                         else:
                             _POINTS_CACHED.inc()
+                            self._emit("point.cached", point=i)
                             yield ScenarioResult(s, metrics, cached=True)
                 finally:
                     # An abandoned stream must not join the whole batch:
@@ -492,21 +600,53 @@ class Runner:
                 return
 
         fresh = self._run_batched_groups(batch)
-        for s in batch:
+        for i, s in enumerate(batch):
             metrics = self.cache.get(s)
             if metrics is None:
-                with span("runner.point", point=s.label):
-                    metrics = evaluate_scenario(s)
+                engine = _engine_label(s)
+                self._emit("point.dispatched", point=i, engine=engine)
+                self._emit(
+                    "point.simulating",
+                    point=i,
+                    worker=os.getpid(),
+                    worker_t=round(time.time(), 6),
+                    engine=engine,
+                )
+                prof = (
+                    PhaseProfile()
+                    if self.profile and s.kind == "simulation"
+                    else None
+                )
+                try:
+                    with span("runner.point", point=s.label):
+                        metrics = evaluate_scenario(s, profile=prof)
+                except Exception as exc:
+                    self._emit(
+                        "point.failed",
+                        point=i,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    raise
                 self.cache.put(s, metrics)
                 _count_point(s)
-                yield ScenarioResult(s, metrics, cached=False)
+                self._emit(
+                    "point.completed",
+                    point=i,
+                    worker=os.getpid(),
+                    engine=engine,
+                    cached=False,
+                )
+                yield ScenarioResult(s, metrics, cached=False, profile=prof)
             else:
                 h = scenario_hash(s)
                 if h in fresh:
+                    # Evaluated moments ago by the batched group pass,
+                    # which emitted this point's lifecycle events.
                     fresh.discard(h)
                     yield ScenarioResult(s, metrics, cached=False)
                 else:
                     _POINTS_CACHED.inc()
+                    self._emit("point.cached", point=i)
                     yield ScenarioResult(s, metrics, cached=True)
 
     def _run_batched_groups(self, batch: Sequence[Scenario]) -> set[str]:
@@ -518,31 +658,62 @@ class Runner:
         family state is built once and the per-cycle work of all points
         is amortized. Returns the hashes evaluated here, so the stream
         can report their first occurrence as ``cached=False``.
+
+        With ``profile=True`` the group pass is skipped entirely:
+        lockstep batching cannot attribute phase time to individual
+        points, so profiled sweeps evaluate each point through the
+        single-run path (which still uses the batched engine, one trace
+        at a time).
         """
-        groups: dict[tuple, list[tuple[str, Scenario]]] = {}
+        if self.profile:
+            return set()
+        groups: dict[tuple, list[tuple[int, str, Scenario]]] = {}
         seen: set[str] = set()
-        for s in batch:
+        for i, s in enumerate(batch):
             if not _batched_eligible(s) or s in self.cache:
                 continue
             h = scenario_hash(s)
             if h in seen:
                 continue
             seen.add(h)
-            groups.setdefault((s.topology, s.sim.sim_config()), []).append((h, s))
+            groups.setdefault((s.topology, s.sim.sim_config()), []).append(
+                (i, h, s)
+            )
         fresh: set[str] = set()
+        pid = os.getpid()
         for (topo_spec, cfg), items in groups.items():
             topo, _ = _materialize(topo_spec)
             bsim = _materialize_batched(topo_spec, cfg)
-            traces = [s.traffic.trace(topo, sim=s.sim) for _, s in items]
+            traces = [s.traffic.trace(topo, sim=s.sim) for _, _, s in items]
             caps = [
-                s.sim.cycle_budget(s.traffic.trace_based) for _, s in items
+                s.sim.cycle_budget(s.traffic.trace_based) for _, _, s in items
             ]
+            for i, _, _s in items:
+                self._emit("point.dispatched", point=i, engine="batched")
+            # The group's points genuinely advance in lockstep, so they
+            # all enter the simulating stage together.
+            now = round(time.time(), 6)
+            for i, _, _s in items:
+                self._emit(
+                    "point.simulating",
+                    point=i,
+                    worker=pid,
+                    worker_t=now,
+                    engine="batched",
+                )
             with span("runner.batch_group", points=len(items)):
                 stats_list = bsim.run_batch(traces, max_cycles=caps)
-            for (h, s), stats in zip(items, stats_list):
+            for (i, h, s), stats in zip(items, stats_list):
                 self.cache.put(s, _sim_metrics(s, topo, stats))
                 _count_point(s)
                 fresh.add(h)
+                self._emit(
+                    "point.completed",
+                    point=i,
+                    worker=pid,
+                    engine="batched",
+                    cached=False,
+                )
         return fresh
 
     def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:

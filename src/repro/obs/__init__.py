@@ -16,12 +16,35 @@ standard scrapers in Prometheus text format (:mod:`~repro.obs.promexp`)
 and judged by declarative SLO rules with firing/resolved alert
 transitions (:mod:`~repro.obs.slo`).
 
+Sweep introspection adds three sub-layers on the same foundations: a
+durable append-only NDJSON run ledger of per-point lifecycle
+transitions (:mod:`~repro.obs.ledger`) that replays back into job
+state and exports deterministically; live progress/ETA tracking with
+terminal rendering helpers (:mod:`~repro.obs.progress`); and
+sweep-level aggregation of per-point :class:`PhaseProfile` captures
+into per-phase p50/p99 breakdowns (:mod:`~repro.obs.aggregate`).
+
 Everything is off by default and designed so the disabled path costs a
 single sentinel check — golden SimStats remain bit-identical and the
 engines stay inside the CI overhead gate with observability compiled in
 but switched off.
 """
 
+from repro.obs.aggregate import (
+    EngineAggregate,
+    PhaseStats,
+    SweepProfile,
+    merge_profiles,
+    render_sweep_profile,
+)
+from repro.obs.ledger import (
+    LEDGER_FORMAT,
+    LedgerReplay,
+    RunLedger,
+    export_ledger,
+    load_ledger,
+    replay_ledger,
+)
 from repro.obs.logs import fields, get_logger, setup_logging
 from repro.obs.metrics import (
     REGISTRY,
@@ -48,6 +71,14 @@ from repro.obs.pipeline import (
     save_history_npz,
 )
 from repro.obs.profile import PhaseProfile, profile_simulation, render_profiles
+from repro.obs.progress import (
+    ProgressTracker,
+    format_eta,
+    render_bar,
+    render_progress_line,
+    render_sparkline,
+    render_top,
+)
 from repro.obs.promexp import render_prometheus, sanitize_metric_name
 from repro.obs.slo import AlertEvent, SloEngine, SloRule, load_slo_rules
 from repro.obs.trace import (
@@ -117,4 +148,24 @@ __all__ = [
     "PhaseProfile",
     "profile_simulation",
     "render_profiles",
+    # ledger
+    "LEDGER_FORMAT",
+    "LedgerReplay",
+    "RunLedger",
+    "export_ledger",
+    "load_ledger",
+    "replay_ledger",
+    # progress
+    "ProgressTracker",
+    "format_eta",
+    "render_bar",
+    "render_progress_line",
+    "render_sparkline",
+    "render_top",
+    # aggregate
+    "EngineAggregate",
+    "PhaseStats",
+    "SweepProfile",
+    "merge_profiles",
+    "render_sweep_profile",
 ]

@@ -1,0 +1,225 @@
+"""Sweep-level aggregation of per-point :class:`PhaseProfile` captures.
+
+PR 8's profiler times one run; a sweep produces one profile *per point*,
+captured in-process or shipped back through the runner's process-pool
+seam. :func:`merge_profiles` folds any number of them — in any order —
+into per-engine, per-phase distributions: totals plus p50/p99/min/max
+over the per-point phase times. The merge is order-independent (values
+are sorted before percentiles are taken) so ``--jobs 1`` and
+``--jobs N`` sweeps aggregate identically.
+
+``SweepProfile.to_json(deterministic=True)`` keeps only the structural
+skeleton (engines, phase names, summed event counts, point counts) and
+drops every nanosecond field — the byte-stable form the
+``/api/v1/jobs/<id>/profile?deterministic=1`` endpoint serves.
+
+:func:`render_sweep_profile` is the text flame-style breakdown behind
+``repro obs profile --job ID``: one bar per phase, width proportional
+to its share of the engine's total time, with p50/p99 columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.profile import _PHASE_ORDER, PhaseProfile
+
+__all__ = ["PhaseStats", "SweepProfile", "merge_profiles", "render_sweep_profile"]
+
+
+def _percentile(sorted_vals: list[int], q: float) -> float:
+    """Linear-interpolated percentile over pre-sorted values."""
+    if not sorted_vals:
+        return 0.0
+    if len(sorted_vals) == 1:
+        return float(sorted_vals[0])
+    pos = (len(sorted_vals) - 1) * q
+    lo = int(pos)
+    frac = pos - lo
+    if lo + 1 >= len(sorted_vals):
+        return float(sorted_vals[-1])
+    return sorted_vals[lo] * (1.0 - frac) + sorted_vals[lo + 1] * frac
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """One phase's distribution across a sweep's points."""
+
+    total_ns: int
+    n: int
+    p50_ns: float
+    p99_ns: float
+    min_ns: int
+    max_ns: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "total_ns": self.total_ns,
+            "n": self.n,
+            "p50_ns": round(self.p50_ns, 3),
+            "p99_ns": round(self.p99_ns, 3),
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+        }
+
+
+@dataclass(frozen=True)
+class EngineAggregate:
+    """All profiled points of one engine, merged."""
+
+    engine: str
+    n_points: int
+    total_ns: int
+    phases: dict[str, PhaseStats]
+    counts: dict[str, int]
+
+
+@dataclass(frozen=True)
+class SweepProfile:
+    """Per-engine phase distributions across one sweep."""
+
+    n_profiles: int
+    engines: dict[str, EngineAggregate]
+
+    def to_json(self, *, deterministic: bool = False) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "format": "repro.obs.profile/1",
+            "deterministic": deterministic,
+            "n_profiles": self.n_profiles,
+            "engines": {},
+        }
+        for name in sorted(self.engines):
+            agg = self.engines[name]
+            if deterministic:
+                # Structure + deterministic event counts only: phase
+                # names in display order, no timing fields.
+                doc["engines"][name] = {
+                    "n_points": agg.n_points,
+                    "phases": list(agg.phases),
+                    "counts": dict(sorted(agg.counts.items())),
+                }
+            else:
+                doc["engines"][name] = {
+                    "n_points": agg.n_points,
+                    "total_ns": agg.total_ns,
+                    "phases": {
+                        p: st.to_json() for p, st in agg.phases.items()
+                    },
+                    "counts": dict(sorted(agg.counts.items())),
+                }
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> SweepProfile:
+        """Rebuild from (non-deterministic) :meth:`to_json` output.
+
+        The CLI uses this to render a profile document fetched over
+        HTTP. Deterministic documents drop every timing field, so they
+        cannot be rebuilt — that shape is for byte-equality checks only.
+        """
+        if doc.get("deterministic"):
+            raise ValueError(
+                "deterministic profile documents drop timing fields "
+                "and cannot be rebuilt into a SweepProfile"
+            )
+        engines: dict[str, EngineAggregate] = {}
+        for name, e in doc.get("engines", {}).items():
+            phases = {
+                p: PhaseStats(
+                    total_ns=st["total_ns"],
+                    n=st["n"],
+                    p50_ns=st["p50_ns"],
+                    p99_ns=st["p99_ns"],
+                    min_ns=st["min_ns"],
+                    max_ns=st["max_ns"],
+                )
+                for p, st in e["phases"].items()
+            }
+            engines[name] = EngineAggregate(
+                engine=name,
+                n_points=e["n_points"],
+                total_ns=e["total_ns"],
+                phases=phases,
+                counts=dict(e["counts"]),
+            )
+        return cls(n_profiles=doc.get("n_profiles", 0), engines=engines)
+
+
+def merge_profiles(profiles: Any) -> SweepProfile:
+    """Merge per-point profiles into one :class:`SweepProfile`.
+
+    ``None`` entries (points that ran without capture, e.g. cache hits)
+    are skipped. Order-independent: shuffling the input yields an
+    identical aggregate.
+    """
+    by_engine: dict[str, list[PhaseProfile]] = {}
+    n_profiles = 0
+    for prof in profiles:
+        if prof is None:
+            continue
+        n_profiles += 1
+        by_engine.setdefault(prof.engine, []).append(prof)
+    engines: dict[str, EngineAggregate] = {}
+    for engine, profs in by_engine.items():
+        values: dict[str, list[int]] = {}
+        counts: dict[str, int] = {}
+        total_ns = 0
+        for prof in profs:
+            total_ns += prof.total_ns
+            for phase, ns in prof.phases.items():
+                values.setdefault(phase, []).append(ns)
+            for key, n in prof.counts.items():
+                counts[key] = counts.get(key, 0) + n
+        order = _PHASE_ORDER.get(engine, ())
+        ordered = [p for p in order if p in values]
+        ordered += sorted(p for p in values if p not in order)
+        phases: dict[str, PhaseStats] = {}
+        for phase in ordered:
+            vals = sorted(values[phase])
+            phases[phase] = PhaseStats(
+                total_ns=sum(vals),
+                n=len(vals),
+                p50_ns=_percentile(vals, 0.50),
+                p99_ns=_percentile(vals, 0.99),
+                min_ns=vals[0],
+                max_ns=vals[-1],
+            )
+        engines[engine] = EngineAggregate(
+            engine=engine,
+            n_points=len(profs),
+            total_ns=total_ns,
+            phases=phases,
+            counts=counts,
+        )
+    return SweepProfile(n_profiles=n_profiles, engines=engines)
+
+
+def render_sweep_profile(sweep: SweepProfile, *, width: int = 28) -> str:
+    """Text flame-style breakdown: one proportional bar per phase."""
+    if not sweep.n_profiles:
+        return "no profiles captured (submit with profiling enabled)"
+    lines: list[str] = []
+    for name in sorted(sweep.engines):
+        agg = sweep.engines[name]
+        phase_total = sum(st.total_ns for st in agg.phases.values()) or 1
+        lines.append(
+            f"engine {name} — {agg.n_points} point(s), "
+            f"{agg.total_ns / 1e6:.3f} ms total"
+        )
+        pad = max((len(p) for p in agg.phases), default=0)
+        for phase, st in agg.phases.items():
+            share = st.total_ns / phase_total
+            bar = "█" * max(1, int(round(share * width)))
+            lines.append(
+                f"  {phase:<{pad}} {bar:<{width}} {100 * share:5.1f}%  "
+                f"total {st.total_ns / 1e6:9.3f}ms  "
+                f"p50 {st.p50_ns / 1e6:8.3f}ms  "
+                f"p99 {st.p99_ns / 1e6:8.3f}ms"
+            )
+        if agg.counts:
+            rendered = " ".join(
+                f"{k}={v}" for k, v in sorted(agg.counts.items())
+            )
+            lines.append(f"  counts: {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,320 @@
+"""Durable append-only NDJSON run ledger for sweep lifecycle events.
+
+Every per-point lifecycle transition of a job (``queued -> dispatched ->
+simulating -> completed | cached | failed``, with worker pid, engine and
+cache disposition) plus the job-level transitions framing them
+(``submitted``, ``running``, ``requeued``, ``interrupted``, ``done``,
+``failed``) is appended as one JSON line to
+``STATE_DIR/ledger/<job_id>.ndjson``.
+
+Crash-safety contract:
+
+* **line-atomic appends** — each event serializes to one line written by
+  a single ``write()`` call followed by a flush, so a crash leaves at
+  most one torn line, and only at the end of the file;
+* **tolerant tail truncation** — :func:`load_ledger` drops an
+  unterminated or unparseable *final* line (a torn write) while any
+  malformed line *before* the tail still raises (real corruption must
+  not be silently skipped); reopening a ledger through
+  :class:`RunLedger` physically truncates the torn tail so the next
+  append starts on a clean line boundary;
+* **replayable** — :func:`replay_ledger` folds the event stream back
+  into job/point state; for any job the replay matches the
+  :class:`~repro.service.jobs.JobRecord` the scheduler persisted
+  (pinned by an end-to-end kill+resume test).
+
+:func:`export_ledger` mirrors :func:`repro.obs.trace.export_trace`'s
+deterministic-export conventions: ``deterministic=True`` strips wall
+timestamps and worker pids, renumbers ``seq`` densely, and orders events
+canonically (job-event barriers partition the stream into segments;
+within a segment, point events sort by point index then lifecycle
+stage), so identical sweeps export byte-identical documents regardless
+of ``--jobs`` interleaving.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "LEDGER_FORMAT",
+    "JOB_EVENTS",
+    "POINT_EVENTS",
+    "RunLedger",
+    "LedgerReplay",
+    "load_ledger",
+    "replay_ledger",
+    "export_ledger",
+]
+
+LEDGER_FORMAT = "repro.obs.ledger/1"
+
+#: Job-level transitions, in lifecycle order. Each acts as a barrier in
+#: the deterministic export's canonical ordering.
+JOB_EVENTS = (
+    "job.submitted",
+    "job.running",
+    "job.requeued",
+    "job.interrupted",
+    "job.done",
+    "job.failed",
+)
+
+#: Per-point transitions; the tuple order is the lifecycle order used to
+#: sort events within one export segment.
+POINT_EVENTS = (
+    "point.queued",
+    "point.dispatched",
+    "point.simulating",
+    "point.completed",
+    "point.cached",
+    "point.failed",
+)
+
+# completed/cached/failed are alternative terminals at the same depth;
+# a point emits exactly one of them per segment, so sharing a rank is
+# unambiguous.
+_LIFECYCLE_RANK = {
+    "point.queued": 0,
+    "point.dispatched": 1,
+    "point.simulating": 2,
+    "point.completed": 3,
+    "point.cached": 3,
+    "point.failed": 3,
+}
+
+#: Fields stripped by the deterministic export (wall-clock and
+#: process-identity data that varies run to run).
+_VOLATILE_FIELDS = ("t", "worker", "worker_t", "duration_s")
+
+
+def _scan(raw: bytes, path: pathlib.Path) -> tuple[list[dict[str, Any]], int]:
+    """Parse ledger bytes into events plus the valid-prefix byte length.
+
+    The final line is dropped when unterminated (no trailing newline):
+    our writer emits ``line + "\\n"`` in one write, so an unterminated
+    line is always a torn append — even if its prefix happens to parse.
+    A malformed line anywhere *else* raises ``ValueError``.
+    """
+    events: list[dict[str, Any]] = []
+    offset = 0
+    lines = raw.split(b"\n")
+    for i, line in enumerate(lines):
+        terminated = i < len(lines) - 1
+        if not line:
+            if not terminated:
+                break  # clean EOF (file ends with newline)
+            raise ValueError(f"{path}: blank line {i + 1} inside ledger")
+        if not terminated:
+            break  # torn tail: unterminated final line, drop it
+        try:
+            doc = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"{path}: corrupt ledger line {i + 1}: {exc}"
+            ) from exc
+        if not isinstance(doc, dict) or "event" not in doc:
+            raise ValueError(
+                f"{path}: ledger line {i + 1} is not an event object"
+            )
+        events.append(doc)
+        offset += len(line) + 1
+    return events, offset
+
+
+def load_ledger(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """Read a ledger file, dropping a torn final line if present."""
+    path = pathlib.Path(path)
+    events, _ = _scan(path.read_bytes(), path)
+    return events
+
+
+class RunLedger:
+    """Append-only writer for one job's ledger file.
+
+    Opening an existing file repairs a torn tail in place (truncating to
+    the last complete line) and continues the ``seq`` numbering from the
+    surviving events, so resumed jobs keep one monotone sequence across
+    restarts. ``append`` is thread-safe: the sweep drive thread, the
+    dispatcher and HTTP submit threads may interleave events.
+    """
+
+    def __init__(
+        self, path: str | pathlib.Path, *, job_id: str | None = None
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.job_id = job_id if job_id is not None else self.path.stem
+        self._lock = threading.Lock()
+        self._seq = 0
+        if self.path.exists():
+            raw = self.path.read_bytes()
+            events, valid = _scan(raw, self.path)
+            if events:
+                self._seq = int(events[-1].get("seq", len(events) - 1)) + 1
+            if valid < len(raw):
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(valid)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Write one event line atomically; returns the record written."""
+        with self._lock:
+            rec: dict[str, Any] = {
+                "seq": self._seq,
+                "t": round(time.time(), 6),
+                "job": self.job_id,
+                "event": event,
+                **fields,
+            }
+            self._seq += 1
+            line = json.dumps(rec, sort_keys=True, separators=(",", ":"))
+            self._fh.write(line + "\n")
+            self._fh.flush()
+        return rec
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+@dataclass
+class LedgerReplay:
+    """Job/point state reconstructed from a ledger event stream.
+
+    The counter fields mirror :class:`~repro.service.jobs.JobRecord`:
+    ``points_done`` counts completed + cached points *since the last
+    requeue* (a boot-requeue resets the scheduler's counters, and the
+    replay folds ``job.requeued`` the same way), ``cache_hits`` the
+    cached subset. ``point_states`` maps point index to its latest
+    lifecycle stage.
+    """
+
+    job_id: str | None = None
+    state: str = "queued"
+    n_points: int = 0
+    points_done: int = 0
+    cache_hits: int = 0
+    failed_points: int = 0
+    resumed: int = 0
+    error: str | None = None
+    point_states: dict[int, str] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "n_points": self.n_points,
+            "points_done": self.points_done,
+            "cache_hits": self.cache_hits,
+            "failed_points": self.failed_points,
+            "resumed": self.resumed,
+            "error": self.error,
+            "point_states": {
+                str(i): s for i, s in sorted(self.point_states.items())
+            },
+        }
+
+
+def replay_ledger(events: list[dict[str, Any]]) -> LedgerReplay:
+    """Fold an event stream into the job state it describes."""
+    rep = LedgerReplay()
+    for ev in events:
+        name = ev.get("event")
+        if "job" in ev:
+            rep.job_id = ev["job"]
+        if name == "job.submitted":
+            rep.n_points = int(ev.get("n_points", 0))
+            rep.state = "queued"
+        elif name == "job.running":
+            rep.state = "running"
+        elif name == "job.requeued":
+            # Mirrors the scheduler's boot-requeue: counters reset, the
+            # checkpointed points return as cache hits on the re-run.
+            rep.resumed += 1
+            rep.state = "queued"
+            rep.points_done = 0
+            rep.cache_hits = 0
+            rep.failed_points = 0
+            rep.point_states = {i: "queued" for i in range(rep.n_points)}
+        elif name == "job.interrupted":
+            rep.state = "running"  # parked on disk as resumable
+        elif name == "job.done":
+            rep.state = "done"
+        elif name == "job.failed":
+            rep.state = "failed"
+            rep.error = ev.get("error")
+        elif isinstance(name, str) and name.startswith("point."):
+            stage = name.split(".", 1)[1]
+            point = int(ev.get("point", -1))
+            rep.point_states[point] = stage
+            if stage in ("completed", "cached"):
+                rep.points_done += 1
+                if stage == "cached":
+                    rep.cache_hits += 1
+            elif stage == "failed":
+                rep.failed_points += 1
+    return rep
+
+
+def export_ledger(
+    events: list[dict[str, Any]], *, deterministic: bool = False
+) -> dict[str, Any]:
+    """Exportable ledger document, optionally canonicalized.
+
+    ``deterministic=True`` strips wall timestamps / worker pids /
+    durations, renumbers ``seq`` densely and orders events canonically
+    (see the module docstring) — byte-stable across runs and ``--jobs``
+    values for identical sweeps, following the
+    :func:`repro.obs.trace.export_trace` conventions.
+    """
+    if not deterministic:
+        out = [dict(ev) for ev in events]
+    else:
+        keyed: list[tuple[tuple[int, int, int, int], dict[str, Any]]] = []
+        segment = 0
+        for ev in events:
+            name = ev.get("event", "")
+            if name.startswith("job."):
+                # A job event closes its segment: it sorts after every
+                # point event emitted since the previous job event.
+                keyed.append(((segment, 1, 0, 0), ev))
+                segment += 1
+            else:
+                keyed.append(
+                    (
+                        (
+                            segment,
+                            0,
+                            int(ev.get("point", -1)),
+                            _LIFECYCLE_RANK.get(name, 9),
+                        ),
+                        ev,
+                    )
+                )
+        keyed.sort(key=lambda kv: kv[0])  # stable: ties keep seq order
+        out = []
+        for seq, (_, ev) in enumerate(keyed):
+            clean = {
+                k: v for k, v in ev.items() if k not in _VOLATILE_FIELDS
+            }
+            clean["seq"] = seq
+            out.append(clean)
+    return {
+        "format": LEDGER_FORMAT,
+        "deterministic": deterministic,
+        "n_events": len(out),
+        "events": out,
+    }

@@ -101,6 +101,16 @@ class PhaseProfile:
             "counts": {k: self.counts[k] for k in sorted(self.counts)},
         }
 
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "PhaseProfile":
+        """Rebuild a profile shipped across the process-pool seam."""
+        return cls(
+            engine=data["engine"],
+            phases={p: int(ns) for p, ns in data.get("phases", {}).items()},
+            counts={k: int(n) for k, n in data.get("counts", {}).items()},
+            total_ns=int(data.get("total_ns", 0)),
+        )
+
 
 def profile_simulation(scenario: Any) -> dict[str, PhaseProfile]:
     """Run ``scenario`` under both engines with profiling enabled.

@@ -24,6 +24,7 @@ The CLI exposes the server as ``repro serve``.
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.dashboard import DASHBOARD_HTML, render_dashboard
 from repro.service.jobs import JOB_STATES, JobRecord, JobStore, sweep_hash
 from repro.service.results import (
     RESULTS_FORMAT,
@@ -50,6 +51,7 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "DASHBOARD_HTML",
     "JOB_STATES",
     "REQUEST_VERSION",
     "RESULTS_FORMAT",
@@ -69,6 +71,7 @@ __all__ = [
     "ServiceError",
     "make_server",
     "parse_request",
+    "render_dashboard",
     "serve",
     "sweep_hash",
 ]

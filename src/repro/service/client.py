@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import random
 import time
 import urllib.error
 import urllib.parse
@@ -179,9 +180,31 @@ class ServiceClient:
     def status(self, job_id: str) -> dict[str, Any]:
         return self._json("GET", f"/jobs/{job_id}")
 
-    def jobs(self) -> dict[str, Any]:
-        """Audit listing: every job plus server cache counters."""
-        return self._json("GET", "/jobs")
+    def progress(self, job_id: str) -> dict[str, Any]:
+        """Live progress document: counts, throughput, ETA, in-flight."""
+        return self._json("GET", f"/jobs/{job_id}/progress")
+
+    def profile(
+        self, job_id: str, *, deterministic: bool = False
+    ) -> dict[str, Any]:
+        """Aggregated per-phase sweep profile (``"profile": true`` jobs)."""
+        suffix = "?deterministic=1" if deterministic else ""
+        return self._json("GET", f"/jobs/{job_id}/profile{suffix}")
+
+    def ledger(
+        self, job_id: str, *, deterministic: bool = False
+    ) -> dict[str, Any]:
+        """The job's run-ledger export document."""
+        suffix = "?deterministic=1" if deterministic else ""
+        return self._json("GET", f"/jobs/{job_id}/ledger{suffix}")
+
+    def jobs(self, *, state: str | None = None) -> dict[str, Any]:
+        """Audit listing: every job plus server cache counters.
+
+        ``state`` filters server-side to one lifecycle state.
+        """
+        suffix = f"?state={urllib.parse.quote(state, safe='')}" if state else ""
+        return self._json("GET", f"/jobs{suffix}")
 
     def result(self, job_id: str) -> dict[str, Any]:
         """Finished job's metrics document (409 -> ServiceError)."""
@@ -206,18 +229,37 @@ class ServiceClient:
                     yield json.loads(line.decode("utf-8"))
 
     def wait(
-        self, job_id: str, *, timeout: float = 600.0, poll: float = 0.2
+        self,
+        job_id: str,
+        *,
+        timeout: float = 600.0,
+        poll: float = 0.2,
+        max_poll: float = 5.0,
+        backoff: bool = True,
     ) -> dict[str, Any]:
-        """Poll until the job reaches ``done``/``failed``; returns status."""
+        """Poll until the job reaches ``done``/``failed``; returns status.
+
+        ``poll`` is the base interval. With ``backoff`` (the default)
+        each sleep is drawn by decorrelated jitter —
+        ``min(max_poll, uniform(poll, 3 * previous))`` — so many clients
+        waiting on the same service desynchronize instead of hammering
+        it in lockstep; the interval is capped at ``max_poll`` (5 s).
+        ``backoff=False`` keeps the fixed-interval behaviour for tests
+        that need deterministic pacing.
+        """
         deadline = time.monotonic() + timeout
+        delay = poll
         while True:
             status = self.status(job_id)
             if status["state"] in ("done", "failed"):
                 return status
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ServiceError(
                     f"{job_id} still {status['state']} after {timeout:g}s "
                     f"({status['points_done']}/{status['n_points']} points)",
                     code="timeout",
                 )
-            time.sleep(poll)
+            time.sleep(min(delay, max(deadline - now, 0.0)))
+            if backoff:
+                delay = min(max_poll, random.uniform(poll, delay * 3))

@@ -1,0 +1,170 @@
+"""Self-contained HTML dashboard for the experiment service.
+
+One static page served at ``GET /dashboard`` (outside the API prefix,
+like the root Prometheus ``/metrics``): zero dependencies, no build
+step, no external assets — inline CSS and a small vanilla-JS loop that
+polls the existing JSON API every two seconds:
+
+* ``/api/v1/health`` — uptime, queue depth, cache size tiles;
+* ``/api/v1/jobs`` — the jobs table with per-job progress bars (running
+  jobs carry a live ``progress`` sub-document: throughput, ETA,
+  in-flight points);
+* ``/api/v1/metrics/history?metric=scheduler.points_completed`` — the
+  completed-points series rendered as an SVG sparkline of per-interval
+  deltas.
+
+Keeping the page a module-level string keeps the HTTP handler trivial
+(bytes out, no templating) and makes the content testable without a
+browser.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML", "render_dashboard"]
+
+DASHBOARD_HTML = """<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro service dashboard</title>
+<style>
+  :root { color-scheme: dark; }
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+         max-width: 72rem; padding: 0 1rem;
+         background: #11151a; color: #d8dee6; }
+  h1 { font-size: 1.2rem; font-weight: 600; }
+  h1 small { color: #7a8694; font-weight: 400; }
+  .tiles { display: flex; gap: 1rem; flex-wrap: wrap; margin: 1rem 0; }
+  .tile { background: #1a2028; border: 1px solid #2a323d;
+          border-radius: 8px; padding: .7rem 1.1rem; min-width: 9rem; }
+  .tile .v { font-size: 1.4rem; font-weight: 600; color: #e8eef5; }
+  .tile .k { color: #7a8694; font-size: .8rem; text-transform: uppercase;
+             letter-spacing: .05em; }
+  table { border-collapse: collapse; width: 100%; margin-top: .5rem; }
+  th, td { text-align: left; padding: .45rem .6rem;
+           border-bottom: 1px solid #2a323d; white-space: nowrap; }
+  th { color: #7a8694; font-weight: 500; font-size: .8rem;
+       text-transform: uppercase; letter-spacing: .05em; }
+  .bar { background: #2a323d; border-radius: 4px; width: 14rem;
+         height: .8rem; overflow: hidden; }
+  .bar i { display: block; height: 100%; background: #4da3ff; }
+  .bar.done i { background: #3ecf8e; }
+  .bar.failed i { background: #e5534b; }
+  .state-running { color: #4da3ff; }
+  .state-done { color: #3ecf8e; }
+  .state-failed { color: #e5534b; }
+  .state-queued { color: #d8b45a; }
+  .spark { margin-top: 1.5rem; }
+  .spark svg { width: 100%; height: 64px; }
+  .spark polyline { fill: none; stroke: #4da3ff; stroke-width: 1.5; }
+  .muted { color: #7a8694; }
+  #err { color: #e5534b; }
+</style>
+</head>
+<body>
+<h1>repro experiment service <small id="meta"></small></h1>
+<div id="err"></div>
+<div class="tiles">
+  <div class="tile"><div class="v" id="t-uptime">–</div><div class="k">uptime</div></div>
+  <div class="tile"><div class="v" id="t-queue">–</div><div class="k">queue depth</div></div>
+  <div class="tile"><div class="v" id="t-cache">–</div><div class="k">cache entries</div></div>
+  <div class="tile"><div class="v" id="t-jobs">–</div><div class="k">jobs</div></div>
+</div>
+<table>
+  <thead><tr>
+    <th>job</th><th>state</th><th>progress</th><th>points</th>
+    <th>cache hits</th><th>pt/s</th><th>eta</th><th>duration</th>
+  </tr></thead>
+  <tbody id="jobs"></tbody>
+</table>
+<div class="spark">
+  <div class="k muted">points completed per sample interval</div>
+  <svg id="spark" viewBox="0 0 320 64" preserveAspectRatio="none"></svg>
+</div>
+<script>
+"use strict";
+const API = "/api/v1";
+const esc = s => String(s).replace(/[&<>"]/g,
+  c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+function fmtUptime(s) {
+  if (s == null) return "–";
+  if (s < 90) return Math.round(s) + "s";
+  if (s < 5400) return Math.round(s / 60) + "m";
+  return (s / 3600).toFixed(1) + "h";
+}
+function fmtEta(s) {
+  if (s == null) return "–";
+  s = Math.max(0, Math.round(s));
+  if (s < 60) return s + "s";
+  return Math.floor(s / 60) + "m" + String(s % 60).padStart(2, "0") + "s";
+}
+function row(j) {
+  const n = j.n_points || 0, done = j.points_done || 0;
+  const pct = n ? (100 * done / n) : 0;
+  const p = j.progress || {};
+  const thr = p.throughput_pps ? p.throughput_pps.toFixed(2) : "–";
+  const eta = j.state === "running" ? fmtEta(p.eta_s)
+            : j.state === "done" ? "0s" : "–";
+  const dur = j.duration_s != null ? j.duration_s.toFixed(1) + "s" : "–";
+  const cls = j.state === "done" ? "done" : j.state === "failed" ? "failed" : "";
+  return `<tr><td>${esc(j.job_id)}</td>` +
+    `<td class="state-${esc(j.state)}">${esc(j.state)}</td>` +
+    `<td><div class="bar ${cls}"><i style="width:${pct.toFixed(1)}%"></i></div></td>` +
+    `<td>${done}/${n} (${pct.toFixed(0)}%)</td>` +
+    `<td>${j.cache_hits ?? 0}</td><td>${thr}</td>` +
+    `<td>${eta}</td><td>${dur}</td></tr>`;
+}
+function sparkline(points) {
+  // Per-interval deltas of the cumulative completed-points counter.
+  const deltas = [];
+  for (let i = 1; i < points.length; i++)
+    deltas.push(Math.max(0, points[i][1] - points[i - 1][1]));
+  const tail = deltas.slice(-80);
+  if (!tail.length) return "";
+  const max = Math.max(...tail, 1);
+  const step = 320 / Math.max(tail.length - 1, 1);
+  const pts = tail.map((v, i) =>
+    `${(i * step).toFixed(1)},${(60 - 56 * v / max).toFixed(1)}`);
+  return `<polyline points="${pts.join(" ")}"/>`;
+}
+async function getJSON(path) {
+  const resp = await fetch(path);
+  if (!resp.ok) throw new Error(path + " -> HTTP " + resp.status);
+  return resp.json();
+}
+async function refresh() {
+  try {
+    const health = await getJSON(API + "/health");
+    document.getElementById("t-uptime").textContent = fmtUptime(health.uptime_s);
+    document.getElementById("t-queue").textContent = health.queue_depth;
+    document.getElementById("t-cache").textContent = health.cache_entries;
+    const by = health.jobs_by_state || {};
+    document.getElementById("t-jobs").textContent =
+      Object.values(by).reduce((a, b) => a + b, 0);
+    document.getElementById("meta").textContent =
+      Object.entries(by).map(([k, v]) => `${v} ${k}`).join(" · ");
+    const audit = await getJSON(API + "/jobs");
+    document.getElementById("jobs").innerHTML =
+      audit.jobs.slice().reverse().map(row).join("") ||
+      '<tr><td colspan="8" class="muted">no jobs submitted yet</td></tr>';
+    try {
+      const hist = await getJSON(
+        API + "/metrics/history?metric=scheduler.points_completed");
+      document.getElementById("spark").innerHTML = sparkline(hist.points || []);
+    } catch (e) { /* metric not sampled yet */ }
+    document.getElementById("err").textContent = "";
+  } catch (e) {
+    document.getElementById("err").textContent = "refresh failed: " + e.message;
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard() -> str:
+    """The dashboard page body (a function for symmetry/testability)."""
+    return DASHBOARD_HTML

@@ -39,8 +39,12 @@ from collections import deque
 from typing import Any
 
 from repro.experiments import EvaluationCache, Runner, Scenario
+from repro.obs.aggregate import SweepProfile, merge_profiles
+from repro.obs.ledger import RunLedger, load_ledger
 from repro.obs.logs import fields, get_logger
 from repro.obs.metrics import counter, gauge, histogram
+from repro.obs.profile import PhaseProfile
+from repro.obs.progress import ProgressTracker
 from repro.obs.pipeline import (
     DEFAULT_CAPACITY,
     MetricsSampler,
@@ -138,6 +142,12 @@ class ExperimentScheduler:
         self._enqueued_at: dict[str, float] = {}
         self._job_spans: dict[str, list[SpanRecord]] = {}
         self._trace_parents: dict[str, str | None] = {}
+        # Sweep introspection: the durable per-job run ledger, the live
+        # progress tracker, and per-point profile captures (opt-in).
+        self.ledger_dir = self.state_dir / "ledger"
+        self._ledgers: dict[str, RunLedger] = {}
+        self.tracker = ProgressTracker()
+        self._profiles: dict[str, list[PhaseProfile | None]] = {}
         # The scheduler is the span producer for the whole service; one
         # trace per job is drained into _job_spans when the job finishes.
         enable_tracing()
@@ -171,6 +181,9 @@ class ExperimentScheduler:
                 self.job_store.save(record)
                 self._queue.append(record.job_id)
                 self._enqueued_at[record.job_id] = time.monotonic()
+                self._ledger(record.job_id).append(
+                    "job.requeued", resumed=record.resumed
+                )
                 _REQUEUED.inc()
         _QUEUE_DEPTH.set(len(self._queue))
         if auto_start:
@@ -222,6 +235,22 @@ class ExperimentScheduler:
                 "metrics history save failed",
                 extra=fields(path=str(self.history_path), error=str(exc)),
             )
+        with self._lock:
+            ledgers = list(self._ledgers.values())
+            self._ledgers.clear()
+        for ledger in ledgers:
+            ledger.close()
+
+    def _ledger(self, job_id: str) -> RunLedger:
+        """Get-or-open the job's run ledger (``ledger/<job_id>.ndjson``)."""
+        with self._lock:
+            ledger = self._ledgers.get(job_id)
+            if ledger is None:
+                ledger = RunLedger(
+                    self.ledger_dir / f"{job_id}.ndjson", job_id=job_id
+                )
+                self._ledgers[job_id] = ledger
+            return ledger
 
     # -- submission & queries ------------------------------------------------
 
@@ -245,6 +274,14 @@ class ExperimentScheduler:
             self._enqueued_at[record.job_id] = time.monotonic()
             self._trace_parents[record.job_id] = trace_parent
             _QUEUE_DEPTH.set(len(self._queue))
+        ledger = self._ledger(record.job_id)
+        ledger.append(
+            "job.submitted",
+            n_points=record.n_points,
+            sweep=record.sweep_hash,
+        )
+        for i in range(record.n_points):
+            ledger.append("point.queued", point=i)
         _SUBMITTED.inc()
         _log.info(
             "job submitted",
@@ -377,6 +414,112 @@ class ExperimentScheduler:
                 out[record.state] = out.get(record.state, 0) + 1
         return dict(sorted(out.items()))
 
+    def audit_json(self, state: str | None = None) -> list[dict[str, Any]]:
+        """Job-status documents, oldest first, with live progress merged.
+
+        ``state`` filters to one lifecycle state (ValueError on unknown
+        names — the HTTP layer maps it to a 400). Running jobs carry a
+        ``progress`` sub-document (throughput/ETA/in-flight) from the
+        tracker.
+        """
+        from repro.service.jobs import JOB_STATES
+
+        if state is not None and state not in JOB_STATES:
+            raise ValueError(
+                f"unknown state {state!r}; one of {', '.join(JOB_STATES)}"
+            )
+        docs = []
+        for record in self.audit():
+            if state is not None and record.state != state:
+                continue
+            doc = record.status_json()
+            snap = self.tracker.snapshot(record.job_id)
+            if snap is not None:
+                doc["progress"] = snap
+            docs.append(doc)
+        return docs
+
+    def progress_json(self, job_id: str) -> dict[str, Any]:
+        """The ``/api/v1/jobs/<id>/progress`` document.
+
+        Counts come from the job record; while the job runs, the live
+        tracker adds in-flight/throughput/ETA/utilization. Terminal
+        jobs report an ETA of 0 (done) or None (failed) and their
+        realized overall throughput.
+        """
+        record = self.job(job_id)
+        done = record.points_done
+        n = record.n_points
+        doc: dict[str, Any] = {
+            "job_id": record.job_id,
+            "state": record.state,
+            "n_points": n,
+            "points_done": done,
+            "cache_hits": record.cache_hits,
+            "pct": round(100.0 * done / n, 2) if n else 0.0,
+            "resumed": record.resumed,
+        }
+        snap = self.tracker.snapshot(job_id)
+        if snap is not None:
+            doc.update(snap)
+        else:
+            doc.update(
+                completed=done - record.cache_hits,
+                cached=record.cache_hits,
+                failed=0,
+                in_flight=0,
+                eta_s=0.0 if record.state == "done" else None,
+                elapsed_s=record.duration_s,
+                throughput_pps=(
+                    round(n / record.duration_s, 6)
+                    if record.state == "done" and record.duration_s
+                    else None
+                ),
+            )
+        return doc
+
+    def profile_json(
+        self, job_id: str, *, deterministic: bool = False
+    ) -> dict[str, Any]:
+        """Aggregated per-phase sweep profile for ``job_id``.
+
+        Merges whatever per-point profiles have been captured so far
+        (running jobs aggregate their completed prefix). Jobs submitted
+        without ``"profile": true`` — or finished before the last
+        restart — report zero profiles.
+        """
+        record = self.job(job_id)
+        with self._lock:
+            profs = list(self._profiles.get(job_id, ()))
+        merged: SweepProfile = merge_profiles(profs)
+        doc = merged.to_json(deterministic=deterministic)
+        doc["job_id"] = record.job_id
+        doc["state"] = record.state
+        doc["n_points"] = record.n_points
+        return doc
+
+    def job_profiles(self, job_id: str) -> list[PhaseProfile | None]:
+        """Raw per-point profile captures, aligned with point order."""
+        with self._lock:
+            if job_id not in self._records:
+                raise JobNotFound(job_id)
+            return list(self._profiles.get(job_id, ()))
+
+    def ledger_events(self, job_id: str) -> list[dict[str, Any]]:
+        """The job's ledger events, read back from disk.
+
+        Disk is the source of truth (the writer flushes per line), so
+        this survives restarts and reflects events up to the moment of
+        the read.
+        """
+        with self._lock:
+            if job_id not in self._records:
+                raise JobNotFound(job_id)
+        path = self.ledger_dir / f"{job_id}.ndjson"
+        if not path.exists():
+            return []
+        return load_ledger(path)
+
     def job_spans(self, job_id: str) -> list[SpanRecord]:
         """Spans captured while ``job_id`` executed (empty if none).
 
@@ -462,6 +605,7 @@ class ExperimentScheduler:
                 self._execute_inner(job_id)
         finally:
             adopt_parent(None)
+            self.tracker.job_finished(job_id)
         with self._lock:
             self._job_spans[job_id] = take_spans()
 
@@ -470,6 +614,8 @@ class ExperimentScheduler:
             record = self._records[job_id]
             record.state = "running"
             self.job_store.save(record)
+        ledger = self._ledger(job_id)
+        ledger.append("job.running")
         _log.info(
             "job state change",
             extra=fields(job=job_id, state="running", points=record.n_points),
@@ -484,6 +630,7 @@ class ExperimentScheduler:
                 record.state = "failed"
                 record.error = str(exc)
                 self.job_store.save(record)
+            ledger.append("job.failed", error=str(exc))
             _FAILED.inc()
             _log.warning(
                 "job failed to parse",
@@ -492,10 +639,32 @@ class ExperimentScheduler:
             return
         hint = record.request.get("jobs")
         runner_jobs = min(hint, self.jobs) if isinstance(hint, int) else self.jobs
-        runner = Runner(jobs=max(1, runner_jobs), cache=self.cache)
+        runner_jobs = max(1, runner_jobs)
+        want_profile = bool(record.request.get("profile"))
+        tracker = self.tracker
+
+        def observe(event: dict[str, Any]) -> None:
+            # Runner lifecycle events land in the durable ledger and the
+            # live progress tracker; both run on the sweep drive thread.
+            ev = dict(event)
+            name = ev.pop("event")
+            ledger.append(name, **ev)
+            tracker.observe(job_id, name, ev)
+
+        runner = Runner(
+            jobs=runner_jobs,
+            cache=self.cache,
+            observer=observe,
+            profile=want_profile,
+        )
         started = time.perf_counter()
         metrics = self._metrics.setdefault(job_id, [])
         metrics.clear()
+        profiles = self._profiles.setdefault(job_id, [])
+        profiles.clear()
+        tracker.job_started(
+            job_id, n_points=record.n_points, workers=runner_jobs
+        )
         handle = runner.submit(scenarios)
         try:
             while True:
@@ -504,6 +673,7 @@ class ExperimentScheduler:
                     with self._lock:
                         for res in fresh:
                             metrics.append(res.metrics)
+                            profiles.append(res.profile)
                             record.points_done += 1
                             record.cache_hits += bool(res.cached)
                     _POINTS.inc(len(fresh))
@@ -523,6 +693,7 @@ class ExperimentScheduler:
                 record.error = f"{type(exc).__name__}: {exc}"
                 record.duration_s = round(time.perf_counter() - started, 6)
                 self.job_store.save(record)
+            ledger.append("job.failed", error=record.error)
             _FAILED.inc()
             _log.error(
                 "job failed",
@@ -534,6 +705,7 @@ class ExperimentScheduler:
             # the next boot requeues it from the checkpointed cache.
             with self._lock:
                 self.job_store.save(record)
+            ledger.append("job.interrupted", points_done=record.points_done)
             _log.info(
                 "job interrupted; parked for resume",
                 extra=fields(
@@ -553,6 +725,12 @@ class ExperimentScheduler:
             record.release = release.release_id
             record.duration_s = round(time.perf_counter() - started, 6)
             self.job_store.save(record)
+        ledger.append(
+            "job.done",
+            points_done=record.points_done,
+            cache_hits=record.cache_hits,
+            duration_s=record.duration_s,
+        )
         _DONE.inc()
         _log.info(
             "job state change",

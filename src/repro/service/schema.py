@@ -12,7 +12,9 @@ shapes:
   materialize scenario JSON themselves.
 
 An optional top-level ``"jobs"`` hints the per-job worker count (the
-scheduler clamps it to its own ceiling).
+scheduler clamps it to its own ceiling). An optional ``"profile": true``
+enables opt-in per-point phase profiling (aggregated at
+``/api/v1/jobs/<id>/profile``).
 
 Every validation failure raises :class:`SchemaError` carrying a machine
 ``code``, a human message and a ``path`` into the offending document
@@ -62,11 +64,17 @@ class ParsedRequest:
     """A validated submit request: its scenarios plus provenance."""
 
     def __init__(
-        self, scenarios: list[Scenario], *, jobs: int | None, payload: dict[str, Any]
+        self,
+        scenarios: list[Scenario],
+        *,
+        jobs: int | None,
+        payload: dict[str, Any],
+        profile: bool = False,
     ) -> None:
         self.scenarios = scenarios
         self.jobs = jobs
         self.payload = payload
+        self.profile = profile
         self.spec_hashes = [scenario_hash(s) for s in scenarios]
 
     @property
@@ -111,6 +119,17 @@ def _parse_jobs(doc: dict[str, Any]) -> int | None:
             path=("jobs",),
         )
     return jobs
+
+
+def _parse_profile(doc: dict[str, Any]) -> bool:
+    profile = doc.get("profile", False)
+    if not isinstance(profile, bool):
+        raise SchemaError(
+            f"'profile' must be a boolean, got {profile!r}",
+            code="invalid_profile",
+            path=("profile",),
+        )
+    return profile
 
 
 def _parse_scenarios(raw: Any) -> list[Scenario]:
@@ -198,6 +217,7 @@ def parse_request(doc: Any) -> ParsedRequest:
     doc = _require_mapping(doc)
     _check_version(doc)
     jobs = _parse_jobs(doc)
+    profile = _parse_profile(doc)
     has_scenarios = "scenarios" in doc
     has_family = "family" in doc
     if has_scenarios == has_family:
@@ -209,4 +229,4 @@ def parse_request(doc: Any) -> ParsedRequest:
         scenarios = _parse_scenarios(doc["scenarios"])
     else:
         scenarios = _expand_family(doc)
-    return ParsedRequest(scenarios, jobs=jobs, payload=doc)
+    return ParsedRequest(scenarios, jobs=jobs, payload=doc, profile=profile)

@@ -7,8 +7,11 @@ drive directly, without a socket. Endpoints, all under ``/api/v1``:
 
 =======  ==============================  =======================================
 POST     ``/jobs``                       submit a request document -> job id
-GET      ``/jobs``                       audit: job history + cache counters
+GET      ``/jobs``                       audit: job history + cache (``?state=``)
 GET      ``/jobs/<id>``                  status/progress (points, cache hits)
+GET      ``/jobs/<id>/progress``         live counts, throughput, ETA
+GET      ``/jobs/<id>/profile``          aggregated per-phase sweep profile
+GET      ``/jobs/<id>/ledger``           run-ledger export (``?deterministic=1``)
 GET      ``/jobs/<id>/result``           JSON metrics + release provenance
 GET      ``/jobs/<id>/result.npz``       byte-deterministic npz release export
 GET      ``/jobs/<id>/trace?point=N``    NDJSON per-window telemetry/control
@@ -19,9 +22,12 @@ GET      ``/alerts``                     SLO rule states + firing/resolved event
 GET      ``/health``                     liveness + uptime/queue/cache gauges
 =======  ==============================  =======================================
 
-One route lives *outside* the prefix: ``GET /metrics`` at the server
+Two routes live *outside* the prefix: ``GET /metrics`` at the server
 root serves the registry in Prometheus text exposition format (0.0.4)
-for standard scrapers — the JSON form stays at ``/api/v1/metrics``.
+for standard scrapers — the JSON form stays at ``/api/v1/metrics`` —
+and ``GET /dashboard`` serves a self-contained zero-dependency HTML
+dashboard (jobs table, progress bars, points-per-interval sparkline)
+built on the JSON API.
 
 A submit request may carry a ``traceparent`` header (W3C-style,
 ``00-<span id>-01``); the job's ``service.job`` span adopts that id as
@@ -167,6 +173,14 @@ class ExperimentApi:
                 body=render_prometheus(metrics_snapshot()).encode("utf-8"),
                 content_type=PROM_CONTENT_TYPE,
             )
+        if path == "/dashboard" and method == "GET":
+            from repro.service.dashboard import render_dashboard
+
+            return ApiResponse(
+                200,
+                body=render_dashboard().encode("utf-8"),
+                content_type="text/html; charset=utf-8",
+            )
         if not path.startswith(API_PREFIX):
             return ApiResponse.error(
                 404, "not_found", f"unknown path {path!r} (try {API_PREFIX}/health)"
@@ -231,7 +245,7 @@ class ExperimentApi:
             if method == "POST":
                 return self._submit(body, headers)
             if method == "GET":
-                return self._audit()
+                return self._audit(query)
             return ApiResponse.error(405, "method_not_allowed", f"{method} /jobs")
         if route.startswith("/jobs/"):
             parts = route[len("/jobs/"):].split("/")
@@ -245,6 +259,23 @@ class ExperimentApi:
                 return ApiResponse.json(
                     200, self.scheduler.job(job_id).status_json()
                 )
+            if rest == ["progress"]:
+                return ApiResponse.json(
+                    200, self.scheduler.progress_json(job_id)
+                )
+            if rest == ["profile"]:
+                deterministic = query.get("deterministic", ["0"])[-1] not in (
+                    "0",
+                    "",
+                )
+                return ApiResponse.json(
+                    200,
+                    self.scheduler.profile_json(
+                        job_id, deterministic=deterministic
+                    ),
+                )
+            if rest == ["ledger"]:
+                return self._ledger(job_id, query)
             if rest == ["result"]:
                 return self._result(job_id)
             if rest == ["result.npz"]:
@@ -275,14 +306,25 @@ class ExperimentApi:
         record = self.scheduler.submit(doc, trace_parent=trace_parent)
         return ApiResponse.json(202, {"job": record.status_json()})
 
-    def _audit(self) -> ApiResponse:
+    def _audit(self, query: dict[str, list[str]]) -> ApiResponse:
+        state = query.get("state", [None])[-1]
         return ApiResponse.json(
             200,
             {
-                "jobs": [r.status_json() for r in self.scheduler.audit()],
+                "jobs": self.scheduler.audit_json(state),
                 "cache": self.scheduler.cache_stats(),
             },
         )
+
+    def _ledger(self, job_id: str, query: dict[str, list[str]]) -> ApiResponse:
+        """The job's run-ledger export (``?deterministic=1`` canonical)."""
+        from repro.obs.ledger import export_ledger
+
+        deterministic = query.get("deterministic", ["0"])[-1] not in ("0", "")
+        events = self.scheduler.ledger_events(job_id)
+        doc = export_ledger(events, deterministic=deterministic)
+        doc["job_id"] = job_id
+        return ApiResponse.json(200, doc)
 
     def _result(self, job_id: str) -> ApiResponse:
         record = self.scheduler.job(job_id)
